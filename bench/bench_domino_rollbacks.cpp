@@ -1,0 +1,96 @@
+// E7 — regenerates Table 1's "number of rollbacks per failure" column as a
+// dynamic experiment: the domino effect.
+//
+// The cascading (Strom-Yemini-style) baseline re-announces on every rollback
+// and may roll a process back several times for one real failure; Damani-
+// Garg guarantees at most one rollback per process per failure. The sweep
+// raises the causal density (hop depth / seeding) so cascades have more
+// material to propagate through.
+#include "bench_util.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+struct Point {
+  double total_rollbacks = 0;
+  double worst_per_process = 0;
+  double announcements = 0;
+  double states_undone = 0;
+};
+
+Point measure(ProtocolKind protocol, std::uint32_t depth, std::size_t n,
+              int runs) {
+  Point point;
+  for (int i = 0; i < runs; ++i) {
+    auto config = standard_config(protocol, 2000 + i, n, 6, depth);
+    // Coarser flushing = more lost work per failure = deeper orphan chains.
+    config.process.flush_interval = millis(60);
+    config.process.checkpoint_interval = millis(150);
+    config.network.fifo = protocol == ProtocolKind::kCascading;
+    config.failures = FailurePlan::single(1, millis(100));
+    const auto result = run_experiment(config);
+    point.total_rollbacks += static_cast<double>(result.metrics.rollbacks);
+    point.worst_per_process += static_cast<double>(
+        result.metrics.max_rollbacks_per_process_per_failure());
+    point.announcements += static_cast<double>(result.net.token_broadcasts);
+    point.states_undone +=
+        static_cast<double>(result.metrics.states_rolled_back);
+  }
+  point.total_rollbacks /= runs;
+  point.worst_per_process /= runs;
+  point.announcements /= runs;
+  point.states_undone /= runs;
+  return point;
+}
+
+void print_table() {
+  print_header("E7: rollbacks per failure (domino effect)",
+               "Table 1, 'number of rollbacks per failure' column",
+               "Strom-Yemini-style cascades roll processes back repeatedly "
+               "(2^n worst case); Damani-Garg: at most 1 per process");
+
+  TablePrinter table({"n", "depth", "protocol", "rollbacks/failure",
+                      "worst per process", "announcements", "states undone"});
+  constexpr int kRuns = 6;
+  for (std::size_t n : {4u, 6u, 8u}) {
+    for (std::uint32_t depth : {32u, 96u}) {
+      for (ProtocolKind protocol :
+           {ProtocolKind::kDamaniGarg, ProtocolKind::kCascading}) {
+        const Point p = measure(protocol, depth, n, kRuns);
+        table.add_row({std::to_string(n), std::to_string(depth),
+                       protocol_name(protocol),
+                       TablePrinter::fmt(p.total_rollbacks, 2),
+                       TablePrinter::fmt(p.worst_per_process, 2),
+                       TablePrinter::fmt(p.announcements, 2),
+                       TablePrinter::fmt(p.states_undone, 1)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n(damani-garg's 'worst per process' column must read 1.00 or "
+              "0.00; cascading exceeds it as density grows)\n\n");
+}
+
+void BM_DominoRecovery(benchmark::State& state, ProtocolKind protocol) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config = standard_config(protocol, seed++, 6, 6, 96);
+    config.network.fifo = protocol == ProtocolKind::kCascading;
+    config.failures = FailurePlan::single(1, millis(100));
+    benchmark::DoNotOptimize(run_experiment(config).metrics.rollbacks);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DominoRecovery, damani_garg, ProtocolKind::kDamaniGarg);
+BENCHMARK_CAPTURE(BM_DominoRecovery, cascading, ProtocolKind::kCascading);
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E3 — regenerates Figure 5's recovery path as measurements: the latency and
+// work of a full crash->restart->token->rollback cycle under the Damani-Garg
+// protocol, as a function of how much unlogged work the failure destroys
+// (the flush interval) and of system size.
+#include "bench_util.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+void print_table() {
+  print_header(
+      "E3: recovery-path anatomy", "Figure 5 (the recovery example)",
+      "restart = restore + replay + token broadcast, no waiting; orphans "
+      "roll back once when the token lands; obsolete messages are discarded");
+
+  TablePrinter table({"flush interval", "lost msgs", "replayed", "rollbacks",
+                      "obsolete drops", "restart latency", "postponed"});
+  constexpr int kRuns = 8;
+  for (SimTime flush : {millis(5), millis(20), millis(80), millis(320)}) {
+    double lost = 0, replayed = 0, rollbacks = 0, obsolete = 0, latency = 0,
+           postponed = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(ProtocolKind::kDamaniGarg, 300 + i);
+      config.process.flush_interval = flush;
+      config.failures = FailurePlan::single(1, millis(120));
+      const auto result = run_experiment(config);
+      lost += static_cast<double>(result.metrics.messages_lost_in_crash);
+      replayed += static_cast<double>(result.metrics.messages_replayed);
+      rollbacks += static_cast<double>(result.metrics.rollbacks);
+      obsolete +=
+          static_cast<double>(result.metrics.messages_discarded_obsolete);
+      latency += result.metrics.restart_latency.mean();
+      postponed += static_cast<double>(result.metrics.messages_postponed);
+    }
+    table.add_row({fmt_us(static_cast<double>(flush)),
+                   TablePrinter::fmt(lost / kRuns, 1),
+                   TablePrinter::fmt(replayed / kRuns, 1),
+                   TablePrinter::fmt(rollbacks / kRuns, 1),
+                   TablePrinter::fmt(obsolete / kRuns, 1),
+                   fmt_us(latency / kRuns),
+                   TablePrinter::fmt(postponed / kRuns, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\n(the shorter the flush interval, the less work a failure "
+              "destroys and the fewer orphans it creates)\n\n");
+}
+
+void BM_CrashRecoveryCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config = standard_config(ProtocolKind::kDamaniGarg, seed++, n);
+    config.failures = FailurePlan::single(1, millis(120));
+    const auto result = run_experiment(config);
+    benchmark::DoNotOptimize(result.metrics.restarts);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CrashRecoveryCycle)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E8 — regenerates the "recovers the maximum recoverable state" claim
+// (Section 1 / Theorem 3).
+//
+// A single crash is injected; the run is replayed with the ground-truth
+// oracle attached, and the protocol's surviving states are compared with the
+// Johnson-Zwaenepoel fixpoint computed offline on the dependency graph. The
+// flush-interval sweep shows the tradeoff the paper describes: logging
+// frequency bounds what a failure can destroy — never more than the
+// unlogged suffix and its orphans.
+#include "bench_util.h"
+#include "src/truth/recovery_line_oracle.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+void print_table() {
+  print_header("E8: maximum recoverable state", "Theorem 3 / Section 1",
+               "only orphans are rolled back: the surviving computation "
+               "equals the offline Johnson-Zwaenepoel maximum");
+
+  TablePrinter table({"flush interval", "states total", "lost", "orphans",
+                      "surviving", "JZ oracle line", "match"});
+  for (SimTime flush : {millis(5), millis(20), millis(80), millis(320)}) {
+    ScenarioConfig config =
+        standard_config(ProtocolKind::kDamaniGarg, 4242, 4, 6, 48);
+    config.enable_oracle = true;
+    config.process.flush_interval = flush;
+    config.failures = FailurePlan::single(1, millis(120));
+
+    Scenario scenario(config);
+    scenario.run();
+    const CausalityOracle& oracle = *scenario.oracle();
+
+    std::size_t lost = 0, orphans = 0, surviving = 0, total = 0;
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      for (StateId s : oracle.states_of(pid)) {
+        ++total;
+        if (oracle.is_lost(s)) {
+          ++lost;
+        } else if (oracle.is_orphan(s)) {
+          ++orphans;
+        } else {
+          ++surviving;
+        }
+      }
+    }
+
+    // Independent computation: the JZ fixpoint over the dependency graph.
+    const auto line = RecoveryLineOracle::max_recoverable(
+        oracle, RecoveryLineOracle::caps_from_lost(oracle));
+    std::size_t jz_surviving = 0;
+    bool match = true;
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      jz_surviving += line.surviving_prefix[pid];
+      // Every state inside the JZ line must be useful, and rolled-back
+      // states must lie outside it. (Recovery states appended after the
+      // crash are useful by construction and extend past the line.)
+      const auto& states = oracle.states_of(pid);
+      for (std::size_t k = 0; k < line.surviving_prefix[pid]; ++k) {
+        if (!oracle.is_useful(states[k])) match = false;
+      }
+    }
+
+    table.add_row({fmt_us(static_cast<double>(flush)), std::to_string(total),
+                   std::to_string(lost), std::to_string(orphans),
+                   std::to_string(surviving), std::to_string(jz_surviving),
+                   match ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::printf("\n(surviving >= JZ line because recovery itself keeps "
+              "computing new useful states after the crash)\n\n");
+}
+
+void BM_OracleRecoveryLine(benchmark::State& state) {
+  ScenarioConfig config =
+      standard_config(ProtocolKind::kDamaniGarg, 4242, 4, 6, 48);
+  config.enable_oracle = true;
+  config.failures = FailurePlan::single(1, millis(120));
+  Scenario scenario(config);
+  scenario.run();
+  const CausalityOracle& oracle = *scenario.oracle();
+  for (auto _ : state) {
+    const auto line = RecoveryLineOracle::max_recoverable(
+        oracle, RecoveryLineOracle::caps_from_lost(oracle));
+    benchmark::DoNotOptimize(line.surviving_prefix);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_OracleRecoveryLine);
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

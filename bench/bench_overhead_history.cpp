@@ -1,0 +1,111 @@
+// E6 — regenerates Section 6.9(3): history size is O(n·f).
+//
+// "There are at most f versions of a process and there is one entry for each
+// version of a process in the history. So the size of the history is O(nf)."
+// Analytic: history bytes vs n and f. Measured: actual history footprints
+// after crash-heavy runs.
+#include "bench_util.h"
+#include "src/history/history.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+History history_after_failures(std::size_t n, Version f) {
+  History h(0, n);
+  for (ProcessId j = 0; j < n; ++j) {
+    for (Version v = 0; v < f; ++v) {
+      h.observe_token(j, {v, 1000 + v});
+    }
+  }
+  return h;
+}
+
+void print_analytic() {
+  print_header("E6: history size", "Section 6.9(3)",
+               "one record per known (process, version): O(n*f) bytes in "
+               "cheap volatile memory");
+
+  TablePrinter table({"n", "f (failures/process)", "history bytes",
+                      "bytes per record"});
+  for (std::size_t n : {2u, 8u, 32u, 128u}) {
+    for (Version f : {0u, 1u, 4u, 16u}) {
+      const History h = history_after_failures(n, f);
+      const std::size_t records = n * (1 + f);  // initial + f token records
+      table.add_row({std::to_string(n), std::to_string(f),
+                     std::to_string(h.byte_size()),
+                     TablePrinter::fmt(
+                         static_cast<double>(h.byte_size()) /
+                             static_cast<double>(records),
+                         1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void print_measured() {
+  std::printf("measured end-of-run history footprint (n=6):\n\n");
+  TablePrinter table({"crashes", "max history bytes", "checkpoint bytes"});
+  for (std::size_t crashes : {0u, 2u, 6u, 12u}) {
+    double hist = 0, ckpt = 0;
+    constexpr int kRuns = 3;
+    for (int i = 0; i < kRuns; ++i) {
+      ScenarioConfig config = standard_config(ProtocolKind::kDamaniGarg,
+                                              1000 + i, 6, 6, 64);
+      Rng rng(1100 + i);
+      config.failures =
+          FailurePlan::random(rng, 6, crashes, millis(20), millis(400));
+      Scenario scenario(config);
+      scenario.run();
+      std::size_t max_hist = 0, total_ckpt = 0;
+      for (ProcessId pid = 0; pid < scenario.size(); ++pid) {
+        max_hist = std::max(max_hist, scenario.dg(pid).history().byte_size());
+        total_ckpt += scenario.process(pid).storage().stable_bytes();
+      }
+      hist += static_cast<double>(max_hist);
+      ckpt += static_cast<double>(total_ckpt);
+    }
+    table.add_row({std::to_string(crashes), TablePrinter::fmt(hist / kRuns, 0),
+                   TablePrinter::fmt(ckpt / kRuns, 0)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_HistoryObserveClock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  History h(0, n);
+  Ftvc incoming(1 % n, n);
+  incoming.tick_send();
+  for (auto _ : state) {
+    h.observe_message_clock(incoming);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HistoryObsoleteCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<Version>(state.range(1));
+  const History h = history_after_failures(n, f);
+  const Ftvc clock(0, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.is_obsolete(clock));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_HistoryObserveClock)->Arg(4)->Arg(32)->Arg(128);
+BENCHMARK(BM_HistoryObsoleteCheck)->Args({4, 4})->Args({32, 4})->Args({128, 16});
+
+int main(int argc, char** argv) {
+  print_analytic();
+  print_measured();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

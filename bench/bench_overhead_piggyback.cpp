@@ -1,0 +1,110 @@
+// E4 — regenerates Section 6.9(1): FTVC piggyback overhead.
+//
+// The paper: the protocol tags an FTVC onto every message — O(n) entries,
+// each carrying a version number of ~log2(f) bits. Two views:
+//   (a) analytic: serialized FTVC bytes vs n and failure count f, compared
+//       against a plain Mattern clock (Sistla-Welch/Peterson-Kearns family)
+//       and against the O(n^2 f) piggyback model of Smith-Johnson-Tygar;
+//   (b) measured: piggyback bytes per message from actual runs with real
+//       failure counts.
+#include "bench_util.h"
+#include "src/clocks/ftvc.h"
+#include "src/clocks/vector_clock.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+/// An FTVC where every entry has version f and a mid-size timestamp —
+/// the steady state after every process failed f times.
+Ftvc clock_after_failures(std::size_t n, Version f, Timestamp ts) {
+  Writer w;
+  w.put_u32(0);
+  w.put_u32(static_cast<std::uint32_t>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    FtvcEntry e{f, ts};
+    e.encode(w);
+  }
+  Reader r(w.buffer());
+  return Ftvc::decode(r);
+}
+
+void print_analytic() {
+  print_header("E4: piggyback overhead", "Section 6.9(1)",
+               "FTVC costs O(n) with ~log2(f) extra bits per entry; "
+               "Smith-Johnson-Tygar's clock costs O(n^2 f)");
+
+  TablePrinter table({"n", "f", "FTVC bytes", "plain VC bytes",
+                      "SJT model bytes (n^2*f entries)"});
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    for (Version f : {0u, 1u, 4u, 16u}) {
+      const Ftvc ftvc = clock_after_failures(n, f, 100000);
+      VectorClock plain(0, n);
+      // SJT maintain O(n^2 f) timestamps; model each as one FTVC entry.
+      const std::size_t entry_bytes =
+          varint_size(f) + varint_size(100000);
+      const std::size_t sjt =
+          n * n * std::max<std::size_t>(1, f) * entry_bytes;
+      table.add_row({std::to_string(n), std::to_string(f),
+                     std::to_string(ftvc.wire_size()),
+                     std::to_string(plain.wire_size()), std::to_string(sjt)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void print_measured() {
+  std::printf("measured piggyback bytes per message (runs with real "
+              "failures):\n\n");
+  TablePrinter table({"n", "crashes", "piggyback B/msg", "payload B/msg"});
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (std::size_t crashes : {0u, 2u}) {
+      double piggyback = 0, payload = 0;
+      constexpr int kRuns = 4;
+      for (int i = 0; i < kRuns; ++i) {
+        auto config = standard_config(ProtocolKind::kDamaniGarg, 500 + i, n);
+        Rng rng(700 + i);
+        config.failures =
+            FailurePlan::random(rng, n, crashes, millis(20), millis(150));
+        const auto result = run_experiment(config);
+        piggyback += result.metrics.piggyback_per_message();
+        payload += static_cast<double>(result.metrics.payload_bytes) /
+                   static_cast<double>(result.metrics.app_messages_sent);
+      }
+      table.add_row({std::to_string(n), std::to_string(crashes),
+                     TablePrinter::fmt(piggyback / kRuns, 1),
+                     TablePrinter::fmt(payload / kRuns, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_PiggybackSerialize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<Version>(state.range(1));
+  const Ftvc clock = clock_after_failures(n, f, 12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.wire_size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_PiggybackSerialize)
+    ->Args({4, 0})
+    ->Args({4, 16})
+    ->Args({64, 0})
+    ->Args({64, 16})
+    ->Args({256, 16});
+
+int main(int argc, char** argv) {
+  print_analytic();
+  print_measured();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

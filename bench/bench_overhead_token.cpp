@@ -1,0 +1,85 @@
+// E5 — regenerates Section 6.9(2): token broadcast overhead.
+//
+// "A token is broadcast only when a process fails. The size of a token is
+// equal to just one entry of vector clock." Measured: token bytes (constant
+// in n), tokens per failure (n-1 point-to-point copies), and total token
+// traffic as a fraction of message traffic in crash-heavy runs. The
+// Remark-1 variant (token + restored FTVC) is reported for contrast.
+#include "bench_util.h"
+#include "src/net/message.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+void print_sizes() {
+  print_header("E5: token overhead", "Section 6.9(2)",
+               "token size == one vector-clock entry, independent of n; "
+               "broadcast only on failure");
+
+  TablePrinter table({"n", "token bytes", "token+clock bytes (Remark 1)",
+                      "copies per failure"});
+  for (std::size_t n : {2u, 8u, 32u, 256u}) {
+    Token plain;
+    plain.from = 0;
+    plain.failed = {3, 100000};
+    Token with_clock = plain;
+    with_clock.restored_clock = Ftvc(0, n);
+    table.add_row({std::to_string(n), std::to_string(plain.wire_size()),
+                   std::to_string(with_clock.wire_size()),
+                   std::to_string(n - 1)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void print_measured() {
+  std::printf("measured token traffic share (crash-heavy runs, n=6):\n\n");
+  TablePrinter table({"crashes", "token bytes", "message bytes",
+                      "token share", "broadcasts"});
+  for (std::size_t crashes : {0u, 1u, 3u, 6u}) {
+    double token_bytes = 0, msg_bytes = 0, broadcasts = 0;
+    constexpr int kRuns = 4;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(ProtocolKind::kDamaniGarg, 800 + i, 6);
+      Rng rng(900 + i);
+      config.failures =
+          FailurePlan::random(rng, 6, crashes, millis(20), millis(200));
+      const auto result = run_experiment(config);
+      token_bytes += static_cast<double>(result.net.token_bytes);
+      msg_bytes += static_cast<double>(result.net.message_bytes);
+      broadcasts += static_cast<double>(result.net.token_broadcasts);
+    }
+    table.add_row(
+        {std::to_string(crashes), TablePrinter::fmt(token_bytes / kRuns, 0),
+         TablePrinter::fmt(msg_bytes / kRuns, 0),
+         TablePrinter::fmt(100.0 * token_bytes / std::max(1.0, msg_bytes), 3) +
+             " %",
+         TablePrinter::fmt(broadcasts / kRuns, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_TokenSerialize(benchmark::State& state) {
+  Token t;
+  t.from = 0;
+  t.failed = {5, 999999};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.wire_size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TokenSerialize);
+
+int main(int argc, char** argv) {
+  print_sizes();
+  print_measured();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

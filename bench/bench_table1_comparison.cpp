@@ -1,0 +1,110 @@
+// E1 — regenerates paper Table 1: comparison of recovery protocols.
+//
+// The paper's table is qualitative; here every implemented protocol runs the
+// SAME workload twice (failure-free, and with one mid-run crash) and the
+// table's columns are *measured*: rollbacks per failure, piggyback bytes,
+// recovery blocking, control traffic. The paper's rows for protocols we do
+// not implement (Sistla-Welch, Peterson-Kearns, Smith-Johnson-Tygar) are
+// represented by their closest implemented family member; the cascading
+// baseline plays the Strom-Yemini row.
+#include "bench_util.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+struct Row {
+  ProtocolKind protocol;
+  const char* ordering;    // message ordering assumption (by construction)
+  const char* concurrent;  // concurrent failures supported (by construction)
+};
+
+const Row kRows[] = {
+    {ProtocolKind::kCascading, "FIFO (SY)", "1"},
+    {ProtocolKind::kSenderBased, "none", "1 at a time"},
+    {ProtocolKind::kPetersonKearns, "FIFO", "1"},
+    {ProtocolKind::kCoordinated, "none", "1 at a time"},
+    {ProtocolKind::kPessimistic, "none", "n"},
+    {ProtocolKind::kDamaniGarg, "none", "n"},
+};
+
+void print_table() {
+  print_header("E1: protocol comparison", "Table 1",
+               "Damani-Garg: no ordering assumption, asynchronous recovery, "
+               "<=1 rollback/failure, O(n) piggyback, n concurrent failures");
+
+  TablePrinter table({"protocol", "ordering", "async recovery",
+                      "rollbacks/failure", "piggyback B/msg", "ctl msgs/app",
+                      "sync writes/msg", "concurrent"});
+  constexpr int kRuns = 5;
+  for (const Row& row : kRows) {
+    // Failure-free run: overheads.
+    double piggyback = 0, ctl = 0, sync = 0;
+    const bool wants_fifo = row.protocol == ProtocolKind::kCascading ||
+                            row.protocol == ProtocolKind::kPetersonKearns;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(row.protocol, 100 + i);
+      config.network.fifo = wants_fifo;
+      const auto result = run_experiment(config);
+      piggyback += result.metrics.piggyback_per_message();
+      ctl += static_cast<double>(result.metrics.control_messages_sent) /
+             static_cast<double>(result.metrics.app_messages_sent);
+      sync += static_cast<double>(result.metrics.sync_log_writes) /
+              static_cast<double>(result.metrics.messages_delivered);
+    }
+
+    // Single-failure run: recovery shape.
+    double blocked = 0, rollbacks = 0, worst_rollbacks = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(row.protocol, 200 + i);
+      config.network.fifo = wants_fifo;
+      config.failures = FailurePlan::single(1, millis(120));
+      const auto result = run_experiment(config);
+      blocked += static_cast<double>(result.metrics.recovery_blocked_time);
+      rollbacks += static_cast<double>(result.metrics.rollbacks);
+      worst_rollbacks += static_cast<double>(
+          result.metrics.max_rollbacks_per_process_per_failure());
+    }
+
+    table.add_row({protocol_name(row.protocol), row.ordering,
+                   blocked == 0 ? "yes (0 us blocked)"
+                                : "no (" + fmt_us(blocked / kRuns) + ")",
+                   TablePrinter::fmt(rollbacks / kRuns, 1) + " (max " +
+                       TablePrinter::fmt(worst_rollbacks / kRuns, 1) +
+                       "/proc)",
+                   TablePrinter::fmt(piggyback / kRuns, 1),
+                   TablePrinter::fmt(ctl / kRuns, 2),
+                   TablePrinter::fmt(sync / kRuns, 2), row.concurrent});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nunimplemented paper rows (cited, not run): Sistla-Welch'89 "
+      "(FIFO, blocking, O(n)), Smith-Johnson-Tygar'95 (async, O(n^2 f) "
+      "piggyback; modeled analytically in bench_overhead_piggyback)\n\n");
+}
+
+void BM_Run(benchmark::State& state, ProtocolKind protocol) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config = standard_config(protocol, seed++);
+    config.failures = FailurePlan::single(1, millis(120));
+    const auto result = run_experiment(config);
+    benchmark::DoNotOptimize(result.metrics.messages_delivered);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Run, damani_garg, ProtocolKind::kDamaniGarg);
+BENCHMARK_CAPTURE(BM_Run, pessimistic, ProtocolKind::kPessimistic);
+BENCHMARK_CAPTURE(BM_Run, coordinated, ProtocolKind::kCoordinated);
+BENCHMARK_CAPTURE(BM_Run, sender_based, ProtocolKind::kSenderBased);
+BENCHMARK_CAPTURE(BM_Run, cascading, ProtocolKind::kCascading);
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E11 — regenerates Section 6.3: the cost of synchronous token logging and
+// of the deliverability postponement queue.
+//
+// "We require all tokens to be logged synchronously ... since we expect the
+// number of failures to be small, this would incur only a small overhead."
+// Measured: synchronous writes per run vs failures; and how often messages
+// must be postponed awaiting tokens (which depends on how slow tokens are
+// relative to messages — swept via the network delay spread).
+#include "bench_util.h"
+
+using namespace optrec;
+using namespace optrec::bench;
+
+namespace {
+
+void print_sync_writes() {
+  print_header("E11: synchronous token logging & postponement", "Section 6.3",
+               "sync writes scale with failures (n-1 token logs each), not "
+               "with message volume; postponement is rare and transient");
+
+  TablePrinter table({"crashes", "sync writes", "deliveries",
+                      "sync per delivery"});
+  constexpr int kRuns = 4;
+  for (std::size_t crashes : {0u, 1u, 3u, 6u}) {
+    double sync = 0, delivered = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(ProtocolKind::kDamaniGarg, 5000 + i, 6);
+      Rng rng(5100 + i);
+      config.failures =
+          FailurePlan::random(rng, 6, crashes, millis(20), millis(200));
+      const auto result = run_experiment(config);
+      sync += static_cast<double>(result.metrics.sync_log_writes);
+      delivered += static_cast<double>(result.metrics.messages_delivered);
+    }
+    table.add_row({std::to_string(crashes), TablePrinter::fmt(sync / kRuns, 1),
+                   TablePrinter::fmt(delivered / kRuns, 0),
+                   TablePrinter::fmt(sync / std::max(1.0, delivered), 4)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void print_postponement() {
+  std::printf("postponement vs message/token delay spread (2 crashes, n=6):\n\n");
+  TablePrinter table({"max net delay", "postponed", "released", "delivered",
+                      "postponed share"});
+  constexpr int kRuns = 4;
+  for (SimTime max_delay : {millis(2), millis(10), millis(40), millis(120)}) {
+    double postponed = 0, released = 0, delivered = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      auto config = standard_config(ProtocolKind::kDamaniGarg, 5200 + i, 6);
+      config.network.max_delay = max_delay;
+      Rng rng(5300 + i);
+      config.failures =
+          FailurePlan::random(rng, 6, 2, millis(20), millis(150));
+      const auto result = run_experiment(config);
+      postponed += static_cast<double>(result.metrics.messages_postponed);
+      released += static_cast<double>(result.metrics.postponed_released);
+      delivered += static_cast<double>(result.metrics.messages_delivered);
+    }
+    table.add_row(
+        {fmt_us(static_cast<double>(max_delay)),
+         TablePrinter::fmt(postponed / kRuns, 1),
+         TablePrinter::fmt(released / kRuns, 1),
+         TablePrinter::fmt(delivered / kRuns, 0),
+         TablePrinter::fmt(100.0 * postponed / std::max(1.0, delivered), 2) +
+             " %"});
+  }
+  table.print(std::cout);
+  std::printf("\n(the wider the delay spread, the more often a new "
+              "incarnation's message overtakes its failure token and must "
+              "wait — Figure 5's m2)\n\n");
+}
+
+void BM_RecoveryWithPostponement(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config = standard_config(ProtocolKind::kDamaniGarg, seed++, 6);
+    config.network.max_delay = millis(40);
+    Rng rng(seed);
+    config.failures = FailurePlan::random(rng, 6, 2, millis(20), millis(150));
+    benchmark::DoNotOptimize(run_experiment(config).metrics.messages_postponed);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecoveryWithPostponement);
+
+int main(int argc, char** argv) {
+  print_sync_writes();
+  print_postponement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one table/figure of the paper (see DESIGN.md §4): it prints the
+// paper-shaped table from simulation metrics, then runs google-benchmark
+// timings for the wall-clock aspects.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+
+namespace optrec::bench {
+
+/// A standard workload configuration shared by the comparison benches so
+/// protocols face identical traffic.
+inline ScenarioConfig standard_config(ProtocolKind protocol,
+                                      std::uint64_t seed, std::size_t n = 4,
+                                      std::uint32_t intensity = 6,
+                                      std::uint32_t depth = 48) {
+  ScenarioConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.n = n;
+  config.workload.kind = WorkloadKind::kCounter;
+  config.workload.intensity = intensity;
+  config.workload.depth = depth;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(20);
+  config.process.checkpoint_interval = millis(100);
+  config.enable_oracle = false;  // benches measure, tests verify
+  return config;
+}
+
+/// Average a metric over `runs` seeds.
+template <typename Fn>
+double average_over_seeds(std::uint64_t base_seed, int runs, Fn metric) {
+  double total = 0;
+  for (int i = 0; i < runs; ++i) {
+    total += metric(base_seed + static_cast<std::uint64_t>(i));
+  }
+  return total / runs;
+}
+
+inline std::string fmt_us(double us) {
+  return TablePrinter::fmt(us / 1000.0, 2) + " ms";
+}
+
+inline void print_header(const char* experiment, const char* paper_artifact,
+                         const char* expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s — regenerates %s\n", experiment, paper_artifact);
+  std::printf("paper expectation: %s\n", expectation);
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace optrec::bench

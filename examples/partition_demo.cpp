@@ -1,0 +1,56 @@
+// Network partition during recovery.
+//
+// The cluster splits into {P0,P1} | {P2,P3} just before P1 crashes. P1
+// restarts *inside* its partition — tokens to the far side are queued by the
+// reliable token transport and delivered after the heal. Nothing blocks:
+// this is the paper's "tolerate network partitioning" property (a process
+// never depends on information stored elsewhere to restart).
+//
+//   ./build/examples/partition_demo [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/harness/experiment.h"
+#include "src/util/log.h"
+
+using namespace optrec;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  config.workload.kind = WorkloadKind::kGossip;
+  config.workload.intensity = 3;
+  config.workload.depth = 12;
+  config.process.flush_interval = millis(20);
+
+  PartitionEvent split;
+  split.at = millis(25);
+  split.heal_at = millis(250);
+  split.groups = {{0, 1}, {2, 3}};
+  config.failures.partitions.push_back(split);
+  config.failures.crashes = {{millis(40), 1}};
+
+  std::printf("partitioning {P0,P1} | {P2,P3} at 25ms, crashing P1 at 40ms, "
+              "healing at 250ms...\n\n");
+  const ExperimentResult result = run_experiment(config);
+
+  std::printf("\n--- outcome ---\n");
+  std::printf("quiesced:             %s\n", result.quiesced ? "yes" : "NO");
+  std::printf("P1 restarted:         %llu time(s), blocked for %llu us\n",
+              (unsigned long long)result.metrics.restarts,
+              (unsigned long long)result.metrics.recovery_blocked_time);
+  std::printf("deliveries retried:   %llu (held across partition/downtime)\n",
+              (unsigned long long)result.net.messages_retried);
+  std::printf("tokens delivered:     %llu of %llu sent (all, eventually)\n",
+              (unsigned long long)result.net.tokens_delivered,
+              (unsigned long long)result.net.tokens_sent);
+  std::printf("consistency:          %s\n",
+              result.violations.empty() ? "consistent" : "VIOLATED");
+  return result.quiesced && result.violations.empty() &&
+                 result.metrics.recovery_blocked_time == 0
+             ? 0
+             : 1;
+}

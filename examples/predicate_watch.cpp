@@ -1,0 +1,98 @@
+// Predicate detection over fault-tolerant vector clocks (paper Section 4).
+//
+// The FTVC keeps tracking causality for useful states even across failures
+// (Theorem 1), so the classic weak-conjunctive-predicate detector (Garg &
+// Waldecker) runs unchanged on FTVC timestamps. Here each process watches
+// the local predicate "my counter is an exact multiple of 50"; a crash is
+// injected mid-run; candidates from states later rolled back or lost are
+// withdrawn (the oracle tells us which survived), and detection looks for a
+// consistent cut where the predicate held everywhere simultaneously.
+//
+//   ./build/examples/predicate_watch [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/app/counter_app.h"
+#include "src/core/dg_process.h"
+#include "src/detect/predicate_detector.h"
+#include "src/util/log.h"
+
+using namespace optrec;
+
+namespace {
+struct Candidate {
+  ProcessId pid;
+  Ftvc clock;
+  StateId state;
+  std::int64_t value;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+  constexpr std::size_t kN = 3;
+
+  Simulation sim(seed);
+  Network net(sim, {});
+  Metrics metrics;
+  CausalityOracle oracle;
+
+  ProcessConfig pconfig;
+  pconfig.flush_interval = millis(20);
+  pconfig.checkpoint_interval = millis(100);
+
+  CounterAppConfig app_config;
+  app_config.initial_jobs = 8;
+  app_config.hops = 64;
+  app_config.all_seed = true;
+
+  std::vector<Candidate> candidates;
+  std::vector<std::unique_ptr<DamaniGargProcess>> procs;
+  for (ProcessId pid = 0; pid < kN; ++pid) {
+    procs.push_back(std::make_unique<DamaniGargProcess>(
+        sim, net, pid, kN, std::make_unique<CounterApp>(pid, kN, app_config),
+        pconfig, metrics, &oracle));
+    procs.back()->set_delivery_observer(
+        [&candidates](const DamaniGargProcess& p, const Ftvc& delivery_clock) {
+          const auto& counter = dynamic_cast<const CounterApp&>(p.app());
+          if (counter.value() > 0 && counter.value() % 50 == 0) {
+            candidates.push_back({p.pid(), delivery_clock,
+                                  p.current_state_id(), counter.value()});
+          }
+        });
+  }
+  for (auto& p : procs) {
+    sim.schedule_at(0, [&p] { p->start(); });
+  }
+  sim.schedule_at(millis(35), [&procs] { procs[1]->crash(); });
+  sim.run(seconds(10));
+
+  std::printf("\ncollected %zu raw candidates; withdrawing non-useful ones "
+              "(lost or rolled back)...\n",
+              candidates.size());
+  ConjunctivePredicateDetector detector(kN);
+  std::size_t useful = 0;
+  for (const auto& c : candidates) {
+    if (oracle.is_useful(c.state)) {
+      detector.observe(c.pid, c.clock);
+      ++useful;
+    }
+  }
+  std::printf("%zu useful candidates fed to the detector\n", useful);
+
+  const auto result = detector.detect();
+  if (result.detected) {
+    std::printf("\nDETECTED: a consistent cut where every counter was a "
+                "multiple of 50:\n");
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      std::printf("  P%u at %s\n", pid, result.cut[pid].to_string().c_str());
+    }
+  } else {
+    std::printf("\nno consistent cut found (predicate never held "
+                "simultaneously) — try another seed\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Application framework: piecewise-deterministic apps (paper Section 3).
+//
+// An app's entire interaction with the world goes through AppContext, and
+// its handlers must be deterministic functions of (serialized state,
+// received message). That determinism is what makes replay-based recovery
+// possible: the host re-runs handlers on logged messages and obtains
+// byte-identical states and sends. Apps needing randomness must keep the
+// generator state inside their serialized state (see mix64 below).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+/// The host-provided capability surface available inside app handlers.
+class AppContext {
+ public:
+  virtual ~AppContext() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual std::size_t process_count() const = 0;
+
+  /// Send an application message. dst must differ from self().
+  virtual void send(ProcessId dst, const Bytes& payload) = 0;
+
+  /// Request an output to the external environment. With output commit
+  /// enabled the host delays the commit until the current state can never be
+  /// lost or rolled back (paper Remark 2); otherwise it commits immediately.
+  virtual void output(const std::string& data) = 0;
+};
+
+/// A piecewise-deterministic application.
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Runs once at process start, before any delivery; may send. The host
+  /// takes the initial checkpoint after on_start, so it is never re-run.
+  virtual void on_start(AppContext& ctx) = 0;
+
+  /// Deterministic handler: runs on every delivered application message.
+  virtual void on_message(AppContext& ctx, ProcessId src,
+                          const Bytes& payload) = 0;
+
+  /// Full serialization of the app state; restore(snapshot()) must be an
+  /// exact round-trip (checked by tests via fnv1a fingerprints).
+  virtual Bytes snapshot() const = 0;
+  virtual void restore(const Bytes& state) = 0;
+
+  virtual std::string describe() const { return {}; }
+};
+
+/// Constructs the app instance for one process of an n-process system.
+using AppFactory =
+    std::function<std::unique_ptr<App>(ProcessId pid, std::size_t n)>;
+
+/// Deterministic 64-bit mixer for in-state pseudo-randomness (SplitMix64
+/// finalizer). Apps fold it over a seed stored in their serialized state.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace optrec

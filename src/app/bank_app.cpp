@@ -1,0 +1,104 @@
+#include "src/app/bank_app.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+struct TransferPayload {
+  std::int64_t amount = 0;
+  std::uint32_t hops = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.put_i64(amount);
+    w.put_u32(hops);
+    return w.take();
+  }
+  static TransferPayload decode(const Bytes& payload) {
+    Reader r(payload);
+    TransferPayload p;
+    p.amount = r.get_i64();
+    p.hops = r.get_u32();
+    return p;
+  }
+};
+}  // namespace
+
+BankApp::BankApp(ProcessId pid, std::size_t n, BankAppConfig config)
+    : pid_(pid),
+      n_(n),
+      config_(config),
+      balance_(config.initial_balance),
+      seed_(mix64(pid * 0x9e37u + 17)) {
+  if (n < 2) throw std::invalid_argument("BankApp needs >= 2 processes");
+}
+
+ProcessId BankApp::next_destination() {
+  seed_ = mix64(seed_);
+  auto dst = static_cast<ProcessId>(seed_ % (n_ - 1));
+  if (dst >= pid_) ++dst;
+  return dst;
+}
+
+void BankApp::transfer(AppContext& ctx, std::uint32_t hops) {
+  seed_ = mix64(seed_);
+  const std::int64_t cap = std::min<std::int64_t>(config_.max_transfer, balance_);
+  if (cap <= 0) return;
+  TransferPayload p;
+  p.amount = static_cast<std::int64_t>(seed_ % static_cast<std::uint64_t>(cap)) + 1;
+  p.hops = hops;
+  balance_ -= p.amount;
+  ++transfers_done_;
+  ctx.send(next_destination(), p.encode());
+}
+
+void BankApp::on_start(AppContext& ctx) {
+  for (std::uint32_t i = 0; i < config_.initial_transfers; ++i) {
+    transfer(ctx, config_.hops);
+  }
+}
+
+void BankApp::on_message(AppContext& ctx, ProcessId /*src*/,
+                         const Bytes& payload) {
+  const TransferPayload p = TransferPayload::decode(payload);
+  balance_ += p.amount;
+  if (p.hops > 0) transfer(ctx, p.hops - 1);
+}
+
+Bytes BankApp::snapshot() const {
+  Writer w;
+  w.put_i64(balance_);
+  w.put_u64(seed_);
+  w.put_u64(transfers_done_);
+  return w.take();
+}
+
+void BankApp::restore(const Bytes& state) {
+  Reader r(state);
+  balance_ = r.get_i64();
+  seed_ = r.get_u64();
+  transfers_done_ = r.get_u64();
+}
+
+std::string BankApp::describe() const {
+  std::ostringstream os;
+  os << "bank{balance=" << balance_ << ", transfers=" << transfers_done_ << '}';
+  return os.str();
+}
+
+std::int64_t BankApp::decode_amount(const Bytes& payload) {
+  return TransferPayload::decode(payload).amount;
+}
+
+AppFactory BankApp::factory(BankAppConfig config) {
+  return [config](ProcessId pid, std::size_t n) {
+    return std::make_unique<BankApp>(pid, n, config);
+  };
+}
+
+}  // namespace optrec

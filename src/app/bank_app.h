@@ -1,0 +1,56 @@
+// BankApp: money-conservation workload.
+//
+// Every process starts with `initial_balance`; transfers hop between
+// accounts carrying real value. The global invariant — surviving balances
+// plus surviving in-flight value equals the initial total — is exactly the
+// kind of application-level consistency a recovery protocol must preserve:
+// money must be neither duplicated (a rollback undone on one side only) nor
+// destroyed (with Remark-1 retransmission enabled).
+#pragma once
+
+#include <cstdint>
+
+#include "src/app/app.h"
+
+namespace optrec {
+
+struct BankAppConfig {
+  std::int64_t initial_balance = 1000;
+  std::uint32_t initial_transfers = 2;
+  std::uint32_t hops = 24;
+  std::int64_t max_transfer = 50;
+};
+
+class BankApp : public App {
+ public:
+  BankApp(ProcessId pid, std::size_t n, BankAppConfig config);
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId src, const Bytes& payload) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  std::string describe() const override;
+
+  std::int64_t balance() const { return balance_; }
+
+  static AppFactory factory(BankAppConfig config = {});
+
+  /// Amount carried by an encoded transfer payload; used by tests to audit
+  /// in-flight value without reaching into app internals.
+  static std::int64_t decode_amount(const Bytes& payload);
+
+ private:
+  ProcessId next_destination();
+  void transfer(AppContext& ctx, std::uint32_t hops);
+
+  ProcessId pid_;
+  std::size_t n_;
+  BankAppConfig config_;
+
+  // Serialized state.
+  std::int64_t balance_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t transfers_done_ = 0;
+};
+
+}  // namespace optrec

@@ -1,0 +1,102 @@
+#include "src/app/counter_app.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+struct JobPayload {
+  std::int64_t amount = 0;
+  std::uint32_t hops = 0;
+  std::uint32_t pad = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.put_i64(amount);
+    w.put_u32(hops);
+    w.put_bytes(Bytes(pad, 0xab));
+    return w.take();
+  }
+  static JobPayload decode(const Bytes& payload) {
+    Reader r(payload);
+    JobPayload p;
+    p.amount = r.get_i64();
+    p.hops = r.get_u32();
+    p.pad = static_cast<std::uint32_t>(r.get_bytes().size());
+    return p;
+  }
+};
+}  // namespace
+
+CounterApp::CounterApp(ProcessId pid, std::size_t n, CounterAppConfig config)
+    : pid_(pid), n_(n), config_(config), seed_(mix64(pid + 0x5151u)) {
+  if (n < 2) throw std::invalid_argument("CounterApp needs >= 2 processes");
+}
+
+ProcessId CounterApp::next_destination() {
+  seed_ = mix64(seed_);
+  auto dst = static_cast<ProcessId>(seed_ % (n_ - 1));
+  if (dst >= pid_) ++dst;  // skip self
+  return dst;
+}
+
+void CounterApp::forward(AppContext& ctx, std::int64_t amount,
+                         std::uint32_t hops) {
+  JobPayload p;
+  p.amount = amount;
+  p.hops = hops;
+  p.pad = config_.payload_pad;
+  ctx.send(next_destination(), p.encode());
+}
+
+void CounterApp::on_start(AppContext& ctx) {
+  if (pid_ != 0 && !config_.all_seed) return;
+  for (std::uint32_t job = 0; job < config_.initial_jobs; ++job) {
+    forward(ctx, static_cast<std::int64_t>(job + 1), config_.hops);
+  }
+}
+
+void CounterApp::on_message(AppContext& ctx, ProcessId /*src*/,
+                            const Bytes& payload) {
+  const JobPayload p = JobPayload::decode(payload);
+  value_ += p.amount;
+  ++handled_;
+  if (config_.output_every != 0 && handled_ % config_.output_every == 0) {
+    std::ostringstream os;
+    os << "P" << pid_ << " value=" << value_ << " handled=" << handled_;
+    ctx.output(os.str());
+  }
+  if (p.hops > 0) forward(ctx, p.amount, p.hops - 1);
+}
+
+Bytes CounterApp::snapshot() const {
+  Writer w;
+  w.put_i64(value_);
+  w.put_u64(handled_);
+  w.put_u64(seed_);
+  return w.take();
+}
+
+void CounterApp::restore(const Bytes& state) {
+  Reader r(state);
+  value_ = r.get_i64();
+  handled_ = r.get_u64();
+  seed_ = r.get_u64();
+}
+
+std::string CounterApp::describe() const {
+  std::ostringstream os;
+  os << "counter{value=" << value_ << ", handled=" << handled_ << '}';
+  return os.str();
+}
+
+AppFactory CounterApp::factory(CounterAppConfig config) {
+  return [config](ProcessId pid, std::size_t n) {
+    return std::make_unique<CounterApp>(pid, n, config);
+  };
+}
+
+}  // namespace optrec

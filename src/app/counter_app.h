@@ -1,0 +1,57 @@
+// CounterApp: the workhorse workload.
+//
+// Process 0 (or every process, configurably) seeds `initial_jobs` jobs; each
+// job is an (amount, hops) pair that hops between pseudo-randomly chosen
+// processes, adding its amount to each visited counter, until its hop budget
+// is exhausted. Total handler executions ~= initial_jobs * hops, giving a
+// dense, reproducible causal web — ideal for exercising orphan chains.
+#pragma once
+
+#include <cstdint>
+
+#include "src/app/app.h"
+
+namespace optrec {
+
+struct CounterAppConfig {
+  std::uint32_t initial_jobs = 4;
+  std::uint32_t hops = 32;
+  /// Only process 0 seeds jobs when false; every process seeds when true.
+  bool all_seed = false;
+  /// Extra payload padding bytes, to control message size in benches.
+  std::uint32_t payload_pad = 0;
+  /// Emit an output() every this many handled messages (0 = never); used by
+  /// the output-commit tests.
+  std::uint32_t output_every = 0;
+};
+
+class CounterApp : public App {
+ public:
+  CounterApp(ProcessId pid, std::size_t n, CounterAppConfig config);
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId src, const Bytes& payload) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  std::string describe() const override;
+
+  std::int64_t value() const { return value_; }
+  std::uint64_t handled() const { return handled_; }
+
+  static AppFactory factory(CounterAppConfig config = {});
+
+ private:
+  ProcessId next_destination();
+  void forward(AppContext& ctx, std::int64_t amount, std::uint32_t hops);
+
+  ProcessId pid_;
+  std::size_t n_;
+  CounterAppConfig config_;
+
+  // Serialized state.
+  std::int64_t value_ = 0;
+  std::uint64_t handled_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace optrec

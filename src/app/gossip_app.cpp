@@ -1,0 +1,109 @@
+#include "src/app/gossip_app.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+struct RumorPayload {
+  ProcessId origin = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t hops = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.put_u32(origin);
+    w.put_u32(seq);
+    w.put_u32(hops);
+    return w.take();
+  }
+  static RumorPayload decode(const Bytes& payload) {
+    Reader r(payload);
+    RumorPayload p;
+    p.origin = r.get_u32();
+    p.seq = r.get_u32();
+    p.hops = r.get_u32();
+    return p;
+  }
+};
+}  // namespace
+
+GossipApp::GossipApp(ProcessId pid, std::size_t n, GossipConfig config)
+    : pid_(pid),
+      n_(n),
+      config_(config),
+      known_(n, 0),
+      seed_(mix64(pid * 0xabcdu + 3)) {
+  if (n < 2) throw std::invalid_argument("GossipApp needs >= 2 processes");
+}
+
+ProcessId GossipApp::next_destination() {
+  seed_ = mix64(seed_);
+  auto dst = static_cast<ProcessId>(seed_ % (n_ - 1));
+  if (dst >= pid_) ++dst;
+  return dst;
+}
+
+void GossipApp::spread(AppContext& ctx, ProcessId origin, std::uint32_t seq,
+                       std::uint32_t hops) {
+  RumorPayload p;
+  p.origin = origin;
+  p.seq = seq;
+  p.hops = hops;
+  for (std::uint32_t f = 0; f < config_.fanout; ++f) {
+    ctx.send(next_destination(), p.encode());
+  }
+}
+
+void GossipApp::on_start(AppContext& ctx) {
+  for (std::uint32_t s = 1; s <= config_.rumors; ++s) {
+    known_[pid_] = s;
+    spread(ctx, pid_, s, config_.max_forward_hops);
+  }
+}
+
+void GossipApp::on_message(AppContext& ctx, ProcessId /*src*/,
+                           const Bytes& payload) {
+  const RumorPayload p = RumorPayload::decode(payload);
+  if (p.seq <= known_.at(p.origin)) return;  // old news: absorb silently
+  known_[p.origin] = p.seq;
+  if (p.hops > 0) spread(ctx, p.origin, p.seq, p.hops - 1);
+}
+
+Bytes GossipApp::snapshot() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(known_.size()));
+  for (std::uint32_t k : known_) w.put_u32(k);
+  w.put_u64(seed_);
+  return w.take();
+}
+
+void GossipApp::restore(const Bytes& state) {
+  Reader r(state);
+  const std::uint32_t n = r.get_u32();
+  known_.assign(n, 0);
+  for (auto& k : known_) k = r.get_u32();
+  seed_ = r.get_u64();
+}
+
+std::string GossipApp::describe() const {
+  std::ostringstream os;
+  os << "gossip{";
+  for (std::size_t j = 0; j < known_.size(); ++j) {
+    if (j) os << ' ';
+    os << known_[j];
+  }
+  os << '}';
+  return os.str();
+}
+
+AppFactory GossipApp::factory(GossipConfig config) {
+  return [config](ProcessId pid, std::size_t n) {
+    return std::make_unique<GossipApp>(pid, n, config);
+  };
+}
+
+}  // namespace optrec

@@ -1,0 +1,52 @@
+// GossipApp: rumor-spreading workload with a monotone state.
+//
+// Each process originates `rumors` rumors and forwards newly learned ones to
+// a few pseudo-randomly chosen peers. Knowledge (max rumor sequence seen per
+// origin) only ever grows in a correct run; after recovery, a process's
+// knowledge may regress to a recoverable prefix but must never exceed what
+// its surviving causal past justifies — a sharp probe for orphan leaks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/app/app.h"
+
+namespace optrec {
+
+struct GossipConfig {
+  std::uint32_t rumors = 2;   // rumors each process originates
+  std::uint32_t fanout = 2;   // peers each new rumor is forwarded to
+  std::uint32_t max_forward_hops = 8;
+};
+
+class GossipApp : public App {
+ public:
+  GossipApp(ProcessId pid, std::size_t n, GossipConfig config);
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId src, const Bytes& payload) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  std::string describe() const override;
+
+  /// Highest rumor sequence known per origin process.
+  const std::vector<std::uint32_t>& known() const { return known_; }
+
+  static AppFactory factory(GossipConfig config = {});
+
+ private:
+  ProcessId next_destination();
+  void spread(AppContext& ctx, ProcessId origin, std::uint32_t seq,
+              std::uint32_t hops);
+
+  ProcessId pid_;
+  std::size_t n_;
+  GossipConfig config_;
+
+  // Serialized state.
+  std::vector<std::uint32_t> known_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace optrec

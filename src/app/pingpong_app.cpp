@@ -1,0 +1,63 @@
+#include "src/app/pingpong_app.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+PingPongApp::PingPongApp(ProcessId pid, std::size_t n, PingPongConfig config)
+    : pid_(pid), n_(n), config_(config) {
+  if (n < 2) throw std::invalid_argument("PingPongApp needs >= 2 processes");
+}
+
+ProcessId PingPongApp::peer() const {
+  const ProcessId p = (pid_ % 2 == 0) ? pid_ + 1 : pid_ - 1;
+  return p;
+}
+
+void PingPongApp::on_start(AppContext& ctx) {
+  // Even member of each complete pair serves round 1. A trailing odd process
+  // (odd n) sits idle.
+  if (pid_ % 2 != 0 || peer() >= n_) return;
+  Writer w;
+  w.put_u32(1);
+  ctx.send(peer(), w.take());
+}
+
+void PingPongApp::on_message(AppContext& ctx, ProcessId /*src*/,
+                             const Bytes& payload) {
+  Reader r(payload);
+  const std::uint32_t round = r.get_u32();
+  last_round_ = round;
+  if (round >= config_.rounds) return;
+  Writer w;
+  w.put_u32(round + 1);
+  ctx.send(peer(), w.take());
+}
+
+Bytes PingPongApp::snapshot() const {
+  Writer w;
+  w.put_u32(last_round_);
+  return w.take();
+}
+
+void PingPongApp::restore(const Bytes& state) {
+  Reader r(state);
+  last_round_ = r.get_u32();
+}
+
+std::string PingPongApp::describe() const {
+  std::ostringstream os;
+  os << "pingpong{round=" << last_round_ << '}';
+  return os.str();
+}
+
+AppFactory PingPongApp::factory(PingPongConfig config) {
+  return [config](ProcessId pid, std::size_t n) {
+    return std::make_unique<PingPongApp>(pid, n, config);
+  };
+}
+
+}  // namespace optrec

@@ -1,0 +1,43 @@
+// PingPongApp: pairwise deterministic volleys.
+//
+// Processes are paired (0,1), (2,3), ...; the even process serves `rounds`
+// volleys. Produces long same-pair causal chains with no cross-pair
+// dependencies — the opposite texture from CounterApp's dense web — so
+// failures here test that recovery does not disturb unrelated processes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/app/app.h"
+
+namespace optrec {
+
+struct PingPongConfig {
+  std::uint32_t rounds = 64;
+};
+
+class PingPongApp : public App {
+ public:
+  PingPongApp(ProcessId pid, std::size_t n, PingPongConfig config);
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId src, const Bytes& payload) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  std::string describe() const override;
+
+  std::uint32_t last_round() const { return last_round_; }
+
+  static AppFactory factory(PingPongConfig config = {});
+
+ private:
+  ProcessId peer() const;
+
+  ProcessId pid_;
+  std::size_t n_;
+  PingPongConfig config_;
+
+  std::uint32_t last_round_ = 0;  // serialized state
+};
+
+}  // namespace optrec

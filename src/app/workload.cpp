@@ -1,0 +1,53 @@
+#include "src/app/workload.h"
+
+#include <stdexcept>
+
+#include "src/app/bank_app.h"
+#include "src/app/counter_app.h"
+#include "src/app/gossip_app.h"
+#include "src/app/pingpong_app.h"
+
+namespace optrec {
+
+AppFactory WorkloadSpec::make_factory() const {
+  switch (kind) {
+    case WorkloadKind::kCounter: {
+      CounterAppConfig config;
+      config.initial_jobs = intensity;
+      config.hops = depth;
+      config.payload_pad = payload_pad;
+      config.all_seed = all_seed;
+      return CounterApp::factory(config);
+    }
+    case WorkloadKind::kPingPong: {
+      PingPongConfig config;
+      config.rounds = depth;
+      return PingPongApp::factory(config);
+    }
+    case WorkloadKind::kBank: {
+      BankAppConfig config;
+      config.initial_transfers = intensity;
+      config.hops = depth;
+      return BankApp::factory(config);
+    }
+    case WorkloadKind::kGossip: {
+      GossipConfig config;
+      config.rumors = intensity;
+      config.max_forward_hops = depth;
+      return GossipApp::factory(config);
+    }
+  }
+  throw std::invalid_argument("unknown workload kind");
+}
+
+std::string WorkloadSpec::name() const {
+  switch (kind) {
+    case WorkloadKind::kCounter: return "counter";
+    case WorkloadKind::kPingPong: return "pingpong";
+    case WorkloadKind::kBank: return "bank";
+    case WorkloadKind::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+}  // namespace optrec

@@ -1,0 +1,206 @@
+#include "src/baselines/cascading_process.h"
+
+#include <sstream>
+
+#include "src/util/log.h"
+
+namespace optrec {
+
+CascadingProcess::CascadingProcess(Simulation& sim, Network& net,
+                                   ProcessId pid, std::size_t n,
+                                   std::unique_ptr<App> app,
+                                   ProcessConfig config, Metrics& metrics,
+                                   CausalityOracle* oracle)
+    : ProcessBase(sim, net, pid, n, std::move(app), config, metrics, oracle),
+      clock_(pid, n),
+      history_(pid, n) {}
+
+void CascadingProcess::stamp_outgoing(Message& msg) {
+  msg.clock = clock_;
+  clock_.tick_send();
+}
+
+void CascadingProcess::handle_message(const Message& msg) {
+  if (msg.kind != MessageKind::kApp) return;
+  // Obsolete filter from recorded announcements; unlike Damani-Garg there is
+  // no postponement, so a message can slip in before the announcement that
+  // would have condemned it — fixed later by another (cascading) rollback.
+  if (history_.is_obsolete(msg.clock)) {
+    ++metrics().messages_discarded_obsolete;
+    if (oracle()) oracle()->record_discard(msg.id);
+    return;
+  }
+  if (is_duplicate(msg)) {
+    ++metrics().messages_discarded_duplicate;
+    return;
+  }
+  apply_delivery(msg, /*replay=*/false);
+}
+
+void CascadingProcess::apply_delivery(const Message& msg, bool replay) {
+  history_.observe_message_clock(msg.clock);
+  clock_.merge_deliver(msg.clock);
+  deliver_to_app(msg, replay);
+}
+
+void CascadingProcess::take_checkpoint() {
+  storage().log().flush();
+  Checkpoint c;
+  c.version = version_;
+  c.delivered_count = delivered_total_;
+  c.send_seq = send_seq_;
+  c.clock = clock_;
+  c.history = history_;
+  c.app_state = app().snapshot();
+  c.taken_at = sim().now();
+  storage().checkpoints().append(std::move(c));
+  ++metrics().checkpoints_taken;
+}
+
+void CascadingProcess::restore_from(const Checkpoint& checkpoint) {
+  app().restore(checkpoint.app_state);
+  clock_ = checkpoint.clock;
+  history_ = checkpoint.history;
+  version_ = checkpoint.version;
+  send_seq_ = checkpoint.send_seq;
+  delivered_total_ = checkpoint.delivered_count;
+  if (oracle()) set_current_state(state_at_count(delivered_total_));
+}
+
+void CascadingProcess::reapply_token_log() {
+  for (const Token& t : storage().token_log()) {
+    history_.observe_token(t.from, t.failed);
+  }
+}
+
+void CascadingProcess::announce(FtvcEntry failed, ProcessId origin_pid,
+                                Version origin_ver) {
+  Token t;
+  t.from = pid();
+  t.failed = failed;
+  t.origin_pid = origin_pid;
+  t.origin_ver = origin_ver;
+  net().broadcast_token(t);
+}
+
+void CascadingProcess::handle_restart() {
+  const Checkpoint& checkpoint = storage().checkpoints().latest();
+  restore_from(checkpoint);
+  const std::uint64_t stable = storage().log().stable_count();
+  for (std::uint64_t i = checkpoint.delivered_count; i < stable; ++i) {
+    apply_delivery(storage().log().entry(i), /*replay=*/true);
+  }
+  reapply_token_log();
+  rebuild_delivered_keys(delivered_total_);
+
+  const FtvcEntry failed = clock_.self();
+  // This real failure is its own origin. Log our own announcement so
+  // rollback-restored histories regain it.
+  Token own;
+  own.from = pid();
+  own.failed = failed;
+  own.origin_pid = pid();
+  own.origin_ver = failed.ver;
+  storage().log_token(own);
+  announce(failed, pid(), failed.ver);
+  history_.record_own_restart(failed);
+  clock_.on_restart();
+  version_ = clock_.self().ver;
+
+  if (oracle()) {
+    const StateId recovery = oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+  take_checkpoint();
+}
+
+void CascadingProcess::handle_token(const Token& token) {
+  ++metrics().tokens_processed;
+  storage().log_token(token);
+  ++metrics().sync_log_writes;
+  if (history_.makes_orphan(token.from, token.failed)) {
+    rollback_and_announce(token);
+  }
+  history_.observe_token(token.from, token.failed);
+}
+
+void CascadingProcess::rollback_and_announce(const Token& announcement) {
+  OPTREC_LOG(kDebug) << "P" << pid() << " cascading rollback due to "
+                     << announcement.describe();
+  metrics().count_rollback({announcement.origin_pid, announcement.origin_ver},
+                           pid());
+
+  storage().log().flush();
+  ++metrics().sync_log_writes;
+  const Version pre_rollback_ver = clock_.self().ver;
+  const std::uint64_t old_total = delivered_total_;
+
+  const auto idx =
+      storage().checkpoints().latest_matching([&](const Checkpoint& c) {
+        return c.history.consistent_with_token(announcement.from,
+                                               announcement.failed);
+      });
+  const Checkpoint& checkpoint = storage().checkpoints().at(idx.value());
+
+  const std::uint64_t total = storage().log().total_count();
+  std::uint64_t replay_to = checkpoint.delivered_count;
+  for (std::uint64_t i = checkpoint.delivered_count; i < total; ++i) {
+    const FtvcEntry& e =
+        storage().log().entry(i).clock.entry(announcement.from);
+    if (e.ver == announcement.failed.ver && e.ts > announcement.failed.ts) {
+      break;
+    }
+    replay_to = i + 1;
+  }
+
+  restore_from(checkpoint);
+  for (std::uint64_t i = checkpoint.delivered_count; i < replay_to; ++i) {
+    apply_delivery(storage().log().entry(i), /*replay=*/true);
+  }
+  reapply_token_log();
+
+  if (oracle()) {
+    oracle()->mark_rolled_back(take_states_for_deliveries(replay_to, old_total));
+  }
+  metrics().states_rolled_back += old_total - replay_to;
+  metrics().rollback_depth.add(static_cast<double>(old_total - replay_to));
+
+  storage().checkpoints().truncate_after(idx.value());
+  storage().log().truncate_from(replay_to);
+  rebuild_delivered_keys(delivered_total_);
+  drop_pending_outputs_after(delivered_total_);
+
+  // Strom-Yemini discipline: a rollback starts a new incarnation and is
+  // announced, propagating the cascade; the discarded suffix is simply lost.
+  const FtvcEntry rolled = clock_.self();
+  Token own;
+  own.from = pid();
+  own.failed = rolled;
+  own.origin_pid = announcement.origin_pid;
+  own.origin_ver = announcement.origin_ver;
+  storage().log_token(own);
+  announce(rolled, announcement.origin_pid, announcement.origin_ver);
+  history_.record_own_restart(rolled);
+  // Incarnation numbers never repeat, even when the restore target belongs
+  // to an older incarnation.
+  clock_.raise_self({pre_rollback_ver, clock_.self().ts});
+  clock_.on_restart();
+  version_ = clock_.self().ver;
+
+  if (oracle()) {
+    const StateId recovery = oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+  take_checkpoint();
+}
+
+std::string CascadingProcess::describe() const {
+  std::ostringstream os;
+  os << ProcessBase::describe() << " [cascading clock=" << clock_.to_string()
+     << ']';
+  return os.str();
+}
+
+}  // namespace optrec

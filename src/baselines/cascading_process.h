@@ -1,0 +1,57 @@
+// Cascading optimistic recovery baseline (Strom & Yemini [27] style).
+//
+// Same substrate as Damani-Garg — FTVC, optimistic receiver logging,
+// uncoordinated checkpoints, history-based dependency records — but with the
+// Strom-Yemini recovery discipline:
+//
+//  * every ROLLBACK (not just a failure) starts a new incarnation and
+//    broadcasts its own announcement, and
+//  * there is no deliverability postponement that would let a process wait
+//    for complete failure information before absorbing dependencies.
+//
+// Consequence: one real failure triggers waves of announcements; a process
+// may roll back several times for the same failure as progressively older
+// dependencies are invalidated — the domino behaviour of Table 1's
+// "number of rollbacks per failure = 2^n (worst case)" row, which the E7
+// bench contrasts against Damani-Garg's <= 1.
+#pragma once
+
+#include "src/clocks/ftvc.h"
+#include "src/history/history.h"
+#include "src/runtime/process_base.h"
+
+namespace optrec {
+
+class CascadingProcess : public ProcessBase {
+ public:
+  CascadingProcess(Simulation& sim, Network& net, ProcessId pid,
+                   std::size_t n, std::unique_ptr<App> app,
+                   ProcessConfig config, Metrics& metrics,
+                   CausalityOracle* oracle = nullptr);
+
+  const Ftvc& clock() const { return clock_; }
+
+  std::string describe() const override;
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override;
+  void handle_restart() override;
+  void take_checkpoint() override;
+  void stamp_outgoing(Message& msg) override;
+  void on_crash_wipe() override {}
+
+ private:
+  void apply_delivery(const Message& msg, bool replay);
+  void restore_from(const Checkpoint& checkpoint);
+  void reapply_token_log();
+  /// Roll back for announcement (from, failed); returns the announcement of
+  /// our own rollback so the cascade continues.
+  void rollback_and_announce(const Token& announcement);
+  void announce(FtvcEntry failed, ProcessId origin_pid, Version origin_ver);
+
+  Ftvc clock_;
+  History history_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,302 @@
+#include "src/baselines/coordinated_process.h"
+
+#include <sstream>
+
+#include "src/util/log.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+constexpr std::uint8_t kCtlCkptReq = 1;
+constexpr std::uint8_t kCtlCkptAck = 2;
+constexpr std::uint8_t kCtlCkptCommit = 3;
+constexpr std::uint8_t kCtlRecoverReq = 4;
+constexpr std::uint8_t kCtlRecoverAck = 5;
+
+struct Control {
+  std::uint8_t type = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+Bytes encode_control(std::uint8_t type, std::uint32_t a, std::uint32_t b) {
+  Writer w;
+  w.put_u8(type);
+  w.put_u32(a);
+  w.put_u32(b);
+  return w.take();
+}
+
+Control decode_control(const Bytes& payload) {
+  Reader r(payload);
+  Control c;
+  c.type = r.get_u8();
+  c.a = r.get_u32();
+  c.b = r.get_u32();
+  return c;
+}
+}  // namespace
+
+void CoordinatedProcess::send_control(ProcessId dst, std::uint8_t type,
+                                      std::uint32_t a, std::uint32_t b) {
+  Message m;
+  m.kind = MessageKind::kControl;
+  m.src = pid();
+  m.dst = dst;
+  m.payload = encode_control(type, a, b);
+  net().send(std::move(m));
+  ++metrics().control_messages_sent;
+}
+
+void CoordinatedProcess::broadcast_control(std::uint8_t type, std::uint32_t a,
+                                           std::uint32_t b) {
+  for (ProcessId dst = 0; dst < cluster_size(); ++dst) {
+    if (dst != pid()) send_control(dst, type, a, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message path
+// ---------------------------------------------------------------------------
+
+void CoordinatedProcess::handle_message(const Message& msg) {
+  if (msg.kind == MessageKind::kControl) {
+    handle_control(msg);
+    return;
+  }
+  handle_app(msg);
+}
+
+void CoordinatedProcess::handle_app(const Message& msg) {
+  // src_version carries the sender's epoch. Older-epoch messages cross a
+  // recovery line and are discarded; newer-epoch ones are held until our own
+  // rollback catches us up.
+  if (msg.src_version < epoch_) {
+    ++metrics().messages_discarded_obsolete;
+    if (oracle()) oracle()->record_discard(msg.id);
+    return;
+  }
+  if (msg.src_version > epoch_ || coordinating_ || recovering_) {
+    hold_.push_back(msg);
+    ++metrics().messages_postponed;
+    return;
+  }
+  deliver_to_app(msg, /*replay=*/false);
+}
+
+void CoordinatedProcess::release_holds() {
+  std::vector<Message> pending;
+  pending.swap(hold_);
+  metrics().postponed_released += pending.size();
+  for (const Message& m : pending) handle_app(m);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase coordinated checkpointing
+// ---------------------------------------------------------------------------
+
+Checkpoint CoordinatedProcess::snapshot_checkpoint() {
+  Checkpoint c;
+  c.version = epoch_;
+  c.delivered_count = delivered_total_;
+  c.send_seq = send_seq_;
+  c.app_state = app().snapshot();
+  c.taken_at = sim().now();
+  return c;
+}
+
+void CoordinatedProcess::take_checkpoint() {
+  if (storage().checkpoints().empty()) {
+    // Initial checkpoint from start(): trivially a consistent line (nothing
+    // has been delivered anywhere).
+    storage().checkpoints().append(snapshot_checkpoint());
+    ++metrics().checkpoints_taken;
+    return;
+  }
+  if (pid() == 0) initiate_round();
+  // Non-coordinators checkpoint only on request.
+}
+
+void CoordinatedProcess::initiate_round() {
+  if (coordinating_ || recovering_) return;
+  ++round_;
+  begin_tentative(round_);
+  acks_ = 0;
+  broadcast_control(kCtlCkptReq, round_, 0);
+}
+
+void CoordinatedProcess::begin_tentative(std::uint32_t round) {
+  coordinating_ = true;
+  tentative_round_ = round;
+  tentative_ = snapshot_checkpoint();
+  hold_since_ = sim().now();
+  const std::uint32_t deadline_round = round;
+  round_deadline_ = sim().schedule_after(
+      seconds(2), [this, deadline_round] { round_deadline_fired(deadline_round); });
+}
+
+void CoordinatedProcess::commit_tentative() {
+  storage().checkpoints().append(std::move(*tentative_));
+  tentative_.reset();
+  coordinating_ = false;
+  ++metrics().checkpoints_taken;
+  metrics().checkpoint_blocked_time += sim().now() - hold_since_;
+  sim().cancel(round_deadline_);
+  round_deadline_ = 0;
+  release_holds();
+}
+
+void CoordinatedProcess::abort_round() {
+  if (!coordinating_) return;
+  coordinating_ = false;
+  tentative_.reset();
+  metrics().checkpoint_blocked_time += sim().now() - hold_since_;
+  sim().cancel(round_deadline_);
+  round_deadline_ = 0;
+  release_holds();
+}
+
+void CoordinatedProcess::round_deadline_fired(std::uint32_t round) {
+  if (coordinating_ && tentative_round_ == round) {
+    OPTREC_LOG(kDebug) << "P" << pid() << " aborts checkpoint round " << round;
+    abort_round();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control handling
+// ---------------------------------------------------------------------------
+
+void CoordinatedProcess::handle_control(const Message& msg) {
+  const Control c = decode_control(msg.payload);
+  switch (c.type) {
+    case kCtlCkptReq:
+      if (recovering_ || coordinating_) return;  // coordinator will time out
+      begin_tentative(c.a);
+      send_control(msg.src, kCtlCkptAck, c.a, 0);
+      return;
+    case kCtlCkptAck:
+      if (!coordinating_ || tentative_round_ != c.a) return;
+      if (++acks_ == cluster_size() - 1) {
+        commit_tentative();
+        broadcast_control(kCtlCkptCommit, c.a, 0);
+      }
+      return;
+    case kCtlCkptCommit:
+      if (coordinating_ && tentative_round_ == c.a) commit_tentative();
+      return;
+    case kCtlRecoverReq:
+      if (c.a > epoch_) {
+        peer_rollback(msg.src, c.a);
+      }
+      // Ack idempotently (duplicate requests or already-adopted epochs).
+      send_control(msg.src, kCtlRecoverAck, c.a, 0);
+      return;
+    case kCtlRecoverAck:
+      if (!recovering_ || c.a != epoch_) return;
+      if (++recover_acks_ == cluster_size() - 1) {
+        recovering_ = false;
+        metrics().recovery_blocked_time += sim().now() - recover_since_;
+        release_holds();
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart / peer rollback
+// ---------------------------------------------------------------------------
+
+void CoordinatedProcess::on_crash_wipe() {
+  coordinating_ = false;
+  tentative_.reset();
+  hold_.clear();
+  recovering_ = false;
+  sim().cancel(round_deadline_);
+  round_deadline_ = 0;
+}
+
+std::uint64_t CoordinatedProcess::recoverable_count() const {
+  // No message log: only the committed line survives.
+  if (storage().checkpoints().empty()) return 0;
+  return storage().checkpoints().latest().delivered_count;
+}
+
+void CoordinatedProcess::handle_restart() {
+  const Checkpoint& checkpoint = storage().checkpoints().latest();
+  app().restore(checkpoint.app_state);
+  delivered_total_ = checkpoint.delivered_count;
+  send_seq_ = checkpoint.send_seq;
+  epoch_ = checkpoint.version + 1;
+  version_ = epoch_;
+  storage().log().truncate_from(delivered_total_);
+  rebuild_delivered_keys(delivered_total_);
+
+  if (oracle()) {
+    set_current_state(state_at_count(delivered_total_));
+    const StateId recovery = oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+
+  // Persist the new epoch, then drag everyone back to the committed line and
+  // block until they confirm (synchronous recovery).
+  Checkpoint epoch_ckpt = snapshot_checkpoint();
+  storage().checkpoints().append(std::move(epoch_ckpt));
+  ++metrics().checkpoints_taken;
+
+  recovering_ = true;
+  recover_acks_ = 0;
+  recover_since_ = sim().now();
+  broadcast_control(kCtlRecoverReq, epoch_, 0);
+}
+
+void CoordinatedProcess::peer_rollback(ProcessId failed,
+                                       std::uint32_t new_epoch) {
+  abort_round();
+  const std::uint64_t old_total = delivered_total_;
+  const Checkpoint& checkpoint = storage().checkpoints().latest();
+  metrics().count_rollback({failed, new_epoch}, pid());
+  if (oracle()) {
+    oracle()->mark_rolled_back(
+        take_states_for_deliveries(checkpoint.delivered_count, old_total));
+  }
+  metrics().states_rolled_back += old_total - checkpoint.delivered_count;
+  metrics().rollback_depth.add(
+      static_cast<double>(old_total - checkpoint.delivered_count));
+
+  app().restore(checkpoint.app_state);
+  delivered_total_ = checkpoint.delivered_count;
+  send_seq_ = checkpoint.send_seq;
+  epoch_ = new_epoch;
+  version_ = epoch_;
+  storage().log().truncate_from(delivered_total_);
+  rebuild_delivered_keys(delivered_total_);
+  drop_pending_outputs_after(delivered_total_);
+
+  if (oracle()) {
+    set_current_state(state_at_count(delivered_total_));
+    const StateId recovery = oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+
+  // Make the adopted epoch durable so a later crash restarts into a fresh
+  // epoch rather than reusing this one.
+  storage().checkpoints().append(snapshot_checkpoint());
+  ++metrics().checkpoints_taken;
+
+  // Old-epoch holds are now discardable; re-filter.
+  release_holds();
+}
+
+std::string CoordinatedProcess::describe() const {
+  std::ostringstream os;
+  os << ProcessBase::describe() << " [coordinated epoch=" << epoch_ << ']';
+  return os.str();
+}
+
+}  // namespace optrec

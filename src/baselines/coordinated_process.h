@@ -1,0 +1,85 @@
+// Coordinated (consistent) checkpointing baseline (Koo & Toueg [13] family).
+//
+// Process 0 coordinates two-phase checkpoint rounds: request -> tentative
+// snapshot + ack -> commit. While a round is open, processes hold incoming
+// deliveries (and therefore send nothing), which keeps the committed line
+// consistent; the hold time is the synchronization cost the paper calls
+// "prohibitive for large systems" (Section 1).
+//
+// Recovery: the failed process restores the last *committed* checkpoint,
+// adopts a new epoch, and makes every other process roll back to the same
+// committed line before it resumes (it blocks on their acknowledgements —
+// recovery is synchronous, Table 1). There is no message logging: all work
+// since the line is lost, and in-flight messages from older epochs are
+// discarded on receipt.
+//
+// Scope: one failure at a time (the classic protocol's own limitation);
+// overlapping recoveries are not supported and are never scheduled by the
+// harness for this baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/runtime/process_base.h"
+
+namespace optrec {
+
+class CoordinatedProcess : public ProcessBase {
+ public:
+  using ProcessBase::ProcessBase;
+
+  std::uint32_t epoch() const { return epoch_; }
+  bool coordinating() const { return coordinating_; }
+  bool recovering() const { return recovering_; }
+
+  std::string describe() const override;
+  std::size_t pending_count() const override { return hold_.size(); }
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override { (void)token; }
+  void handle_restart() override;
+  void take_checkpoint() override;
+  void stamp_outgoing(Message& msg) override { (void)msg; }
+  void on_crash_wipe() override;
+  std::uint64_t recoverable_count() const override;
+
+ private:
+  void handle_control(const Message& msg);
+  void handle_app(const Message& msg);
+
+  Checkpoint snapshot_checkpoint();
+  void initiate_round();
+  void begin_tentative(std::uint32_t round);
+  void commit_tentative();
+  void abort_round();
+  void round_deadline_fired(std::uint32_t round);
+
+  void begin_recovery_wait();
+  void peer_rollback(ProcessId failed, std::uint32_t new_epoch);
+  void release_holds();
+
+  void send_control(ProcessId dst, std::uint8_t type, std::uint32_t a,
+                    std::uint32_t b);
+  void broadcast_control(std::uint8_t type, std::uint32_t a, std::uint32_t b);
+
+  std::uint32_t epoch_ = 0;
+  std::uint32_t round_ = 0;
+
+  bool coordinating_ = false;
+  std::uint32_t tentative_round_ = 0;
+  std::optional<Checkpoint> tentative_;
+  std::size_t acks_ = 0;
+  SimTime hold_since_ = 0;
+  EventId round_deadline_ = 0;
+
+  bool recovering_ = false;
+  std::size_t recover_acks_ = 0;
+  SimTime recover_since_ = 0;
+
+  std::vector<Message> hold_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,66 @@
+#include "src/baselines/pessimistic_process.h"
+
+#include <sstream>
+
+namespace optrec {
+
+void PessimisticProcess::handle_message(const Message& msg) {
+  if (msg.kind != MessageKind::kApp) return;
+  if (is_duplicate(msg)) {
+    ++metrics().messages_discarded_duplicate;
+    return;
+  }
+  deliver_to_app(msg, /*replay=*/false);
+  // Pessimism: the receipt is on stable storage before anything else can
+  // observe this state. (deliver_to_app appended it to the volatile tail;
+  // flush promotes it synchronously.)
+  storage().log().flush();
+  ++metrics().sync_log_writes;
+}
+
+void PessimisticProcess::handle_token(const Token& /*token*/) {
+  // Recovery is purely local; peers' failures require no action.
+}
+
+void PessimisticProcess::take_checkpoint() {
+  storage().log().flush();
+  Checkpoint c;
+  c.version = version_;
+  c.delivered_count = delivered_total_;
+  c.send_seq = send_seq_;
+  c.app_state = app().snapshot();
+  c.taken_at = sim().now();
+  storage().checkpoints().append(std::move(c));
+  ++metrics().checkpoints_taken;
+}
+
+void PessimisticProcess::handle_restart() {
+  const Checkpoint& checkpoint = storage().checkpoints().latest();
+  app().restore(checkpoint.app_state);
+  version_ = checkpoint.version;  // incarnations indistinguishable to peers
+  send_seq_ = checkpoint.send_seq;
+  delivered_total_ = checkpoint.delivered_count;
+  if (oracle()) set_current_state(state_at_count(delivered_total_));
+
+  const std::uint64_t stable = storage().log().stable_count();
+  for (std::uint64_t i = checkpoint.delivered_count; i < stable; ++i) {
+    deliver_to_app(storage().log().entry(i), /*replay=*/true);
+  }
+  rebuild_delivered_keys(delivered_total_);
+
+  if (oracle()) {
+    const StateId recovery =
+        oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+  take_checkpoint();
+}
+
+std::string PessimisticProcess::describe() const {
+  std::ostringstream os;
+  os << ProcessBase::describe() << " [pessimistic]";
+  return os.str();
+}
+
+}  // namespace optrec

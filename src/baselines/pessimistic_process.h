@@ -1,0 +1,31 @@
+// Pessimistic receiver-based logging (Borg et al. [3], Powell & Presotto
+// [20] family).
+//
+// Every received message is forced to stable storage *before* the handler
+// runs, so a crash never loses a receipt: restart is restore-latest-
+// checkpoint + replay-everything, purely local. No other process is ever
+// rolled back, no piggyback is carried, and no tokens are needed — the costs
+// are a synchronous stable write per message (Table 1 / Section 1: "reduces
+// the speed of the computation") which the harness models as added delivery
+// latency, and the sync-write count reported by E9.
+#pragma once
+
+#include "src/runtime/process_base.h"
+
+namespace optrec {
+
+class PessimisticProcess : public ProcessBase {
+ public:
+  using ProcessBase::ProcessBase;
+
+  std::string describe() const override;
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override;
+  void handle_restart() override;
+  void take_checkpoint() override;
+  void stamp_outgoing(Message& msg) override { (void)msg; }
+};
+
+}  // namespace optrec

@@ -1,0 +1,94 @@
+#include "src/baselines/peterson_kearns_process.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+constexpr std::uint8_t kCtlRecoveryAck = 41;  // distinct from DG's tags
+}  // namespace
+
+PetersonKearnsProcess::PetersonKearnsProcess(
+    Simulation& sim, Network& net, ProcessId pid, std::size_t n,
+    std::unique_ptr<App> app, ProcessConfig config, Metrics& metrics,
+    CausalityOracle* oracle)
+    : DamaniGargProcess(sim, net, pid, n, std::move(app), config, metrics,
+                        oracle) {
+  if (config.enable_stability_tracking) {
+    // The synchronous layer owns all control traffic.
+    throw std::invalid_argument(
+        "PetersonKearnsProcess: stability tracking unsupported");
+  }
+}
+
+void PetersonKearnsProcess::handle_message(const Message& msg) {
+  if (msg.kind == MessageKind::kControl) {
+    Reader r(msg.payload);
+    if (r.get_u8() != kCtlRecoveryAck) {
+      throw std::logic_error("PK: unknown control message");
+    }
+    if (recovering_ && ++acks_ == cluster_size() - 1) {
+      recovering_ = false;
+      metrics().recovery_blocked_time += sim().now() - recover_since_;
+      release_holds();
+    }
+    return;
+  }
+  if (recovering_) {
+    // Synchronous recovery: no application progress until every peer has
+    // acknowledged the announcement.
+    hold_.push_back(msg);
+    ++metrics().messages_postponed;
+    return;
+  }
+  DamaniGargProcess::handle_message(msg);
+}
+
+void PetersonKearnsProcess::release_holds() {
+  std::vector<Message> pending;
+  pending.swap(hold_);
+  metrics().postponed_released += pending.size();
+  for (const Message& m : pending) DamaniGargProcess::handle_message(m);
+}
+
+void PetersonKearnsProcess::handle_token(const Token& token) {
+  // The full rollback machinery (orphan check, single rollback, history
+  // update, held releases) — then the synchronous acknowledgement.
+  DamaniGargProcess::handle_token(token);
+  Writer w;
+  w.put_u8(kCtlRecoveryAck);
+  Message ack;
+  ack.kind = MessageKind::kControl;
+  ack.src = pid();
+  ack.dst = token.from;
+  ack.payload = w.take();
+  net().send(std::move(ack));
+  ++metrics().control_messages_sent;
+}
+
+void PetersonKearnsProcess::handle_restart() {
+  DamaniGargProcess::handle_restart();
+  // The token broadcast is in flight; now block on the acknowledgements.
+  recovering_ = true;
+  acks_ = 0;
+  recover_since_ = sim().now();
+}
+
+void PetersonKearnsProcess::on_crash_wipe() {
+  DamaniGargProcess::on_crash_wipe();
+  recovering_ = false;
+  acks_ = 0;
+  hold_.clear();
+}
+
+std::string PetersonKearnsProcess::describe() const {
+  std::ostringstream os;
+  os << DamaniGargProcess::describe() << " [peterson-kearns"
+     << (recovering_ ? " recovering" : "") << ']';
+  return os.str();
+}
+
+}  // namespace optrec

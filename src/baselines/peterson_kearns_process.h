@@ -1,0 +1,51 @@
+// Peterson & Kearns baseline ("Rollback Based on Vector Time", SRDS 1993),
+// simplified.
+//
+// Mechanically this is vector-clock rollback recovery — the same restore/
+// replay/announce/rollback machinery as Damani-Garg, which is exactly why it
+// is implemented as a thin layer over DamaniGargProcess. The differences are
+// the ones Table 1 calls out:
+//   * recovery is SYNCHRONOUS: the restarting process holds application
+//     deliveries until every peer acknowledges having processed its
+//     announcement (and performed any rollback);
+//   * FIFO channels are assumed (the harness runs it with fifo=true);
+//   * one failure at a time (concurrent recoveries are out of scope, as in
+//     the original protocol).
+#pragma once
+
+#include <vector>
+
+#include "src/core/dg_process.h"
+
+namespace optrec {
+
+class PetersonKearnsProcess : public DamaniGargProcess {
+ public:
+  PetersonKearnsProcess(Simulation& sim, Network& net, ProcessId pid,
+                        std::size_t n, std::unique_ptr<App> app,
+                        ProcessConfig config, Metrics& metrics,
+                        CausalityOracle* oracle = nullptr);
+
+  bool recovering() const { return recovering_; }
+  std::size_t pending_count() const override {
+    return DamaniGargProcess::pending_count() + hold_.size();
+  }
+
+  std::string describe() const override;
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override;
+  void handle_restart() override;
+  void on_crash_wipe() override;
+
+ private:
+  void release_holds();
+
+  bool recovering_ = false;
+  std::size_t acks_ = 0;
+  SimTime recover_since_ = 0;
+  std::vector<Message> hold_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,20 @@
+#include "src/baselines/plain_process.h"
+
+#include <stdexcept>
+
+namespace optrec {
+
+void PlainProcess::handle_message(const Message& msg) {
+  if (msg.kind != MessageKind::kApp) return;
+  deliver_to_app(msg, /*replay=*/false);
+}
+
+void PlainProcess::handle_token(const Token& /*token*/) {
+  // No recovery protocol: failure announcements mean nothing here.
+}
+
+void PlainProcess::handle_restart() {
+  throw std::logic_error("PlainProcess cannot recover from a crash");
+}
+
+}  // namespace optrec

@@ -1,0 +1,24 @@
+// PlainProcess: no recovery machinery at all.
+//
+// Sends carry no piggyback, nothing is logged or checkpointed, tokens are
+// ignored. Used as the zero-overhead reference point in the failure-free
+// overhead bench (E9); crashing one is a programming error.
+#pragma once
+
+#include "src/runtime/process_base.h"
+
+namespace optrec {
+
+class PlainProcess : public ProcessBase {
+ public:
+  using ProcessBase::ProcessBase;
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override;
+  void handle_restart() override;
+  void take_checkpoint() override {}  // keeps start() cheap: no checkpoints
+  void stamp_outgoing(Message& msg) override { (void)msg; }
+};
+
+}  // namespace optrec

@@ -1,0 +1,360 @@
+#include "src/baselines/sender_based_process.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/log.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+constexpr std::uint8_t kCtlAck = 1;         // receiver -> sender: {seq, rsn}
+constexpr std::uint8_t kCtlConfirm = 2;     // sender -> receiver: {rsn}
+constexpr std::uint8_t kCtlRecoverReq = 3;  // {from_rsn}
+constexpr std::uint8_t kCtlReplay = 4;      // {has_rsn, rsn, seq, payload}
+constexpr std::uint8_t kCtlReplayEnd = 5;   // {}
+}  // namespace
+
+void SenderBasedProcess::send_control(ProcessId dst, const Bytes& payload) {
+  Message m;
+  m.kind = MessageKind::kControl;
+  m.src = pid();
+  m.dst = dst;
+  m.payload = payload;
+  net().send(std::move(m));
+  ++metrics().control_messages_sent;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred sending: outgoing messages wait until all receipts fully logged.
+// ---------------------------------------------------------------------------
+
+bool SenderBasedProcess::intercept_send(Message& msg) {
+  // Always log at the sender (the whole point of the scheme).
+  sent_[{msg.dst, msg.send_seq}] =
+      SentRecord{msg.dst, msg.send_seq, msg.payload, std::nullopt};
+  if (outstanding_rsn_.empty() && !recovering_) return false;  // transmit now
+  deferred_sends_.push_back(msg);
+  return true;
+}
+
+void SenderBasedProcess::flush_deferred_sends() {
+  if (!outstanding_rsn_.empty() || recovering_) return;
+  std::vector<Message> ready;
+  ready.swap(deferred_sends_);
+  for (Message& m : ready) transmit_now(std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Message path
+// ---------------------------------------------------------------------------
+
+void SenderBasedProcess::handle_message(const Message& msg) {
+  if (msg.kind == MessageKind::kControl) {
+    handle_control(msg);
+    return;
+  }
+  handle_app(msg);
+}
+
+void SenderBasedProcess::handle_app(const Message& msg) {
+  if (recovering_) {
+    hold_.push_back(msg);
+    ++metrics().messages_postponed;
+    return;
+  }
+  if (is_duplicate(msg)) {
+    ++metrics().messages_discarded_duplicate;
+    // Re-ACK: duplicates arrive when a recovered sender retransmits its
+    // partially-logged messages; the original ACK died with its crash, so
+    // answer again from the message table.
+    auto it = rsn_of_.find({msg.src, msg.send_seq});
+    if (it != rsn_of_.end()) send_ack(msg.src, msg.send_seq, it->second);
+    return;
+  }
+  deliver_now(msg);
+}
+
+void SenderBasedProcess::send_ack(ProcessId dst, std::uint64_t seq,
+                                  std::uint64_t rsn) {
+  Writer w;
+  w.put_u8(kCtlAck);
+  w.put_u64(seq);
+  w.put_u64(rsn);
+  send_control(dst, w.take());
+}
+
+void SenderBasedProcess::deliver_now(const Message& msg) {
+  const std::uint64_t rsn = delivered_total_;
+  outstanding_rsn_.insert(rsn);
+  rsn_of_[{msg.src, msg.send_seq}] = rsn;
+  deliver_to_app(msg, /*replay=*/false);
+  send_ack(msg.src, msg.send_seq, rsn);
+}
+
+void SenderBasedProcess::handle_control(const Message& msg) {
+  Reader r(msg.payload);
+  const std::uint8_t type = r.get_u8();
+  switch (type) {
+    case kCtlAck: {
+      const std::uint64_t seq = r.get_u64();
+      const std::uint64_t rsn = r.get_u64();
+      auto it = sent_.find({msg.src, seq});
+      if (it != sent_.end()) it->second.rsn = rsn;
+      Writer w;
+      w.put_u8(kCtlConfirm);
+      w.put_u64(rsn);
+      send_control(msg.src, w.take());
+      return;
+    }
+    case kCtlConfirm: {
+      const std::uint64_t rsn = r.get_u64();
+      outstanding_rsn_.erase(rsn);
+      flush_deferred_sends();
+      return;
+    }
+    case kCtlRecoverReq: {
+      serve_replay(msg.src, r.get_u64());
+      return;
+    }
+    case kCtlReplay: {
+      if (!recovering_) return;  // late replay after recovery completed
+      const bool has_rsn = r.get_bool();
+      const std::uint64_t rsn = r.get_u64();
+      Message replayed;
+      replayed.kind = MessageKind::kApp;
+      replayed.src = msg.src;
+      replayed.dst = pid();
+      replayed.send_seq = r.get_u64();
+      replayed.payload = r.get_bytes();
+      replayed.id = msg.id;
+      replayed.sender_state = msg.sender_state;
+      if (has_rsn) {
+        sequenced_replays_.emplace(rsn, std::move(replayed));
+      } else {
+        unsequenced_replays_.push_back(std::move(replayed));
+      }
+      pump_recovery_queue();
+      return;
+    }
+    case kCtlReplayEnd: {
+      if (!recovering_) return;
+      ++replay_ends_;
+      pump_recovery_queue();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / crash / recovery
+// ---------------------------------------------------------------------------
+
+void SenderBasedProcess::take_checkpoint() {
+  Checkpoint c;
+  c.version = version_;
+  c.delivered_count = delivered_total_;
+  c.send_seq = send_seq_;
+  c.app_state = app().snapshot();
+  // Johnson & Zwaenepoel: the sender's volatile message log is included in
+  // its checkpoints, so that its own failure does not orphan the receivers
+  // that depend on messages logged here. Deferred (not yet transmitted)
+  // sends ride along for the same reason.
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(sent_.size()));
+  for (const auto& [key, record] : sent_) {
+    w.put_u32(record.dst);
+    w.put_u64(record.send_seq);
+    w.put_bytes(record.payload);
+    w.put_bool(record.rsn.has_value());
+    w.put_u64(record.rsn.value_or(0));
+  }
+  w.put_u32(static_cast<std::uint32_t>(deferred_sends_.size()));
+  for (const Message& m : deferred_sends_) m.encode(w);
+  // The message table (receiver side): needed after a restart both for
+  // duplicate filtering of the restored prefix and for re-ACKing.
+  w.put_u32(static_cast<std::uint32_t>(rsn_of_.size()));
+  for (const auto& [key, rsn] : rsn_of_) {
+    w.put_u32(key.first);
+    w.put_u64(key.second);
+    w.put_u64(rsn);
+  }
+  c.extra = w.take();
+  c.taken_at = sim().now();
+  storage().checkpoints().append(std::move(c));
+  ++metrics().checkpoints_taken;
+}
+
+void SenderBasedProcess::restore_protocol_state(const Bytes& extra) {
+  sent_.clear();
+  deferred_sends_.clear();
+  rsn_of_.clear();
+  if (extra.empty()) return;
+  Reader r(extra);
+  const std::uint32_t records = r.get_u32();
+  for (std::uint32_t i = 0; i < records; ++i) {
+    SentRecord record;
+    record.dst = r.get_u32();
+    record.send_seq = r.get_u64();
+    record.payload = r.get_bytes();
+    const bool has_rsn = r.get_bool();
+    const std::uint64_t rsn = r.get_u64();
+    if (has_rsn) record.rsn = rsn;
+    sent_[{record.dst, record.send_seq}] = std::move(record);
+  }
+  const std::uint32_t deferred = r.get_u32();
+  for (std::uint32_t i = 0; i < deferred; ++i) {
+    deferred_sends_.push_back(Message::decode(r));
+  }
+  const std::uint32_t table = r.get_u32();
+  for (std::uint32_t i = 0; i < table; ++i) {
+    const ProcessId src = r.get_u32();
+    const std::uint64_t seq = r.get_u64();
+    const std::uint64_t rsn = r.get_u64();
+    rsn_of_[{src, seq}] = rsn;
+    add_delivered_key(src, /*src_version=*/0, seq);
+  }
+}
+
+void SenderBasedProcess::retransmit_unacked() {
+  for (const auto& [key, record] : sent_) {
+    if (record.rsn.has_value()) continue;
+    Message m;
+    m.kind = MessageKind::kApp;
+    m.src = pid();
+    m.dst = record.dst;
+    m.src_version = version_;
+    m.send_seq = record.send_seq;
+    m.payload = record.payload;
+    m.retransmission = true;
+    net().send(std::move(m));
+    ++metrics().retransmissions;
+  }
+}
+
+void SenderBasedProcess::on_crash_wipe() {
+  // Everything here is volatile: the sender log of THIS process survives
+  // only as far as replay re-creates it; receipts live at the senders.
+  sent_.clear();
+  deferred_sends_.clear();
+  outstanding_rsn_.clear();
+  rsn_of_.clear();
+  recovering_ = false;
+  replay_ends_ = 0;
+  sequenced_replays_.clear();
+  unsequenced_replays_.clear();
+  hold_.clear();
+}
+
+std::uint64_t SenderBasedProcess::recoverable_count() const {
+  // States up to the first unconfirmed receipt are reproduced exactly by
+  // RSN-ordered replay; beyond that, replay order may differ, so the old
+  // states are gone (their sends were deferred, so nobody depends on them).
+  // A checkpoint additionally makes everything up to its cursor recoverable
+  // even when unconfirmed — the state itself is on stable storage.
+  std::uint64_t recoverable =
+      outstanding_rsn_.empty() ? delivered_total_ : *outstanding_rsn_.begin();
+  if (!storage().checkpoints().empty()) {
+    recoverable = std::max(recoverable,
+                           storage().checkpoints().latest().delivered_count);
+  }
+  return recoverable;
+}
+
+void SenderBasedProcess::handle_restart() {
+  const Checkpoint& checkpoint = storage().checkpoints().latest();
+  app().restore(checkpoint.app_state);
+  version_ = checkpoint.version;
+  send_seq_ = checkpoint.send_seq;
+  delivered_total_ = checkpoint.delivered_count;
+  storage().log().truncate_from(delivered_total_);
+  rebuild_delivered_keys(delivered_total_);  // clears: the log is volatile
+  restore_protocol_state(checkpoint.extra);  // re-adds the checkpointed keys
+  if (oracle()) {
+    set_current_state(state_at_count(delivered_total_));
+    const StateId recovery = oracle()->recovery_state(pid(), current_state());
+    set_current_state(recovery);
+    set_state_at_count(delivered_total_, recovery);
+  }
+
+  // Ask every peer to replay what it logged for us; block until all answer.
+  recovering_ = true;
+  recover_since_ = sim().now();
+  replay_ends_ = 0;
+  Writer w;
+  w.put_u8(kCtlRecoverReq);
+  w.put_u64(delivered_total_);
+  const Bytes req = w.take();
+  for (ProcessId dst = 0; dst < cluster_size(); ++dst) {
+    if (dst != pid()) send_control(dst, req);
+  }
+}
+
+void SenderBasedProcess::serve_replay(ProcessId asker, std::uint64_t from_rsn) {
+  for (const auto& [key, record] : sent_) {
+    if (record.dst != asker) continue;
+    if (record.rsn && *record.rsn < from_rsn) continue;  // already in ckpt
+    Writer w;
+    w.put_u8(kCtlReplay);
+    w.put_bool(record.rsn.has_value());
+    w.put_u64(record.rsn.value_or(0));
+    w.put_u64(record.send_seq);
+    w.put_bytes(record.payload);
+    send_control(asker, w.take());
+  }
+  Writer w;
+  w.put_u8(kCtlReplayEnd);
+  send_control(asker, w.take());
+}
+
+void SenderBasedProcess::pump_recovery_queue() {
+  // Re-execute sequenced replays in RSN order as gaps fill.
+  while (true) {
+    auto it = sequenced_replays_.find(delivered_total_);
+    if (it == sequenced_replays_.end()) break;
+    Message m = std::move(it->second);
+    sequenced_replays_.erase(it);
+    if (!is_duplicate(m)) deliver_now(m);
+  }
+  if (replay_ends_ == cluster_size() - 1 && sequenced_replays_.empty()) {
+    finish_recovery();
+  }
+}
+
+void SenderBasedProcess::finish_recovery() {
+  // Unsequenced tail: deterministic order (sender, seq). These receipts had
+  // no recorded RSN, so their original order is unknowable — but nobody
+  // depended on the old ordering (sends were deferred).
+  std::sort(unsequenced_replays_.begin(), unsequenced_replays_.end(),
+            [](const Message& a, const Message& b) {
+              return std::tie(a.src, a.send_seq) < std::tie(b.src, b.send_seq);
+            });
+  std::vector<Message> tail;
+  tail.swap(unsequenced_replays_);
+  recovering_ = false;
+  metrics().recovery_blocked_time += sim().now() - recover_since_;
+  for (const Message& m : tail) {
+    if (!is_duplicate(m)) deliver_now(m);
+  }
+  std::vector<Message> live;
+  live.swap(hold_);
+  metrics().postponed_released += live.size();
+  for (const Message& m : live) handle_app(m);
+  take_checkpoint();
+  flush_deferred_sends();
+  // Partially-logged sends go out again; receivers' duplicate filters
+  // absorb the ones that survived and re-ACK, restoring our RSN knowledge.
+  retransmit_unacked();
+}
+
+std::string SenderBasedProcess::describe() const {
+  std::ostringstream os;
+  os << ProcessBase::describe() << " [sender-based outstanding="
+     << outstanding_rsn_.size() << ']';
+  return os.str();
+}
+
+}  // namespace optrec

@@ -1,0 +1,94 @@
+// Sender-based message logging baseline (Johnson & Zwaenepoel [11],
+// simplified).
+//
+// Each message is logged in the *sender's* volatile memory. The receiver
+// assigns a receive sequence number (RSN) at delivery and returns it to the
+// sender (ACK); the sender records it and confirms (three-leg handshake).
+// A process defers its own outgoing sends while any of its receipts is not
+// yet fully logged — that is the protocol's pessimism: O(1) piggyback, no
+// vector clocks, no orphans, but extra control traffic and send latency.
+//
+// Recovery: the failed process restores its checkpoint, asks every peer to
+// replay logged messages, re-executes sequenced replays in RSN order (which
+// reproduces the pre-crash states exactly), then unsequenced ones in a
+// deterministic order. It blocks until every peer has answered — recovery is
+// synchronous (Table 1). Scope: one failure at a time, as in the original
+// protocol's guarantees for the volatile sender log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/runtime/process_base.h"
+
+namespace optrec {
+
+class SenderBasedProcess : public ProcessBase {
+ public:
+  using ProcessBase::ProcessBase;
+
+  bool recovering() const { return recovering_; }
+
+  std::string describe() const override;
+  std::size_t pending_count() const override {
+    return hold_.size() + deferred_sends_.size() + sequenced_replays_.size() +
+           unsequenced_replays_.size();
+  }
+
+ protected:
+  void handle_message(const Message& msg) override;
+  void handle_token(const Token& token) override { (void)token; }
+  void handle_restart() override;
+  void take_checkpoint() override;
+  void stamp_outgoing(Message& msg) override { (void)msg; }
+  bool intercept_send(Message& msg) override;
+  void on_crash_wipe() override;
+  std::uint64_t recoverable_count() const override;
+
+ private:
+  struct SentRecord {
+    ProcessId dst = kNoProcess;
+    std::uint64_t send_seq = 0;
+    Bytes payload;
+    std::optional<std::uint64_t> rsn;  // known once the ACK arrives
+  };
+
+  void handle_app(const Message& msg);
+  void handle_control(const Message& msg);
+  void deliver_now(const Message& msg);
+  void send_ack(ProcessId dst, std::uint64_t seq, std::uint64_t rsn);
+  void restore_protocol_state(const Bytes& extra);
+  /// JZ: retransmit partially-logged (unACKed) sends after recovery; the
+  /// receivers' duplicate filters absorb them and re-ACK, refilling RSNs.
+  void retransmit_unacked();
+  void flush_deferred_sends();
+  void serve_replay(ProcessId asker, std::uint64_t from_rsn);
+  void pump_recovery_queue();
+  void finish_recovery();
+
+  void send_control(ProcessId dst, const Bytes& payload);
+
+  // --- sender side (volatile)
+  std::map<std::pair<ProcessId, std::uint64_t>, SentRecord> sent_;  // (dst,seq)
+  std::vector<Message> deferred_sends_;
+
+  // --- receiver side
+  std::set<std::uint64_t> outstanding_rsn_;  // delivered, not yet confirmed
+  /// The JZ "message table": (sender, seq) -> RSN for every delivery. Part
+  /// of the checkpointed state; lets us re-ACK duplicates so a recovered
+  /// sender regains RSNs its crash wiped.
+  std::map<std::pair<ProcessId, std::uint64_t>, std::uint64_t> rsn_of_;
+
+  // --- recovery state (volatile)
+  bool recovering_ = false;
+  SimTime recover_since_ = 0;
+  std::size_t replay_ends_ = 0;
+  std::map<std::uint64_t, Message> sequenced_replays_;   // rsn -> message
+  std::vector<Message> unsequenced_replays_;
+  std::vector<Message> hold_;  // live traffic arriving mid-recovery
+};
+
+}  // namespace optrec

@@ -1,0 +1,91 @@
+#include "src/clocks/diff_codec.h"
+
+#include <stdexcept>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+namespace {
+constexpr std::uint8_t kFull = 1;
+constexpr std::uint8_t kDiff = 0;
+}  // namespace
+
+DiffFtvcEncoder::DiffFtvcEncoder(std::size_t n) : per_dst_(n) {}
+
+Bytes DiffFtvcEncoder::encode_for(ProcessId dst, const Ftvc& clock) {
+  Cache& cache = per_dst_.at(dst);
+  Writer w;
+  if (!cache.valid || cache.last.size() != clock.size()) {
+    w.put_u8(kFull);
+    w.put_u32(clock.owner());
+    w.put_u32(static_cast<std::uint32_t>(clock.size()));
+    for (ProcessId j = 0; j < clock.size(); ++j) {
+      clock.entry(j).encode(w);
+    }
+  } else {
+    w.put_u8(kDiff);
+    std::uint32_t changed = 0;
+    for (ProcessId j = 0; j < clock.size(); ++j) {
+      if (clock.entry(j) != cache.last[j]) ++changed;
+    }
+    w.put_u32(changed);
+    for (ProcessId j = 0; j < clock.size(); ++j) {
+      if (clock.entry(j) != cache.last[j]) {
+        w.put_u32(j);
+        clock.entry(j).encode(w);
+      }
+    }
+  }
+  cache.valid = true;
+  cache.last.assign(clock.entries().begin(), clock.entries().end());
+  return w.take();
+}
+
+void DiffFtvcEncoder::invalidate(ProcessId dst) {
+  per_dst_.at(dst).valid = false;
+}
+
+void DiffFtvcEncoder::invalidate_all() {
+  for (auto& cache : per_dst_) cache.valid = false;
+}
+
+DiffFtvcDecoder::DiffFtvcDecoder(std::size_t n) : have_(n, false), last_(n) {}
+
+Ftvc DiffFtvcDecoder::decode_from(ProcessId src, const Bytes& encoded) {
+  Reader r(encoded);
+  const std::uint8_t tag = r.get_u8();
+  auto& base = last_.at(src);
+  if (tag == kFull) {
+    const ProcessId owner = r.get_u32();
+    const std::uint32_t n = r.get_u32();
+    base.resize(n);
+    for (auto& e : base) e = FtvcEntry::decode(r);
+    have_.at(src) = true;
+    (void)owner;
+  } else {
+    if (!have_.at(src)) {
+      throw DecodeError("diff clock with no base: FIFO/reset contract broken");
+    }
+    const std::uint32_t changed = r.get_u32();
+    for (std::uint32_t k = 0; k < changed; ++k) {
+      const std::uint32_t index = r.get_u32();
+      if (index >= base.size()) throw DecodeError("diff index out of range");
+      base[index] = FtvcEntry::decode(r);
+    }
+  }
+  // Re-materialize as an Ftvc owned by the sender.
+  Writer w;
+  w.put_u32(src);
+  w.put_u32(static_cast<std::uint32_t>(base.size()));
+  for (const auto& e : base) e.encode(w);
+  Reader rr(w.buffer());
+  return Ftvc::decode(rr);
+}
+
+void DiffFtvcDecoder::reset(ProcessId src) {
+  have_.at(src) = false;
+  last_.at(src).clear();
+}
+
+}  // namespace optrec

@@ -1,0 +1,75 @@
+// Differential FTVC piggybacking (Singhal & Kshemkalyani's technique applied
+// to fault-tolerant vector clocks).
+//
+// The paper's Section 7 names the FTVC's O(n) piggyback as the remaining
+// bottleneck and calls for "send[ing] only one timestamp with each message,
+// while maintaining the asynchronous nature of optimistic recovery". This
+// module implements the classic differential compromise: a sender transmits,
+// per destination, only the entries that changed since its previous message
+// to that destination; the receiver reconstructs the full clock from its
+// per-sender cache. In the steady state most messages carry a handful of
+// entries (the sender's own, plus whatever it recently learned), approaching
+// the single-timestamp ideal without giving up any recovery property.
+//
+// REQUIREMENT: per-(sender,receiver) FIFO delivery — a reordered diff would
+// be applied to the wrong base. The encoder/decoder are deterministic pure
+// state machines, so recovery integrates cleanly:
+//   * sender side: invalidate a destination's cache after a rollback or
+//     restart (the next message carries a full clock);
+//   * receiver side: reset a sender's cache when its incarnation changes.
+// The E13 bench measures achievable savings offline on real message traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/clocks/ftvc.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+/// Sender-side state: one cache per destination.
+class DiffFtvcEncoder {
+ public:
+  explicit DiffFtvcEncoder(std::size_t n);
+
+  /// Encode `clock` for `dst`. First message (or after invalidate) carries
+  /// the full vector; subsequent ones carry only changed entries.
+  Bytes encode_for(ProcessId dst, const Ftvc& clock);
+
+  /// Force the next message to `dst` (or to everyone) to carry a full
+  /// vector. Called after rollback/restart, when the continuity the decoder
+  /// relies on is broken.
+  void invalidate(ProcessId dst);
+  void invalidate_all();
+
+  std::size_t destinations() const { return per_dst_.size(); }
+
+ private:
+  struct Cache {
+    bool valid = false;
+    std::vector<FtvcEntry> last;
+  };
+  std::vector<Cache> per_dst_;
+};
+
+/// Receiver-side state: one cache per sender.
+class DiffFtvcDecoder {
+ public:
+  explicit DiffFtvcDecoder(std::size_t n);
+
+  /// Reconstruct the full clock of a message from `src`. Throws DecodeError
+  /// if a diff arrives with no base (protocol misuse: lost the full clock
+  /// that must precede it).
+  Ftvc decode_from(ProcessId src, const Bytes& encoded);
+
+  /// Drop the cache for `src` (its incarnation changed).
+  void reset(ProcessId src);
+
+ private:
+  std::vector<bool> have_;
+  std::vector<std::vector<FtvcEntry>> last_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,113 @@
+// Fault-Tolerant Vector Clock (paper Section 4, Figure 2).
+//
+// Each entry is a (version, timestamp) pair. The version number of entry i
+// counts the failures of process i; the timestamp orders states within one
+// version. Entries compare lexicographically: a higher version dominates any
+// timestamp of a lower version. Theorem 1 of the paper: for useful states
+// (neither lost nor orphan), s happened-before u iff s.clock < u.clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+/// One FTVC component: (version, timestamp).
+struct FtvcEntry {
+  Version ver = 0;
+  Timestamp ts = 0;
+
+  /// Paper ordering: e1 < e2  ≡  v1 < v2  ∨  (v1 = v2 ∧ ts1 < ts2).
+  /// Lexicographic <=> implements exactly that.
+  friend constexpr auto operator<=>(const FtvcEntry&, const FtvcEntry&) = default;
+
+  void encode(Writer& w) const {
+    w.put_u32(ver);
+    w.put_u64(ts);
+  }
+  static FtvcEntry decode(Reader& r) {
+    FtvcEntry e;
+    e.ver = r.get_u32();
+    e.ts = r.get_u64();
+    return e;
+  }
+
+  std::string to_string() const;
+};
+
+class Ftvc {
+ public:
+  Ftvc() = default;
+
+  /// Initialize per Figure 2: every entry (0,0), then the owner's timestamp
+  /// is set to 1.
+  Ftvc(ProcessId owner, std::size_t n);
+
+  std::size_t size() const { return entries_.size(); }
+  ProcessId owner() const { return owner_; }
+
+  const FtvcEntry& entry(ProcessId j) const { return entries_.at(j); }
+  const FtvcEntry& self() const { return entries_.at(owner_); }
+  const std::vector<FtvcEntry>& entries() const { return entries_; }
+
+  /// "clock[i].ts++" — performed after a send. The caller must snapshot the
+  /// clock into the outgoing message BEFORE calling this (Fig. 2 sends the
+  /// pre-increment clock).
+  void tick_send() { ++entries_.at(owner_).ts; }
+
+  /// Receive rule of Fig. 2: componentwise max against the message clock
+  /// (entry with higher version wins; ties broken by timestamp), then
+  /// increment the owner's timestamp.
+  void merge_deliver(const Ftvc& mclock);
+
+  /// Restart rule: own version++, own timestamp = 0. Requires only the
+  /// previous version number, which survives failures via the checkpoint
+  /// taken immediately after restart (paper Section 6.2).
+  void on_restart();
+
+  /// Rollback rule: own timestamp++ only; the version is unchanged because
+  /// rollback loses no information (paper Section 3).
+  void on_rollback();
+
+  /// Force the owner's timestamp (used by the optional rollback timestamp
+  /// jump that disambiguates discarded-timeline timestamps for the
+  /// stability tracker; see DESIGN.md). Must not decrease the timestamp.
+  void force_self_ts(Timestamp ts);
+
+  /// Raise the owner's entry to at least `floor` (no-op when already
+  /// ahead). Used after a rollback restores a checkpoint from an older
+  /// incarnation: the process's own identity — its version number and the
+  /// timestamps it has burned — must never move backwards, or its failure
+  /// announcements would contradict each other (DESIGN.md §3).
+  void raise_self(FtvcEntry floor);
+
+  /// Componentwise <= under the entry ordering.
+  bool dominated_by(const Ftvc& other) const;
+  /// Paper's c1 < c2: dominated and different in some component.
+  bool less_than(const Ftvc& other) const;
+  bool concurrent_with(const Ftvc& other) const;
+
+  bool operator==(const Ftvc& other) const {
+    return entries_ == other.entries_;
+  }
+
+  void encode(Writer& w) const;
+  static Ftvc decode(Reader& r);
+  /// Serialized piggyback size in bytes; the quantity measured by the
+  /// Section 6.9(1) overhead bench.
+  std::size_t wire_size() const;
+
+  /// e.g. "[(0,2) (1,0) (0,3)]" matching the boxed vectors in Figures 1/5.
+  std::string to_string() const;
+
+ private:
+  ProcessId owner_ = kNoProcess;
+  std::vector<FtvcEntry> entries_;
+};
+
+}  // namespace optrec

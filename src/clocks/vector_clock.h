@@ -1,0 +1,60 @@
+// Plain Mattern vector clock.
+//
+// Used by the non-fault-tolerant baselines and, inside the fault-free core of
+// predicate detection, as the reference point the FTVC generalizes: the FTVC
+// with all versions equal to zero is exactly this clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Fresh clock for process `owner` in an n-process system: all zero except
+  /// the owner's component, which starts at 1.
+  VectorClock(ProcessId owner, std::size_t n);
+
+  std::size_t size() const { return ticks_.size(); }
+  ProcessId owner() const { return owner_; }
+
+  Timestamp component(ProcessId j) const { return ticks_.at(j); }
+  Timestamp self() const { return ticks_.at(owner_); }
+
+  /// Advance the owner's component (called after a send and after a
+  /// delivery, mirroring the FTVC discipline so sizes are comparable).
+  void tick() { ++ticks_.at(owner_); }
+
+  /// Componentwise max with an incoming clock, then tick.
+  void merge_deliver(const VectorClock& incoming);
+
+  /// c1 < c2 in the standard strict-dominance sense.
+  bool less_than(const VectorClock& other) const;
+  /// Componentwise <=.
+  bool dominated_by(const VectorClock& other) const;
+  bool concurrent_with(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const {
+    return ticks_ == other.ticks_;
+  }
+
+  void encode(Writer& w) const;
+  static VectorClock decode(Reader& r);
+  /// Serialized size in bytes (what a message would carry).
+  std::size_t wire_size() const;
+
+  std::string to_string() const;
+
+ private:
+  ProcessId owner_ = kNoProcess;
+  std::vector<Timestamp> ticks_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,22 @@
+#include "src/core/garbage_collector.h"
+
+namespace optrec {
+
+GcResult run_gc(StableStorage& storage, const StabilityTracker& tracker) {
+  GcResult result;
+  auto& checkpoints = storage.checkpoints();
+  if (checkpoints.empty()) return result;
+  const auto idx = checkpoints.latest_matching(
+      [&](const Checkpoint& c) { return tracker.covers(c.clock); });
+  if (!idx || *idx == 0) return result;
+  const std::uint64_t keep_from = checkpoints.at(*idx).delivered_count;
+  result.checkpoints_reclaimed =
+      checkpoints.reclaim_before_delivered(keep_from);
+  // Log entries before the oldest surviving checkpoint's cursor can never be
+  // replayed again.
+  result.log_entries_reclaimed =
+      storage.log().reclaim_before(checkpoints.at(0).delivered_count);
+  return result;
+}
+
+}  // namespace optrec

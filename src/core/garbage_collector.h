@@ -1,0 +1,24 @@
+// Storage garbage collection (paper Remark 2; Wang et al. [28] flavour).
+//
+// A checkpoint whose FTVC is covered by the global stable vector can never
+// be orphaned, so no rollback or restart will ever restore anything older:
+// earlier checkpoints, and log entries before it, are reclaimable.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/output_commit.h"
+#include "src/storage/stable_storage.h"
+
+namespace optrec {
+
+struct GcResult {
+  std::size_t checkpoints_reclaimed = 0;
+  std::size_t log_entries_reclaimed = 0;
+};
+
+/// Reclaim everything strictly older than the newest stability-covered
+/// checkpoint. Safe to call at any time; no-op when nothing is covered.
+GcResult run_gc(StableStorage& storage, const StabilityTracker& tracker);
+
+}  // namespace optrec

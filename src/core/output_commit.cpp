@@ -1,0 +1,64 @@
+#include "src/core/output_commit.h"
+
+#include <algorithm>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+StabilityTracker::StabilityTracker(std::size_t n) {
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    stable_[{pid, 0}] = 0;
+  }
+}
+
+void StabilityTracker::note_stable(ProcessId pid, Version ver, Timestamp ts) {
+  auto [it, inserted] = stable_.try_emplace({pid, ver}, ts);
+  if (!inserted) it->second = std::max(it->second, ts);
+}
+
+std::optional<Timestamp> StabilityTracker::stable_ts(ProcessId pid,
+                                                     Version ver) const {
+  auto it = stable_.find({pid, ver});
+  if (it == stable_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StabilityTracker::covers(const Ftvc& clock) const {
+  for (ProcessId j = 0; j < clock.size(); ++j) {
+    const FtvcEntry& e = clock.entry(j);
+    const auto ts = stable_ts(j, e.ver);
+    if (!ts || *ts < e.ts) return false;
+  }
+  return true;
+}
+
+Bytes StabilityTracker::encode() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(stable_.size()));
+  for (const auto& [key, ts] : stable_) {
+    w.put_u32(key.first);
+    w.put_u32(key.second);
+    w.put_u64(ts);
+  }
+  return w.take();
+}
+
+void StabilityTracker::merge_encoded(const Bytes& gossip) {
+  Reader r(gossip);
+  const std::uint32_t count = r.get_u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ProcessId pid = r.get_u32();
+    const Version ver = r.get_u32();
+    const Timestamp ts = r.get_u64();
+    note_stable(pid, ver, ts);
+  }
+}
+
+void StabilityTracker::merge(const StabilityTracker& other) {
+  for (const auto& [key, ts] : other.stable_) {
+    note_stable(key.first, key.second, ts);
+  }
+}
+
+}  // namespace optrec

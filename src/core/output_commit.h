@@ -1,0 +1,57 @@
+// Stability tracking for output commit and garbage collection
+// (paper Section 6.5, item 2 / Remark 2).
+//
+// Each process advertises, per (process, version), the highest timestamp of
+// its own states that are *recoverable* — reconstructible from stable
+// storage. Advertisements gossip through periodic control broadcasts. A
+// state whose FTVC is covered by the learned stable vector depends only on
+// recoverable states: it can never be lost and never become an orphan, so
+// outputs it produced may be committed to the environment, and storage that
+// only exists to re-create older states can be reclaimed.
+//
+// Cross-timeline caution: after a rollback, a process re-uses timestamps of
+// its discarded states under the paper's `ts++` rule, which would make stale
+// advertisements ambiguous. The DG process therefore enables a timestamp
+// jump past the discarded suffix whenever stability tracking is on
+// (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "src/clocks/ftvc.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+class StabilityTracker {
+ public:
+  StabilityTracker() = default;
+
+  /// Seed with n processes: version 0, timestamp 0 of everyone is trivially
+  /// stable (their initial checkpoints exist from start()).
+  explicit StabilityTracker(std::size_t n);
+
+  /// Learn (or re-assert) that states of `pid` version `ver` up to `ts` are
+  /// recoverable. Merges by max.
+  void note_stable(ProcessId pid, Version ver, Timestamp ts);
+
+  std::optional<Timestamp> stable_ts(ProcessId pid, Version ver) const;
+
+  /// Is every dependency recorded in `clock` recoverable?
+  bool covers(const Ftvc& clock) const;
+
+  Bytes encode() const;
+  void merge_encoded(const Bytes& gossip);
+  void merge(const StabilityTracker& other);
+
+  std::size_t entry_count() const { return stable_.size(); }
+
+ private:
+  std::map<std::pair<ProcessId, Version>, Timestamp> stable_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,41 @@
+#include "src/detect/predicate_detector.h"
+
+namespace optrec {
+
+ConjunctivePredicateDetector::ConjunctivePredicateDetector(std::size_t n)
+    : queues_(n) {}
+
+void ConjunctivePredicateDetector::observe(ProcessId pid, const Ftvc& clock) {
+  queues_.at(pid).push_back(clock);
+}
+
+ConjunctivePredicateDetector::Result ConjunctivePredicateDetector::detect() {
+  const std::size_t n = queues_.size();
+  while (true) {
+    for (const auto& q : queues_) {
+      if (q.empty()) return {};  // some process has no candidate yet
+    }
+    // If candidate i happened-before candidate j, then candidate i is
+    // concurrent with nothing at or after j's position: advance i. When no
+    // pair is ordered, the fronts form a consistent cut.
+    bool advanced = false;
+    for (ProcessId i = 0; i < n && !advanced; ++i) {
+      for (ProcessId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (queues_[i].front().less_than(queues_[j].front())) {
+          queues_[i].pop_front();
+          advanced = true;
+          break;
+        }
+      }
+    }
+    if (!advanced) {
+      Result result;
+      result.detected = true;
+      for (const auto& q : queues_) result.cut.push_back(q.front());
+      return result;
+    }
+  }
+}
+
+}  // namespace optrec

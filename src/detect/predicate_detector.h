@@ -1,0 +1,51 @@
+// Weak conjunctive predicate detection over FTVCs (Garg & Waldecker [9]).
+//
+// The paper notes (Section 4) that the fault-tolerant vector clock "can also
+// be applied to other distributed algorithms such as distributed predicate
+// detection": Theorem 1 makes FTVC comparisons track happened-before for
+// useful states even across failures, so the classic weak-conjunctive-
+// predicate algorithm works unchanged on FTVC timestamps.
+//
+// Usage: feed, per process in causal order, the clocks of the states where
+// that process's local predicate holds; detect() reports whether some
+// pairwise-concurrent combination (a consistent cut) exists.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/clocks/ftvc.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+class ConjunctivePredicateDetector {
+ public:
+  explicit ConjunctivePredicateDetector(std::size_t n);
+
+  /// Record that `pid`'s local predicate held in the state stamped `clock`.
+  /// Clocks of one process must arrive in causal (program) order. Only
+  /// useful states may be fed (rolled-back states must be withdrawn by the
+  /// caller — the harness feeds only surviving states).
+  void observe(ProcessId pid, const Ftvc& clock);
+
+  std::size_t candidate_count(ProcessId pid) const {
+    return queues_.at(pid).size();
+  }
+
+  struct Result {
+    bool detected = false;
+    /// The witnessing cut (one clock per process) when detected.
+    std::vector<Ftvc> cut;
+  };
+
+  /// Run the detection sweep; consumes candidates from the front of the
+  /// queues. May be called repeatedly as more observations stream in.
+  Result detect();
+
+ private:
+  std::vector<std::deque<Ftvc>> queues_;
+};
+
+}  // namespace optrec

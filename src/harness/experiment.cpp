@@ -1,0 +1,25 @@
+#include "src/harness/experiment.h"
+
+namespace optrec {
+
+double ExperimentResult::delivered_per_sim_second() const {
+  if (end_time == 0) return 0.0;
+  return static_cast<double>(metrics.messages_delivered) /
+         (static_cast<double>(end_time) / 1e6);
+}
+
+ExperimentResult run_experiment(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  ExperimentResult result;
+  result.quiesced = scenario.run();
+  result.end_time = scenario.sim().now();
+  result.metrics = scenario.metrics();
+  result.net = scenario.net().stats();
+  if (scenario.oracle() != nullptr) {
+    result.violations = scenario.oracle()->check_consistency();
+    result.oracle_states = scenario.oracle()->state_count();
+  }
+  return result;
+}
+
+}  // namespace optrec

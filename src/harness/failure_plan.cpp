@@ -1,0 +1,34 @@
+#include "src/harness/failure_plan.h"
+
+#include <algorithm>
+
+namespace optrec {
+
+FailurePlan FailurePlan::single(ProcessId pid, SimTime at) {
+  FailurePlan plan;
+  plan.crashes.push_back({at, pid});
+  return plan;
+}
+
+FailurePlan FailurePlan::random(Rng& rng, std::size_t n, std::size_t count,
+                                SimTime window_start, SimTime window_end,
+                                bool concurrent) {
+  FailurePlan plan;
+  if (n == 0 || count == 0) return plan;
+  const SimTime concurrent_at =
+      rng.uniform_range(window_start, window_end);
+  for (std::size_t k = 0; k < count; ++k) {
+    CrashEvent event;
+    event.pid = static_cast<ProcessId>(rng.uniform(n));
+    event.at = concurrent ? concurrent_at
+                          : rng.uniform_range(window_start, window_end);
+    plan.crashes.push_back(event);
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+}  // namespace optrec

@@ -1,0 +1,43 @@
+// Failure injection plans: which processes crash when, and when the network
+// partitions/heals. Plans are data, so benches can sweep them and tests can
+// pin exact scenarios (e.g. the paper's Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+struct CrashEvent {
+  SimTime at = 0;
+  ProcessId pid = 0;
+};
+
+struct PartitionEvent {
+  SimTime at = 0;
+  SimTime heal_at = 0;
+  std::vector<std::vector<ProcessId>> groups;
+};
+
+struct FailurePlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionEvent> partitions;
+
+  static FailurePlan none() { return {}; }
+
+  /// One crash of `pid` at `at`.
+  static FailurePlan single(ProcessId pid, SimTime at);
+
+  /// `count` crashes of distinct random processes at random times within
+  /// [window_start, window_end]; simultaneous (same-instant) crashes allowed
+  /// when `concurrent` is set.
+  static FailurePlan random(Rng& rng, std::size_t n, std::size_t count,
+                            SimTime window_start, SimTime window_end,
+                            bool concurrent = false);
+};
+
+}  // namespace optrec

@@ -1,0 +1,35 @@
+#include "src/harness/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace optrec {
+
+std::uint64_t Metrics::max_rollbacks_per_process_per_failure() const {
+  std::uint64_t worst = 0;
+  for (const auto& [failure, per_process] : rollbacks_by_failure) {
+    for (const auto& [pid, count] : per_process) {
+      worst = std::max(worst, count);
+    }
+  }
+  return worst;
+}
+
+double Metrics::piggyback_per_message() const {
+  if (app_messages_sent == 0) return 0.0;
+  return static_cast<double>(piggyback_bytes) /
+         static_cast<double>(app_messages_sent);
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "sent=" << app_messages_sent << " delivered=" << messages_delivered
+     << " obsolete=" << messages_discarded_obsolete
+     << " postponed=" << messages_postponed << " crashes=" << crashes
+     << " rollbacks=" << rollbacks << " replayed=" << messages_replayed
+     << " ckpts=" << checkpoints_taken
+     << " piggyback/msg=" << piggyback_per_message();
+  return os.str();
+}
+
+}  // namespace optrec

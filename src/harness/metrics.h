@@ -1,0 +1,88 @@
+// Run-level metrics shared by every process of a simulation.
+//
+// Counters are incremented by the protocol implementations and read by the
+// experiment harness, the Table-1 bench, and the overhead benches. One
+// Metrics object per run; processes hold a non-owning pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/ids.h"
+#include "src/util/stats.h"
+
+namespace optrec {
+
+/// Identifies one failure event: (process, version that failed).
+using FailureId = std::pair<ProcessId, Version>;
+
+struct Metrics {
+  // --- message path
+  std::uint64_t app_messages_sent = 0;
+  std::uint64_t control_messages_sent = 0;  // baselines only; DG stays at 0
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_discarded_obsolete = 0;
+  std::uint64_t messages_discarded_duplicate = 0;
+  std::uint64_t messages_postponed = 0;
+  std::uint64_t postponed_released = 0;
+  std::uint64_t piggyback_bytes = 0;  // clock + header bytes beyond payload
+  std::uint64_t payload_bytes = 0;
+
+  // --- logging / checkpointing
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t log_flushes = 0;
+  std::uint64_t messages_lost_in_crash = 0;  // unlogged receipts wiped
+  std::uint64_t sync_log_writes = 0;         // pessimistic baseline + tokens
+
+  // --- recovery path
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t tokens_processed = 0;
+  std::uint64_t messages_replayed = 0;
+  std::uint64_t sends_suppressed_in_replay = 0;
+  std::uint64_t messages_requeued_after_rollback = 0;
+  std::uint64_t retransmissions = 0;  // Remark-1 resends
+  std::uint64_t states_rolled_back = 0;
+
+  // --- blocking behaviour (Table 1 "asynchronous recovery" column)
+  /// Simulated time a recovering process spent waiting on other processes
+  /// before resuming computation. Damani-Garg keeps this at zero.
+  SimTime recovery_blocked_time = 0;
+  /// Time processes spent holding deliveries for checkpoint coordination
+  /// (coordinated-checkpointing baseline only).
+  SimTime checkpoint_blocked_time = 0;
+  RunningStats restart_latency;   // crash -> computing again
+  RunningStats rollback_depth;    // delivered states undone per rollback
+
+  // --- output commit / GC
+  std::uint64_t outputs_requested = 0;
+  std::uint64_t outputs_committed = 0;
+  RunningStats output_commit_latency;
+  std::uint64_t gc_checkpoints_reclaimed = 0;
+  std::uint64_t gc_log_entries_reclaimed = 0;
+
+  /// Rollbacks attributed to each failure; the paper's "number of rollbacks
+  /// per failure" (Table 1) requires max over failures of per-process count.
+  std::map<FailureId, std::map<ProcessId, std::uint64_t>> rollbacks_by_failure;
+
+  void count_rollback(FailureId failure, ProcessId who) {
+    ++rollbacks;
+    ++rollbacks_by_failure[failure][who];
+  }
+
+  /// Max rollbacks any single process performed for any single failure
+  /// (the paper guarantees <= 1 for Damani-Garg).
+  std::uint64_t max_rollbacks_per_process_per_failure() const;
+
+  /// Mean piggyback bytes per application message sent.
+  double piggyback_per_message() const;
+
+  std::string summary() const;
+};
+
+}  // namespace optrec

@@ -1,0 +1,177 @@
+#include "src/harness/scenario.h"
+
+#include <stdexcept>
+
+#include "src/baselines/cascading_process.h"
+#include "src/baselines/coordinated_process.h"
+#include "src/baselines/peterson_kearns_process.h"
+#include "src/baselines/pessimistic_process.h"
+#include "src/baselines/plain_process.h"
+#include "src/baselines/sender_based_process.h"
+
+namespace optrec {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDamaniGarg: return "damani-garg";
+    case ProtocolKind::kPessimistic: return "pessimistic";
+    case ProtocolKind::kCoordinated: return "coordinated";
+    case ProtocolKind::kSenderBased: return "sender-based";
+    case ProtocolKind::kCascading: return "cascading";
+    case ProtocolKind::kPetersonKearns: return "peterson-kearns";
+    case ProtocolKind::kPlain: return "no-recovery";
+  }
+  return "?";
+}
+
+namespace {
+std::unique_ptr<ProcessBase> make_process(ProtocolKind kind, Simulation& sim,
+                                          Network& net, ProcessId pid,
+                                          std::size_t n,
+                                          std::unique_ptr<App> app,
+                                          const ProcessConfig& config,
+                                          Metrics& metrics,
+                                          CausalityOracle* oracle) {
+  switch (kind) {
+    case ProtocolKind::kDamaniGarg:
+      return std::make_unique<DamaniGargProcess>(sim, net, pid, n,
+                                                 std::move(app), config,
+                                                 metrics, oracle);
+    case ProtocolKind::kPessimistic:
+      return std::make_unique<PessimisticProcess>(sim, net, pid, n,
+                                                  std::move(app), config,
+                                                  metrics, oracle);
+    case ProtocolKind::kCoordinated:
+      return std::make_unique<CoordinatedProcess>(sim, net, pid, n,
+                                                  std::move(app), config,
+                                                  metrics, oracle);
+    case ProtocolKind::kSenderBased:
+      return std::make_unique<SenderBasedProcess>(sim, net, pid, n,
+                                                  std::move(app), config,
+                                                  metrics, oracle);
+    case ProtocolKind::kCascading:
+      return std::make_unique<CascadingProcess>(sim, net, pid, n,
+                                                std::move(app), config,
+                                                metrics, oracle);
+    case ProtocolKind::kPetersonKearns:
+      return std::make_unique<PetersonKearnsProcess>(sim, net, pid, n,
+                                                     std::move(app), config,
+                                                     metrics, oracle);
+    case ProtocolKind::kPlain:
+      return std::make_unique<PlainProcess>(sim, net, pid, n, std::move(app),
+                                            config, metrics, oracle);
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(config), sim_(config.seed), net_(sim_, config.network) {
+  if (config_.n < 2) throw std::invalid_argument("Scenario: n must be >= 2");
+  if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
+
+  const AppFactory factory = config_.workload.make_factory();
+  processes_.reserve(config_.n);
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    processes_.push_back(make_process(
+        config_.protocol, sim_, net_, pid, config_.n, factory(pid, config_.n),
+        config_.process, metrics_, oracle_.get()));
+  }
+}
+
+Scenario::~Scenario() = default;
+
+DamaniGargProcess& Scenario::dg(ProcessId pid) {
+  auto* p = dynamic_cast<DamaniGargProcess*>(processes_.at(pid).get());
+  if (p == nullptr) {
+    throw std::logic_error("Scenario::dg: process is not Damani-Garg");
+  }
+  return *p;
+}
+
+void Scenario::start_all() {
+  if (started_) return;
+  started_ = true;
+  // Start events at t=0 in pid order, then the failure plan.
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    sim_.schedule_at(0, [this, pid] { processes_[pid]->start(); });
+  }
+  for (const CrashEvent& event : config_.failures.crashes) {
+    sim_.schedule_at(event.at, [this, pid = event.pid] {
+      processes_.at(pid)->crash();
+    });
+  }
+  for (const PartitionEvent& event : config_.failures.partitions) {
+    sim_.schedule_at(event.at, [this, groups = event.groups] {
+      net_.set_partition(groups);
+    });
+    sim_.schedule_at(event.heal_at, [this] { net_.heal_partition(); });
+  }
+}
+
+std::uint64_t Scenario::progress_signature() const {
+  // Any application-relevant progress shows up in one of these counters.
+  std::uint64_t sig = 0;
+  const auto mix = [&sig](std::uint64_t v) {
+    sig = sig * 1000003u + v;
+  };
+  mix(metrics_.app_messages_sent);
+  mix(metrics_.messages_delivered);
+  mix(metrics_.messages_discarded_obsolete);
+  mix(metrics_.messages_discarded_duplicate);
+  mix(metrics_.messages_postponed);
+  mix(metrics_.postponed_released);
+  mix(metrics_.messages_replayed);
+  mix(metrics_.messages_requeued_after_rollback);
+  mix(metrics_.crashes);
+  mix(metrics_.restarts);
+  mix(metrics_.rollbacks);
+  mix(metrics_.tokens_processed);
+  mix(metrics_.retransmissions);
+  mix(net_.stats().messages_dropped);
+  return sig;
+}
+
+bool Scenario::all_up() const {
+  for (const auto& p : processes_) {
+    if (!p->is_up()) return false;
+  }
+  return true;
+}
+
+std::size_t Scenario::total_pending() const {
+  std::size_t total = 0;
+  for (const auto& p : processes_) total += p->pending_count();
+  return total;
+}
+
+void Scenario::run_for(SimTime duration) {
+  start_all();
+  sim_.run(sim_.now() + duration);
+}
+
+bool Scenario::run() {
+  start_all();
+  // The failure plan must be inside the cap, or crashes would never fire.
+  SimTime last_planned = 0;
+  for (const auto& c : config_.failures.crashes) {
+    last_planned = std::max(last_planned, c.at);
+  }
+  for (const auto& p : config_.failures.partitions) {
+    last_planned = std::max(last_planned, p.heal_at);
+  }
+
+  while (sim_.now() < config_.time_cap) {
+    const std::uint64_t before = progress_signature();
+    sim_.run(sim_.now() + config_.settle_slice);
+    const bool pending_plan = sim_.now() <= last_planned;
+    if (!pending_plan && progress_signature() == before &&
+        net_.app_messages_in_flight() == 0 && net_.tokens_in_flight() == 0 &&
+        all_up() && total_pending() == 0 && !net_.partitioned()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace optrec

@@ -1,0 +1,97 @@
+// Scenario: one fully-wired simulation run.
+//
+// Builds the simulation, network, oracle, metrics, and n processes of the
+// selected protocol; injects the failure plan; runs to application
+// quiescence (no in-flight messages, no internally held messages, all
+// processes up, and no progress across a settle slice). Tests and benches
+// construct everything through this one entry point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/app/workload.h"
+#include "src/core/dg_process.h"
+#include "src/harness/failure_plan.h"
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/runtime/process_base.h"
+#include "src/sim/simulation.h"
+#include "src/truth/causality_oracle.h"
+
+namespace optrec {
+
+enum class ProtocolKind : std::uint8_t {
+  kDamaniGarg,
+  kPessimistic,
+  kCoordinated,
+  kSenderBased,
+  kCascading,
+  kPetersonKearns,
+  kPlain,  // no recovery; failure-free reference only
+};
+
+const char* protocol_name(ProtocolKind kind);
+
+struct ScenarioConfig {
+  std::size_t n = 4;
+  std::uint64_t seed = 1;
+  ProtocolKind protocol = ProtocolKind::kDamaniGarg;
+  WorkloadSpec workload;
+  ProcessConfig process;
+  NetworkConfig network;
+  FailurePlan failures;
+  /// Build the ground-truth oracle (tests on; large benches off).
+  bool enable_oracle = true;
+  /// Hard cap on simulated time; a run that hits it without quiescing is
+  /// reported as non-quiescent.
+  SimTime time_cap = seconds(600);
+  /// Settle-slice length for the quiescence detector.
+  SimTime settle_slice = millis(200);
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Start all processes and run until application quiescence (or the time
+  /// cap). Returns true when the run quiesced.
+  bool run();
+
+  /// Run for exactly `duration` of simulated time (starting processes on
+  /// first call); for tests that need mid-run inspection.
+  void run_for(SimTime duration);
+
+  Simulation& sim() { return sim_; }
+  Network& net() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  CausalityOracle* oracle() { return oracle_.get(); }
+  const ScenarioConfig& config() const { return config_; }
+
+  std::size_t size() const { return processes_.size(); }
+  ProcessBase& process(ProcessId pid) { return *processes_.at(pid); }
+  /// Checked access to a Damani-Garg process (throws on other protocols).
+  DamaniGargProcess& dg(ProcessId pid);
+
+  std::size_t total_pending() const;
+  bool all_up() const;
+
+ private:
+  void start_all();
+  std::uint64_t progress_signature() const;
+
+  ScenarioConfig config_;
+  Simulation sim_;
+  Network net_;
+  Metrics metrics_;
+  std::unique_ptr<CausalityOracle> oracle_;
+  std::vector<std::unique_ptr<ProcessBase>> processes_;
+  bool started_ = false;
+};
+
+}  // namespace optrec

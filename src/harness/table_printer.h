@@ -1,0 +1,26 @@
+// Plain-text aligned tables for bench output (the regenerated paper tables).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optrec {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,119 @@
+// History mechanism (paper Section 5, Figure 3).
+//
+// For every known version of every process, the history keeps exactly one
+// record: (kind, version, timestamp). If a token has been received for that
+// version, the record is the token's timestamp (the restored point of the
+// failed incarnation — everything beyond it is lost). Otherwise the record
+// holds the highest timestamp of that version on which the owner causally
+// depends, learned through message FTVCs.
+//
+// Two deviations from the TR's literal pseudocode, both argued in DESIGN.md:
+//  * token records are never overwritten by message records (the TR's prose
+//    requires this; its pseudocode forgets it);
+//  * the orphan/obsolete/rollback conditions use the strict inequality of
+//    Lemmas 3-4 (`ts > token.ts` means lost-dependent), fixing the TR's
+//    condition (I) off-by-one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/clocks/ftvc.h"
+#include "src/util/ids.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+
+enum class RecordKind : std::uint8_t { kMessage = 0, kToken = 1 };
+
+struct HistoryRecord {
+  RecordKind kind = RecordKind::kMessage;
+  Version ver = 0;
+  Timestamp ts = 0;
+
+  friend bool operator==(const HistoryRecord&, const HistoryRecord&) = default;
+  std::string to_string() const;
+};
+
+class History {
+ public:
+  History() = default;
+
+  /// Figure 3 initialization: a (message, 0, 0) record for every process and
+  /// (message, 0, 1) for the owner itself.
+  History(ProcessId owner, std::size_t n);
+
+  ProcessId owner() const { return owner_; }
+  std::size_t process_count() const { return per_process_.size(); }
+
+  /// Figure 3 "Receive message": fold the delivered message's FTVC into the
+  /// history. For each entry (v,t): if the version is covered by a token
+  /// record, keep the token record; otherwise keep the max message timestamp.
+  void observe_message_clock(const Ftvc& mclock);
+
+  /// Figure 3 "Receive token": record that version `token.ver` of process j
+  /// failed with restored timestamp `token.ts`. Replaces any record for that
+  /// version.
+  void observe_token(ProcessId j, FtvcEntry token);
+
+  /// Figure 3 "On Restart": the restarting process records its own token so
+  /// that the failed version's lost suffix is known locally too.
+  void record_own_restart(FtvcEntry token) { observe_token(owner_, token); }
+
+  /// Has a token for version v of process j been received? (Version counts
+  /// from 0; a message from version k is deliverable only once tokens for
+  /// versions 0..k-1 of its dependencies have arrived — Section 6.1.)
+  bool has_token(ProcessId j, Version v) const;
+
+  std::optional<HistoryRecord> record(ProcessId j, Version v) const;
+
+  /// Lemma 4: a message is obsolete iff some entry (v,t') of its FTVC has a
+  /// token record (token, v, t) with t' > t — the message depends on a state
+  /// beyond the restored point of a failed incarnation.
+  bool is_obsolete(const Ftvc& mclock) const;
+
+  /// Section 6.1 deliverability: every version l < mclock[j].ver of every j
+  /// must have its token. Returns the first missing (process, version), or
+  /// nullopt when deliverable.
+  std::optional<std::pair<ProcessId, Version>> first_missing_token(
+      const Ftvc& mclock) const;
+  bool is_deliverable(const Ftvc& mclock) const {
+    return !first_missing_token(mclock).has_value();
+  }
+
+  /// Lemma 3: after token (v,t) from process j arrives, the owner is an
+  /// orphan iff its history holds (message, v, t') with t' > t.
+  bool makes_orphan(ProcessId j, FtvcEntry token) const;
+
+  /// Rollback restore condition (paper condition (I), Lemma-3-consistent):
+  /// a checkpointed history is safe iff it does NOT make us an orphan.
+  bool consistent_with_token(ProcessId j, FtvcEntry token) const {
+    return !makes_orphan(j, token);
+  }
+
+  /// All versions recorded for process j (ascending), for diagnostics/GC.
+  std::vector<HistoryRecord> records_for(ProcessId j) const;
+
+  void encode(Writer& w) const;
+  static History decode(Reader& r);
+  /// In-memory footprint estimate in bytes: the O(n·f) quantity of the
+  /// Section 6.9(3) overhead bench.
+  std::size_t byte_size() const;
+
+  std::string to_string() const;
+
+  bool operator==(const History& other) const {
+    return owner_ == other.owner_ && per_process_ == other.per_process_;
+  }
+
+ private:
+  ProcessId owner_ = kNoProcess;
+  /// per_process_[j] maps version -> record; one record per version.
+  std::vector<std::map<Version, HistoryRecord>> per_process_;
+};
+
+}  // namespace optrec

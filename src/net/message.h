@@ -1,0 +1,82 @@
+// Wire-level units exchanged by processes.
+//
+// The paper distinguishes application *messages* (which create causal
+// dependency and carry a piggybacked FTVC) from recovery *tokens* (which do
+// not contribute to happened-before and are delivered reliably).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/clocks/ftvc.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+/// Distinguishes app-level payloads from protocol-internal control traffic
+/// (used only by baselines: sender-based-logging ACKs, coordinated-checkpoint
+/// marker messages). The Damani-Garg protocol needs no control messages in
+/// failure-free runs (Section 6.9).
+enum class MessageKind : std::uint8_t { kApp = 0, kControl = 1 };
+
+struct Message {
+  MsgId id = 0;  // assigned by the network; never consulted by protocols
+  MessageKind kind = MessageKind::kApp;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+
+  /// Sender incarnation and per-incarnation send counter. Used for duplicate
+  /// suppression when Remark-1 retransmission is enabled, and by the oracle.
+  Version src_version = 0;
+  std::uint64_t send_seq = 0;
+
+  /// Piggybacked clock (Fig. 2 "send (data, clock)"). Empty (size 0) for
+  /// baselines that do not piggyback an FTVC.
+  Ftvc clock;
+
+  Bytes payload;
+
+  /// True when this is a Remark-1 retransmission of an earlier send.
+  bool retransmission = false;
+
+  /// Oracle hook: identity of the sender state (assigned at send time).
+  /// Carried out-of-band conceptually; excluded from wire_size().
+  StateId sender_state = 0;
+
+  /// Serialized size in bytes as it would appear on the wire: headers,
+  /// piggybacked clock, payload. Drives all overhead benches.
+  std::size_t wire_size() const;
+
+  /// Full serialization (excluding the network-assigned id), used by the
+  /// durable send-history of the Remark-1 retransmitter.
+  void encode(Writer& w) const;
+  static Message decode(Reader& r);
+
+  std::string describe() const;
+};
+
+/// Failure-announcement token (Section 5): "the version number which failed
+/// and the timestamp of that version at the point of restoration".
+struct Token {
+  ProcessId from = kNoProcess;
+  FtvcEntry failed;  // (failed version, restored timestamp)
+
+  /// Remark 1 extension: the restored FTVC, so peers can retransmit messages
+  /// whose sends were not yet delivered at the restored point. Only present
+  /// when retransmission is enabled; excluded from the base token size the
+  /// Section 6.9(2) bench reports separately.
+  std::optional<Ftvc> restored_clock;
+
+  /// Originating failure, for metrics attribution only (the cascading
+  /// baseline re-announces on every rollback; every announcement in a
+  /// cascade traces back to one real failure). Excluded from wire_size().
+  ProcessId origin_pid = kNoProcess;
+  Version origin_ver = 0;
+
+  std::size_t wire_size() const;
+  std::string describe() const;
+};
+
+}  // namespace optrec

@@ -1,0 +1,296 @@
+#include "src/runtime/process_base.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/log.h"
+
+namespace optrec {
+
+class ProcessBase::ContextShim : public AppContext {
+ public:
+  explicit ContextShim(ProcessBase& host) : host_(host) {}
+  ProcessId self() const override { return host_.pid_; }
+  std::size_t process_count() const override { return host_.n_; }
+  void send(ProcessId dst, const Bytes& payload) override {
+    host_.app_send(dst, payload);
+  }
+  void output(const std::string& data) override { host_.request_output(data); }
+
+ private:
+  ProcessBase& host_;
+};
+
+ProcessBase::ProcessBase(Simulation& sim, Network& net, ProcessId pid,
+                         std::size_t n, std::unique_ptr<App> app,
+                         ProcessConfig config, Metrics& metrics,
+                         CausalityOracle* oracle)
+    : sim_(sim),
+      net_(net),
+      pid_(pid),
+      n_(n),
+      app_(std::move(app)),
+      config_(config),
+      metrics_(metrics),
+      oracle_(oracle),
+      ctx_(std::make_unique<ContextShim>(*this)) {
+  if (!app_) throw std::invalid_argument("ProcessBase: null app");
+  net_.attach(pid_, this);
+}
+
+ProcessBase::~ProcessBase() = default;
+
+void ProcessBase::start() {
+  if (started_) throw std::logic_error("ProcessBase::start called twice");
+  started_ = true;
+  up_ = true;
+  if (oracle_) {
+    cur_state_ = oracle_->initial_state(pid_);
+    states_at_count_[0].push_back(cur_state_);
+  }
+  app_->on_start(*ctx_);
+  // Initial checkpoint: on_start is never re-run, so every restore path has
+  // a stable base even before the first timer fires.
+  take_checkpoint();
+  start_timers();
+  on_started();
+}
+
+void ProcessBase::start_timers() {
+  if (config_.checkpoint_interval > 0) {
+    // Stagger first fires across processes so checkpoints stay uncoordinated.
+    const SimTime stagger =
+        config_.checkpoint_interval +
+        (config_.checkpoint_interval * pid_) / (n_ ? n_ : 1);
+    checkpoint_timer_ =
+        sim_.schedule_after(stagger, [this] { checkpoint_timer_fired(); });
+  }
+  if (config_.flush_interval > 0) {
+    const SimTime stagger =
+        config_.flush_interval + (config_.flush_interval * pid_) / (n_ ? n_ : 1);
+    flush_timer_ =
+        sim_.schedule_after(stagger, [this] { flush_timer_fired(); });
+  }
+}
+
+void ProcessBase::checkpoint_timer_fired() {
+  if (!up_) return;
+  take_checkpoint();
+  checkpoint_timer_ = sim_.schedule_after(config_.checkpoint_interval,
+                                          [this] { checkpoint_timer_fired(); });
+}
+
+void ProcessBase::flush_timer_fired() {
+  if (!up_) return;
+  if (storage_.log().volatile_count() > 0) {
+    storage_.log().flush();
+    ++metrics_.log_flushes;
+  }
+  flush_timer_ = sim_.schedule_after(config_.flush_interval,
+                                     [this] { flush_timer_fired(); });
+}
+
+void ProcessBase::crash() {
+  if (!up_ || !started_) return;
+  up_ = false;
+  crash_time_ = sim_.now();
+  ++metrics_.crashes;
+  OPTREC_LOG(kInfo) << "P" << pid_ << " crashed at t=" << sim_.now()
+                    << " (version " << version_ << ")";
+
+  // States whose receipts were not yet on stable storage are lost forever.
+  if (oracle_) {
+    oracle_->mark_lost(
+        take_states_for_deliveries(recoverable_count(), delivered_total_));
+  }
+  metrics_.messages_lost_in_crash += storage_.on_crash();
+  on_crash_wipe();
+  pending_outputs_.clear();
+  delivered_keys_.clear();
+
+  sim_.cancel(checkpoint_timer_);
+  sim_.cancel(flush_timer_);
+  checkpoint_timer_ = flush_timer_ = 0;
+
+  sim_.schedule_after(config_.restart_delay, [this] { restart_now(); });
+}
+
+void ProcessBase::restart_now() {
+  handle_restart();
+  up_ = true;
+  ++metrics_.restarts;
+  metrics_.restart_latency.add(static_cast<double>(sim_.now() - crash_time_));
+  start_timers();
+  on_started();
+  OPTREC_LOG(kInfo) << "P" << pid_ << " restarted at t=" << sim_.now()
+                    << " as version " << version_;
+}
+
+void ProcessBase::on_message(const Message& msg) { handle_message(msg); }
+
+void ProcessBase::on_token(const Token& token) { handle_token(token); }
+
+void ProcessBase::deliver_to_app(const Message& msg, bool replay) {
+  if (!replay) {
+    storage_.log().append(msg);
+  }
+  ++delivered_total_;
+  if (oracle_) {
+    if (replay) {
+      // Replay reconstructs an existing state; reuse its identity.
+      cur_state_ = state_at_count(delivered_total_);
+    } else {
+      cur_state_ = oracle_->delivery_state(pid_, cur_state_, msg.sender_state);
+      oracle_->record_delivery(msg.id, cur_state_);
+      states_at_count_[delivered_total_].push_back(cur_state_);
+    }
+  }
+  delivered_keys_.insert({msg.src, msg.src_version, msg.send_seq});
+  if (replay) {
+    ++metrics_.messages_replayed;
+  } else {
+    ++metrics_.messages_delivered;
+  }
+  const bool was_replaying = replaying_;
+  replaying_ = replay;
+  app_->on_message(*ctx_, msg.src, msg.payload);
+  replaying_ = was_replaying;
+}
+
+bool ProcessBase::is_duplicate(const Message& msg) const {
+  return delivered_keys_.count({msg.src, msg.src_version, msg.send_seq}) > 0;
+}
+
+void ProcessBase::rebuild_delivered_keys(std::uint64_t count) {
+  delivered_keys_.clear();
+  const auto& log = storage_.log();
+  for (std::uint64_t i = log.base(); i < count; ++i) {
+    const Message& m = log.entry(i);
+    delivered_keys_.insert({m.src, m.src_version, m.send_seq});
+  }
+}
+
+void ProcessBase::app_send(ProcessId dst, const Bytes& payload) {
+  if (dst == pid_ || dst >= n_) {
+    throw std::invalid_argument("app_send: bad destination");
+  }
+  Message m;
+  m.kind = MessageKind::kApp;
+  m.src = pid_;
+  m.dst = dst;
+  m.src_version = version_;
+  m.send_seq = send_seq_++;
+  m.payload = payload;
+  stamp_outgoing(m);
+  if (replaying_) {
+    // The original send already reached the network before the crash or
+    // rollback (handlers are event-atomic); re-emitting would duplicate it.
+    ++metrics_.sends_suppressed_in_replay;
+    return;
+  }
+  m.sender_state = cur_state_;
+  if (intercept_send(m)) return;
+  transmit_now(std::move(m));
+}
+
+void ProcessBase::transmit_now(Message msg) {
+  const StateId sender_state = msg.sender_state;
+  ++metrics_.app_messages_sent;
+  metrics_.payload_bytes += msg.payload.size();
+  metrics_.piggyback_bytes += msg.wire_size() - msg.payload.size();
+  const MsgId id = net_.send(std::move(msg));
+  if (oracle_) oracle_->record_send(id, sender_state);
+}
+
+void ProcessBase::resend_raw(Message msg) {
+  msg.retransmission = true;
+  const StateId sender_state = msg.sender_state;
+  const MsgId id = net_.send(std::move(msg));
+  if (oracle_) oracle_->record_send(id, sender_state);
+  ++metrics_.retransmissions;
+}
+
+void ProcessBase::requeue_local(Message msg) {
+  ++metrics_.messages_requeued_after_rollback;
+  sim_.schedule_after(micros(1), [this, m = std::move(msg)]() mutable {
+    if (!up_) {
+      requeue_retry(std::move(m));
+      return;
+    }
+    on_message(m);
+  });
+}
+
+void ProcessBase::requeue_retry(Message msg) {
+  sim_.schedule_after(millis(1), [this, m = std::move(msg)]() mutable {
+    if (!up_) {
+      requeue_retry(std::move(m));
+      return;
+    }
+    on_message(m);
+  });
+}
+
+StateId ProcessBase::state_at_count(std::uint64_t count) const {
+  auto it = states_at_count_.find(count);
+  if (it == states_at_count_.end() || it->second.empty()) {
+    throw std::logic_error("state_at_count: unknown count");
+  }
+  return it->second.back();
+}
+
+void ProcessBase::set_state_at_count(std::uint64_t count, StateId s) {
+  states_at_count_[count].push_back(s);
+}
+
+std::vector<StateId> ProcessBase::take_states_for_deliveries(
+    std::uint64_t from, std::uint64_t to) {
+  std::vector<StateId> out;
+  for (std::uint64_t count = from + 1; count <= to; ++count) {
+    auto it = states_at_count_.find(count);
+    if (it == states_at_count_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+    states_at_count_.erase(it);
+  }
+  return out;
+}
+
+void ProcessBase::request_output(const std::string& data) {
+  ++metrics_.outputs_requested;
+  if (!output_commit_gated()) {
+    outputs_.push_back({data, sim_.now(), sim_.now()});
+    ++metrics_.outputs_committed;
+    return;
+  }
+  pending_outputs_.push_back({data, sim_.now(), delivered_total_});
+}
+
+void ProcessBase::commit_pending_outputs_up_to(std::uint64_t delivered_count) {
+  auto it = pending_outputs_.begin();
+  while (it != pending_outputs_.end()) {
+    if (it->delivered_count <= delivered_count) {
+      outputs_.push_back({it->data, it->requested_at, sim_.now()});
+      ++metrics_.outputs_committed;
+      metrics_.output_commit_latency.add(
+          static_cast<double>(sim_.now() - it->requested_at));
+      it = pending_outputs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProcessBase::drop_pending_outputs_after(std::uint64_t count) {
+  std::erase_if(pending_outputs_, [count](const PendingOutput& p) {
+    return p.delivered_count > count;
+  });
+}
+
+std::string ProcessBase::describe() const {
+  std::ostringstream os;
+  os << 'P' << pid_ << "{v" << version_ << " delivered=" << delivered_total_
+     << ' ' << app_->describe() << '}';
+  return os.str();
+}
+
+}  // namespace optrec

@@ -1,0 +1,259 @@
+// ProcessBase: shared runtime plumbing for every recovery protocol.
+//
+// Owns the app, the simulated stable storage, timers (checkpoint, flush),
+// the crash/restart lifecycle, replay send-suppression, duplicate
+// filtering, and all ground-truth-oracle bookkeeping. Protocol logic lives
+// in subclasses via the handle_* hooks: the Damani-Garg process in
+// src/core/, the comparison baselines in src/baselines/.
+//
+// Lifecycle of a process:
+//   start() -> app on_start (sends) -> initial checkpoint -> timers run
+//   crash() -> volatile state wiped -> down for restart_delay
+//           -> handle_restart() (protocol) -> up, timers resume
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/app/app.h"
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/storage/stable_storage.h"
+#include "src/truth/causality_oracle.h"
+
+namespace optrec {
+
+struct ProcessConfig {
+  /// Interval between uncoordinated checkpoints (0 = only the initial one).
+  SimTime checkpoint_interval = millis(400);
+  /// Interval between asynchronous flushes of the volatile message log to
+  /// stable storage (0 = never flush on a timer). Pessimistic baselines
+  /// flush synchronously and ignore this.
+  SimTime flush_interval = millis(40);
+  /// Downtime between a crash and the start of restart processing.
+  SimTime restart_delay = millis(5);
+  /// Remark 1: keep send history; on a peer's token, retransmit messages the
+  /// failed process lost (those concurrent with the token's state).
+  bool retransmit_on_failure = false;
+  /// Literal-TR mode: discard the non-obsolete logged suffix on rollback
+  /// instead of re-enqueuing it (DESIGN.md §3).
+  bool discard_rollback_suffix = false;
+  /// ABLATION ONLY: deliver messages without waiting for the predecessor
+  /// tokens of every version they reference (disables the Section 6.1
+  /// deliverability rule). This deliberately breaks orphan detection — a
+  /// message can smuggle a dependency on lost states behind a
+  /// higher-version clock entry — and exists so the ablation bench can
+  /// measure how often that happens. Never enable in real deployments.
+  bool ablation_disable_postponement = false;
+  /// Enable the stability tracker (gossiped log vectors) and with it output
+  /// commit and storage garbage collection (paper Remark 2).
+  bool enable_stability_tracking = false;
+  SimTime stability_gossip_interval = millis(200);
+  bool enable_gc = false;
+};
+
+/// One externally visible output, with commit bookkeeping (paper Remark 2).
+struct CommittedOutput {
+  std::string data;
+  SimTime requested_at = 0;
+  SimTime committed_at = 0;
+};
+
+class ProcessBase : public Endpoint {
+ public:
+  ProcessBase(Simulation& sim, Network& net, ProcessId pid, std::size_t n,
+              std::unique_ptr<App> app, ProcessConfig config,
+              Metrics& metrics, CausalityOracle* oracle);
+  ~ProcessBase() override;
+
+  ProcessBase(const ProcessBase&) = delete;
+  ProcessBase& operator=(const ProcessBase&) = delete;
+
+  /// Run app on_start, take the initial checkpoint, start timers. Must be
+  /// called exactly once, before the simulation runs.
+  void start();
+
+  /// Failure injection: wipe volatile state, go down, schedule restart.
+  /// No-op while already down.
+  void crash();
+
+  // Endpoint:
+  bool is_up() const final { return up_; }
+  void on_message(const Message& msg) final;
+  void on_token(const Token& token) final;
+
+  ProcessId pid() const { return pid_; }
+  std::size_t cluster_size() const { return n_; }
+  Version version() const { return version_; }
+  std::uint64_t delivered_count() const { return delivered_total_; }
+  App& app() { return *app_; }
+  const App& app() const { return *app_; }
+  StableStorage& storage() { return storage_; }
+  const StableStorage& storage() const { return storage_; }
+  const ProcessConfig& config() const { return config_; }
+  const std::vector<CommittedOutput>& outputs() const { return outputs_; }
+
+  /// Messages the protocol is holding internally (postponed, deferred,
+  /// recovery-buffered). Zero across all processes is a necessary condition
+  /// for application quiescence (used by the harness).
+  virtual std::size_t pending_count() const { return 0; }
+
+  /// Oracle identity of the current state (0 when no oracle is attached).
+  /// Read-only observability hook for monitors such as predicate detection.
+  StateId current_state_id() const { return cur_state_; }
+
+  virtual std::string describe() const;
+
+ protected:
+  // ---- protocol hooks ------------------------------------------------
+  /// An application/control message arrived off the wire.
+  virtual void handle_message(const Message& msg) = 0;
+  /// A recovery token arrived.
+  virtual void handle_token(const Token& token) = 0;
+  /// Restart after a crash: restore, replay, announce. Runs while down;
+  /// the base marks the process up afterwards.
+  virtual void handle_restart() = 0;
+  /// Take one checkpoint now (timer-driven and at protocol-chosen points).
+  virtual void take_checkpoint() = 0;
+  /// Stamp protocol headers (clock, ...) onto an outgoing app message and
+  /// advance the protocol clock. Runs for real and replayed sends alike.
+  virtual void stamp_outgoing(Message& msg) = 0;
+  /// Wipe protocol volatile state on crash (clocks/history/queues are
+  /// reconstructed by handle_restart from stable storage).
+  virtual void on_crash_wipe() {}
+  /// Called after start() completes (protocol may start extra timers).
+  virtual void on_started() {}
+  /// How many delivered states this process could reconstruct from stable
+  /// storage if it crashed right now. Default: the stable message-log
+  /// prefix (checkpoint + replay). Crash marks everything beyond it lost.
+  virtual std::uint64_t recoverable_count() const {
+    return storage_.log().stable_count();
+  }
+  /// Is this state allowed to commit outputs immediately? Default: yes
+  /// (paper Remark 2 gating is implemented by the DG subclass).
+  virtual bool output_commit_gated() const { return false; }
+
+  // ---- services for subclasses ----------------------------------------
+  Simulation& sim() { return sim_; }
+  Network& net() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  CausalityOracle* oracle() { return oracle_; }
+
+  /// Deliver `msg` to the app: append to the log (unless replaying), run
+  /// the handler (sends are emitted or, in replay, suppressed), and do the
+  /// oracle/metrics bookkeeping. The caller has already updated protocol
+  /// clocks/history.
+  void deliver_to_app(const Message& msg, bool replay);
+
+  /// True if (src, src_version, send_seq) was already delivered in the
+  /// current surviving state; guards against Remark-1 duplicate resends.
+  bool is_duplicate(const Message& msg) const;
+
+  /// Rebuild the duplicate-filter set from the log prefix [0, count).
+  void rebuild_delivered_keys(std::uint64_t count);
+  /// Register one delivered key directly (protocols that persist their own
+  /// delivery tables, e.g. sender-based logging's checkpointed RSN table).
+  void add_delivered_key(ProcessId src, Version src_version,
+                         std::uint64_t send_seq) {
+    delivered_keys_.insert({src, src_version, send_seq});
+  }
+
+  /// A protocol may intercept a stamped, non-replay outgoing message (e.g.
+  /// sender-based logging defers sends until receipts are fully logged).
+  /// Return true to take ownership; transmit later with transmit_now().
+  virtual bool intercept_send(Message& msg) {
+    (void)msg;
+    return false;
+  }
+  /// Put a previously intercepted message on the wire (metrics + oracle).
+  void transmit_now(Message msg);
+
+  /// Send an app message on behalf of the app handler. Used by the
+  /// AppContext shim; also by protocols for retransmission (with
+  /// pre-stamped messages, via resend_raw).
+  void app_send(ProcessId dst, const Bytes& payload);
+  /// Put an already-stamped message copy back on the wire (Remark 1
+  /// retransmission; bypasses stamp_outgoing and clock ticks).
+  void resend_raw(Message msg);
+
+  /// Re-inject a message into the local receive path as if it had just
+  /// arrived (rollback-suffix re-enqueue).
+  void requeue_local(Message msg);
+
+  /// Oracle bookkeeping for restore/rollback. Each delivery count maps to
+  /// the list of live states the process has had at that count (a delivery
+  /// state, possibly followed by recovery states from restarts/rollbacks at
+  /// that point).
+  /// Latest live state at `count` (restore/replay target).
+  StateId state_at_count(std::uint64_t count) const;
+  /// Register an additional live state at `count` (recovery states).
+  void set_state_at_count(std::uint64_t count, StateId s);
+  StateId current_state() const { return cur_state_; }
+  void set_current_state(StateId s) { cur_state_ = s; }
+  /// Collect and FORGET every live state at counts in (from, to] — the
+  /// states wiped by a crash or undone by a rollback. Forgetting them keeps
+  /// later undo ranges from re-marking states of a discarded timeline.
+  std::vector<StateId> take_states_for_deliveries(std::uint64_t from,
+                                                  std::uint64_t to);
+
+  /// Record an output request from the app (Remark 2). Committed
+  /// immediately unless output_commit_gated().
+  void request_output(const std::string& data);
+  /// DG subclass calls this when previously gated outputs become stable.
+  void commit_pending_outputs_up_to(std::uint64_t delivered_count);
+  /// Drop pending outputs from rolled-back states (> count).
+  void drop_pending_outputs_after(std::uint64_t count);
+
+  // Mutable protocol-visible counters maintained by the base:
+  Version version_ = 0;              // incarnation (DG restart bumps this)
+  std::uint64_t delivered_total_ = 0;  // global delivery count == log cursor
+  std::uint64_t send_seq_ = 0;
+  bool replaying_ = false;
+
+ private:
+  class ContextShim;
+
+  void start_timers();
+  void checkpoint_timer_fired();
+  void flush_timer_fired();
+  void restart_now();
+  void requeue_retry(Message msg);
+
+  Simulation& sim_;
+  Network& net_;
+  ProcessId pid_;
+  std::size_t n_;
+  std::unique_ptr<App> app_;
+  ProcessConfig config_;
+  Metrics& metrics_;
+  CausalityOracle* oracle_;  // may be null (benches)
+  StableStorage storage_;
+
+  bool up_ = false;
+  bool started_ = false;
+  SimTime crash_time_ = 0;
+  EventId checkpoint_timer_ = 0;
+  EventId flush_timer_ = 0;
+
+  StateId cur_state_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<StateId>> states_at_count_;
+  std::set<std::tuple<ProcessId, Version, std::uint64_t>> delivered_keys_;
+
+  struct PendingOutput {
+    std::string data;
+    SimTime requested_at = 0;
+    std::uint64_t delivered_count = 0;  // state that produced it
+  };
+  std::vector<PendingOutput> pending_outputs_;
+  std::vector<CommittedOutput> outputs_;
+
+  std::unique_ptr<ContextShim> ctx_;
+};
+
+}  // namespace optrec

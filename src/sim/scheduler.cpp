@@ -1,0 +1,53 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace optrec {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{std::max(at, now_), id, std::move(fn)});
+  ++pending_count_;
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  // We cannot remove from the heap directly; mark and skip at pop time.
+  // pending_count_ is decremented when the tombstone is popped, so treat a
+  // successfully marked event as no longer pending.
+  if (cancelled_.insert(id).second && pending_count_ > 0) {
+    --pending_count_;
+  }
+}
+
+void Scheduler::skip_cancelled() const {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+SimTime Scheduler::next_time() const {
+  skip_cancelled();
+  return queue_.empty() ? kSimTimeMax : queue_.top().time;
+}
+
+bool Scheduler::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy of
+  // the entry because callbacks may schedule new events (mutating the queue).
+  Entry entry = queue_.top();
+  queue_.pop();
+  --pending_count_;
+  now_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+}  // namespace optrec

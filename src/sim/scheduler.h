@@ -1,0 +1,70 @@
+// Event queue for the discrete-event simulator.
+//
+// Determinism contract: events at equal times fire in schedule order
+// (FIFO tie-break via a monotonically increasing sequence number), so a run
+// is a pure function of the seed and the scenario. All protocol code runs
+// inside event callbacks on a single thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace optrec {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now, else clamped to now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op (the common race when a process crashes with timers pending).
+  void cancel(EventId id);
+
+  /// Fire the earliest pending event; returns false if the queue is empty.
+  /// Cancelled events are skipped silently.
+  bool step();
+
+  bool empty() const { return pending_count_ == 0; }
+  std::size_t pending() const { return pending_count_; }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Earliest pending event time, or kSimTimeMax when empty.
+  SimTime next_time() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // schedule order on ties
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  mutable std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t pending_count_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace optrec

@@ -1,0 +1,19 @@
+#include "src/sim/simulation.h"
+
+namespace optrec {
+
+Simulation::RunResult Simulation::run(SimTime until, std::uint64_t max_events) {
+  RunResult result;
+  const std::uint64_t start_executed = scheduler_.executed();
+  while (!scheduler_.empty()) {
+    if (scheduler_.next_time() > until) break;
+    if (scheduler_.executed() - start_executed >= max_events) break;
+    scheduler_.step();
+  }
+  result.end_time = scheduler_.now();
+  result.events_executed = scheduler_.executed() - start_executed;
+  result.quiesced = scheduler_.empty();
+  return result;
+}
+
+}  // namespace optrec

@@ -1,0 +1,58 @@
+// Simulation: the top-level container for one deterministic run.
+//
+// Owns the event queue and the root random stream. The network, processes
+// and failure injector all hang off a Simulation; running it to quiescence
+// executes the whole distributed computation on one thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return scheduler_.now(); }
+  Rng& rng() { return rng_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  EventId schedule_at(SimTime at, std::function<void()> fn) {
+    return scheduler_.schedule_at(at, std::move(fn));
+  }
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return scheduler_.schedule_at(now() + delay, std::move(fn));
+  }
+  void cancel(EventId id) { scheduler_.cancel(id); }
+
+  struct RunResult {
+    SimTime end_time = 0;
+    std::uint64_t events_executed = 0;
+    /// True when the event queue drained (the system quiesced) rather than
+    /// hitting the time or event limit.
+    bool quiesced = false;
+  };
+
+  /// Run until the queue drains, `until` is passed, or `max_events` fire.
+  RunResult run(SimTime until = kSimTimeMax,
+                std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Execute a single event; false when the queue is empty.
+  bool step() { return scheduler_.step(); }
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 200'000'000ull;
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,20 @@
+// Virtual time for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace optrec {
+
+/// Simulated time in microseconds since simulation start. 64 bits gives
+/// ~584k years of simulated time; overflow is not a practical concern.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Convenience literals-ish helpers (microsecond base unit).
+inline constexpr SimTime micros(std::uint64_t n) { return n; }
+inline constexpr SimTime millis(std::uint64_t n) { return n * 1000; }
+inline constexpr SimTime seconds(std::uint64_t n) { return n * 1000 * 1000; }
+
+}  // namespace optrec

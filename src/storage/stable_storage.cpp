@@ -1,0 +1,11 @@
+#include "src/storage/stable_storage.h"
+
+namespace optrec {
+
+std::size_t StableStorage::stable_bytes() const {
+  std::size_t total = checkpoints_.stable_bytes() + log_.stable_bytes();
+  for (const auto& t : tokens_) total += t.wire_size();
+  return total;
+}
+
+}  // namespace optrec

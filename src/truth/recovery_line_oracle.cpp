@@ -1,0 +1,65 @@
+#include "src/truth/recovery_line_oracle.h"
+
+#include <algorithm>
+
+namespace optrec {
+
+std::vector<std::size_t> RecoveryLineOracle::caps_from_lost(
+    const CausalityOracle& oracle) {
+  std::vector<std::size_t> caps(oracle.process_count());
+  for (ProcessId pid = 0; pid < caps.size(); ++pid) {
+    const auto& states = oracle.states_of(pid);
+    std::size_t cap = states.size();
+    for (std::size_t k = 0; k < states.size(); ++k) {
+      if (oracle.is_lost(states[k])) {
+        cap = k;
+        break;
+      }
+    }
+    caps[pid] = cap;
+  }
+  return caps;
+}
+
+RecoveryLine RecoveryLineOracle::max_recoverable(
+    const CausalityOracle& oracle, std::vector<std::size_t> caps) {
+  const std::size_t n = oracle.process_count();
+  caps.resize(n, 0);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    caps[pid] = std::min(caps[pid], oracle.states_of(pid).size());
+  }
+
+  // Fixpoint: repeatedly lower any process's prefix whose last surviving
+  // state depends on a state beyond another process's prefix. Terminates
+  // because caps only decrease and are bounded below by zero.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      const auto& states = oracle.states_of(pid);
+      for (std::size_t k = 0; k < caps[pid]; ++k) {
+        bool bad = false;
+        for (StateId dep : oracle.deps(states[k])) {
+          const ProcessId q = oracle.process_of(dep);
+          if (q == pid) continue;
+          if (oracle.index_of(dep) >= caps[q]) {
+            bad = true;
+            break;
+          }
+        }
+        if (bad) {
+          // State k (and everything after it in this process) must go.
+          caps[pid] = k;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  RecoveryLine line;
+  line.surviving_prefix = std::move(caps);
+  return line;
+}
+
+}  // namespace optrec

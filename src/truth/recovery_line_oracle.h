@@ -1,0 +1,46 @@
+// Offline maximum-recoverable-state computation (Johnson & Zwaenepoel,
+// "Recovery in Distributed Systems using Optimistic Message Logging and
+// Checkpointing", J. Algorithms 1990).
+//
+// Given the ground-truth dependency graph and, for each process, a *cap* on
+// how many of its states survive (for a failed process: the states
+// recoverable from stable storage; for others: everything), the maximum
+// recoverable global state is the greatest per-process prefix vector that is
+// dependency-closed: no surviving state may depend on a state beyond another
+// process's surviving prefix.
+//
+// Used by experiment E8 to check the paper's "recovers the maximum
+// recoverable state" claim against an algorithm that shares no code with the
+// protocol. Valid for snapshots taken before any recovery states exist
+// (single-failure experiments); the general multi-failure case is covered by
+// the orphan-set oracle instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/truth/causality_oracle.h"
+
+namespace optrec {
+
+struct RecoveryLine {
+  /// For each process, the number of its states (in creation order) that
+  /// survive in the maximum recoverable global state.
+  std::vector<std::size_t> surviving_prefix;
+
+  bool operator==(const RecoveryLine&) const = default;
+};
+
+class RecoveryLineOracle {
+ public:
+  /// `caps[p]` = maximum number of states process p could possibly recover
+  /// (failed processes: restored-state index + 1; others: all their states).
+  static RecoveryLine max_recoverable(const CausalityOracle& oracle,
+                                      std::vector<std::size_t> caps);
+
+  /// Convenience: derive the caps from the oracle's lost set — each process
+  /// is capped just below its earliest lost state.
+  static std::vector<std::size_t> caps_from_lost(const CausalityOracle& oracle);
+};
+
+}  // namespace optrec

@@ -1,0 +1,28 @@
+// Byte-buffer primitives shared by the serialization layer, the simulated
+// storage substrate, and message payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optrec {
+
+/// Raw byte buffer. All simulated persistence (checkpoints, logs) and all
+/// wire payloads are represented as Bytes so that sizes reported by benches
+/// are real serialized sizes, not struct sizes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Render a buffer as lowercase hex, for diagnostics and golden tests.
+std::string to_hex(const Bytes& bytes);
+
+/// Parse lowercase/uppercase hex back into bytes. Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(const std::string& hex);
+
+/// FNV-1a 64-bit hash of a buffer; used for cheap content fingerprints in
+/// tests (checkpoint round-trip identity) and replay-determinism checks.
+std::uint64_t fnv1a(const Bytes& bytes);
+
+}  // namespace optrec

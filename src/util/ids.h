@@ -1,0 +1,30 @@
+// Identifier vocabulary shared across the library, matching the paper's
+// notation: i,j are process numbers; k,l,v are version numbers; t is a
+// timestamp (Section 3).
+#pragma once
+
+#include <cstdint>
+
+namespace optrec {
+
+/// Process index in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Incarnation counter of a process: the number of times it has failed and
+/// recovered (paper Section 4). Rollbacks do NOT increment the version.
+using Version = std::uint32_t;
+
+/// Logical timestamp within one version; incremented on every send and every
+/// delivery, reset to 0 on restart.
+using Timestamp = std::uint64_t;
+
+/// Globally unique message identity assigned by the network substrate, used
+/// for tracing and oracle bookkeeping (never by the protocol itself).
+using MsgId = std::uint64_t;
+
+/// Globally unique state identity assigned by the causality oracle.
+using StateId = std::uint64_t;
+
+inline constexpr ProcessId kNoProcess = 0xffffffffu;
+
+}  // namespace optrec

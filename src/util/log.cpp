@@ -1,0 +1,37 @@
+#include "src/util/log.h"
+
+#include <cstdio>
+
+namespace optrec {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;  // empty => stderr
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& text) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, text);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), text.c_str());
+}
+
+}  // namespace optrec

@@ -1,0 +1,53 @@
+// Leveled diagnostic logging.
+//
+// The simulator is single-threaded, so this logger is deliberately simple:
+// a global level, a sink function, and printf-free stream formatting. Tests
+// and benches run at Level::kWarn; examples turn on kInfo to narrate runs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace optrec {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the sink (default: stderr). Used by tests to capture output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emit one message; prefer the OPTREC_LOG macro below.
+void log_message(LogLevel level, const std::string& text);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace optrec
+
+/// Usage: OPTREC_LOG(kInfo) << "process " << pid << " restarted";
+/// The stream expression is only evaluated when the level is enabled.
+#define OPTREC_LOG(level)                                             \
+  if (::optrec::LogLevel::level < ::optrec::log_level()) {            \
+  } else                                                              \
+    ::optrec::detail::LogLine(::optrec::LogLevel::level).stream()
+
+namespace optrec::detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace optrec::detail

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random source for the simulator.
+//
+// Every random decision in a simulation (network delay, drop, workload
+// choice, failure jitter) draws from an Rng owned by the Simulation, so a
+// run is a pure function of its seed. That determinism is what lets the
+// ground-truth oracle replay-check protocol behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace optrec {
+
+/// xoshiro256** with a SplitMix64 seeder. Small, fast, reproducible across
+/// platforms (no libstdc++ distribution dependence).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0), used for
+  /// message inter-arrival and network delays.
+  double exponential(double mean);
+
+  /// Derive an independent child stream; used to give each process its own
+  /// stream so adding a process does not perturb the others' draws.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace optrec

@@ -1,0 +1,79 @@
+// Minimal, dependency-free binary serialization.
+//
+// Integers are LEB128 varints, so serialized sizes track information content:
+// an FTVC entry whose version is 0 costs one byte for the version, matching
+// the paper's Section 6.9 observation that versions add ~log2(f) bits per
+// vector-clock entry. Benches that report piggyback bytes rely on this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace optrec {
+
+/// Thrown when a Reader runs past the end of its buffer or decodes a
+/// malformed varint. Deserialization failures are programming errors in this
+/// codebase (we only read what we wrote), so tests assert it is never thrown
+/// on round-trips.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitive values to a byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// Unsigned LEB128.
+  void put_u32(std::uint32_t v) { put_varint(v); }
+  void put_u64(std::uint64_t v) { put_varint(v); }
+  /// ZigZag + LEB128 so small negatives stay small.
+  void put_i64(std::int64_t v);
+  void put_bytes(const Bytes& b);
+  void put_string(const std::string& s);
+
+  /// Number of bytes written so far.
+  std::size_t size() const { return out_.size(); }
+  const Bytes& buffer() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  void put_varint(std::uint64_t v);
+  Bytes out_;
+};
+
+/// Reads values written by Writer, in the same order.
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t get_u8();
+  bool get_bool() { return get_u8() != 0; }
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  Bytes get_bytes();
+  std::string get_string();
+
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint64_t get_varint();
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Size in bytes of `v` when varint-encoded; used by overhead benches to
+/// model wire cost without materializing buffers.
+std::size_t varint_size(std::uint64_t v);
+
+}  // namespace optrec

@@ -1,0 +1,49 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace optrec {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+double Percentiles::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+}  // namespace optrec

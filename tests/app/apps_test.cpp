@@ -1,0 +1,295 @@
+// App-framework tests: serialization round trips and the piecewise-
+// determinism contract (same state + same message => same actions), which
+// replay-based recovery depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/app/bank_app.h"
+#include "src/app/counter_app.h"
+#include "src/app/gossip_app.h"
+#include "src/app/pingpong_app.h"
+#include "src/app/workload.h"
+#include "src/util/bytes.h"
+
+namespace optrec {
+namespace {
+
+/// Records sends instead of transmitting.
+class RecordingContext : public AppContext {
+ public:
+  RecordingContext(ProcessId self, std::size_t n) : self_(self), n_(n) {}
+  ProcessId self() const override { return self_; }
+  std::size_t process_count() const override { return n_; }
+  void send(ProcessId dst, const Bytes& payload) override {
+    sends.push_back({dst, payload});
+  }
+  void output(const std::string& data) override { outputs.push_back(data); }
+
+  std::vector<std::pair<ProcessId, Bytes>> sends;
+  std::vector<std::string> outputs;
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+};
+
+template <typename MakeApp>
+void check_replay_determinism(MakeApp make_app) {
+  auto a = make_app();
+  auto b = make_app();
+  RecordingContext ctx_a(0, 4), ctx_b(0, 4);
+  a->on_start(ctx_a);
+  b->on_start(ctx_b);
+  ASSERT_EQ(ctx_a.sends.size(), ctx_b.sends.size());
+
+  // Feed identical messages; snapshot mid-way; a third instance restored
+  // from the snapshot must continue identically. (Copy first: handlers
+  // append to the recorded send lists while we iterate.)
+  const auto initial_sends = ctx_a.sends;
+  for (const auto& [dst, payload] : initial_sends) {
+    a->on_message(ctx_a, 1, payload);
+    b->on_message(ctx_b, 1, payload);
+  }
+  EXPECT_EQ(fnv1a(a->snapshot()), fnv1a(b->snapshot()));
+
+  auto c = make_app();
+  c->restore(a->snapshot());
+  RecordingContext ctx_c(0, 4);
+  Bytes probe = ctx_a.sends.empty() ? Bytes{} : ctx_a.sends[0].second;
+  if (!probe.empty()) {
+    const std::size_t before_a = ctx_a.sends.size();
+    a->on_message(ctx_a, 2, probe);
+    c->on_message(ctx_c, 2, probe);
+    const std::vector<std::pair<ProcessId, Bytes>> tail_a(
+        ctx_a.sends.begin() + static_cast<std::ptrdiff_t>(before_a),
+        ctx_a.sends.end());
+    EXPECT_EQ(tail_a, ctx_c.sends);
+    EXPECT_EQ(fnv1a(a->snapshot()), fnv1a(c->snapshot()));
+  }
+}
+
+TEST(CounterAppTest, SeedsJobsFromP0Only) {
+  CounterAppConfig config;
+  config.initial_jobs = 3;
+  CounterApp p0(0, 4, config), p1(1, 4, config);
+  RecordingContext c0(0, 4), c1(1, 4);
+  p0.on_start(c0);
+  p1.on_start(c1);
+  EXPECT_EQ(c0.sends.size(), 3u);
+  EXPECT_TRUE(c1.sends.empty());
+}
+
+TEST(CounterAppTest, AllSeedMode) {
+  CounterAppConfig config;
+  config.initial_jobs = 2;
+  config.all_seed = true;
+  CounterApp p2(2, 4, config);
+  RecordingContext ctx(2, 4);
+  p2.on_start(ctx);
+  EXPECT_EQ(ctx.sends.size(), 2u);
+}
+
+TEST(CounterAppTest, NeverSendsToSelf) {
+  CounterAppConfig config;
+  config.initial_jobs = 50;
+  config.hops = 0;
+  CounterApp app(2, 3, config);
+  RecordingContext ctx(2, 3);
+  CounterAppConfig seed_config = config;
+  seed_config.all_seed = true;
+  CounterApp seeder(2, 3, seed_config);
+  seeder.on_start(ctx);
+  for (const auto& [dst, payload] : ctx.sends) {
+    EXPECT_NE(dst, 2u);
+    EXPECT_LT(dst, 3u);
+  }
+}
+
+TEST(CounterAppTest, HopsDecrementToQuiescence) {
+  CounterAppConfig config;
+  CounterApp app(1, 4, config);
+  RecordingContext ctx(1, 4);
+  // hops=1 payload: handling forwards once with hops=0; that one is final.
+  CounterApp seeder(0, 4, {1, 1, false, 0, 0});
+  RecordingContext seed_ctx(0, 4);
+  seeder.on_start(seed_ctx);
+  ASSERT_EQ(seed_ctx.sends.size(), 1u);
+  app.on_message(ctx, 0, seed_ctx.sends[0].second);
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  CounterApp sink(2, 4, config);
+  RecordingContext sink_ctx(2, 4);
+  sink.on_message(sink_ctx, 1, ctx.sends[0].second);
+  EXPECT_TRUE(sink_ctx.sends.empty()) << "hop budget exhausted";
+}
+
+TEST(CounterAppTest, PayloadPadControlsMessageSize) {
+  CounterAppConfig small_config;
+  small_config.payload_pad = 0;
+  CounterAppConfig big_config;
+  big_config.payload_pad = 512;
+  CounterApp small(0, 2, small_config), big(0, 2, big_config);
+  RecordingContext cs(0, 2), cb(0, 2);
+  small.on_start(cs);
+  big.on_start(cb);
+  ASSERT_FALSE(cs.sends.empty());
+  EXPECT_GT(cb.sends[0].second.size(), cs.sends[0].second.size() + 500);
+}
+
+TEST(CounterAppTest, OutputEvery) {
+  CounterAppConfig config;
+  config.output_every = 2;
+  config.hops = 0;
+  CounterApp app(1, 2, config);
+  RecordingContext ctx(1, 2);
+  CounterApp seeder(0, 2, {4, 0, false, 0, 0});
+  RecordingContext seed_ctx(0, 2);
+  seeder.on_start(seed_ctx);
+  for (const auto& [dst, payload] : seed_ctx.sends) {
+    app.on_message(ctx, 0, payload);
+  }
+  EXPECT_EQ(ctx.outputs.size(), 2u);  // after messages 2 and 4
+}
+
+TEST(CounterAppTest, ReplayDeterminism) {
+  check_replay_determinism([] {
+    CounterAppConfig config;
+    config.initial_jobs = 4;
+    config.hops = 8;
+    return std::make_unique<CounterApp>(0, 4, config);
+  });
+}
+
+TEST(BankAppTest, TransfersDebitSender) {
+  BankAppConfig config;
+  config.initial_balance = 100;
+  config.initial_transfers = 2;
+  BankApp app(0, 3, config);
+  RecordingContext ctx(0, 3);
+  app.on_start(ctx);
+  std::int64_t in_flight = 0;
+  for (const auto& [dst, payload] : ctx.sends) {
+    in_flight += BankApp::decode_amount(payload);
+  }
+  EXPECT_EQ(app.balance() + in_flight, 100);
+  EXPECT_GT(in_flight, 0);
+}
+
+TEST(BankAppTest, ReceiptCreditsAndMayForward) {
+  BankAppConfig config;
+  config.initial_balance = 100;
+  BankApp sender(0, 3, config), receiver(1, 3, config);
+  RecordingContext cs(0, 3), cr(1, 3);
+  sender.on_start(cs);
+  ASSERT_FALSE(cs.sends.empty());
+  const std::int64_t amount = BankApp::decode_amount(cs.sends[0].second);
+  receiver.on_message(cr, 0, cs.sends[0].second);
+  std::int64_t forwarded = 0;
+  for (const auto& [dst, payload] : cr.sends) {
+    forwarded += BankApp::decode_amount(payload);
+  }
+  EXPECT_EQ(receiver.balance(), 100 + amount - forwarded);
+}
+
+TEST(BankAppTest, NeverOverdraws) {
+  BankAppConfig config;
+  config.initial_balance = 5;
+  config.initial_transfers = 10;
+  config.max_transfer = 50;
+  BankApp app(0, 2, config);
+  RecordingContext ctx(0, 2);
+  app.on_start(ctx);
+  EXPECT_GE(app.balance(), 0);
+}
+
+TEST(BankAppTest, ReplayDeterminism) {
+  check_replay_determinism([] {
+    BankAppConfig config;
+    return std::make_unique<BankApp>(0, 4, config);
+  });
+}
+
+TEST(PingPongAppTest, VolleyTerminatesAtLimit) {
+  PingPongConfig config;
+  config.rounds = 3;
+  PingPongApp even(0, 2, config), odd(1, 2, config);
+  RecordingContext c0(0, 2), c1(1, 2);
+  even.on_start(c0);
+  odd.on_start(c1);
+  ASSERT_EQ(c0.sends.size(), 1u);
+  EXPECT_TRUE(c1.sends.empty());
+
+  // Bounce until quiet.
+  std::vector<std::pair<ProcessId, Bytes>> wire = c0.sends;
+  int deliveries = 0;
+  while (!wire.empty() && deliveries < 100) {
+    auto [dst, payload] = wire.front();
+    wire.erase(wire.begin());
+    RecordingContext ctx(dst, 2);
+    (dst == 0 ? even : odd).on_message(ctx, 1 - dst, payload);
+    for (auto& s : ctx.sends) wire.push_back(s);
+    ++deliveries;
+  }
+  EXPECT_EQ(deliveries, 3);
+  EXPECT_EQ(odd.last_round(), 3u);  // received rounds 1 and 3
+  EXPECT_EQ(even.last_round(), 2u);
+}
+
+TEST(PingPongAppTest, TrailingOddProcessIdle) {
+  PingPongConfig config;
+  PingPongApp last(2, 3, config);
+  RecordingContext ctx(2, 3);
+  last.on_start(ctx);
+  EXPECT_TRUE(ctx.sends.empty());
+}
+
+TEST(GossipAppTest, NewRumorForwardedOldAbsorbed) {
+  GossipConfig config;
+  config.fanout = 2;
+  GossipApp a(0, 4, config), b(1, 4, config);
+  RecordingContext ca(0, 4), cb(1, 4);
+  a.on_start(ca);
+  ASSERT_FALSE(ca.sends.empty());
+  const Bytes rumor = ca.sends[0].second;
+  b.on_message(cb, 0, rumor);
+  EXPECT_EQ(cb.sends.size(), 2u);  // forwarded with fanout 2
+  const std::size_t before = cb.sends.size();
+  b.on_message(cb, 0, rumor);  // duplicate rumor
+  EXPECT_EQ(cb.sends.size(), before) << "old news is absorbed";
+}
+
+TEST(GossipAppTest, KnowledgeIsMonotone) {
+  GossipConfig config;
+  GossipApp a(0, 3, config), b(1, 3, config);
+  RecordingContext ca(0, 3), cb(1, 3);
+  a.on_start(ca);
+  const auto before = b.known();
+  for (const auto& [dst, payload] : ca.sends) b.on_message(cb, 0, payload);
+  const auto after = b.known();
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    EXPECT_LE(before[j], after[j]);
+  }
+}
+
+TEST(GossipAppTest, ReplayDeterminism) {
+  check_replay_determinism([] {
+    GossipConfig config;
+    return std::make_unique<GossipApp>(0, 4, config);
+  });
+}
+
+TEST(WorkloadSpecTest, FactoriesProduceApps) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kCounter, WorkloadKind::kPingPong, WorkloadKind::kBank,
+        WorkloadKind::kGossip}) {
+    WorkloadSpec spec;
+    spec.kind = kind;
+    auto factory = spec.make_factory();
+    auto app = factory(0, 4);
+    ASSERT_NE(app, nullptr) << spec.name();
+    EXPECT_FALSE(spec.name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,174 @@
+// Tests for the fault-tolerant vector clock, tracking paper Figure 2 and
+// Section 4.1 exactly.
+#include "src/clocks/ftvc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+namespace {
+
+TEST(FtvcEntryTest, PaperOrdering) {
+  // e1 < e2 iff (v1 < v2) or (v1 == v2 and ts1 < ts2).
+  EXPECT_LT((FtvcEntry{0, 5}), (FtvcEntry{1, 0}));  // higher version wins
+  EXPECT_LT((FtvcEntry{1, 2}), (FtvcEntry{1, 3}));
+  EXPECT_FALSE((FtvcEntry{1, 0}) < (FtvcEntry{0, 99}));
+  EXPECT_EQ((FtvcEntry{2, 7}), (FtvcEntry{2, 7}));
+}
+
+TEST(FtvcTest, InitializationPerFigure2) {
+  // "∀j : clock[j].ver = 0; clock[j].ts = 0; clock[i].ts = 1"
+  const Ftvc c(1, 3);
+  EXPECT_EQ(c.entry(0), (FtvcEntry{0, 0}));
+  EXPECT_EQ(c.entry(1), (FtvcEntry{0, 1}));
+  EXPECT_EQ(c.entry(2), (FtvcEntry{0, 0}));
+}
+
+TEST(FtvcTest, OwnerOutOfRangeThrows) {
+  EXPECT_THROW(Ftvc(3, 3), std::out_of_range);
+}
+
+TEST(FtvcTest, SendTicksAfterSnapshot) {
+  Ftvc c(0, 2);
+  const Ftvc on_wire = c;  // Fig. 2: send(data, clock) THEN clock[i].ts++
+  c.tick_send();
+  EXPECT_EQ(on_wire.self().ts, 1u);
+  EXPECT_EQ(c.self().ts, 2u);
+}
+
+TEST(FtvcTest, MergeTakesComponentwiseMaxAndTicks) {
+  Ftvc receiver(0, 3);  // [(0,1) (0,0) (0,0)]
+  Ftvc sender(1, 3);    // [(0,0) (0,1) (0,0)]
+  sender.tick_send();   // ts 2
+  receiver.merge_deliver(sender);
+  EXPECT_EQ(receiver.entry(0), (FtvcEntry{0, 2}));  // own ts incremented
+  EXPECT_EQ(receiver.entry(1), (FtvcEntry{0, 2}));  // max taken
+  EXPECT_EQ(receiver.entry(2), (FtvcEntry{0, 0}));
+}
+
+TEST(FtvcTest, MergePrefersHigherVersionOverHigherTimestamp) {
+  Ftvc receiver(0, 2);
+  Ftvc incoming(1, 2);
+  // Simulate: incoming process restarted, so entry is (1, 0) while receiver
+  // has stale (0, 100) knowledge of it.
+  Ftvc stale(1, 2);
+  for (int i = 0; i < 99; ++i) stale.tick_send();  // (0,100)
+  receiver.merge_deliver(stale);
+  EXPECT_EQ(receiver.entry(1).ts, 100u);
+  incoming.on_restart();  // (1, 0)
+  receiver.merge_deliver(incoming);
+  EXPECT_EQ(receiver.entry(1), (FtvcEntry{1, 0}));  // version dominates
+}
+
+TEST(FtvcTest, MergeSizeMismatchThrows) {
+  Ftvc a(0, 2), b(0, 3);
+  EXPECT_THROW(a.merge_deliver(b), std::invalid_argument);
+}
+
+TEST(FtvcTest, RestartRule) {
+  // "clock[i].ver++ ; clock[i].ts = 0" — requires no lost state.
+  Ftvc c(1, 3);
+  c.tick_send();
+  c.tick_send();
+  c.on_restart();
+  EXPECT_EQ(c.self(), (FtvcEntry{1, 0}));
+  c.on_restart();
+  EXPECT_EQ(c.self(), (FtvcEntry{2, 0}));
+}
+
+TEST(FtvcTest, RollbackRuleIncrementsTimestampOnly) {
+  Ftvc c(2, 3);
+  c.on_rollback();
+  EXPECT_EQ(c.self(), (FtvcEntry{0, 2}));
+}
+
+TEST(FtvcTest, ForceSelfTsJumpsForwardOnly) {
+  Ftvc c(0, 2);
+  c.force_self_ts(10);
+  EXPECT_EQ(c.self().ts, 10u);
+  EXPECT_THROW(c.force_self_ts(3), std::invalid_argument);
+}
+
+TEST(FtvcTest, StrictDominanceOrdering) {
+  Ftvc a(0, 2);
+  Ftvc b = a;
+  EXPECT_FALSE(a.less_than(b));  // equal
+  b.tick_send();
+  EXPECT_TRUE(a.less_than(b));
+  EXPECT_FALSE(b.less_than(a));
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_TRUE(a.dominated_by(a));
+}
+
+TEST(FtvcTest, ConcurrentClocks) {
+  Ftvc a(0, 2);
+  Ftvc b(1, 2);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+  EXPECT_FALSE(a.less_than(b));
+}
+
+TEST(FtvcTest, EncodeDecodeRoundTrip) {
+  Ftvc c(1, 4);
+  c.tick_send();
+  c.on_restart();
+  c.tick_send();
+  Writer w;
+  c.encode(w);
+  Reader r(w.buffer());
+  const Ftvc back = Ftvc::decode(r);
+  EXPECT_EQ(back, c);
+  EXPECT_EQ(back.owner(), 1u);
+}
+
+TEST(FtvcTest, WireSizeGrowsWithN) {
+  EXPECT_LT(Ftvc(0, 2).wire_size(), Ftvc(0, 64).wire_size());
+}
+
+TEST(FtvcTest, ToStringMatchesFigureNotation) {
+  Ftvc c(1, 3);
+  EXPECT_EQ(c.to_string(), "[(0,0) (0,1) (0,0)]");
+}
+
+// Reconstruction of the Figure 1 computation's clock values, hand-driven by
+// the Fig. 2 rules. P1 fails after s12; P2's s22 becomes an orphan.
+TEST(FtvcTest, Figure1Reconstruction) {
+  Ftvc p0(0, 3), p1(1, 3), p2(2, 3);
+
+  // s00: P0 sends m to P1.
+  const Ftvc m1 = p0;  // carries [(0,1) (0,0) (0,0)]
+  p0.tick_send();
+  EXPECT_EQ(p0.self().ts, 2u);
+
+  // s11: P1 receives m.
+  p1.merge_deliver(m1);
+  EXPECT_EQ(p1.to_string(), "[(0,1) (0,2) (0,0)]");
+
+  // s12: P1 sends to P2.
+  const Ftvc m2 = p1;
+  p1.tick_send();
+
+  // s22: P2 receives — depends on s12.
+  p2.merge_deliver(m2);
+  const Ftvc s22 = p2;
+  EXPECT_EQ(s22.entry(1), (FtvcEntry{0, 2}));
+
+  // P1 fails, restores s11's clock, restarts: r10 self entry is (1,0).
+  Ftvc restored(1, 3);
+  restored.merge_deliver(m1);  // reconstruct s11 = [(0,1) (0,2) (0,0)]
+  restored.on_restart();
+  EXPECT_EQ(restored.self(), (FtvcEntry{1, 0}));
+  EXPECT_EQ(restored.to_string(), "[(0,1) (1,0) (0,0)]");
+
+  // P2 rolls back (s22 is an orphan), restoring its initial state: r20.
+  Ftvc r20(2, 3);
+  r20.on_rollback();
+
+  // Section 4.1: r20.c < s22.c even though r20 -/-> s22 — the FTVC order is
+  // only meaningful for useful states; s22 is an orphan.
+  EXPECT_TRUE(r20.less_than(s22));
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,177 @@
+// Tests for the history mechanism: paper Figure 3, Lemmas 3-4, Section 6.1
+// deliverability, and the DESIGN.md clarifications (token-record dominance).
+#include "src/history/history.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+namespace {
+
+Ftvc clock_with(ProcessId owner, std::size_t n,
+                std::vector<FtvcEntry> entries) {
+  // Build an arbitrary clock via merge tricks is tedious; decode a crafted
+  // encoding instead.
+  Writer w;
+  w.put_u32(owner);
+  w.put_u32(static_cast<std::uint32_t>(n));
+  for (const auto& e : entries) e.encode(w);
+  Reader r(w.buffer());
+  return Ftvc::decode(r);
+}
+
+TEST(HistoryTest, InitializationPerFigure3) {
+  // "∀j : insert(history[j], (mes,0,0)); insert(history[i], (mes,0,1))"
+  const History h(1, 3);
+  EXPECT_EQ(h.record(0, 0), (HistoryRecord{RecordKind::kMessage, 0, 0}));
+  EXPECT_EQ(h.record(1, 0), (HistoryRecord{RecordKind::kMessage, 0, 1}));
+  EXPECT_EQ(h.record(2, 0), (HistoryRecord{RecordKind::kMessage, 0, 0}));
+  EXPECT_FALSE(h.record(0, 1).has_value());
+}
+
+TEST(HistoryTest, MessageObservationKeepsMaxTimestamp) {
+  History h(0, 2);
+  h.observe_message_clock(clock_with(1, 2, {{0, 3}, {0, 5}}));
+  EXPECT_EQ(h.record(1, 0)->ts, 5u);
+  h.observe_message_clock(clock_with(1, 2, {{0, 1}, {0, 2}}));
+  EXPECT_EQ(h.record(1, 0)->ts, 5u);  // lower ts does not regress
+  h.observe_message_clock(clock_with(1, 2, {{0, 1}, {0, 9}}));
+  EXPECT_EQ(h.record(1, 0)->ts, 9u);
+}
+
+TEST(HistoryTest, MessageObservationCreatesNewVersionRecords) {
+  History h(0, 2);
+  h.observe_message_clock(clock_with(1, 2, {{0, 1}, {2, 4}}));
+  EXPECT_EQ(h.record(1, 2), (HistoryRecord{RecordKind::kMessage, 2, 4}));
+  EXPECT_TRUE(h.record(1, 0).has_value());  // initial record kept
+}
+
+TEST(HistoryTest, TokenRecordsDominateMessageRecords) {
+  // DESIGN.md: the TR's pseudocode would overwrite a token record with a
+  // later message record; the prose (and correctness) require the token's
+  // timestamp to persist.
+  History h(0, 2);
+  h.observe_token(1, {0, 7});
+  EXPECT_TRUE(h.has_token(1, 0));
+  h.observe_message_clock(clock_with(1, 2, {{0, 0}, {0, 5}}));
+  EXPECT_TRUE(h.has_token(1, 0)) << "message must not clobber token record";
+  EXPECT_EQ(h.record(1, 0)->ts, 7u);
+}
+
+TEST(HistoryTest, TokenReplacesMessageRecord) {
+  History h(0, 2);
+  h.observe_message_clock(clock_with(1, 2, {{0, 0}, {0, 5}}));
+  h.observe_token(1, {0, 3});
+  EXPECT_EQ(h.record(1, 0), (HistoryRecord{RecordKind::kToken, 0, 3}));
+}
+
+TEST(HistoryTest, Lemma4ObsoleteDetection) {
+  // Message obsolete iff its clock entry exceeds a known token timestamp.
+  History h(2, 3);
+  h.observe_token(1, {0, 3});
+  EXPECT_TRUE(h.is_obsolete(clock_with(1, 3, {{0, 0}, {0, 4}, {0, 0}})));
+  EXPECT_FALSE(h.is_obsolete(clock_with(1, 3, {{0, 0}, {0, 3}, {0, 0}})))
+      << "ts == token ts is the restored state itself: not lost";
+  EXPECT_FALSE(h.is_obsolete(clock_with(1, 3, {{0, 0}, {1, 9}, {0, 0}})))
+      << "a different (newer) version is not covered by this token";
+}
+
+TEST(HistoryTest, ObsoleteViaThirdPartyEntry) {
+  // The obsolete check scans ALL entries: a message from P1 may be obsolete
+  // because it depends on lost states of P2.
+  History h(0, 3);
+  h.observe_token(2, {0, 2});
+  EXPECT_TRUE(h.is_obsolete(clock_with(1, 3, {{0, 0}, {0, 9}, {0, 5}})));
+}
+
+TEST(HistoryTest, DeliverabilityRequiresAllPredecessorTokens) {
+  History h(0, 3);
+  // Message references version 2 of P1: needs tokens for versions 0 and 1.
+  const Ftvc m = clock_with(1, 3, {{0, 0}, {2, 1}, {0, 0}});
+  auto missing = h.first_missing_token(m);
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(*missing, std::make_pair(ProcessId{1}, Version{0}));
+  h.observe_token(1, {0, 5});
+  missing = h.first_missing_token(m);
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(*missing, std::make_pair(ProcessId{1}, Version{1}));
+  h.observe_token(1, {1, 2});
+  EXPECT_TRUE(h.is_deliverable(m));
+}
+
+TEST(HistoryTest, VersionZeroNeedsNoToken) {
+  const History h(0, 3);
+  EXPECT_TRUE(h.is_deliverable(clock_with(1, 3, {{0, 5}, {0, 9}, {0, 2}})));
+}
+
+TEST(HistoryTest, Lemma3OrphanDetection) {
+  // Orphan iff a *message* record exists with ts beyond the token's.
+  History h(0, 2);
+  h.observe_message_clock(clock_with(1, 2, {{0, 0}, {0, 5}}));
+  EXPECT_TRUE(h.makes_orphan(1, {0, 4}));
+  EXPECT_FALSE(h.makes_orphan(1, {0, 5}))
+      << "dependence up to the restored point is fine";
+  EXPECT_FALSE(h.makes_orphan(1, {1, 0}))
+      << "token for a version we never depended on";
+}
+
+TEST(HistoryTest, TokenRecordNeverMakesOrphan) {
+  History h(0, 2);
+  h.observe_token(1, {0, 9});
+  EXPECT_FALSE(h.makes_orphan(1, {0, 2}))
+      << "token records cap dependence at the restored point";
+}
+
+TEST(HistoryTest, RecordOwnRestart) {
+  History h(1, 2);
+  h.record_own_restart({0, 6});
+  EXPECT_TRUE(h.has_token(1, 0));
+  EXPECT_EQ(h.record(1, 0)->ts, 6u);
+}
+
+TEST(HistoryTest, EncodeDecodeRoundTrip) {
+  History h(1, 3);
+  h.observe_message_clock(clock_with(0, 3, {{0, 4}, {0, 0}, {1, 2}}));
+  h.observe_token(2, {0, 9});
+  h.record_own_restart({0, 3});
+  Writer w;
+  h.encode(w);
+  Reader r(w.buffer());
+  const History back = History::decode(r);
+  EXPECT_EQ(back, h);
+}
+
+TEST(HistoryTest, ByteSizeGrowsWithVersions) {
+  History h(0, 4);
+  const std::size_t base = h.byte_size();
+  for (Version v = 0; v < 8; ++v) h.observe_token(2, {v, 1});
+  EXPECT_GT(h.byte_size(), base);
+}
+
+TEST(HistoryTest, ConsistentWithTokenIsComplementOfOrphan) {
+  History h(0, 2);
+  h.observe_message_clock(clock_with(1, 2, {{0, 0}, {0, 8}}));
+  EXPECT_FALSE(h.consistent_with_token(1, {0, 7}));
+  EXPECT_TRUE(h.consistent_with_token(1, {0, 8}));
+}
+
+TEST(HistoryTest, RecordsForListsAscendingVersions) {
+  History h(0, 2);
+  h.observe_token(1, {2, 1});
+  h.observe_token(1, {1, 5});
+  const auto records = h.records_for(1);
+  ASSERT_EQ(records.size(), 3u);  // initial v0 + v1 + v2
+  EXPECT_EQ(records[0].ver, 0u);
+  EXPECT_EQ(records[1].ver, 1u);
+  EXPECT_EQ(records[2].ver, 2u);
+}
+
+TEST(HistoryTest, ClockSizeMismatchThrows) {
+  History h(0, 2);
+  EXPECT_THROW(h.observe_message_clock(clock_with(0, 3, {{0, 1}, {0, 0}, {0, 0}})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optrec

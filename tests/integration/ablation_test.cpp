@@ -1,0 +1,129 @@
+// Ablation: WHY the Section 6.1 deliverability rule exists.
+//
+// Crafted interleaving: P2, not yet knowing P1 failed, delivers a message
+// that depends on P1's lost states, then (with postponement DISABLED)
+// delivers a message from P1's new incarnation. Its clock entry for P1 is
+// now (v1, ...) — the lost-state dependency is hidden behind the higher
+// version. A message P2 then sends to P0 carries no trace of the doomed
+// dependency, so P0 accepts it even though it has P1's token: P0 is an
+// orphan that no token will ever expose. The ground-truth oracle catches the
+// inconsistency; with postponement enabled the same interleaving is safe.
+#include <gtest/gtest.h>
+
+#include "../support/script_app.h"
+#include "src/core/dg_process.h"
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/truth/causality_oracle.h"
+
+namespace optrec {
+namespace {
+
+using testing::craft;
+using testing::encode_sends;
+using testing::leaf;
+using testing::ScriptApp;
+
+struct Driver {
+  explicit Driver(bool disable_postponement) : sim(7), net(sim, far()) {
+    net.set_message_tap([this](const Message& m) { tapped.push_back(m); });
+    net.set_token_tap([this](const Token& t) { tokens.push_back(t); });
+    ProcessConfig config;
+    config.checkpoint_interval = 0;
+    config.flush_interval = 0;
+    config.restart_delay = millis(5);
+    config.ablation_disable_postponement = disable_postponement;
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      procs.push_back(std::make_unique<DamaniGargProcess>(
+          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          nullptr));
+    }
+    for (auto& p : procs) {
+      sim.schedule_at(0, [&p] { p->start(); });
+    }
+    sim.run(1);
+  }
+  static NetworkConfig far() {
+    NetworkConfig c;
+    c.min_delay = c.max_delay = seconds(3600);
+    return c;
+  }
+  DamaniGargProcess& p(ProcessId pid) { return *procs[pid]; }
+
+  /// Returns true when P0 ends up silently depending on P1's lost state.
+  bool drive_smuggling_interleaving() {
+    // P1's doomed handler (unlogged) sends `doomed` to P2.
+    p(1).on_message(craft(0, 1, p(0).clock(), encode_sends({{2, leaf()}}), 1));
+    const Message doomed = tapped.at(0);
+
+    // P1 fails; restores its initial state; announces (0,1); becomes v1.
+    p(1).crash();
+    sim.run(sim.now() + millis(10));
+    const Token token = tokens.at(0);
+
+    // P2 delivers the doomed message FIRST (it has no token yet)...
+    p(2).on_message(doomed);
+    if (p(2).delivered_count() != 1) return false;
+
+    // ...then P1's v1 message reaches P2 *before the token*. With
+    // postponement this is held; the ablation delivers it immediately and
+    // the merge masks P2's v0 dependency behind the v1 entry.
+    p(1).on_message(craft(0, 1, p(0).clock(), encode_sends({{2, leaf()}}), 2));
+    const Message from_v1 = tapped.back();
+    p(2).on_message(from_v1);
+    const bool masked = p(2).delivered_count() == 2 &&
+                        p(2).clock().entry(1).ver == 1;
+
+    // P2 sends to P0, which already processed the token.
+    p(2).on_message(craft(1, 2, p(2).clock(), encode_sends({{0, leaf()}}), 3));
+    const Message smuggler = tapped.back();
+    p(0).on_token(token);
+    p(0).on_message(smuggler);
+
+    // Did P0 accept a message that transitively depends on a lost state?
+    return masked && p(0).delivered_count() == 1;
+  }
+
+  Simulation sim;
+  Network net;
+  Metrics metrics;
+  std::vector<std::unique_ptr<DamaniGargProcess>> procs;
+  std::vector<Message> tapped;
+  std::vector<Token> tokens;
+};
+
+TEST(AblationTest, WithoutPostponementOrphansEscapeDetection) {
+  Driver driver(/*disable_postponement=*/true);
+  EXPECT_TRUE(driver.drive_smuggling_interleaving())
+      << "the ablation should let the smuggled dependency through";
+  EXPECT_EQ(driver.metrics.rollbacks, 0u);
+
+  // P2 heals itself once the token lands...
+  driver.p(2).on_token(driver.tokens.at(0));
+  EXPECT_EQ(driver.metrics.rollbacks, 1u);
+
+  // ...but P0's smuggled dependency is invisible to every mechanism: even a
+  // replayed token cannot expose it. The orphan survives forever.
+  driver.p(0).on_token(driver.tokens.at(0));
+  EXPECT_EQ(driver.metrics.rollbacks, 1u);
+  EXPECT_EQ(driver.p(0).delivered_count(), 1u) << "orphan state survives";
+}
+
+TEST(AblationTest, WithPostponementSameInterleavingIsSafe) {
+  Driver driver(/*disable_postponement=*/false);
+  EXPECT_FALSE(driver.drive_smuggling_interleaving())
+      << "postponement must hold the v1 message until the token";
+  // The v1 message is parked, not delivered: the mask never forms.
+  EXPECT_EQ(driver.p(2).pending_count(), 1u);
+  EXPECT_EQ(driver.metrics.messages_postponed, 1u);
+
+  // Once the token arrives, P2 first rolls back its doomed delivery, THEN
+  // absorbs the v1 message: its sends can no longer smuggle anything.
+  driver.p(2).on_token(driver.tokens.at(0));
+  EXPECT_EQ(driver.p(2).pending_count(), 0u);
+  EXPECT_EQ(driver.p(2).delivered_count(), 1u);  // v1 msg only; doomed undone
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,105 @@
+// Application-level invariants across recovery: each workload carries a
+// global property that a correct recovery protocol must preserve. These are
+// end-to-end checks a user of the library would actually care about.
+#include <gtest/gtest.h>
+
+#include "src/app/gossip_app.h"
+#include "src/app/pingpong_app.h"
+#include "src/harness/scenario.h"
+
+namespace optrec {
+namespace {
+
+TEST(GossipInvariantTest, NoGhostKnowledgeAfterFailures) {
+  // Knowledge can only come from rumors actually originated: after crashes
+  // and rollbacks, nobody may "know" a rumor sequence beyond what its origin
+  // generated — a leak here would mean an orphan state survived.
+  ScenarioConfig config;
+  config.n = 5;
+  config.seed = 601;
+  config.workload.kind = WorkloadKind::kGossip;
+  config.workload.intensity = 3;  // 3 rumors per origin
+  config.workload.depth = 10;
+  config.process.flush_interval = millis(15);
+  config.failures.crashes = {{millis(25), 1}, {millis(60), 3}};
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  ASSERT_TRUE(scenario.oracle()->check_consistency().empty());
+  for (ProcessId pid = 0; pid < scenario.size(); ++pid) {
+    const auto& gossip =
+        dynamic_cast<const GossipApp&>(scenario.process(pid).app());
+    for (ProcessId origin = 0; origin < scenario.size(); ++origin) {
+      EXPECT_LE(gossip.known()[origin], config.workload.intensity)
+          << "P" << pid << " knows ghost rumors of P" << origin;
+    }
+    // Everyone trivially knows their own rumors (on_start is checkpointed).
+    EXPECT_EQ(gossip.known()[pid], config.workload.intensity);
+  }
+}
+
+TEST(GossipInvariantTest, SelfKnowledgeSurvivesOwnCrash) {
+  // A process's own rumors are generated in on_start, which is protected by
+  // the initial checkpoint: its own knowledge must survive its crash.
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = 602;
+  config.workload.kind = WorkloadKind::kGossip;
+  config.workload.intensity = 2;
+  config.workload.depth = 8;
+  config.process.flush_interval = millis(15);
+  config.failures = FailurePlan::single(2, millis(40));
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  const auto& crashed =
+      dynamic_cast<const GossipApp&>(scenario.process(2).app());
+  EXPECT_EQ(crashed.known()[2], 2u);
+}
+
+TEST(PingPongInvariantTest, FailureInOnePairDoesNotDisturbOthers) {
+  // Pairs are causally independent; a crash inside pair (0,1) must leave
+  // pair (2,3)'s volley exactly where a failure-free run puts it.
+  const auto run_pair_rounds = [](bool crash) {
+    ScenarioConfig config;
+    config.n = 4;
+    config.seed = 603;
+    config.workload.kind = WorkloadKind::kPingPong;
+    config.workload.depth = 40;
+    config.process.flush_interval = millis(15);
+    if (crash) config.failures = FailurePlan::single(1, millis(30));
+    Scenario scenario(config);
+    EXPECT_TRUE(scenario.run());
+    EXPECT_TRUE(scenario.oracle()->check_consistency().empty());
+    return std::make_pair(
+        dynamic_cast<const PingPongApp&>(scenario.process(2).app())
+            .last_round(),
+        dynamic_cast<const PingPongApp&>(scenario.process(3).app())
+            .last_round());
+  };
+  const auto clean = run_pair_rounds(false);
+  const auto crashed = run_pair_rounds(true);
+  EXPECT_EQ(clean, crashed)
+      << "recovery in pair (0,1) leaked into pair (2,3)";
+}
+
+TEST(PingPongInvariantTest, VolleyCompletesDespiteMidGameCrash) {
+  // The volley state is tiny and frequently logged; with retransmission the
+  // full round count completes even when one player crashes mid-game.
+  ScenarioConfig config;
+  config.n = 2;
+  config.seed = 604;
+  config.workload.kind = WorkloadKind::kPingPong;
+  config.workload.depth = 60;
+  config.process.flush_interval = millis(10);
+  config.process.retransmit_on_failure = true;
+  config.failures = FailurePlan::single(1, millis(50));
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  ASSERT_TRUE(scenario.oracle()->check_consistency().empty());
+  const auto& even = dynamic_cast<const PingPongApp&>(scenario.process(0).app());
+  const auto& odd = dynamic_cast<const PingPongApp&>(scenario.process(1).app());
+  EXPECT_EQ(std::max(even.last_round(), odd.last_round()), 60u)
+      << "the volley must reach its full round budget";
+}
+
+}  // namespace
+}  // namespace optrec

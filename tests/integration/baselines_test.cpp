@@ -1,0 +1,184 @@
+// Baseline protocol integration tests: each comparison protocol runs its
+// workload to quiescence and recovers consistently within its documented
+// scope; their distinguishing costs show up in the metrics (Table 1).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace optrec {
+namespace {
+
+ScenarioConfig config_for(ProtocolKind protocol, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = seed;
+  config.protocol = protocol;
+  config.workload.kind = WorkloadKind::kCounter;
+  config.workload.intensity = 4;
+  config.workload.depth = 32;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(20);
+  config.process.checkpoint_interval = millis(100);
+  return config;
+}
+
+TEST(PlainProcessTest, FailureFreeZeroOverhead) {
+  auto plain_config = config_for(ProtocolKind::kPlain, 1);
+  plain_config.process.flush_interval = 0;  // nothing worth flushing
+  const auto result = run_experiment(plain_config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.checkpoints_taken, 0u);
+  EXPECT_EQ(result.metrics.log_flushes, 0u);
+  // Header-only overhead (src/dst/seq), no clock: just a few bytes.
+  EXPECT_LT(result.metrics.piggyback_per_message(), 16.0);
+}
+
+TEST(PessimisticTest, FailureFreeSyncWritesPerMessage) {
+  const auto result = run_experiment(config_for(ProtocolKind::kPessimistic, 2));
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  // The defining cost: one synchronous stable write per delivery.
+  EXPECT_EQ(result.metrics.sync_log_writes, result.metrics.messages_delivered);
+}
+
+TEST(PessimisticTest, CrashRecoversLocallyNoRollbacks) {
+  auto config = config_for(ProtocolKind::kPessimistic, 3);
+  config.failures = FailurePlan::single(1, millis(30));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.rollbacks, 0u) << "nobody else ever rolls back";
+  EXPECT_EQ(result.metrics.messages_lost_in_crash, 0u)
+      << "everything was logged synchronously";
+  EXPECT_EQ(result.metrics.recovery_blocked_time, 0u);
+}
+
+TEST(PessimisticTest, MultipleAndConcurrentFailures) {
+  auto config = config_for(ProtocolKind::kPessimistic, 4);
+  config.failures.crashes = {{millis(30), 0}, {millis(30), 2}, {millis(60), 1}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 3u);
+}
+
+TEST(CoordinatedTest, FailureFreeRoundsBlockDeliveries) {
+  const auto result = run_experiment(config_for(ProtocolKind::kCoordinated, 5));
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  // Committed rounds happened and the synchronization cost is visible.
+  EXPECT_GT(result.metrics.checkpoints_taken, config_for(ProtocolKind::kCoordinated, 5).n);
+  EXPECT_GT(result.metrics.checkpoint_blocked_time, 0u);
+  EXPECT_GT(result.metrics.control_messages_sent, 0u);
+}
+
+TEST(CoordinatedTest, CrashRollsEveryoneBack) {
+  auto config = config_for(ProtocolKind::kCoordinated, 6);
+  config.failures = FailurePlan::single(1, millis(130));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  // Every *other* process rolls back to the committed line.
+  EXPECT_EQ(result.metrics.rollbacks, config.n - 1);
+  // Recovery is synchronous: the restarting process blocked on peer acks.
+  EXPECT_GT(result.metrics.recovery_blocked_time, 0u);
+}
+
+TEST(SenderBasedTest, FailureFreeThreeLegHandshake) {
+  const auto result = run_experiment(config_for(ProtocolKind::kSenderBased, 7));
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  // ACK + confirm per delivery: at least 2 control messages per app message.
+  EXPECT_GE(result.metrics.control_messages_sent,
+            2 * result.metrics.messages_delivered);
+  // O(1) piggyback: no vector clock on the wire.
+  EXPECT_LT(result.metrics.piggyback_per_message(), 16.0);
+}
+
+TEST(SenderBasedTest, CrashRecoversFromPeerLogs) {
+  auto config = config_for(ProtocolKind::kSenderBased, 8);
+  config.failures = FailurePlan::single(2, millis(30));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.rollbacks, 0u);
+  // Recovery waits for every peer's replay: synchronous.
+  EXPECT_GT(result.metrics.recovery_blocked_time, 0u);
+}
+
+TEST(PetersonKearnsTest, FailureFreeMatchesDgShape) {
+  auto config = config_for(ProtocolKind::kPetersonKearns, 20);
+  config.network.fifo = true;  // the protocol's ordering assumption
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.control_messages_sent, 0u)
+      << "acks only flow during recovery";
+  EXPECT_GT(result.metrics.piggyback_per_message(), 0.0);
+}
+
+TEST(PetersonKearnsTest, RecoveryBlocksOnAcknowledgements) {
+  auto config = config_for(ProtocolKind::kPetersonKearns, 21);
+  config.network.fifo = true;
+  config.failures = FailurePlan::single(1, millis(40));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.metrics.recovery_blocked_time, 0u)
+      << "the restarting process waits for every peer (synchronous)";
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+  // One ack per peer.
+  EXPECT_EQ(result.metrics.control_messages_sent, config.n - 1);
+}
+
+TEST(CascadingTest, FailureFreeMatchesDgShape) {
+  const auto result = run_experiment(config_for(ProtocolKind::kCascading, 9));
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.metrics.piggyback_per_message(), 0.0);
+}
+
+TEST(CascadingTest, CrashRecoversButMayCascade) {
+  auto config = config_for(ProtocolKind::kCascading, 10);
+  config.workload.depth = 64;
+  config.failures = FailurePlan::single(1, millis(40));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 1u);
+  // Announcements cascade: every rollback re-announces.
+  EXPECT_GE(result.net.token_broadcasts, 1u + result.metrics.rollbacks);
+}
+
+TEST(Table1ShapeTest, PiggybackOrdering) {
+  // DG piggybacks O(n) vector entries; pessimistic and sender-based carry
+  // O(1); the measured bytes must order accordingly on identical workloads.
+  const auto dg = run_experiment(config_for(ProtocolKind::kDamaniGarg, 11));
+  const auto pess = run_experiment(config_for(ProtocolKind::kPessimistic, 11));
+  const auto sb = run_experiment(config_for(ProtocolKind::kSenderBased, 11));
+  EXPECT_GT(dg.metrics.piggyback_per_message(),
+            pess.metrics.piggyback_per_message());
+  EXPECT_GT(dg.metrics.piggyback_per_message(),
+            sb.metrics.piggyback_per_message());
+}
+
+TEST(Table1ShapeTest, OnlyDgAndCascadingRecoverAsynchronously) {
+  for (ProtocolKind kind : {ProtocolKind::kDamaniGarg, ProtocolKind::kCascading}) {
+    auto config = config_for(kind, 12);
+    config.failures = FailurePlan::single(1, millis(40));
+    const auto result = run_experiment(config);
+    EXPECT_EQ(result.metrics.recovery_blocked_time, 0u)
+        << protocol_name(kind);
+  }
+  for (ProtocolKind kind :
+       {ProtocolKind::kCoordinated, ProtocolKind::kSenderBased}) {
+    auto config = config_for(kind, 12);
+    config.failures = FailurePlan::single(1, millis(130));
+    const auto result = run_experiment(config);
+    EXPECT_GT(result.metrics.recovery_blocked_time, 0u) << protocol_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,169 @@
+// Recovery-path integration tests: failures, concurrent failures,
+// partitions, and the Theorem 3 properties (asynchronous recovery, minimal
+// rollback, maximum recoverable state).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace optrec {
+namespace {
+
+ScenarioConfig crashy_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = seed;
+  config.workload.kind = WorkloadKind::kCounter;
+  config.workload.intensity = 6;
+  config.workload.depth = 48;
+  config.workload.all_seed = true;
+  // Small flush interval keeps workloads alive across crashes; crashes in
+  // the middle of the traffic burst.
+  config.process.flush_interval = millis(20);
+  config.process.checkpoint_interval = millis(100);
+  return config;
+}
+
+TEST(DgRecoveryTest, SingleFailureRecoversConsistently) {
+  auto config = crashy_config(100);
+  config.failures = FailurePlan::single(1, millis(30));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.crashes, 1u);
+  EXPECT_EQ(result.metrics.restarts, 1u);
+  EXPECT_EQ(result.net.token_broadcasts, 1u);
+  EXPECT_EQ(result.net.tokens_sent, config.n - 1);
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(DgRecoveryTest, AsynchronousRecoveryNeverBlocks) {
+  auto config = crashy_config(101);
+  config.failures = FailurePlan::single(2, millis(40));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  // Theorem 3: the restarting process waits for nobody.
+  EXPECT_EQ(result.metrics.recovery_blocked_time, 0u);
+  EXPECT_EQ(result.metrics.checkpoint_blocked_time, 0u);
+}
+
+TEST(DgRecoveryTest, SequentialFailuresOfDifferentProcesses) {
+  auto config = crashy_config(102);
+  config.failures.crashes = {{millis(25), 0}, {millis(60), 2}, {millis(95), 3}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.crashes, 3u);
+  EXPECT_EQ(result.metrics.restarts, 3u);
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(DgRecoveryTest, RepeatedFailuresOfSameProcess) {
+  auto config = crashy_config(103);
+  config.failures.crashes = {{millis(25), 1}, {millis(55), 1}, {millis(85), 1}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 3u);
+  // Versions 0, 1, 2 failed: three distinct tokens.
+  EXPECT_EQ(result.net.token_broadcasts, 3u);
+}
+
+TEST(DgRecoveryTest, ConcurrentFailures) {
+  auto config = crashy_config(104);
+  config.failures.crashes = {{millis(30), 0}, {millis(30), 1}, {millis(30), 2}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.crashes, 3u);
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(DgRecoveryTest, AllProcessesFail) {
+  auto config = crashy_config(105);
+  config.failures.crashes = {
+      {millis(30), 0}, {millis(30), 1}, {millis(30), 2}, {millis(30), 3}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 4u);
+}
+
+TEST(DgRecoveryTest, RecoveryDuringNetworkPartition) {
+  auto config = crashy_config(106);
+  config.failures = FailurePlan::single(1, millis(30));
+  PartitionEvent partition;
+  partition.at = millis(20);
+  partition.heal_at = millis(200);
+  partition.groups = {{0, 1}, {2, 3}};
+  config.failures.partitions.push_back(partition);
+  const auto result = run_experiment(config);
+  // P1 restarts inside the partition without waiting (tokens to the far
+  // side are retried until heal); the system still converges.
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 1u);
+  EXPECT_EQ(result.metrics.recovery_blocked_time, 0u);
+  EXPECT_GT(result.net.messages_retried, 0u);
+}
+
+TEST(DgRecoveryTest, OnlyOrphansRolledBack) {
+  // Theorem 3 "maximum recoverable state": the rolled-back set is exactly
+  // the oracle's orphan set.
+  ScenarioConfig config = crashy_config(107);
+  config.failures = FailurePlan::single(0, millis(35));
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  const CausalityOracle& oracle = *scenario.oracle();
+  for (StateId s : oracle.rolled_back_states()) {
+    EXPECT_TRUE(oracle.is_orphan(s))
+        << "state " << s << " rolled back but not an orphan (minimality)";
+  }
+  for (ProcessId pid = 0; pid < config.n; ++pid) {
+    for (StateId s : oracle.states_of(pid)) {
+      if (oracle.is_orphan(s)) {
+        EXPECT_TRUE(oracle.was_rolled_back(s))
+            << "orphan state " << s << " survived";
+      }
+    }
+  }
+}
+
+TEST(DgRecoveryTest, LostWorkBoundedByFlushInterval) {
+  // With continuous flushing, a crash loses only the unflushed tail.
+  auto config = crashy_config(108);
+  config.process.flush_interval = millis(5);
+  config.failures = FailurePlan::single(1, millis(50));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  // Generous bound: the tail is small relative to everything delivered.
+  EXPECT_LT(result.metrics.messages_lost_in_crash,
+            result.metrics.messages_delivered);
+}
+
+TEST(DgRecoveryTest, ObsoleteDiscardsMatchOracle) {
+  ScenarioConfig config = crashy_config(109);
+  config.failures.crashes = {{millis(30), 1}, {millis(70), 2}};
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  const CausalityOracle& oracle = *scenario.oracle();
+  for (const auto& [msg_id, fate] : oracle.messages()) {
+    if (fate.discarded) {
+      EXPECT_TRUE(oracle.is_message_obsolete(msg_id))
+          << "message " << msg_id << " discarded but not obsolete";
+    }
+  }
+}
+
+TEST(DgRecoveryTest, CrashWhileDownIsIgnored) {
+  auto config = crashy_config(110);
+  config.process.restart_delay = millis(20);
+  // Second crash lands inside the first one's downtime window: no-op.
+  config.failures.crashes = {{millis(30), 1}, {millis(40), 1}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_EQ(result.metrics.crashes, 1u);
+  EXPECT_EQ(result.metrics.restarts, 1u);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,142 @@
+// Extreme operating points: configurations that maximize stress on the
+// recovery machinery — no logging at all, rapid repeated crashes, crashes
+// landing right after restarts, heavy message loss — all still bound by the
+// oracle's consistency and minimal-rollback invariants.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace optrec {
+namespace {
+
+ScenarioConfig stress_base(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = seed;
+  config.workload.intensity = 6;
+  config.workload.depth = 48;
+  config.workload.all_seed = true;
+  return config;
+}
+
+TEST(ExtremeTest, NoLoggingAtAll) {
+  // flush_interval = 0 and no timer checkpoints beyond the initial one: a
+  // crash destroys the process's entire post-start computation. Everyone
+  // who heard from it becomes an orphan; consistency must still hold.
+  auto config = stress_base(501);
+  config.process.flush_interval = 0;
+  config.process.checkpoint_interval = 0;
+  config.failures = FailurePlan::single(1, millis(60));
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  EXPECT_TRUE(scenario.oracle()->check_consistency().empty());
+  EXPECT_GT(scenario.metrics().messages_lost_in_crash, 0u);
+  // The failed process replays nothing (it never flushed), but orphaned
+  // peers still flush-then-replay during their rollbacks (paper Remark 1:
+  // "before rolling back, it can log all the messages").
+  EXPECT_EQ(scenario.process(1).delivered_count(),
+            scenario.process(1).storage().log().total_count());
+  EXPECT_LE(scenario.metrics().max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(ExtremeTest, CrashImmediatelyAfterRestart) {
+  auto config = stress_base(502);
+  config.process.flush_interval = millis(15);
+  config.process.restart_delay = millis(5);
+  // Three crashes of the same process, each landing ~1ms after the previous
+  // restart completes.
+  config.failures.crashes = {{millis(40), 2}, {millis(46), 2}, {millis(52), 2}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 3u);
+  // Three incarnations burned: the final version is 3.
+  Scenario verify(config);
+  ASSERT_TRUE(verify.run());
+  EXPECT_EQ(verify.process(2).version(), 3u);
+}
+
+TEST(ExtremeTest, EveryProcessCrashesTwice) {
+  auto config = stress_base(503);
+  config.process.flush_interval = millis(10);
+  for (int round = 0; round < 2; ++round) {
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      config.failures.crashes.push_back(
+          {millis(30 + 40 * round + 7 * pid), pid});
+    }
+  }
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 2 * config.n);
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(ExtremeTest, HeavyLossPlusFailures) {
+  auto config = stress_base(504);
+  config.network.drop_prob = 0.15;
+  config.process.flush_interval = millis(15);
+  config.failures.crashes = {{millis(30), 0}, {millis(70), 3}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(ExtremeTest, CrashDuringPartitionBothSides) {
+  auto config = stress_base(505);
+  config.process.flush_interval = millis(15);
+  PartitionEvent split;
+  split.at = millis(20);
+  split.heal_at = millis(300);
+  split.groups = {{0, 1}, {2, 3}};
+  config.failures.partitions.push_back(split);
+  // One crash on each side of the partition, while it is up.
+  config.failures.crashes = {{millis(40), 0}, {millis(50), 3}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 2u);
+  EXPECT_EQ(result.metrics.recovery_blocked_time, 0u);
+}
+
+TEST(ExtremeTest, TinyCheckpointIntervalChurns) {
+  auto config = stress_base(506);
+  config.process.checkpoint_interval = millis(5);
+  config.process.flush_interval = millis(5);
+  config.failures.crashes = {{millis(40), 1}, {millis(90), 2}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.metrics.checkpoints_taken, 50u);
+  // Aggressive checkpointing bounds replay work sharply.
+  EXPECT_LT(result.metrics.messages_replayed,
+            result.metrics.messages_delivered);
+}
+
+TEST(ExtremeTest, LongRestartDelayQueuesTraffic) {
+  // A slow restart leaves the process dark while peers keep sending; the
+  // reliable transport retries into the new incarnation.
+  auto config = stress_base(507);
+  config.process.restart_delay = millis(80);
+  config.process.flush_interval = millis(15);
+  config.failures = FailurePlan::single(1, millis(40));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.net.messages_retried, 0u);
+}
+
+TEST(ExtremeTest, RetransmissionUnderRepeatedFailures) {
+  auto config = stress_base(508);
+  config.workload.kind = WorkloadKind::kBank;
+  config.process.retransmit_on_failure = true;
+  config.process.flush_interval = millis(25);
+  config.failures.crashes = {{millis(30), 1}, {millis(60), 1}, {millis(95), 2}};
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,112 @@
+// Larger-scale and long-horizon runs: scaling in n, storage growth with and
+// without garbage collection, stability-tracker convergence, and output
+// commit latency bounds.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace optrec {
+namespace {
+
+TEST(ScaleTest, TwentyFourProcessesWithFailureBurst) {
+  ScenarioConfig config;
+  config.n = 24;
+  config.seed = 77;
+  config.workload.intensity = 2;
+  config.workload.depth = 24;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(20);
+  config.process.checkpoint_interval = millis(150);
+  Rng rng(78);
+  config.failures =
+      FailurePlan::random(rng, config.n, 4, millis(20), millis(150));
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+  // O(n) piggyback at n=24 is noticeably larger than at n=4 but bounded.
+  EXPECT_GT(result.metrics.piggyback_per_message(), 30.0);
+  EXPECT_LT(result.metrics.piggyback_per_message(), 300.0);
+}
+
+TEST(ScaleTest, GcBoundsStableStorage) {
+  // Two identical long runs; one with GC. The GC run must finish with
+  // strictly less stable storage while staying consistent across failures.
+  const auto run_with_gc = [](bool gc) {
+    ScenarioConfig config;
+    config.n = 4;
+    config.seed = 88;
+    config.workload.intensity = 8;
+    config.workload.depth = 96;
+    config.workload.all_seed = true;
+    config.process.flush_interval = millis(15);
+    config.process.checkpoint_interval = millis(40);
+    config.process.enable_stability_tracking = gc;
+    config.process.enable_gc = gc;
+    config.process.stability_gossip_interval = millis(30);
+    config.failures = FailurePlan::single(2, millis(80));
+    Scenario scenario(config);
+    EXPECT_TRUE(scenario.run());
+    EXPECT_TRUE(scenario.oracle()->check_consistency().empty());
+    std::size_t bytes = 0;
+    for (ProcessId pid = 0; pid < scenario.size(); ++pid) {
+      bytes += scenario.process(pid).storage().stable_bytes();
+    }
+    return std::make_pair(bytes, scenario.metrics().gc_log_entries_reclaimed +
+                                     scenario.metrics().gc_checkpoints_reclaimed);
+  };
+  const auto [without_gc, reclaimed_none] = run_with_gc(false);
+  const auto [with_gc, reclaimed_some] = run_with_gc(true);
+  EXPECT_EQ(reclaimed_none, 0u);
+  EXPECT_GT(reclaimed_some, 0u);
+  EXPECT_LT(with_gc, without_gc);
+}
+
+TEST(ScaleTest, StabilityTrackerConvergesToFullCoverage) {
+  // After quiescence + a few gossip rounds, every process's tracker covers
+  // every other process's final checkpoint clock.
+  ScenarioConfig config;
+  config.n = 4;
+  config.seed = 89;
+  config.workload.intensity = 4;
+  config.workload.depth = 32;
+  config.workload.all_seed = true;
+  config.process.enable_stability_tracking = true;
+  config.process.stability_gossip_interval = millis(30);
+  config.process.flush_interval = millis(15);
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  // Let a few more gossip rounds land after the app quiesced.
+  scenario.run_for(millis(300));
+  for (ProcessId i = 0; i < scenario.size(); ++i) {
+    for (ProcessId j = 0; j < scenario.size(); ++j) {
+      const auto& ckpt = scenario.process(j).storage().checkpoints().latest();
+      EXPECT_TRUE(scenario.dg(i).stability().covers(ckpt.clock))
+          << "P" << i << " does not cover P" << j << "'s last checkpoint";
+    }
+  }
+}
+
+TEST(ScaleTest, LongRunStaysConsistentUnderPeriodicFailures) {
+  ScenarioConfig config;
+  config.n = 5;
+  config.seed = 90;
+  config.workload.intensity = 6;
+  config.workload.depth = 200;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(15);
+  config.process.checkpoint_interval = millis(60);
+  // A failure roughly every 80ms for half a second.
+  for (int k = 0; k < 6; ++k) {
+    config.failures.crashes.push_back(
+        {millis(40 + 80 * k), static_cast<ProcessId>(k % config.n)});
+  }
+  const auto result = run_experiment(config);
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.metrics.restarts, 6u);
+  EXPECT_LE(result.metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,111 @@
+// Wire-unit tests: Message/Token serialization, wire sizing, description.
+#include "src/net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/serialization.h"
+
+namespace optrec {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.kind = MessageKind::kApp;
+  m.src = 2;
+  m.dst = 5;
+  m.src_version = 3;
+  m.send_seq = 999;
+  m.clock = Ftvc(2, 6);
+  m.payload = {1, 2, 3, 4};
+  m.retransmission = true;
+  m.sender_state = 12345;
+  return m;
+}
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  const Message m = sample_message();
+  Writer w;
+  m.encode(w);
+  Reader r(w.buffer());
+  const Message back = Message::decode(r);
+  EXPECT_EQ(back.kind, m.kind);
+  EXPECT_EQ(back.src, m.src);
+  EXPECT_EQ(back.dst, m.dst);
+  EXPECT_EQ(back.src_version, m.src_version);
+  EXPECT_EQ(back.send_seq, m.send_seq);
+  EXPECT_EQ(back.clock, m.clock);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_EQ(back.retransmission, m.retransmission);
+  EXPECT_EQ(back.sender_state, m.sender_state);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(MessageTest, ClocklessMessageRoundTrip) {
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.payload = {9};
+  Writer w;
+  m.encode(w);
+  Reader r(w.buffer());
+  EXPECT_EQ(Message::decode(r).clock.size(), 0u);
+}
+
+TEST(MessageTest, WireSizeExcludesOracleTag) {
+  Message a = sample_message();
+  Message b = sample_message();
+  b.sender_state = 0;  // bookkeeping must not change the wire size
+  a.sender_state = 1u << 30;
+  EXPECT_EQ(a.wire_size(), b.wire_size());
+}
+
+TEST(MessageTest, WireSizeGrowsWithClockAndPayload) {
+  Message bare;
+  bare.src = 0;
+  bare.dst = 1;
+  Message with_clock = bare;
+  with_clock.clock = Ftvc(0, 16);
+  Message with_payload = bare;
+  with_payload.payload.assign(100, 0x55);
+  EXPECT_GT(with_clock.wire_size(), bare.wire_size());
+  EXPECT_GT(with_payload.wire_size(), bare.wire_size() + 99);
+}
+
+TEST(MessageTest, DescribeMentionsEndpoints) {
+  const Message m = sample_message();
+  const std::string text = m.describe();
+  EXPECT_NE(text.find("P2"), std::string::npos);
+  EXPECT_NE(text.find("P5"), std::string::npos);
+  EXPECT_NE(text.find("rexmit"), std::string::npos);
+}
+
+TEST(TokenTest, WireSizeIndependentOfSystemSize) {
+  Token t;
+  t.from = 3;
+  t.failed = {2, 100};
+  const std::size_t bare = t.wire_size();
+  t.origin_pid = 1;  // attribution fields are not wire content
+  t.origin_ver = 9;
+  EXPECT_EQ(t.wire_size(), bare);
+}
+
+TEST(TokenTest, RestoredClockGrowsWireSize) {
+  Token t;
+  t.from = 0;
+  t.failed = {0, 5};
+  const std::size_t bare = t.wire_size();
+  t.restored_clock = Ftvc(0, 32);
+  EXPECT_GT(t.wire_size(), bare + 32);
+}
+
+TEST(TokenTest, DescribeShowsFailedEntry) {
+  Token t;
+  t.from = 7;
+  t.failed = {1, 42};
+  const std::string text = t.describe();
+  EXPECT_NE(text.find("P7"), std::string::npos);
+  EXPECT_NE(text.find("(1,42)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optrec

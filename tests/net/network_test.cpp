@@ -1,0 +1,228 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace optrec {
+namespace {
+
+class StubEndpoint : public Endpoint {
+ public:
+  void on_message(const Message& msg) override { messages.push_back(msg); }
+  void on_token(const Token& token) override { tokens.push_back(token); }
+  bool is_up() const override { return up; }
+
+  std::vector<Message> messages;
+  std::vector<Token> tokens;
+  bool up = true;
+};
+
+Message make_msg(ProcessId src, ProcessId dst, std::uint64_t seq = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.send_seq = seq;
+  m.payload = {1, 2, 3};
+  return m;
+}
+
+struct NetworkTest : ::testing::Test {
+  NetworkTest() : sim(1234) {}
+
+  Network& make(NetworkConfig config, std::size_t n = 3) {
+    net = std::make_unique<Network>(sim, config);
+    endpoints.resize(n);
+    for (ProcessId pid = 0; pid < n; ++pid) net->attach(pid, &endpoints[pid]);
+    return *net;
+  }
+
+  Simulation sim;
+  std::unique_ptr<Network> net;
+  std::vector<StubEndpoint> endpoints;
+};
+
+TEST_F(NetworkTest, DeliversWithinDelayBounds) {
+  NetworkConfig config;
+  config.min_delay = 100;
+  config.max_delay = 200;
+  auto& n = make(config);
+  n.send(make_msg(0, 1));
+  sim.run(99);
+  EXPECT_TRUE(endpoints[1].messages.empty());
+  sim.run(200);
+  ASSERT_EQ(endpoints[1].messages.size(), 1u);
+  EXPECT_EQ(endpoints[1].messages[0].src, 0u);
+}
+
+TEST_F(NetworkTest, AssignsUniqueIds) {
+  auto& n = make({});
+  const MsgId a = n.send(make_msg(0, 1));
+  const MsgId b = n.send(make_msg(0, 2));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(NetworkTest, RejectsSelfSend) {
+  auto& n = make({});
+  EXPECT_THROW(n.send(make_msg(1, 1)), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, RejectsUnknownDestination) {
+  auto& n = make({});
+  EXPECT_THROW(n.send(make_msg(0, 9)), std::out_of_range);
+}
+
+TEST_F(NetworkTest, NonFifoCanReorder) {
+  NetworkConfig config;
+  config.min_delay = 1;
+  config.max_delay = 1000;
+  config.fifo = false;
+  auto& n = make(config);
+  for (std::uint64_t i = 0; i < 64; ++i) n.send(make_msg(0, 1, i));
+  sim.run();
+  ASSERT_EQ(endpoints[1].messages.size(), 64u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < endpoints[1].messages.size(); ++i) {
+    if (endpoints[1].messages[i].send_seq <
+        endpoints[1].messages[i - 1].send_seq) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered) << "64 sends over a wide delay range should reorder";
+}
+
+TEST_F(NetworkTest, FifoPreservesPairOrder) {
+  NetworkConfig config;
+  config.min_delay = 1;
+  config.max_delay = 1000;
+  config.fifo = true;
+  auto& n = make(config);
+  for (std::uint64_t i = 0; i < 64; ++i) n.send(make_msg(0, 1, i));
+  sim.run();
+  ASSERT_EQ(endpoints[1].messages.size(), 64u);
+  for (std::size_t i = 0; i < endpoints[1].messages.size(); ++i) {
+    EXPECT_EQ(endpoints[1].messages[i].send_seq, i);
+  }
+}
+
+TEST_F(NetworkTest, DropProbabilityDropsAppMessages) {
+  NetworkConfig config;
+  config.drop_prob = 1.0;
+  auto& n = make(config);
+  n.send(make_msg(0, 1));
+  sim.run();
+  EXPECT_TRUE(endpoints[1].messages.empty());
+  EXPECT_EQ(n.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, DropProbabilitySparesControlMessages) {
+  NetworkConfig config;
+  config.drop_prob = 1.0;
+  auto& n = make(config);
+  Message m = make_msg(0, 1);
+  m.kind = MessageKind::kControl;
+  n.send(std::move(m));
+  sim.run();
+  EXPECT_EQ(endpoints[1].messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, RetriesWhileEndpointDown) {
+  NetworkConfig config;
+  config.min_delay = config.max_delay = 10;
+  config.retry_interval = 5;
+  auto& n = make(config);
+  endpoints[1].up = false;
+  n.send(make_msg(0, 1));
+  sim.run(100);
+  EXPECT_TRUE(endpoints[1].messages.empty());
+  EXPECT_GT(n.stats().messages_retried, 0u);
+  endpoints[1].up = true;
+  sim.run();
+  EXPECT_EQ(endpoints[1].messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, TokenBroadcastReachesAllOthers) {
+  auto& n = make({});
+  Token t;
+  t.from = 0;
+  t.failed = {0, 7};
+  n.broadcast_token(t);
+  sim.run();
+  EXPECT_TRUE(endpoints[0].tokens.empty());
+  ASSERT_EQ(endpoints[1].tokens.size(), 1u);
+  ASSERT_EQ(endpoints[2].tokens.size(), 1u);
+  EXPECT_EQ(endpoints[1].tokens[0].failed.ts, 7u);
+}
+
+TEST_F(NetworkTest, TokensSurvivePartition) {
+  NetworkConfig config;
+  config.min_delay = config.max_delay = 10;
+  config.retry_interval = 10;
+  auto& n = make(config);
+  n.set_partition({{0}, {1, 2}});
+  Token t;
+  t.from = 0;
+  t.failed = {1, 3};
+  n.broadcast_token(t);
+  sim.run(500);
+  EXPECT_TRUE(endpoints[1].tokens.empty());
+  n.heal_partition();
+  sim.run();
+  EXPECT_EQ(endpoints[1].tokens.size(), 1u);
+  EXPECT_EQ(endpoints[2].tokens.size(), 1u);
+}
+
+TEST_F(NetworkTest, MessagesHeldAcrossPartitionDeliverAfterHeal) {
+  NetworkConfig config;
+  config.min_delay = config.max_delay = 10;
+  config.retry_interval = 10;
+  auto& n = make(config);
+  n.set_partition({{0}, {1, 2}});
+  n.send(make_msg(0, 1));
+  n.send(make_msg(1, 2));  // same side: goes through
+  sim.run(300);
+  EXPECT_TRUE(endpoints[1].messages.empty());
+  EXPECT_EQ(endpoints[2].messages.size(), 1u);
+  n.heal_partition();
+  sim.run();
+  EXPECT_EQ(endpoints[1].messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, ConnectedReflectsPartition) {
+  auto& n = make({});
+  EXPECT_TRUE(n.connected(0, 1));
+  n.set_partition({{0, 1}, {2}});
+  EXPECT_TRUE(n.connected(0, 1));
+  EXPECT_FALSE(n.connected(1, 2));
+  n.heal_partition();
+  EXPECT_TRUE(n.connected(1, 2));
+}
+
+TEST_F(NetworkTest, StatsCountBytesAndKinds) {
+  auto& n = make({});
+  n.send(make_msg(0, 1));
+  Message ctl = make_msg(0, 1);
+  ctl.kind = MessageKind::kControl;
+  n.send(std::move(ctl));
+  sim.run();
+  EXPECT_EQ(n.stats().messages_sent, 2u);
+  EXPECT_EQ(n.stats().app_messages_sent, 1u);
+  EXPECT_EQ(n.stats().app_messages_delivered, 1u);
+  EXPECT_GT(n.stats().message_bytes, 0u);
+  EXPECT_EQ(n.app_messages_in_flight(), 0u);
+}
+
+TEST_F(NetworkTest, MessageTapSeesStampedSends) {
+  auto& n = make({});
+  std::vector<Message> tapped;
+  n.set_message_tap([&](const Message& m) { tapped.push_back(m); });
+  n.send(make_msg(0, 1, 42));
+  ASSERT_EQ(tapped.size(), 1u);
+  EXPECT_EQ(tapped[0].send_seq, 42u);
+  EXPECT_NE(tapped[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace optrec

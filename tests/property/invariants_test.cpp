@@ -1,0 +1,169 @@
+// Property-based sweeps: random workloads + random failure plans, checked
+// against the omniscient causality oracle. Every seed is a different
+// interleaving; the invariants are the paper's theorems.
+//
+//  I1 (consistency): the surviving global state is consistent.
+//  I2 (minimal rollback): <= 1 rollback per process per failure, and the
+//     rolled-back set is exactly the oracle's orphan set.
+//  I3 (Lemma 4): every message discarded as obsolete is oracle-obsolete, and
+//     no obsolete message survives in a useful receiver state.
+//  I4 (liveness): the system quiesces with nothing postponed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/harness/experiment.h"
+
+namespace optrec {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  WorkloadKind workload;
+  std::size_t n;
+  std::size_t crash_count;
+  bool fifo;
+  bool concurrent_crashes;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& p = info.param;
+  WorkloadSpec spec;
+  spec.kind = p.workload;
+  std::string name = "seed" + std::to_string(p.seed) + "_" + spec.name() +
+                     "_n" + std::to_string(p.n) + "_crashes" +
+                     std::to_string(p.crash_count);
+  if (p.fifo) name += "_fifo";
+  if (p.concurrent_crashes) name += "_conc";
+  return name;
+}
+
+class DgInvariantSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DgInvariantSweep, AllInvariantsHold) {
+  const SweepParam& p = GetParam();
+  ScenarioConfig config;
+  config.n = p.n;
+  config.seed = p.seed;
+  config.network.fifo = p.fifo;
+  config.workload.kind = p.workload;
+  config.workload.intensity = 5;
+  config.workload.depth = 40;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(15);
+  config.process.checkpoint_interval = millis(80);
+  Rng rng(p.seed * 7919 + 13);
+  config.failures = FailurePlan::random(rng, p.n, p.crash_count, millis(20),
+                                        millis(150), p.concurrent_crashes);
+
+  Scenario scenario(config);
+  const bool quiesced = scenario.run();
+  const CausalityOracle& oracle = *scenario.oracle();
+  const Metrics& metrics = scenario.metrics();
+
+  // I4: liveness.
+  ASSERT_TRUE(quiesced) << "run did not quiesce";
+  EXPECT_EQ(scenario.total_pending(), 0u);
+
+  // I1: consistency of the surviving global state.
+  const auto violations = oracle.check_consistency();
+  EXPECT_TRUE(violations.empty())
+      << "first violation: " << (violations.empty() ? "" : violations[0]);
+
+  // I2: minimal rollback — at most once per process per failure, and only
+  // orphans are ever rolled back; no orphan survives.
+  EXPECT_LE(metrics.max_rollbacks_per_process_per_failure(), 1u);
+  for (StateId s : oracle.rolled_back_states()) {
+    EXPECT_TRUE(oracle.is_orphan(s))
+        << "non-orphan state " << s << " was rolled back";
+  }
+  for (ProcessId pid = 0; pid < config.n; ++pid) {
+    for (StateId s : oracle.states_of(pid)) {
+      if (oracle.is_orphan(s)) {
+        EXPECT_TRUE(oracle.was_rolled_back(s))
+            << "orphan state " << s << " of P" << pid << " survived";
+      }
+    }
+  }
+
+  // I3: obsolete-message exactness.
+  for (const auto& [msg_id, fate] : oracle.messages()) {
+    if (fate.discarded) {
+      EXPECT_TRUE(oracle.is_message_obsolete(msg_id))
+          << "message " << msg_id << " discarded though not obsolete";
+    }
+    if (oracle.is_message_obsolete(msg_id)) {
+      for (StateId r : fate.receiver_states) {
+        EXPECT_FALSE(oracle.is_useful(r))
+            << "obsolete message " << msg_id << " survives in useful state";
+      }
+    }
+  }
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> params;
+  const WorkloadKind kinds[] = {WorkloadKind::kCounter, WorkloadKind::kBank,
+                                WorkloadKind::kGossip};
+  std::uint64_t seed = 1;
+  for (WorkloadKind kind : kinds) {
+    for (std::size_t crashes : {1u, 2u, 4u}) {
+      for (std::size_t n : {3u, 5u}) {
+        params.push_back({seed++, kind, n, crashes, false, false});
+      }
+    }
+  }
+  // FIFO and concurrent-crash corners.
+  params.push_back({100, WorkloadKind::kCounter, 4, 2, true, false});
+  params.push_back({101, WorkloadKind::kCounter, 4, 3, false, true});
+  params.push_back({102, WorkloadKind::kBank, 5, 3, false, true});
+  params.push_back({103, WorkloadKind::kGossip, 4, 2, true, true});
+  // Heavier failure pressure.
+  for (std::uint64_t s = 200; s < 212; ++s) {
+    params.push_back({s, WorkloadKind::kCounter, 4, 5, false, false});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuns, DgInvariantSweep,
+                         ::testing::ValuesIn(make_sweep()), param_name);
+
+// The same sweep with Remark-1 retransmission enabled: the invariants must
+// be unaffected by duplicate-generating recovery traffic.
+class DgRetransmitSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DgRetransmitSweep, InvariantsHoldWithRetransmission) {
+  const SweepParam& p = GetParam();
+  ScenarioConfig config;
+  config.n = p.n;
+  config.seed = p.seed;
+  config.workload.kind = p.workload;
+  config.workload.intensity = 4;
+  config.workload.depth = 32;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(15);
+  config.process.retransmit_on_failure = true;
+  Rng rng(p.seed * 104729 + 7);
+  config.failures =
+      FailurePlan::random(rng, p.n, p.crash_count, millis(20), millis(120));
+
+  Scenario scenario(config);
+  ASSERT_TRUE(scenario.run());
+  EXPECT_TRUE(scenario.oracle()->check_consistency().empty());
+  EXPECT_LE(scenario.metrics().max_rollbacks_per_process_per_failure(), 1u);
+}
+
+std::vector<SweepParam> make_retransmit_sweep() {
+  std::vector<SweepParam> params;
+  for (std::uint64_t s = 300; s < 310; ++s) {
+    params.push_back({s, WorkloadKind::kBank, 4, 2, false, false});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RetransmitRuns, DgRetransmitSweep,
+                         ::testing::ValuesIn(make_retransmit_sweep()),
+                         param_name);
+
+}  // namespace
+}  // namespace optrec

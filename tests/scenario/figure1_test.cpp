@@ -1,0 +1,138 @@
+// Reproduction of paper Figure 1: the FTVC of a three-process computation in
+// which P1 fails and restarts, P2 becomes an orphan and rolls back, and the
+// boxed clock values of the figure (notably r10 = [(0,1) (1,0) (0,0)]) come
+// out of the implementation, along with the Section 4.1 caveat that FTVC
+// order is meaningless for non-useful states (r20.c < s22.c yet r20 -/-> s22).
+#include <gtest/gtest.h>
+
+#include "../support/script_app.h"
+#include "src/core/dg_process.h"
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+
+namespace optrec {
+namespace {
+
+using testing::craft;
+using testing::encode_sends;
+using testing::leaf;
+using testing::ScriptApp;
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1Test() : sim(7), net(sim, far_network()) {
+    net.set_message_tap([this](const Message& m) { tapped.push_back(m); });
+    net.set_token_tap([this](const Token& t) { tokens.push_back(t); });
+    ProcessConfig config;
+    config.checkpoint_interval = 0;  // only the initial checkpoint
+    config.flush_interval = 0;       // flush only when the test says so
+    config.restart_delay = millis(5);
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      procs.push_back(std::make_unique<DamaniGargProcess>(
+          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          nullptr));
+    }
+    for (auto& p : procs) {
+      sim.schedule_at(0, [&p] { p->start(); });
+    }
+    sim.run(1);
+  }
+
+  static NetworkConfig far_network() {
+    NetworkConfig config;
+    config.min_delay = config.max_delay = seconds(3600);
+    return config;
+  }
+
+  DamaniGargProcess& p(ProcessId pid) { return *procs[pid]; }
+
+  Simulation sim;
+  Network net;
+  Metrics metrics;
+  std::vector<std::unique_ptr<DamaniGargProcess>> procs;
+  std::vector<Message> tapped;
+  std::vector<Token> tokens;
+};
+
+TEST_F(Figure1Test, InitialClocksMatchFigure) {
+  EXPECT_EQ(p(0).clock().to_string(), "[(0,1) (0,0) (0,0)]");
+  EXPECT_EQ(p(1).clock().to_string(), "[(0,0) (0,1) (0,0)]");
+  EXPECT_EQ(p(2).clock().to_string(), "[(0,0) (0,0) (0,1)]");
+}
+
+TEST_F(Figure1Test, FullFigure1Computation) {
+  // s00 -> s11: P0's first send reaches P1.
+  p(1).on_message(craft(0, 1, p(0).clock(), leaf(), 1));
+  EXPECT_EQ(p(1).clock().to_string(), "[(0,1) (0,2) (0,0)]");  // s11
+
+  // Make s11 recoverable (the figure restores s11 after the failure).
+  p(1).storage().log().flush();
+
+  // P0's second send -> s12 at P1, whose handler sends to P2.
+  Ftvc p0_second(0, 3);
+  // Simulate P0 having ticked once already: its second send carries (0,2).
+  p0_second.tick_send();
+  p(1).on_message(craft(0, 1, p0_second, encode_sends({{2, leaf()}}), 2));
+  // s12 delivered at ts 3; the send inside the handler ticked to 4.
+  EXPECT_EQ(p(1).clock().entry(1), (FtvcEntry{0, 4}));
+  ASSERT_EQ(tapped.size(), 1u);
+  const Message to_p2 = tapped[0];
+  EXPECT_EQ(to_p2.clock.to_string(), "[(0,2) (0,3) (0,0)]");
+
+  // s22: P2 receives the message sent from the (soon lost) state s12.
+  p(2).on_message(to_p2);
+  const Ftvc s22 = p(2).clock();
+  EXPECT_EQ(s22.to_string(), "[(0,2) (0,3) (0,2)]");
+
+  // f10: P1 fails. Restore = initial checkpoint + stable log (exactly s11);
+  // the receipt of the second message was unlogged and is lost.
+  p(1).crash();
+  sim.run(sim.now() + millis(10));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].from, 1u);
+  EXPECT_EQ(tokens[0].failed, (FtvcEntry{0, 2}))
+      << "token carries (failed version, restored timestamp of s11)";
+
+  // r10: the figure's box is [(0,1) (1,0) (0,0)].
+  EXPECT_EQ(p(1).clock().to_string(), "[(0,1) (1,0) (0,0)]");
+  EXPECT_EQ(p(1).version(), 1u);
+  EXPECT_EQ(metrics.messages_lost_in_crash, 1u);
+
+  // P2 receives the token, discovers s22 is an orphan, rolls back; r20.
+  p(2).on_token(tokens[0]);
+  EXPECT_EQ(metrics.rollbacks, 1u);
+  const Ftvc r20 = p(2).clock();
+  EXPECT_EQ(r20.to_string(), "[(0,0) (0,0) (0,2)]");
+
+  // Section 4.1: r20.c < s22.c even though r20 did NOT happen before s22 —
+  // FTVC order is only meaningful between useful states; s22 is an orphan.
+  EXPECT_TRUE(r20.less_than(s22));
+
+  // Theorem 1 sanity between useful states: s11 (as restored) precedes r10.
+  Ftvc s11(1, 3);
+  Ftvc p0_first(0, 3);
+  s11.merge_deliver(p0_first);
+  EXPECT_TRUE(s11.less_than(p(1).clock()));
+}
+
+TEST_F(Figure1Test, RestartProtectsVersionWithNewCheckpoint) {
+  p(1).on_message(craft(0, 1, p(0).clock(), leaf(), 1));
+  p(1).storage().log().flush();
+  p(1).crash();
+  sim.run(sim.now() + millis(10));
+  EXPECT_EQ(p(1).version(), 1u);
+  // Section 6.2: a checkpoint is taken right after restart so the version
+  // number survives another failure.
+  EXPECT_EQ(p(1).storage().checkpoints().latest().version, 1u);
+
+  // Fail again immediately: the version must keep increasing.
+  p(1).crash();
+  sim.run(sim.now() + millis(10));
+  EXPECT_EQ(p(1).version(), 2u);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].failed.ver, 1u);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,174 @@
+// Reproduction of paper Figure 5 (Section 6.6): the worked recovery example.
+//
+//  * P1 fails; its unlogged receipt is lost; it restarts and announces the
+//    failure with token (0, t).
+//  * m2, sent by P1's new incarnation, reaches P0 BEFORE the token: P0 must
+//    postpone its delivery (it has no token for version 0 yet).
+//  * The token reaches P0, which discovers it is an orphan (it delivered m1
+//    from a lost state), rolls back once, then delivers the held m2.
+//  * m0, sent by a lost state of P1, reaches P2 AFTER the token: P2 discards
+//    it as obsolete. Had P2 accepted it, P2 could never have rolled it back
+//    (the paper's closing observation in Section 6.6).
+#include <gtest/gtest.h>
+
+#include "../support/script_app.h"
+#include "src/core/dg_process.h"
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+
+namespace optrec {
+namespace {
+
+using testing::craft;
+using testing::encode_sends;
+using testing::leaf;
+using testing::ScriptApp;
+
+class Figure5Test : public ::testing::Test {
+ protected:
+  explicit Figure5Test(bool discard_suffix = false) : sim(11), net(sim, far()) {
+    net.set_message_tap([this](const Message& m) { tapped.push_back(m); });
+    net.set_token_tap([this](const Token& t) { tokens.push_back(t); });
+    ProcessConfig config;
+    config.checkpoint_interval = 0;
+    config.flush_interval = 0;
+    config.restart_delay = millis(5);
+    config.discard_rollback_suffix = discard_suffix;
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      procs.push_back(std::make_unique<DamaniGargProcess>(
+          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          nullptr));
+    }
+    for (auto& p : procs) {
+      sim.schedule_at(0, [&p] { p->start(); });
+    }
+    sim.run(1);
+  }
+
+  static NetworkConfig far() {
+    NetworkConfig config;
+    config.min_delay = config.max_delay = seconds(3600);
+    return config;
+  }
+
+  DamaniGargProcess& p(ProcessId pid) { return *procs[pid]; }
+
+  /// Drive the common prefix: P1 handles a command (lost later), sending
+  /// m0 -> P2 and m1 -> P0; P0 delivers m1; P1 crashes and restarts; the
+  /// new incarnation sends m2 -> P0.
+  void drive_prefix() {
+    // P1's doomed handler sends m0 to P2 and m1 to P0.
+    p(1).on_message(
+        craft(0, 1, p(0).clock(), encode_sends({{2, leaf()}, {0, leaf()}}), 1));
+    ASSERT_EQ(tapped.size(), 2u);
+    m0 = tapped[0];
+    m1 = tapped[1];
+    ASSERT_EQ(m0.dst, 2u);
+    ASSERT_EQ(m1.dst, 0u);
+
+    // m1 arrives at P0 and is delivered: P0 now depends on a doomed state.
+    p(0).on_message(m1);
+    EXPECT_EQ(p(0).delivered_count(), 1u);
+
+    // f10: P1 fails with the receipt unlogged; restart announces (0, 1).
+    p(1).crash();
+    sim.run(sim.now() + millis(10));
+    ASSERT_EQ(tokens.size(), 1u);
+    token = tokens[0];
+    EXPECT_EQ(token.failed, (FtvcEntry{0, 1}));
+    EXPECT_EQ(p(1).version(), 1u);
+
+    // P1's new incarnation sends m2 to P0.
+    p(1).on_message(craft(2, 1, p(2).clock(), encode_sends({{0, leaf()}}), 2));
+    ASSERT_EQ(tapped.size(), 3u);
+    m2 = tapped[2];
+    ASSERT_EQ(m2.dst, 0u);
+    EXPECT_EQ(m2.clock.entry(1).ver, 1u);
+  }
+
+  Simulation sim;
+  Network net;
+  Metrics metrics;
+  std::vector<std::unique_ptr<DamaniGargProcess>> procs;
+  std::vector<Message> tapped;
+  std::vector<Token> tokens;
+  Message m0, m1, m2;
+  Token token;
+};
+
+TEST_F(Figure5Test, M2PostponedUntilToken) {
+  drive_prefix();
+  // m2 overtakes the token (no ordering assumptions!): P0 must hold it.
+  p(0).on_message(m2);
+  EXPECT_EQ(metrics.messages_postponed, 1u);
+  EXPECT_EQ(p(0).pending_count(), 1u);
+  EXPECT_EQ(p(0).delivered_count(), 1u) << "m2 not delivered yet";
+}
+
+TEST_F(Figure5Test, TokenTriggersRollbackAndReleasesM2) {
+  drive_prefix();
+  p(0).on_message(m2);
+
+  // Token arrives at P0: orphan detected (its history holds (mes,0,3)-ish
+  // knowledge of P1 beyond the restored point), single rollback, m2 then
+  // delivered from the hold queue.
+  p(0).on_token(token);
+  EXPECT_EQ(metrics.rollbacks, 1u);
+  EXPECT_EQ(metrics.postponed_released, 1u);
+  EXPECT_EQ(p(0).pending_count(), 0u);
+  EXPECT_EQ(p(0).delivered_count(), 1u) << "m1 undone, m2 delivered";
+  EXPECT_EQ(p(0).clock().entry(1).ver, 1u)
+      << "P0 now depends on P1's new incarnation";
+
+  // The rolled-back suffix (m1) is re-enqueued, re-checked, and discarded
+  // as obsolete.
+  sim.run(sim.now() + millis(2));
+  EXPECT_EQ(metrics.messages_discarded_obsolete, 1u);
+  EXPECT_EQ(metrics.messages_requeued_after_rollback, 1u);
+
+  // A second delivery of the same token-conditions cannot roll back again:
+  // at most one rollback per failure (Theorem 3, minimal rollback).
+  EXPECT_EQ(metrics.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST_F(Figure5Test, ObsoleteM0DiscardedAtP2) {
+  drive_prefix();
+  // Token first, then the stale m0: P2 detects obsoleteness and discards.
+  p(2).on_token(token);
+  EXPECT_EQ(metrics.rollbacks, 0u) << "P2 never depended on the lost state";
+  p(2).on_message(m0);
+  EXPECT_EQ(metrics.messages_discarded_obsolete, 1u);
+  EXPECT_EQ(p(2).delivered_count(), 0u);
+}
+
+TEST_F(Figure5Test, WithoutTokenM0WouldOrphanP2ThenTokenFixesIt) {
+  drive_prefix();
+  // Reverse order: m0 slips in before the token (the paper's cautionary
+  // variant) — P2 accepts it and becomes an orphan; the token then forces
+  // exactly one rollback.
+  p(2).on_message(m0);
+  EXPECT_EQ(p(2).delivered_count(), 1u);
+  p(2).on_token(token);
+  EXPECT_EQ(metrics.rollbacks, 1u);
+  EXPECT_EQ(p(2).delivered_count(), 0u);
+}
+
+class Figure5LiteralTrTest : public Figure5Test {
+ protected:
+  Figure5LiteralTrTest() : Figure5Test(/*discard_suffix=*/true) {}
+};
+
+TEST_F(Figure5LiteralTrTest, LiteralModeDropsSuffixInsteadOfRequeue) {
+  drive_prefix();
+  p(0).on_message(m2);
+  p(0).on_token(token);
+  sim.run(sim.now() + millis(2));
+  EXPECT_EQ(metrics.messages_requeued_after_rollback, 0u);
+  EXPECT_EQ(metrics.messages_discarded_obsolete, 0u)
+      << "suffix was dropped silently, never re-checked";
+  EXPECT_EQ(p(0).delivered_count(), 1u);  // m2 still delivered
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,137 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace optrec {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  while (s.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(SchedulerTest, TiesFireInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  while (s.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule_at(50, [] {});
+  s.step();
+  bool fired = false;
+  s.schedule_at(10, [&] { fired = true; });  // in the past
+  s.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 50u);  // time never goes backwards
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.step());
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelUnknownIsNoop) {
+  Scheduler s;
+  s.cancel(0);
+  s.cancel(9999);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, CancelledEventsSkippedInNextTime) {
+  Scheduler s;
+  const EventId early = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  s.cancel(early);
+  EXPECT_EQ(s.next_time(), 20u);
+}
+
+TEST(SchedulerTest, CallbackMaySchedule) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] {
+    ++fired;
+    s.schedule_at(20, [&] { ++fired; });
+  });
+  while (s.step()) {
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20u);
+}
+
+TEST(SchedulerTest, PendingCountTracksCancel) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(a);  // double-cancel must not double-decrement
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SimulationTest, RunUntilLimit) {
+  Simulation sim(1);
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(200, [&] { ++fired; });
+  const auto result = sim.run(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(result.quiesced);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, QuiescesWhenDrained) {
+  Simulation sim(1);
+  sim.schedule_at(5, [] {});
+  const auto result = sim.run();
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_EQ(result.events_executed, 1u);
+}
+
+TEST(SimulationTest, MaxEventsLimit) {
+  Simulation sim(1);
+  std::function<void()> reschedule = [&] {
+    sim.schedule_after(1, reschedule);
+  };
+  sim.schedule_at(0, reschedule);
+  const auto result = sim.run(kSimTimeMax, 50);
+  EXPECT_EQ(result.events_executed, 50u);
+  EXPECT_FALSE(result.quiesced);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesNow) {
+  Simulation sim(1);
+  SimTime fired_at = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,87 @@
+// Test support: a scriptable app and message-crafting helpers that let
+// scenario tests drive the exact interleavings of the paper's figures.
+//
+// A ScriptApp payload is a list of (destination, nested payload) pairs; on
+// delivery the app issues exactly those sends. Tests hand-deliver crafted
+// root commands by calling Endpoint::on_message directly, capture the
+// resulting protocol-stamped sends via the network tap, and deliver those in
+// whatever order the figure requires. The network itself is configured with
+// a huge delay so automatic deliveries never interfere.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/app/app.h"
+#include "src/net/message.h"
+#include "src/util/serialization.h"
+
+namespace optrec::testing {
+
+using SendList = std::vector<std::pair<ProcessId, Bytes>>;
+
+inline Bytes encode_sends(const SendList& sends) {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(sends.size()));
+  for (const auto& [dst, payload] : sends) {
+    w.put_u32(dst);
+    w.put_bytes(payload);
+  }
+  return w.take();
+}
+
+/// A payload that triggers no further sends.
+inline Bytes leaf() { return encode_sends({}); }
+
+class ScriptApp : public App {
+ public:
+  void on_start(AppContext&) override {}
+
+  void on_message(AppContext& ctx, ProcessId /*src*/,
+                  const Bytes& payload) override {
+    Reader r(payload);
+    const std::uint32_t count = r.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const ProcessId dst = r.get_u32();
+      const Bytes nested = r.get_bytes();
+      ctx.send(dst, nested);
+    }
+    ++handled_;
+  }
+
+  Bytes snapshot() const override {
+    Writer w;
+    w.put_u64(handled_);
+    return w.take();
+  }
+  void restore(const Bytes& state) override {
+    Reader r(state);
+    handled_ = r.get_u64();
+  }
+
+  std::uint64_t handled() const { return handled_; }
+
+  static AppFactory factory() {
+    return [](ProcessId, std::size_t) { return std::make_unique<ScriptApp>(); };
+  }
+
+ private:
+  std::uint64_t handled_ = 0;
+};
+
+/// Craft a root command message as if `src` (with clock `src_clock`) had
+/// sent it. `seq` defaults high to avoid colliding with real send counters.
+inline Message craft(ProcessId src, ProcessId dst, const Ftvc& src_clock,
+                     Bytes payload, std::uint64_t seq = 1000) {
+  Message m;
+  m.kind = MessageKind::kApp;
+  m.src = src;
+  m.dst = dst;
+  m.src_version = src_clock.entry(src).ver;
+  m.send_seq = seq;
+  m.clock = src_clock;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace optrec::testing

@@ -1,0 +1,36 @@
+#include "src/util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace optrec {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, BadHexThrows) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(BytesTest, Fnv1aIsStable) {
+  const Bytes data{'h', 'e', 'l', 'l', 'o'};
+  EXPECT_EQ(fnv1a(data), fnv1a(data));
+  EXPECT_NE(fnv1a(data), fnv1a(Bytes{'h', 'e', 'l', 'l', 'O'}));
+}
+
+TEST(BytesTest, Fnv1aEmptyIsOffsetBasis) {
+  EXPECT_EQ(fnv1a({}), 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,99 @@
+#include "src/util/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace optrec {
+namespace {
+
+TEST(SerializationTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.put_u8(0x7f);
+  w.put_bool(true);
+  w.put_u32(0);
+  w.put_u32(300);
+  w.put_u32(std::numeric_limits<std::uint32_t>::max());
+  w.put_u64(std::numeric_limits<std::uint64_t>::max());
+  w.put_i64(-1);
+  w.put_i64(123456789);
+  w.put_string("hello");
+  w.put_bytes({1, 2, 3});
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.get_u8(), 0x7f);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_EQ(r.get_u32(), 300u);
+  EXPECT_EQ(r.get_u32(), std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(r.get_u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.get_i64(), -1);
+  EXPECT_EQ(r.get_i64(), 123456789);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializationTest, VarintSizesMatchInformationContent) {
+  // Small values — small encodings; the paper's log2(f)-bits-per-version
+  // claim shows up through this property in the piggyback bench.
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+
+  Writer w;
+  w.put_u64(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_u64(128);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SerializationTest, ZigZagKeepsSmallNegativesSmall) {
+  Writer w;
+  w.put_i64(-2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerializationTest, ReadPastEndThrows) {
+  Writer w;
+  w.put_u8(1);
+  Reader r(w.buffer());
+  r.get_u8();
+  EXPECT_THROW(r.get_u8(), DecodeError);
+}
+
+TEST(SerializationTest, TruncatedVarintThrows) {
+  const Bytes bad{0x80};  // continuation bit set, nothing follows
+  Reader r(bad);
+  EXPECT_THROW(r.get_u64(), DecodeError);
+}
+
+TEST(SerializationTest, OversizedLengthThrows) {
+  Writer w;
+  w.put_u64(1000);  // claims 1000 bytes follow
+  Reader r(w.buffer());
+  EXPECT_THROW(r.get_bytes(), DecodeError);
+}
+
+TEST(SerializationTest, U32OverflowThrows) {
+  Writer w;
+  w.put_u64(0x1'0000'0000ull);
+  Reader r(w.buffer());
+  EXPECT_THROW(r.get_u32(), DecodeError);
+}
+
+TEST(SerializationTest, EmptyContainers) {
+  Writer w;
+  w.put_string("");
+  w.put_bytes({});
+  Reader r(w.buffer());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_bytes().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace optrec

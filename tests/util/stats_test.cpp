@@ -1,0 +1,69 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace optrec {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.percentile(0.5), 0.0);
+}
+
+TEST(PercentilesTest, MedianAndTails) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_NEAR(p.median(), 50.0, 1.0);
+  EXPECT_EQ(p.percentile(0.0), 1.0);
+  EXPECT_EQ(p.percentile(1.0), 100.0);
+  EXPECT_NEAR(p.percentile(0.9), 90.0, 1.0);
+}
+
+TEST(PercentilesTest, AddAfterQueryStillWorks) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_EQ(p.median(), 1.0);
+  p.add(100.0);
+  p.add(50.0);
+  EXPECT_EQ(p.median(), 50.0);
+}
+
+}  // namespace
+}  // namespace optrec
