@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_postponement.dir/bench_ablation_postponement.cpp.o"
+  "CMakeFiles/bench_ablation_postponement.dir/bench_ablation_postponement.cpp.o.d"
+  "bench_ablation_postponement"
+  "bench_ablation_postponement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_postponement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

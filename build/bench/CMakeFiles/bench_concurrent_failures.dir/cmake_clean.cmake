@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_failures.dir/bench_concurrent_failures.cpp.o"
+  "CMakeFiles/bench_concurrent_failures.dir/bench_concurrent_failures.cpp.o.d"
+  "bench_concurrent_failures"
+  "bench_concurrent_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff_piggyback.dir/bench_diff_piggyback.cpp.o"
+  "CMakeFiles/bench_diff_piggyback.dir/bench_diff_piggyback.cpp.o.d"
+  "bench_diff_piggyback"
+  "bench_diff_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domino_rollbacks.dir/bench_domino_rollbacks.cpp.o"
+  "CMakeFiles/bench_domino_rollbacks.dir/bench_domino_rollbacks.cpp.o.d"
+  "bench_domino_rollbacks"
+  "bench_domino_rollbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domino_rollbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

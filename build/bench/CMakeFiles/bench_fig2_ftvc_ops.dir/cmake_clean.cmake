@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ftvc_ops.dir/bench_fig2_ftvc_ops.cpp.o"
+  "CMakeFiles/bench_fig2_ftvc_ops.dir/bench_fig2_ftvc_ops.cpp.o.d"
+  "bench_fig2_ftvc_ops"
+  "bench_fig2_ftvc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ftvc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_max_recoverable.dir/bench_max_recoverable.cpp.o"
+  "CMakeFiles/bench_max_recoverable.dir/bench_max_recoverable.cpp.o.d"
+  "bench_max_recoverable"
+  "bench_max_recoverable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_max_recoverable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_history.dir/bench_overhead_history.cpp.o"
+  "CMakeFiles/bench_overhead_history.dir/bench_overhead_history.cpp.o.d"
+  "bench_overhead_history"
+  "bench_overhead_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_piggyback.dir/bench_overhead_piggyback.cpp.o"
+  "CMakeFiles/bench_overhead_piggyback.dir/bench_overhead_piggyback.cpp.o.d"
+  "bench_overhead_piggyback"
+  "bench_overhead_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

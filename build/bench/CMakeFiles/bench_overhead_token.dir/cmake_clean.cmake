@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_token.dir/bench_overhead_token.cpp.o"
+  "CMakeFiles/bench_overhead_token.dir/bench_overhead_token.cpp.o.d"
+  "bench_overhead_token"
+  "bench_overhead_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_token_logging.dir/bench_token_logging.cpp.o"
+  "CMakeFiles/bench_token_logging.dir/bench_token_logging.cpp.o.d"
+  "bench_token_logging"
+  "bench_token_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_token_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

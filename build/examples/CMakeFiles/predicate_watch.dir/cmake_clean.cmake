@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_watch.dir/predicate_watch.cpp.o"
+  "CMakeFiles/predicate_watch.dir/predicate_watch.cpp.o.d"
+  "predicate_watch"
+  "predicate_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/app.cpp" "src/CMakeFiles/optrec.dir/app/app.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/app.cpp.o.d"
+  "/root/repo/src/app/bank_app.cpp" "src/CMakeFiles/optrec.dir/app/bank_app.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/bank_app.cpp.o.d"
+  "/root/repo/src/app/counter_app.cpp" "src/CMakeFiles/optrec.dir/app/counter_app.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/counter_app.cpp.o.d"
+  "/root/repo/src/app/gossip_app.cpp" "src/CMakeFiles/optrec.dir/app/gossip_app.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/gossip_app.cpp.o.d"
+  "/root/repo/src/app/pingpong_app.cpp" "src/CMakeFiles/optrec.dir/app/pingpong_app.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/pingpong_app.cpp.o.d"
+  "/root/repo/src/app/workload.cpp" "src/CMakeFiles/optrec.dir/app/workload.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/app/workload.cpp.o.d"
+  "/root/repo/src/baselines/cascading_process.cpp" "src/CMakeFiles/optrec.dir/baselines/cascading_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/cascading_process.cpp.o.d"
+  "/root/repo/src/baselines/coordinated_process.cpp" "src/CMakeFiles/optrec.dir/baselines/coordinated_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/coordinated_process.cpp.o.d"
+  "/root/repo/src/baselines/pessimistic_process.cpp" "src/CMakeFiles/optrec.dir/baselines/pessimistic_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/pessimistic_process.cpp.o.d"
+  "/root/repo/src/baselines/peterson_kearns_process.cpp" "src/CMakeFiles/optrec.dir/baselines/peterson_kearns_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/peterson_kearns_process.cpp.o.d"
+  "/root/repo/src/baselines/plain_process.cpp" "src/CMakeFiles/optrec.dir/baselines/plain_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/plain_process.cpp.o.d"
+  "/root/repo/src/baselines/sender_based_process.cpp" "src/CMakeFiles/optrec.dir/baselines/sender_based_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/baselines/sender_based_process.cpp.o.d"
+  "/root/repo/src/clocks/diff_codec.cpp" "src/CMakeFiles/optrec.dir/clocks/diff_codec.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/clocks/diff_codec.cpp.o.d"
+  "/root/repo/src/clocks/ftvc.cpp" "src/CMakeFiles/optrec.dir/clocks/ftvc.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/clocks/ftvc.cpp.o.d"
+  "/root/repo/src/clocks/vector_clock.cpp" "src/CMakeFiles/optrec.dir/clocks/vector_clock.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/clocks/vector_clock.cpp.o.d"
+  "/root/repo/src/core/dg_process.cpp" "src/CMakeFiles/optrec.dir/core/dg_process.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/core/dg_process.cpp.o.d"
+  "/root/repo/src/core/garbage_collector.cpp" "src/CMakeFiles/optrec.dir/core/garbage_collector.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/core/garbage_collector.cpp.o.d"
+  "/root/repo/src/core/output_commit.cpp" "src/CMakeFiles/optrec.dir/core/output_commit.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/core/output_commit.cpp.o.d"
+  "/root/repo/src/core/retransmitter.cpp" "src/CMakeFiles/optrec.dir/core/retransmitter.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/core/retransmitter.cpp.o.d"
+  "/root/repo/src/detect/predicate_detector.cpp" "src/CMakeFiles/optrec.dir/detect/predicate_detector.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/detect/predicate_detector.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/optrec.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/failure_plan.cpp" "src/CMakeFiles/optrec.dir/harness/failure_plan.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/harness/failure_plan.cpp.o.d"
+  "/root/repo/src/harness/metrics.cpp" "src/CMakeFiles/optrec.dir/harness/metrics.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/harness/metrics.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/CMakeFiles/optrec.dir/harness/scenario.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/harness/scenario.cpp.o.d"
+  "/root/repo/src/harness/table_printer.cpp" "src/CMakeFiles/optrec.dir/harness/table_printer.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/harness/table_printer.cpp.o.d"
+  "/root/repo/src/history/history.cpp" "src/CMakeFiles/optrec.dir/history/history.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/history/history.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/optrec.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/optrec.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/net/network.cpp.o.d"
+  "/root/repo/src/runtime/process_base.cpp" "src/CMakeFiles/optrec.dir/runtime/process_base.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/runtime/process_base.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/optrec.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/optrec.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/storage/checkpoint_store.cpp" "src/CMakeFiles/optrec.dir/storage/checkpoint_store.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/storage/checkpoint_store.cpp.o.d"
+  "/root/repo/src/storage/message_log.cpp" "src/CMakeFiles/optrec.dir/storage/message_log.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/storage/message_log.cpp.o.d"
+  "/root/repo/src/storage/stable_storage.cpp" "src/CMakeFiles/optrec.dir/storage/stable_storage.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/storage/stable_storage.cpp.o.d"
+  "/root/repo/src/truth/causality_oracle.cpp" "src/CMakeFiles/optrec.dir/truth/causality_oracle.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/truth/causality_oracle.cpp.o.d"
+  "/root/repo/src/truth/recovery_line_oracle.cpp" "src/CMakeFiles/optrec.dir/truth/recovery_line_oracle.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/truth/recovery_line_oracle.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/optrec.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/optrec.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/optrec.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialization.cpp" "src/CMakeFiles/optrec.dir/util/serialization.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/util/serialization.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/optrec.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/optrec.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optrec_sim.dir/tools/optrec_sim.cpp.o"
+  "CMakeFiles/optrec_sim.dir/tools/optrec_sim.cpp.o.d"
+  "optrec_sim"
+  "optrec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optrec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clocks/diff_codec_test.cpp" "tests/CMakeFiles/clock_tests.dir/clocks/diff_codec_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/clocks/diff_codec_test.cpp.o.d"
+  "/root/repo/tests/clocks/ftvc_property_test.cpp" "tests/CMakeFiles/clock_tests.dir/clocks/ftvc_property_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/clocks/ftvc_property_test.cpp.o.d"
+  "/root/repo/tests/clocks/ftvc_test.cpp" "tests/CMakeFiles/clock_tests.dir/clocks/ftvc_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/clocks/ftvc_test.cpp.o.d"
+  "/root/repo/tests/clocks/vector_clock_test.cpp" "tests/CMakeFiles/clock_tests.dir/clocks/vector_clock_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/clocks/vector_clock_test.cpp.o.d"
+  "/root/repo/tests/history/history_property_test.cpp" "tests/CMakeFiles/clock_tests.dir/history/history_property_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/history/history_property_test.cpp.o.d"
+  "/root/repo/tests/history/history_test.cpp" "tests/CMakeFiles/clock_tests.dir/history/history_test.cpp.o" "gcc" "tests/CMakeFiles/clock_tests.dir/history/history_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/optrec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

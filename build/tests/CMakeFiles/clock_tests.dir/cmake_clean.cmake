@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_tests.dir/clocks/diff_codec_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clocks/diff_codec_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/clocks/ftvc_property_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clocks/ftvc_property_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/clocks/ftvc_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clocks/ftvc_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/clocks/vector_clock_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clocks/vector_clock_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/history/history_property_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/history/history_property_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/history/history_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/history/history_test.cpp.o.d"
+  "clock_tests"
+  "clock_tests.pdb"
+  "clock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

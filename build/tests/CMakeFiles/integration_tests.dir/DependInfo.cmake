@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/ablation_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o.d"
+  "/root/repo/tests/integration/app_invariants_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/app_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/app_invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/baselines_deep_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/baselines_deep_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/baselines_deep_test.cpp.o.d"
+  "/root/repo/tests/integration/baselines_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/baselines_test.cpp.o.d"
+  "/root/repo/tests/integration/dg_adversarial_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/dg_adversarial_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/dg_adversarial_test.cpp.o.d"
+  "/root/repo/tests/integration/dg_basic_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/dg_basic_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/dg_basic_test.cpp.o.d"
+  "/root/repo/tests/integration/dg_recovery_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/dg_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/dg_recovery_test.cpp.o.d"
+  "/root/repo/tests/integration/extreme_conditions_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/extreme_conditions_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/extreme_conditions_test.cpp.o.d"
+  "/root/repo/tests/integration/features_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/features_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/features_test.cpp.o.d"
+  "/root/repo/tests/integration/scale_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/scale_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/scale_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/optrec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/app_invariants_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/app_invariants_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/baselines_deep_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/baselines_deep_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/baselines_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/baselines_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/dg_adversarial_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/dg_adversarial_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/dg_basic_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/dg_basic_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/dg_recovery_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/dg_recovery_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/extreme_conditions_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/extreme_conditions_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/features_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/features_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scale_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scale_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tests.dir/scenario/figure1_test.cpp.o"
+  "CMakeFiles/scenario_tests.dir/scenario/figure1_test.cpp.o.d"
+  "CMakeFiles/scenario_tests.dir/scenario/figure5_test.cpp.o"
+  "CMakeFiles/scenario_tests.dir/scenario/figure5_test.cpp.o.d"
+  "scenario_tests"
+  "scenario_tests.pdb"
+  "scenario_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

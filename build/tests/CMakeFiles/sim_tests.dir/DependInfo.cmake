@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/message_test.cpp" "tests/CMakeFiles/sim_tests.dir/net/message_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/net/message_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/sim_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/optrec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_tests.dir/truth/oracle_test.cpp.o"
+  "CMakeFiles/truth_tests.dir/truth/oracle_test.cpp.o.d"
+  "truth_tests"
+  "truth_tests.pdb"
+  "truth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

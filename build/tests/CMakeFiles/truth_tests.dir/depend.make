@@ -1,0 +1,2 @@
+# Empty dependencies file for truth_tests.
+# This may be replaced when dependencies are built.
