@@ -28,10 +28,12 @@ void CascadingProcess::handle_message(const Message& msg) {
   if (history_.is_obsolete(msg.clock)) {
     ++metrics().messages_discarded_obsolete;
     if (oracle()) oracle()->record_discard(msg.id);
+    trace_message(TraceEventType::kDiscardObsolete, msg);
     return;
   }
   if (is_duplicate(msg)) {
     ++metrics().messages_discarded_duplicate;
+    trace_message(TraceEventType::kDiscardDuplicate, msg);
     return;
   }
   apply_delivery(msg, /*replay=*/false);
@@ -55,6 +57,7 @@ void CascadingProcess::take_checkpoint() {
   c.taken_at = sim().now();
   storage().checkpoints().append(std::move(c));
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
 }
 
 void CascadingProcess::restore_from(const Checkpoint& checkpoint) {
@@ -119,6 +122,7 @@ void CascadingProcess::handle_token(const Token& token) {
   ++metrics().tokens_processed;
   storage().log_token(token);
   ++metrics().sync_log_writes;
+  trace_token_event(TraceEventType::kTokenProcess, token);
   if (history_.makes_orphan(token.from, token.failed)) {
     rollback_and_announce(token);
   }
@@ -170,6 +174,17 @@ void CascadingProcess::rollback_and_announce(const Token& announcement) {
   storage().log().truncate_from(replay_to);
   rebuild_delivered_keys(delivered_total_);
   drop_pending_outputs_after(delivered_total_);
+
+  if (trace()) {
+    TraceEvent e = trace_base(TraceEventType::kRollback);
+    e.peer = announcement.from;
+    e.ref = announcement.failed;
+    e.origin = announcement.origin_pid;
+    e.origin_ver = announcement.origin_ver;
+    e.count = delivered_total_;        // surviving deliveries
+    e.detail = old_total - replay_to;  // states undone
+    trace()->emit(std::move(e));
+  }
 
   // Strom-Yemini discipline: a rollback starts a new incarnation and is
   // announced, propagating the cascade; the discarded suffix is simply lost.

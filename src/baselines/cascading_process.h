@@ -40,6 +40,7 @@ class CascadingProcess : public ProcessBase {
   void take_checkpoint() override;
   void stamp_outgoing(Message& msg) override;
   void on_crash_wipe() override {}
+  FtvcEntry trace_clock_entry() const override { return clock_.self(); }
 
  private:
   void apply_delivery(const Message& msg, bool replay);

@@ -112,6 +112,7 @@ void CoordinatedProcess::take_checkpoint() {
     // has been delivered anywhere).
     storage().checkpoints().append(snapshot_checkpoint());
     ++metrics().checkpoints_taken;
+    trace_simple(TraceEventType::kCheckpoint, delivered_total_);
     return;
   }
   if (pid() == 0) initiate_round();
@@ -141,6 +142,7 @@ void CoordinatedProcess::commit_tentative() {
   tentative_.reset();
   coordinating_ = false;
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
   metrics().checkpoint_blocked_time += sim().now() - hold_since_;
   sim().cancel(round_deadline_);
   round_deadline_ = 0;
@@ -247,6 +249,7 @@ void CoordinatedProcess::handle_restart() {
   Checkpoint epoch_ckpt = snapshot_checkpoint();
   storage().checkpoints().append(std::move(epoch_ckpt));
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
 
   recovering_ = true;
   recover_acks_ = 0;
@@ -284,10 +287,20 @@ void CoordinatedProcess::peer_rollback(ProcessId failed,
     set_state_at_count(delivered_total_, recovery);
   }
 
+  if (trace()) {
+    TraceEvent e = trace_base(TraceEventType::kRollback);
+    e.origin = failed;  // metrics attribution: (crashed process, new epoch)
+    e.origin_ver = new_epoch;
+    e.count = delivered_total_;
+    e.detail = old_total - delivered_total_;
+    trace()->emit(std::move(e));
+  }
+
   // Make the adopted epoch durable so a later crash restarts into a fresh
   // epoch rather than reusing this one.
   storage().checkpoints().append(snapshot_checkpoint());
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
 
   // Old-epoch holds are now discardable; re-filter.
   release_holds();

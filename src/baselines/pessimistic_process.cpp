@@ -32,6 +32,7 @@ void PessimisticProcess::take_checkpoint() {
   c.taken_at = sim().now();
   storage().checkpoints().append(std::move(c));
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
 }
 
 void PessimisticProcess::handle_restart() {

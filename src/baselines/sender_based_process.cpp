@@ -186,6 +186,7 @@ void SenderBasedProcess::take_checkpoint() {
   c.taken_at = sim().now();
   storage().checkpoints().append(std::move(c));
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
 }
 
 void SenderBasedProcess::restore_protocol_state(const Bytes& extra) {

@@ -67,6 +67,7 @@ void DamaniGargProcess::receive_app_message(const Message& msg) {
   if (history_.is_obsolete(msg.clock)) {
     ++metrics().messages_discarded_obsolete;
     if (oracle()) oracle()->record_discard(msg.id);
+    trace_message(TraceEventType::kDiscardObsolete, msg);
     OPTREC_LOG(kDebug) << "P" << pid() << " discards obsolete "
                        << msg.describe();
     return;
@@ -74,6 +75,7 @@ void DamaniGargProcess::receive_app_message(const Message& msg) {
   // Duplicate (Remark-1 retransmission may resend something we recovered).
   if (is_duplicate(msg)) {
     ++metrics().messages_discarded_duplicate;
+    trace_message(TraceEventType::kDiscardDuplicate, msg);
     return;
   }
   // Deliverability (Section 6.1): every version mentioned by the clock must
@@ -83,6 +85,17 @@ void DamaniGargProcess::receive_app_message(const Message& msg) {
                                : history_.first_missing_token(msg.clock)) {
     ++metrics().messages_postponed;
     held_.insert({*missing, msg});
+    if (trace()) {
+      TraceEvent e = trace_base(TraceEventType::kPostpone);
+      e.peer = msg.src;
+      e.msg_id = msg.id;
+      e.send_seq = msg.send_seq;
+      e.msg_version = msg.src_version;
+      e.origin = missing->first;       // awaited token's process...
+      e.origin_ver = missing->second;  // ...and version
+      e.mclock = msg.clock.entries();
+      trace()->emit(std::move(e));
+    }
     OPTREC_LOG(kDebug) << "P" << pid() << " postpones " << msg.describe()
                        << " awaiting token P" << missing->first << " v"
                        << missing->second;
@@ -125,6 +138,7 @@ void DamaniGargProcess::take_checkpoint() {
   c.taken_at = sim().now();
   storage().checkpoints().append(std::move(c));
   ++metrics().checkpoints_taken;
+  trace_simple(TraceEventType::kCheckpoint, delivered_total_);
   update_own_stability();
 }
 
@@ -216,6 +230,7 @@ void DamaniGargProcess::handle_token(const Token& token) {
   // our own later failure.
   storage().log_token(token);
   ++metrics().sync_log_writes;
+  trace_token_event(TraceEventType::kTokenProcess, token);
 
   if (history_.makes_orphan(token.from, token.failed)) {
     rollback(token.from, token.failed);
@@ -337,6 +352,17 @@ void DamaniGargProcess::rollback(ProcessId from, FtvcEntry failed) {
     set_state_at_count(delivered_total_, recovery);
   }
 
+  if (trace()) {
+    TraceEvent e = trace_base(TraceEventType::kRollback);
+    e.peer = from;
+    e.ref = failed;
+    e.origin = from;  // a DG token is announced only by the failed process
+    e.origin_ver = failed.ver;
+    e.count = delivered_total_;           // surviving deliveries
+    e.detail = old_total - replay_to;     // states undone
+    trace()->emit(std::move(e));
+  }
+
   // Re-checkpoint: the truncation may have discarded every checkpoint of
   // the current incarnation, and the version counter must survive the next
   // failure (same durability argument as Section 6.2's restart checkpoint).
@@ -377,6 +403,10 @@ void DamaniGargProcess::after_stability_change() {
     const GcResult gc = run_gc(storage(), stability_);
     metrics().gc_checkpoints_reclaimed += gc.checkpoints_reclaimed;
     metrics().gc_log_entries_reclaimed += gc.log_entries_reclaimed;
+    if (gc.checkpoints_reclaimed + gc.log_entries_reclaimed > 0) {
+      trace_simple(TraceEventType::kGc, gc.checkpoints_reclaimed,
+                   gc.log_entries_reclaimed);
+    }
   }
 }
 

@@ -68,6 +68,7 @@ class DamaniGargProcess : public ProcessBase {
   bool output_commit_gated() const override {
     return config().enable_stability_tracking;
   }
+  FtvcEntry trace_clock_entry() const override { return clock_.self(); }
 
  private:
   /// Full receive path for an application message (Fig. 4 "Receive

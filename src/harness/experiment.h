@@ -18,6 +18,8 @@ struct ExperimentResult {
   /// consistent); empty as well when the oracle was disabled.
   std::vector<std::string> violations;
   std::size_t oracle_states = 0;
+  /// Structured protocol event trace; populated iff `config.enable_trace`.
+  std::vector<TraceEvent> trace;
 
   /// Wall-clock-free "goodput": app messages delivered (first time, not
   /// replay) per simulated second.
@@ -25,5 +27,11 @@ struct ExperimentResult {
 };
 
 ExperimentResult run_experiment(const ScenarioConfig& config);
+
+/// Serialize the full run outcome — Metrics (including RunningStats), network
+/// stats, quiescence, oracle verdict — as one JSON object (newline-terminated
+/// single line; pipe through `python3 -m json.tool` to pretty-print).
+std::string result_json(const ScenarioConfig& config,
+                        const ExperimentResult& result);
 
 }  // namespace optrec

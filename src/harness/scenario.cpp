@@ -69,6 +69,10 @@ Scenario::Scenario(ScenarioConfig config)
     : config_(config), sim_(config.seed), net_(sim_, config.network) {
   if (config_.n < 2) throw std::invalid_argument("Scenario: n must be >= 2");
   if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
+  if (config_.enable_trace) {
+    trace_ = std::make_unique<TraceRecorder>();
+    net_.set_trace(trace_.get());
+  }
 
   const AppFactory factory = config_.workload.make_factory();
   processes_.reserve(config_.n);
@@ -76,6 +80,7 @@ Scenario::Scenario(ScenarioConfig config)
     processes_.push_back(make_process(
         config_.protocol, sim_, net_, pid, config_.n, factory(pid, config_.n),
         config_.process, metrics_, oracle_.get()));
+    processes_.back()->set_trace(trace_.get());
   }
 }
 

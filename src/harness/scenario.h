@@ -18,6 +18,7 @@
 #include "src/net/network.h"
 #include "src/runtime/process_base.h"
 #include "src/sim/simulation.h"
+#include "src/trace/trace_event.h"
 #include "src/truth/causality_oracle.h"
 
 namespace optrec {
@@ -44,6 +45,10 @@ struct ScenarioConfig {
   FailurePlan failures;
   /// Build the ground-truth oracle (tests on; large benches off).
   bool enable_oracle = true;
+  /// Record a structured protocol event trace (src/trace). Off by default:
+  /// processes and the network then carry a null recorder pointer and the
+  /// emit hooks cost one predictable branch each.
+  bool enable_trace = false;
   /// Hard cap on simulated time; a run that hits it without quiescing is
   /// reported as non-quiescent.
   SimTime time_cap = seconds(600);
@@ -71,6 +76,8 @@ class Scenario {
   Network& net() { return net_; }
   Metrics& metrics() { return metrics_; }
   CausalityOracle* oracle() { return oracle_.get(); }
+  /// Non-null iff `config.enable_trace`.
+  TraceRecorder* trace() { return trace_.get(); }
   const ScenarioConfig& config() const { return config_; }
 
   std::size_t size() const { return processes_.size(); }
@@ -90,6 +97,7 @@ class Scenario {
   Network net_;
   Metrics metrics_;
   std::unique_ptr<CausalityOracle> oracle_;
+  std::unique_ptr<TraceRecorder> trace_;
   std::vector<std::unique_ptr<ProcessBase>> processes_;
   bool started_ = false;
 };

@@ -17,6 +17,7 @@
 
 #include "src/net/message.h"
 #include "src/sim/simulation.h"
+#include "src/trace/trace_event.h"
 #include "src/util/ids.h"
 
 namespace optrec {
@@ -70,6 +71,10 @@ class Network {
   using TokenTap = std::function<void(const Token&)>;
   void set_message_tap(MessageTap tap) { message_tap_ = std::move(tap); }
   void set_token_tap(TokenTap tap) { token_tap_ = std::move(tap); }
+
+  /// Attach a trace recorder: every accepted send and token broadcast is
+  /// recorded (null detaches; disabled costs one pointer test per send).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
   /// Partition the network into groups; traffic crossing group boundaries is
   /// held (messages) or retried (tokens) until heal_partition().
@@ -126,6 +131,7 @@ class Network {
 
   MessageTap message_tap_;
   TokenTap token_tap_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace optrec

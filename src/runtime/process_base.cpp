@@ -1,5 +1,6 @@
 #include "src/runtime/process_base.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,8 +84,10 @@ void ProcessBase::checkpoint_timer_fired() {
 void ProcessBase::flush_timer_fired() {
   if (!up_) return;
   if (storage_.log().volatile_count() > 0) {
+    const std::uint64_t flushed = storage_.log().volatile_count();
     storage_.log().flush();
     ++metrics_.log_flushes;
+    trace_simple(TraceEventType::kLogFlush, flushed);
   }
   flush_timer_ = sim_.schedule_after(config_.flush_interval,
                                      [this] { flush_timer_fired(); });
@@ -99,10 +102,13 @@ void ProcessBase::crash() {
                     << " (version " << version_ << ")";
 
   // States whose receipts were not yet on stable storage are lost forever.
+  const std::uint64_t recoverable = recoverable_count();
   if (oracle_) {
     oracle_->mark_lost(
-        take_states_for_deliveries(recoverable_count(), delivered_total_));
+        take_states_for_deliveries(recoverable, delivered_total_));
   }
+  trace_simple(TraceEventType::kCrash, recoverable,
+               delivered_total_ - recoverable);
   metrics_.messages_lost_in_crash += storage_.on_crash();
   on_crash_wipe();
   pending_outputs_.clear();
@@ -119,6 +125,7 @@ void ProcessBase::restart_now() {
   handle_restart();
   up_ = true;
   ++metrics_.restarts;
+  trace_simple(TraceEventType::kRestart, delivered_total_);
   metrics_.restart_latency.add(static_cast<double>(sim_.now() - crash_time_));
   start_timers();
   on_started();
@@ -151,6 +158,10 @@ void ProcessBase::deliver_to_app(const Message& msg, bool replay) {
   } else {
     ++metrics_.messages_delivered;
   }
+  // Traced before the app handler runs, so the handler's sends follow their
+  // cause in the event order.
+  trace_message(replay ? TraceEventType::kReplay : TraceEventType::kDeliver,
+                msg, delivered_total_);
   const bool was_replaying = replaying_;
   replaying_ = replay;
   app_->on_message(*ctx_, msg.src, msg.payload);
@@ -260,23 +271,31 @@ void ProcessBase::request_output(const std::string& data) {
   if (!output_commit_gated()) {
     outputs_.push_back({data, sim_.now(), sim_.now()});
     ++metrics_.outputs_committed;
+    trace_simple(TraceEventType::kOutputCommit, 1);
     return;
   }
   pending_outputs_.push_back({data, sim_.now(), delivered_total_});
 }
 
 void ProcessBase::commit_pending_outputs_up_to(std::uint64_t delivered_count) {
+  std::uint64_t committed = 0;
+  SimTime oldest_latency = 0;
   auto it = pending_outputs_.begin();
   while (it != pending_outputs_.end()) {
     if (it->delivered_count <= delivered_count) {
       outputs_.push_back({it->data, it->requested_at, sim_.now()});
       ++metrics_.outputs_committed;
-      metrics_.output_commit_latency.add(
-          static_cast<double>(sim_.now() - it->requested_at));
+      const SimTime latency = sim_.now() - it->requested_at;
+      metrics_.output_commit_latency.add(static_cast<double>(latency));
+      oldest_latency = std::max(oldest_latency, latency);
+      ++committed;
       it = pending_outputs_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (committed > 0) {
+    trace_simple(TraceEventType::kOutputCommit, committed, oldest_latency);
   }
 }
 
@@ -284,6 +303,54 @@ void ProcessBase::drop_pending_outputs_after(std::uint64_t count) {
   std::erase_if(pending_outputs_, [count](const PendingOutput& p) {
     return p.delivered_count > count;
   });
+}
+
+TraceEvent ProcessBase::trace_base(TraceEventType type) const {
+  TraceEvent e;
+  e.at = sim_.now();
+  e.type = type;
+  e.pid = pid_;
+  e.clock = trace_clock_entry();
+  return e;
+}
+
+void ProcessBase::trace_simple(TraceEventType type, std::uint64_t count,
+                               std::uint64_t detail) {
+  if (!trace_) return;
+  TraceEvent e = trace_base(type);
+  e.count = count;
+  e.detail = detail;
+  trace_->emit(std::move(e));
+}
+
+void ProcessBase::trace_message(TraceEventType type, const Message& msg,
+                                std::uint64_t count) {
+  if (!trace_) return;
+  TraceEvent e = trace_base(type);
+  e.peer = msg.src;
+  e.msg_id = msg.id;
+  e.send_seq = msg.send_seq;
+  e.msg_version = msg.src_version;
+  e.count = count;
+  e.mclock = msg.clock.entries();
+  trace_->emit(std::move(e));
+}
+
+void ProcessBase::trace_token_event(TraceEventType type, const Token& token) {
+  if (!trace_) return;
+  TraceEvent e = trace_base(type);
+  e.peer = token.from;
+  e.ref = token.failed;
+  // Attribute to the originating failure when the announcement carries one
+  // (cascading re-announcements); a plain token is its own origin.
+  if (token.origin_pid != kNoProcess) {
+    e.origin = token.origin_pid;
+    e.origin_ver = token.origin_ver;
+  } else {
+    e.origin = token.from;
+    e.origin_ver = token.failed.ver;
+  }
+  trace_->emit(std::move(e));
 }
 
 std::string ProcessBase::describe() const {

@@ -25,6 +25,7 @@
 #include "src/net/network.h"
 #include "src/sim/simulation.h"
 #include "src/storage/stable_storage.h"
+#include "src/trace/trace_event.h"
 #include "src/truth/causality_oracle.h"
 
 namespace optrec {
@@ -108,6 +109,11 @@ class ProcessBase : public Endpoint {
   /// Read-only observability hook for monitors such as predicate detection.
   StateId current_state_id() const { return cur_state_; }
 
+  /// Attach a trace recorder (null detaches). Tracing is disabled by
+  /// default; every emit site is guarded by a single pointer test, so the
+  /// disabled hot path costs nothing.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   virtual std::string describe() const;
 
  protected:
@@ -144,6 +150,22 @@ class ProcessBase : public Endpoint {
   Network& net() { return net_; }
   Metrics& metrics() { return metrics_; }
   CausalityOracle* oracle() { return oracle_; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// The (version, timestamp) identity stamped onto this process's trace
+  /// events. Protocols with an FTVC override to expose the live self entry.
+  virtual FtvcEntry trace_clock_entry() const { return {version_, 0}; }
+
+  /// TraceEvent pre-filled with time, pid, and the current clock entry.
+  TraceEvent trace_base(TraceEventType type) const;
+  /// Emit a counter-style event (checkpoint, flush, ...). No-op untraced.
+  void trace_simple(TraceEventType type, std::uint64_t count = 0,
+                    std::uint64_t detail = 0);
+  /// Emit a message-path event (deliver, discard, postpone). No-op untraced.
+  void trace_message(TraceEventType type, const Message& msg,
+                     std::uint64_t count = 0);
+  /// Emit a token-path event. No-op untraced.
+  void trace_token_event(TraceEventType type, const Token& token);
 
   /// Deliver `msg` to the app: append to the log (unless replaying), run
   /// the handler (sends are emitted or, in replay, suppressed), and do the
@@ -233,6 +255,7 @@ class ProcessBase : public Endpoint {
   ProcessConfig config_;
   Metrics& metrics_;
   CausalityOracle* oracle_;  // may be null (benches)
+  TraceRecorder* trace_ = nullptr;  // null unless tracing is enabled
   StableStorage storage_;
 
   bool up_ = false;

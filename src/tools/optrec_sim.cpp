@@ -27,12 +27,25 @@
 //   --partition=A,B    partition {0..A-1} | {A..n-1} from B ms to 4*B ms
 //   --verbose          narrate crashes/restarts/rollbacks
 //   --oracle           run the ground-truth consistency check (slower)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace=FILE       record a structured event trace to FILE ("-" = stdout)
+//   --trace-format=F   jsonl (archival, round-trips) | chrome (Perfetto) |
+//                      dot (Graphviz space-time diagram)        [jsonl]
+//   --audit            replay the trace through the invariant auditor;
+//                      violations fail the run (implies tracing)
+//   --metrics-json     print the full metrics as one JSON object instead of
+//                      the human-readable table
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "src/harness/experiment.h"
+#include "src/trace/trace_auditor.h"
+#include "src/trace/trace_sink.h"
 #include "src/util/log.h"
 
 using namespace optrec;
@@ -106,6 +119,10 @@ int main(int argc, char** argv) {
   std::string value;
   std::size_t partition_split = 0;
   SimTime partition_at = 0;
+  std::string trace_file;
+  std::string trace_format = "jsonl";
+  bool audit = false;
+  bool metrics_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -152,6 +169,20 @@ int main(int argc, char** argv) {
       set_log_level(LogLevel::kInfo);
     } else if (parse_flag(arg, "--oracle", &value)) {
       config.enable_oracle = true;
+    } else if (parse_flag(arg, "--trace-format", &value)) {
+      if (value != "jsonl" && value != "chrome" && value != "dot") {
+        die("--trace-format wants jsonl | chrome | dot");
+      }
+      trace_format = value;
+    } else if (parse_flag(arg, "--trace", &value)) {
+      if (value.empty()) die("--trace wants a file name (or - for stdout)");
+      trace_file = value;
+      config.enable_trace = true;
+    } else if (parse_flag(arg, "--audit", &value)) {
+      audit = true;
+      config.enable_trace = true;
+    } else if (parse_flag(arg, "--metrics-json", &value)) {
+      metrics_json = true;
     } else {
       die(std::string("unknown flag '") + arg + "' (see header comment)");
     }
@@ -173,12 +204,48 @@ int main(int argc, char** argv) {
     config.failures.partitions.push_back(split);
   }
 
-  std::printf("protocol=%s workload=%s n=%zu seed=%llu crashes=%zu\n\n",
-              protocol_name(config.protocol), config.workload.name().c_str(),
-              config.n, (unsigned long long)config.seed, crashes);
+  if (!metrics_json) {
+    std::printf("protocol=%s workload=%s n=%zu seed=%llu crashes=%zu\n\n",
+                protocol_name(config.protocol), config.workload.name().c_str(),
+                config.n, (unsigned long long)config.seed, crashes);
+  }
 
   const ExperimentResult result = run_experiment(config);
   const Metrics& m = result.metrics;
+
+  if (!trace_file.empty()) {
+    std::ofstream file_out;
+    if (trace_file != "-") {
+      file_out.open(trace_file, std::ios::binary);
+      if (!file_out) die("cannot open trace file '" + trace_file + "'");
+    }
+    std::ostream& out = trace_file == "-" ? std::cout : file_out;
+    if (trace_format == "jsonl") {
+      write_trace_jsonl(out, result.trace);
+    } else if (trace_format == "chrome") {
+      write_trace_chrome(out, result.trace);
+    } else {
+      write_trace_dot(out, result.trace);
+    }
+    if (&out == &file_out && !file_out) {
+      die("failed writing trace file '" + trace_file + "'");
+    }
+  }
+
+  bool audit_ok = true;
+  if (audit) {
+    const AuditReport report = audit_trace(result.trace);
+    audit_ok = report.ok();
+    if (!metrics_json) std::printf("%s\n", report.summary().c_str());
+    for (const std::string& v : report.violations) {
+      std::fprintf(stderr, "audit !! %s\n", v.c_str());
+    }
+  }
+
+  if (metrics_json) {
+    std::fputs(result_json(config, result).c_str(), stdout);
+    return result.quiesced && result.violations.empty() && audit_ok ? 0 : 1;
+  }
 
   std::printf("quiesced                %s (t = %.2f ms simulated)\n",
               result.quiesced ? "yes" : "NO", result.end_time / 1000.0);
@@ -225,5 +292,5 @@ int main(int argc, char** argv) {
       std::printf("  !! %s\n", v.c_str());
     }
   }
-  return result.quiesced && result.violations.empty() ? 0 : 1;
+  return result.quiesced && result.violations.empty() && audit_ok ? 0 : 1;
 }

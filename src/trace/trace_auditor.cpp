@@ -1,0 +1,218 @@
+#include "src/trace/trace_auditor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace optrec {
+
+namespace {
+
+std::size_t cluster_size_of(const std::vector<TraceEvent>& events) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.pid != kNoProcess) n = std::max(n, std::size_t{e.pid} + 1);
+    if (e.peer != kNoProcess) n = std::max(n, std::size_t{e.peer} + 1);
+    n = std::max(n, e.mclock.size());
+  }
+  return n;
+}
+
+/// Invalidation table: (process, failed version) -> restored timestamp.
+/// Re-announcements may only strengthen, so the minimum wins.
+using InvalidationMap = std::map<std::pair<ProcessId, Version>, Timestamp>;
+
+void record_invalidation(InvalidationMap& map, ProcessId who, FtvcEntry failed) {
+  auto [it, inserted] = map.try_emplace({who, failed.ver}, failed.ts);
+  if (!inserted) it->second = std::min(it->second, failed.ts);
+}
+
+/// Is `entry` (a clock component for process p) invalidated by `map`?
+bool invalidated(const InvalidationMap& map, ProcessId p, FtvcEntry entry) {
+  const auto it = map.find({p, entry.ver});
+  return it != map.end() && entry.ts > it->second;
+}
+
+}  // namespace
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  os << "audit: " << (ok() ? "OK" : "VIOLATED") << " sends=" << sends
+     << " deliveries=" << deliveries << " replays=" << replays
+     << " obsolete=" << obsolete_discards << " crashes=" << crashes
+     << " rollbacks=" << rollbacks
+     << " (max " << max_rollbacks_per_process_per_failure << "/proc/failure)"
+     << " violations=" << violations.size();
+  return os.str();
+}
+
+AuditReport audit_trace(const std::vector<TraceEvent>& events) {
+  AuditReport report;
+  const std::size_t n = cluster_size_of(events);
+
+  // Per-process protocol knowledge of invalidated states, fed by the tokens
+  // the process itself logged (check 2 judges a delivery only against what
+  // the receiver provably knew at that moment).
+  std::vector<InvalidationMap> known(n);
+  // Global announcement table for the end-of-trace orphan check (3).
+  InvalidationMap announced;
+  // Tokens each process has logged, for rollback-provenance check (4).
+  std::vector<std::set<std::tuple<ProcessId, Version, Timestamp>>> tokens_seen(n);
+  // Surviving deliveries per process: delivery count -> message clock.
+  std::vector<std::map<std::uint64_t, std::vector<FtvcEntry>>> surviving(n);
+  // Rollback budget: failure -> process -> rollback count.
+  std::map<std::pair<ProcessId, Version>, std::map<ProcessId, std::uint64_t>>
+      budget;
+  std::vector<std::uint64_t> open_crashes(n, 0);
+
+  std::uint64_t last_seq = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first && e.seq < last_seq) {
+      report.violations.push_back("trace not in seq order at #" +
+                                  std::to_string(e.seq));
+    }
+    first = false;
+    last_seq = e.seq;
+    if (e.pid == kNoProcess || e.pid >= n) continue;
+
+    switch (e.type) {
+      case TraceEventType::kSend:
+        if ((e.detail & kTraceSendControl) == 0 &&
+            (e.detail & kTraceSendRetransmission) == 0) {
+          ++report.sends;
+        }
+        break;
+
+      case TraceEventType::kDeliver:
+      case TraceEventType::kReplay: {
+        if (e.type == TraceEventType::kDeliver) ++report.deliveries;
+        else ++report.replays;
+        // Check 2 (Lemma 4): the receiver must never deliver a message whose
+        // clock depends on a state it has already learned is invalid.
+        for (std::size_t p = 0; p < e.mclock.size(); ++p) {
+          if (invalidated(known[e.pid], static_cast<ProcessId>(p),
+                          e.mclock[p])) {
+            std::ostringstream os;
+            os << "obsolete delivery at #" << e.seq << ": P" << e.pid
+               << (e.type == TraceEventType::kReplay ? " replayed" : " delivered")
+               << " msg " << e.msg_id << " depending on invalidated P" << p
+               << ' ' << e.mclock[p].to_string();
+            report.violations.push_back(os.str());
+          }
+        }
+        surviving[e.pid][e.count] = e.mclock;
+        break;
+      }
+
+      case TraceEventType::kPostpone: ++report.postponements; break;
+      case TraceEventType::kDiscardObsolete: ++report.obsolete_discards; break;
+      case TraceEventType::kDiscardDuplicate:
+        ++report.duplicate_discards;
+        break;
+
+      case TraceEventType::kCrash: {
+        ++report.crashes;
+        ++open_crashes[e.pid];
+        // Volatile deliveries died with the process.
+        auto& alive = surviving[e.pid];
+        alive.erase(alive.upper_bound(e.count), alive.end());
+        break;
+      }
+
+      case TraceEventType::kRestart:
+        ++report.restarts;
+        if (open_crashes[e.pid] == 0) {
+          report.violations.push_back("restart without crash at #" +
+                                      std::to_string(e.seq));
+        } else {
+          --open_crashes[e.pid];
+        }
+        break;
+
+      case TraceEventType::kRollback: {
+        ++report.rollbacks;
+        const auto failure = e.origin != kNoProcess
+                                 ? std::pair{e.origin, e.origin_ver}
+                                 : std::pair{e.peer, e.ref.ver};
+        ++budget[failure][e.pid];
+        // Check 4: a token-triggered rollback must follow the token.
+        if (e.peer != kNoProcess &&
+            tokens_seen[e.pid].count({e.peer, e.ref.ver, e.ref.ts}) == 0) {
+          std::ostringstream os;
+          os << "rollback without token at #" << e.seq << ": P" << e.pid
+             << " rolled back for unseen announcement P" << e.peer << ' '
+             << e.ref.to_string();
+          report.violations.push_back(os.str());
+        }
+        auto& alive = surviving[e.pid];
+        alive.erase(alive.upper_bound(e.count), alive.end());
+        break;
+      }
+
+      case TraceEventType::kTokenBroadcast:
+        // The announcer knows its own announcement (it logged the token
+        // before broadcasting).
+        record_invalidation(known[e.pid], e.pid, e.ref);
+        record_invalidation(announced, e.pid, e.ref);
+        tokens_seen[e.pid].insert({e.pid, e.ref.ver, e.ref.ts});
+        break;
+
+      case TraceEventType::kTokenProcess:
+        ++report.tokens_processed;
+        record_invalidation(known[e.pid], e.peer, e.ref);
+        tokens_seen[e.pid].insert({e.peer, e.ref.ver, e.ref.ts});
+        break;
+
+      case TraceEventType::kCheckpoint: ++report.checkpoints; break;
+
+      case TraceEventType::kLogFlush:
+      case TraceEventType::kOutputCommit:
+      case TraceEventType::kGc:
+        break;
+    }
+  }
+
+  // Check 1: at most one rollback per process per failure (Table 1).
+  for (const auto& [failure, per_process] : budget) {
+    for (const auto& [pid, count] : per_process) {
+      report.max_rollbacks_per_process_per_failure =
+          std::max(report.max_rollbacks_per_process_per_failure, count);
+      if (count > 1) {
+        std::ostringstream os;
+        os << "rollback budget exceeded: P" << pid << " rolled back " << count
+           << " times for failure P" << failure.first << " v" << failure.second;
+        report.violations.push_back(os.str());
+      }
+    }
+  }
+
+  // Check 3 (Lemma 3): no surviving state depends on an invalidated state.
+  for (std::size_t pid = 0; pid < n; ++pid) {
+    for (const auto& [count, mclock] : surviving[pid]) {
+      for (std::size_t p = 0; p < mclock.size(); ++p) {
+        if (invalidated(announced, static_cast<ProcessId>(p), mclock[p])) {
+          std::ostringstream os;
+          os << "orphan state survived: P" << pid << " delivery #" << count
+             << " depends on invalidated P" << p << ' '
+             << mclock[p].to_string();
+          report.violations.push_back(os.str());
+        }
+      }
+    }
+  }
+
+  // Check 4 (tail): every crash recovered before the trace ended.
+  for (std::size_t pid = 0; pid < n; ++pid) {
+    if (open_crashes[pid] > 0) {
+      report.violations.push_back("P" + std::to_string(pid) +
+                                  " ended the trace crashed");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace optrec

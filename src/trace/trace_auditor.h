@@ -1,0 +1,58 @@
+// Trace-driven invariant auditor.
+//
+// Replays a recorded TraceEvent stream and independently verifies the
+// paper's correctness claims, with no access to protocol internals — the
+// trace alone must prove the run correct. This turns the observability
+// layer into an oracle that cross-checks both the Metrics counters and the
+// in-simulation truth oracles:
+//
+//  1. Rollback budget (Theorem, Table 1): every process rolls back at most
+//     once per failure. The cascading (Strom-Yemini) baseline fails this.
+//  2. Obsolete-delivery discipline (Lemma 4): once a process has logged a
+//     token invalidating (j, v, ts > t), it never again delivers a message
+//     whose clock depends on an invalidated state.
+//  3. Orphan extinction (Lemma 3): at the end of the trace no surviving
+//     delivered state depends on any state invalidated by a failure
+//     announcement — orphans are detected and undone before quiescence.
+//  4. Lifecycle sanity: every crash is followed by a restart; every
+//     token-triggered rollback was preceded by the matching token receipt.
+//
+// Checks 2 and 3 need the piggybacked clocks recorded on deliver events;
+// for baselines that do not piggyback an FTVC they vacuously pass, while
+// checks 1 and 4 remain meaningful for every protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace optrec {
+
+/// Audit outcome plus independently recomputed counters, so tests can
+/// cross-check the trace against Metrics and Network::Stats.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  std::uint64_t sends = 0;              // app-message sends (non-control)
+  std::uint64_t deliveries = 0;         // fresh deliveries
+  std::uint64_t replays = 0;
+  std::uint64_t obsolete_discards = 0;
+  std::uint64_t duplicate_discards = 0;
+  std::uint64_t postponements = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t tokens_processed = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t max_rollbacks_per_process_per_failure = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Replay `events` (in seq order) and audit the invariants above.
+AuditReport audit_trace(const std::vector<TraceEvent>& events);
+
+}  // namespace optrec

@@ -1,0 +1,42 @@
+#include "src/trace/trace_event.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace optrec {
+
+namespace {
+constexpr std::array<const char*, 15> kTypeNames = {
+    "send",           "deliver",       "replay",
+    "postpone",       "discard_obsolete", "discard_duplicate",
+    "crash",          "restart",       "rollback",
+    "token_broadcast", "token_process", "checkpoint",
+    "log_flush",      "output_commit", "gc",
+};
+}  // namespace
+
+const char* trace_event_type_name(TraceEventType type) {
+  const auto i = static_cast<std::size_t>(type);
+  if (i >= kTypeNames.size()) return "?";
+  return kTypeNames[i];
+}
+
+TraceEventType trace_event_type_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kTypeNames.size(); ++i) {
+    if (name == kTypeNames[i]) return static_cast<TraceEventType>(i);
+  }
+  throw std::invalid_argument("unknown trace event type '" + name + "'");
+}
+
+std::string TraceEvent::describe() const {
+  std::ostringstream os;
+  os << '#' << seq << " t=" << at << " P" << pid << ' '
+     << trace_event_type_name(type) << ' ' << clock.to_string();
+  if (peer != kNoProcess) os << " peer=P" << peer;
+  if (msg_id != 0) os << " msg=" << msg_id;
+  if (origin != kNoProcess) os << " origin=P" << origin << "v" << origin_ver;
+  return os.str();
+}
+
+}  // namespace optrec

@@ -1,0 +1,353 @@
+#include "src/trace/trace_sink.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace optrec {
+
+namespace {
+
+std::size_t cluster_size_of(const std::vector<TraceEvent>& events) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.pid != kNoProcess) n = std::max(n, std::size_t{e.pid} + 1);
+    if (e.peer != kNoProcess) n = std::max(n, std::size_t{e.peer} + 1);
+    n = std::max(n, e.mclock.size());
+  }
+  return n;
+}
+
+void write_entry_array(JsonWriter& w, const FtvcEntry& e) {
+  w.begin_array().value(e.ver).value(e.ts).end_array();
+}
+
+FtvcEntry entry_from_json(const JsonValue& v) {
+  const auto& a = v.as_array();
+  if (a.size() != 2) throw std::runtime_error("trace: bad clock entry");
+  FtvcEntry e;
+  e.ver = static_cast<Version>(a[0].as_u64());
+  e.ts = a[1].as_u64();
+  return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("seq", e.seq);
+    w.kv("t", e.at);
+    w.kv("type", trace_event_type_name(e.type));
+    w.kv("pid", e.pid);
+    w.kv("v", e.clock.ver);
+    w.kv("ts", e.clock.ts);
+    // Fields at their default value are omitted; read_trace_jsonl restores
+    // the defaults, so the omission is lossless.
+    if (e.peer != kNoProcess) w.kv("peer", e.peer);
+    if (e.msg_id != 0) w.kv("msg", e.msg_id);
+    if (e.send_seq != 0) w.kv("sseq", e.send_seq);
+    if (e.msg_version != 0) w.kv("mver", e.msg_version);
+    if (e.ref != FtvcEntry{}) {
+      w.key("ref");
+      write_entry_array(w, e.ref);
+    }
+    if (e.origin != kNoProcess) w.kv("origin", e.origin);
+    if (e.origin_ver != 0) w.kv("over", e.origin_ver);
+    if (e.count != 0) w.kv("count", e.count);
+    if (e.detail != 0) w.kv("detail", e.detail);
+    if (!e.mclock.empty()) {
+      w.key("mclock").begin_array();
+      for (const FtvcEntry& entry : e.mclock) write_entry_array(w, entry);
+      w.end_array();
+    }
+    w.end_object();
+    os << '\n';
+  }
+}
+
+std::vector<TraceEvent> read_trace_jsonl(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = JsonValue::parse(line);
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                               ex.what());
+    }
+    TraceEvent e;
+    e.seq = v.u64_or("seq", 0);
+    e.at = v.u64_or("t", 0);
+    const JsonValue* type = v.find("type");
+    if (type == nullptr) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": missing type");
+    }
+    try {
+      e.type = trace_event_type_from_name(type->as_string());
+    } catch (const std::invalid_argument& ex) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                               ex.what());
+    }
+    e.pid = static_cast<ProcessId>(v.u64_or("pid", kNoProcess));
+    e.clock.ver = static_cast<Version>(v.u64_or("v", 0));
+    e.clock.ts = v.u64_or("ts", 0);
+    e.peer = static_cast<ProcessId>(v.u64_or("peer", kNoProcess));
+    e.msg_id = v.u64_or("msg", 0);
+    e.send_seq = v.u64_or("sseq", 0);
+    e.msg_version = static_cast<Version>(v.u64_or("mver", 0));
+    if (const JsonValue* ref = v.find("ref")) e.ref = entry_from_json(*ref);
+    e.origin = static_cast<ProcessId>(v.u64_or("origin", kNoProcess));
+    e.origin_ver = static_cast<Version>(v.u64_or("over", 0));
+    e.count = v.u64_or("count", 0);
+    e.detail = v.u64_or("detail", 0);
+    if (const JsonValue* mclock = v.find("mclock")) {
+      for (const JsonValue& entry : mclock->as_array()) {
+        e.mclock.push_back(entry_from_json(entry));
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event format (Perfetto / chrome://tracing)
+// ---------------------------------------------------------------------------
+
+void write_trace_chrome(std::ostream& os,
+                        const std::vector<TraceEvent>& events) {
+  const std::size_t n = cluster_size_of(events);
+
+  // Pre-pass: pair each crash with the next restart of the same process so
+  // downtime renders as one duration slice.
+  std::map<std::uint64_t, SimTime> downtime;  // crash seq -> restart time
+  {
+    std::vector<std::vector<std::uint64_t>> open(n);
+    for (const TraceEvent& e : events) {
+      if (e.pid >= n) continue;
+      if (e.type == TraceEventType::kCrash) {
+        open[e.pid].push_back(e.seq);
+      } else if (e.type == TraceEventType::kRestart && !open[e.pid].empty()) {
+        downtime[open[e.pid].front()] = e.at;
+        open[e.pid].erase(open[e.pid].begin());
+      }
+    }
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  // Track naming: one emulated OS process ("cluster"), one thread per
+  // simulated process, sorted by pid.
+  w.begin_object();
+  w.kv("name", "process_name").kv("ph", "M").kv("pid", 0);
+  w.key("args").begin_object().kv("name", "optrec cluster").end_object();
+  w.end_object();
+  for (std::size_t pid = 0; pid < n; ++pid) {
+    w.begin_object();
+    w.kv("name", "thread_name").kv("ph", "M").kv("pid", 0).kv("tid", pid);
+    w.key("args")
+        .begin_object()
+        .kv("name", "P" + std::to_string(pid))
+        .end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "thread_sort_index").kv("ph", "M").kv("pid", 0).kv("tid", pid);
+    w.key("args").begin_object().kv("sort_index", pid).end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& e : events) {
+    if (e.pid == kNoProcess) continue;
+
+    if (e.type == TraceEventType::kCrash) {
+      const auto it = downtime.find(e.seq);
+      const SimTime until = it == downtime.end() ? e.at : it->second;
+      w.begin_object();
+      w.kv("name", "down").kv("cat", "failure").kv("ph", "X");
+      w.kv("ts", e.at).kv("dur", until - e.at);
+      w.kv("pid", 0).kv("tid", e.pid);
+      w.key("args")
+          .begin_object()
+          .kv("lost_deliveries", e.detail)
+          .kv("recoverable", e.count)
+          .end_object();
+      w.end_object();
+    }
+
+    w.begin_object();
+    w.kv("name", trace_event_type_name(e.type));
+    w.kv("cat", "protocol").kv("ph", "i").kv("s", "t");
+    w.kv("ts", e.at).kv("pid", 0).kv("tid", e.pid);
+    w.key("args").begin_object();
+    w.kv("clock", e.clock.to_string());
+    if (e.peer != kNoProcess) w.kv("peer", e.peer);
+    if (e.msg_id != 0) w.kv("msg", e.msg_id);
+    if (e.ref != FtvcEntry{}) w.kv("ref", e.ref.to_string());
+    if (e.origin != kNoProcess) {
+      w.kv("origin", "P" + std::to_string(e.origin) + "v" +
+                         std::to_string(e.origin_ver));
+    }
+    if (e.count != 0) w.kv("count", e.count);
+    if (e.detail != 0) w.kv("detail", e.detail);
+    w.end_object();
+    w.end_object();
+
+    // Message flow arrows: send -> deliver/replay, keyed by the network-
+    // assigned message id (unique per send).
+    if (e.msg_id != 0) {
+      const bool is_send = e.type == TraceEventType::kSend;
+      const bool is_recv = e.type == TraceEventType::kDeliver ||
+                           e.type == TraceEventType::kReplay;
+      if (is_send || is_recv) {
+        w.begin_object();
+        w.kv("name", "msg").kv("cat", "msg");
+        w.kv("ph", is_send ? "s" : "f");
+        if (!is_send) w.kv("bp", "e");
+        w.kv("id", e.msg_id);
+        w.kv("ts", e.at).kv("pid", 0).kv("tid", e.pid);
+        w.end_object();
+      }
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Graphviz DOT space-time diagram (paper Figures 1 / 5 from live runs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DotStyle {
+  const char* shape;
+  const char* color;     // border/text
+  const char* fill;
+  char tag;              // compact label prefix
+};
+
+DotStyle dot_style(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSend: return {"ellipse", "black", "white", 's'};
+    case TraceEventType::kDeliver: return {"ellipse", "black", "white", 'd'};
+    case TraceEventType::kReplay: return {"ellipse", "gray40", "gray92", 'r'};
+    case TraceEventType::kPostpone:
+      return {"ellipse", "gray40", "lightyellow", 'p'};
+    case TraceEventType::kDiscardObsolete:
+      return {"ellipse", "gray40", "mistyrose", 'x'};
+    case TraceEventType::kDiscardDuplicate:
+      return {"ellipse", "gray60", "gray95", '2'};
+    case TraceEventType::kCrash: return {"box", "red3", "lightpink", 'F'};
+    case TraceEventType::kRestart: return {"box", "green4", "palegreen", 'R'};
+    case TraceEventType::kRollback:
+      return {"box", "orange3", "moccasin", 'B'};
+    case TraceEventType::kTokenBroadcast:
+      return {"diamond", "blue3", "lightskyblue", 'T'};
+    case TraceEventType::kTokenProcess:
+      return {"diamond", "blue3", "azure", 't'};
+    case TraceEventType::kCheckpoint:
+      return {"box", "gray30", "lightgray", 'C'};
+    default: return {"ellipse", "gray60", "white", '.'};
+  }
+}
+
+bool dot_shows(TraceEventType type) {
+  switch (type) {
+    // Storage-timer noise stays out of the diagram; everything causal is in.
+    case TraceEventType::kLogFlush:
+    case TraceEventType::kOutputCommit:
+    case TraceEventType::kGc:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void write_trace_dot(std::ostream& os, const std::vector<TraceEvent>& events) {
+  const std::size_t n = cluster_size_of(events);
+
+  std::vector<std::vector<const TraceEvent*>> lanes(n);
+  std::map<MsgId, std::uint64_t> send_node;       // msg id -> send event seq
+  // Announcement identity -> broadcast event seq (latest wins; cascading may
+  // re-announce the same version with a smaller timestamp).
+  std::map<std::tuple<ProcessId, Version, Timestamp>, std::uint64_t> bcast_node;
+  for (const TraceEvent& e : events) {
+    if (e.pid == kNoProcess || e.pid >= n || !dot_shows(e.type)) continue;
+    lanes[e.pid].push_back(&e);
+    if (e.type == TraceEventType::kSend) send_node[e.msg_id] = e.seq;
+    if (e.type == TraceEventType::kTokenBroadcast) {
+      bcast_node[{e.pid, e.ref.ver, e.ref.ts}] = e.seq;
+    }
+  }
+
+  os << "digraph spacetime {\n"
+     << "  rankdir=LR;\n"
+     << "  fontname=\"Helvetica\";\n"
+     << "  node [fontname=\"Helvetica\", fontsize=9, style=filled];\n"
+     << "  edge [fontsize=8];\n";
+
+  for (std::size_t pid = 0; pid < n; ++pid) {
+    os << "  subgraph cluster_p" << pid << " {\n"
+       << "    label=\"P" << pid << "\";\n"
+       << "    color=gray70;\n";
+    for (const TraceEvent* e : lanes[pid]) {
+      const DotStyle st = dot_style(e->type);
+      os << "    e" << e->seq << " [label=\"" << st.tag << " ("
+         << e->clock.ver << ',' << e->clock.ts << ")\\nt=" << e->at / 1000
+         << "ms\", shape=" << st.shape << ", color=" << st.color
+         << ", fillcolor=" << st.fill << "];\n";
+    }
+    // Process timeline: a heavy chain holding the lane in time order.
+    for (std::size_t i = 1; i < lanes[pid].size(); ++i) {
+      os << "    e" << lanes[pid][i - 1]->seq << " -> e" << lanes[pid][i]->seq
+         << " [weight=100, color=gray55, arrowsize=0.5];\n";
+    }
+    os << "  }\n";
+  }
+
+  // Cross-lane edges: message delivery (solid) and token receipt (dashed).
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kDeliver ||
+        e.type == TraceEventType::kReplay) {
+      const auto it = send_node.find(e.msg_id);
+      if (it != send_node.end()) {
+        os << "  e" << it->second << " -> e" << e.seq
+           << " [constraint=false, color="
+           << (e.type == TraceEventType::kReplay ? "gray60" : "black")
+           << "];\n";
+      }
+    } else if (e.type == TraceEventType::kTokenProcess) {
+      const auto it = bcast_node.find({e.peer, e.ref.ver, e.ref.ts});
+      if (it != bcast_node.end()) {
+        os << "  e" << it->second << " -> e" << e.seq
+           << " [constraint=false, style=dashed, color=blue3];\n";
+      }
+    }
+  }
+
+  os << "}\n";
+}
+
+}  // namespace optrec

@@ -1,0 +1,41 @@
+// Trace sinks: render a recorded event stream in three formats.
+//
+//  * JSONL — one JSON object per event per line; the archival format. It
+//    round-trips losslessly through read_jsonl, so traces can be stored,
+//    diffed, and re-audited offline.
+//  * Chrome trace-event JSON — loadable in Perfetto (ui.perfetto.dev) or
+//    chrome://tracing. One track per process; crash downtime appears as a
+//    duration slice, every protocol event as an instant, and each message
+//    as a flow arrow from its send to its delivery.
+//  * Graphviz DOT — a space-time diagram in the style of the paper's
+//    Figures 1 and 5: one horizontal lane of event nodes per process,
+//    message edges between lanes, token broadcasts dashed, failures and
+//    rollbacks highlighted.
+//
+// All three writers are deterministic functions of the event list, so
+// exports of identical runs are byte-identical (golden-stable).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace optrec {
+
+/// One compact JSON object per event, in seq order, '\n'-terminated.
+void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Inverse of write_trace_jsonl. Unknown keys are ignored; missing keys take
+/// the TraceEvent defaults. Throws std::runtime_error on malformed lines.
+std::vector<TraceEvent> read_trace_jsonl(std::istream& is);
+
+/// Chrome trace-event format ("JSON object format" with a traceEvents
+/// array), microsecond timestamps matching SimTime.
+void write_trace_chrome(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Graphviz space-time diagram; render with `dot -Tsvg trace.dot`.
+void write_trace_dot(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace optrec

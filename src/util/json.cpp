@@ -1,0 +1,372 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace optrec {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (counts_.back()++ > 0) os_ << ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  counts_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  counts_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (counts_.back()++ > 0) os_ << ',';
+  write_escaped(os_, k);
+  os_ << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  write_escaped(os_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue / parser
+// ---------------------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+  return num_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+  if (exact_u64_) return u64_;
+  if (num_ < 0) throw std::runtime_error("json: negative where u64 expected");
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("json: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("json: not an array");
+  return arr_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(k);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t JsonValue::u64_or(const std::string& k,
+                                std::uint64_t fallback) const {
+  const JsonValue* v = find(k);
+  return v ? v->as_u64() : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.str_ = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // We only ever emit \u00XX control escapes; reject the rest rather
+          // than mis-decode surrogate pairs.
+          if (code > 0xff) fail("unsupported \\u escape");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) fail("expected a value");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    // Plain non-negative integers keep their exact 64-bit value.
+    if (tok.find_first_of(".eE-") == std::string_view::npos) {
+      std::uint64_t u = 0;
+      const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), u);
+      if (ec == std::errc() && p == tok.end()) {
+        v.u64_ = u;
+        v.exact_u64_ = true;
+        v.num_ = static_cast<double>(u);
+        return v;
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), d);
+    if (ec != std::errc() || p != tok.end()) fail("bad number");
+    v.num_ = d;
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj_.emplace(std::move(k), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace optrec

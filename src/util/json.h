@@ -1,0 +1,105 @@
+// Minimal JSON support for machine-readable output (trace sinks,
+// --metrics-json) and for reading our own emissions back (JSONL round-trip).
+//
+// Deliberately tiny: a streaming writer and a strict recursive-descent
+// reader covering the JSON subset this codebase emits — objects, arrays,
+// strings, unsigned/signed/floating numbers, booleans, null. Not a
+// general-purpose library; no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optrec {
+
+/// Streaming JSON writer. Tracks nesting so call sites read linearly:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("pid").value(3);
+///   w.key("clock").begin_array().value(1).value(7).end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Write an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(int v) { return value(std::int64_t{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  static void write_escaped(std::ostream& os, std::string_view s);
+
+ private:
+  void separate();
+
+  std::ostream& os_;
+  /// Per-depth element counters; top-level is depth 0.
+  std::vector<std::uint32_t> counts_{0};
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (tree form). Numbers are stored as double plus the
+/// original unsigned value when the token was a plain non-negative integer,
+/// so 64-bit ids round-trip exactly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& k) const;
+  /// find() + as_u64() with a default for absent members.
+  std::uint64_t u64_or(const std::string& k, std::uint64_t fallback) const;
+
+  /// Strict parse of exactly one JSON document (throws std::runtime_error
+  /// on malformed input or trailing garbage).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t u64_ = 0;
+  bool exact_u64_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,77 @@
+// Focused unit tests for the Metrics helpers (the cross-protocol behaviour
+// is exercised by harness_test.cpp; these pin down the arithmetic).
+#include <gtest/gtest.h>
+
+#include "src/harness/metrics.h"
+
+namespace optrec {
+namespace {
+
+TEST(MetricsSummaryTest, EmptyMetrics) {
+  const Metrics m;
+  EXPECT_EQ(m.summary(),
+            "sent=0 delivered=0 obsolete=0 postponed=0 crashes=0 rollbacks=0 "
+            "replayed=0 ckpts=0 piggyback/msg=0");
+}
+
+TEST(MetricsSummaryTest, ReflectsCounters) {
+  Metrics m;
+  m.app_messages_sent = 10;
+  m.messages_delivered = 9;
+  m.messages_discarded_obsolete = 2;
+  m.messages_postponed = 3;
+  m.crashes = 1;
+  m.count_rollback({0, 0}, 1);
+  m.messages_replayed = 4;
+  m.checkpoints_taken = 5;
+  m.piggyback_bytes = 25;
+  EXPECT_EQ(m.summary(),
+            "sent=10 delivered=9 obsolete=2 postponed=3 crashes=1 rollbacks=1 "
+            "replayed=4 ckpts=5 piggyback/msg=2.5");
+}
+
+TEST(MetricsMaxRollbacksTest, ZeroWithoutRollbacks) {
+  const Metrics m;
+  EXPECT_EQ(m.max_rollbacks_per_process_per_failure(), 0u);
+}
+
+TEST(MetricsMaxRollbacksTest, OnePerProcessPerFailure) {
+  Metrics m;
+  // Two distinct failures, each rolling back three distinct processes once:
+  // the Damani-Garg guarantee shape.
+  for (ProcessId who : {1u, 2u, 3u}) m.count_rollback({0, 0}, who);
+  for (ProcessId who : {0u, 2u, 3u}) m.count_rollback({1, 4}, who);
+  EXPECT_EQ(m.rollbacks, 6u);
+  EXPECT_EQ(m.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(MetricsMaxRollbacksTest, MaxIsPerProcessNotPerFailure) {
+  Metrics m;
+  // Failure (0,0) causes four rollbacks total but no process repeats, while
+  // failure (5,1) makes P2 roll back three times (a cascade). The metric
+  // must report the repeat count, not the per-failure total.
+  for (ProcessId who : {1u, 2u, 3u, 4u}) m.count_rollback({0, 0}, who);
+  for (int i = 0; i < 3; ++i) m.count_rollback({5, 1}, 2);
+  EXPECT_EQ(m.max_rollbacks_per_process_per_failure(), 3u);
+}
+
+TEST(MetricsMaxRollbacksTest, DistinguishesFailuresByVersion) {
+  Metrics m;
+  // Same process failing twice (versions 0 and 1) rolls P3 back once each:
+  // two failures, not one failure with two rollbacks.
+  m.count_rollback({0, 0}, 3);
+  m.count_rollback({0, 1}, 3);
+  EXPECT_EQ(m.rollbacks, 2u);
+  EXPECT_EQ(m.max_rollbacks_per_process_per_failure(), 1u);
+}
+
+TEST(MetricsPiggybackTest, PerMessageAverage) {
+  Metrics m;
+  EXPECT_EQ(m.piggyback_per_message(), 0.0);  // no division by zero
+  m.app_messages_sent = 4;
+  m.piggyback_bytes = 100;
+  EXPECT_DOUBLE_EQ(m.piggyback_per_message(), 25.0);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,86 @@
+// Unit tests for the TraceEvent record and the TraceRecorder.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/trace/trace_event.h"
+
+namespace optrec {
+namespace {
+
+TEST(TraceEventTypeTest, NamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(TraceEventType::kGc); ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    const char* name = trace_event_type_name(type);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(trace_event_type_from_name(name), type)
+        << "round-trip failed for '" << name << "'";
+  }
+}
+
+TEST(TraceEventTypeTest, KnownWireNames) {
+  // These names are the JSONL wire format; changing them breaks stored
+  // traces, so pin them.
+  EXPECT_STREQ(trace_event_type_name(TraceEventType::kSend), "send");
+  EXPECT_STREQ(trace_event_type_name(TraceEventType::kDiscardObsolete),
+               "discard_obsolete");
+  EXPECT_STREQ(trace_event_type_name(TraceEventType::kTokenBroadcast),
+               "token_broadcast");
+  EXPECT_STREQ(trace_event_type_name(TraceEventType::kGc), "gc");
+}
+
+TEST(TraceEventTypeTest, UnknownNameThrows) {
+  EXPECT_THROW(trace_event_type_from_name("no-such-event"),
+               std::invalid_argument);
+}
+
+TEST(TraceRecorderTest, StampsSequenceInEmitOrder) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent e;
+    e.type = TraceEventType::kDeliver;
+    e.pid = 1;
+    e.seq = 999;  // recorder must overwrite
+    rec.emit(std::move(e));
+  }
+  ASSERT_EQ(rec.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rec.events()[i].seq, i);
+  }
+}
+
+TEST(TraceRecorderTest, TakeMovesAndLeavesEmpty) {
+  TraceRecorder rec;
+  rec.emit(TraceEvent{});
+  const auto events = rec.take();
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(TraceEventTest, EqualityCoversAllFields) {
+  TraceEvent a;
+  a.type = TraceEventType::kRollback;
+  a.pid = 2;
+  a.clock = {3, 17};
+  a.mclock = {{0, 1}, {3, 17}};
+  TraceEvent b = a;
+  EXPECT_EQ(a, b);
+  b.mclock[1].ts = 18;
+  EXPECT_NE(a, b);
+  b = a;
+  b.detail = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceEventTest, DescribeMentionsTypeAndProcess) {
+  TraceEvent e;
+  e.type = TraceEventType::kCrash;
+  e.pid = 3;
+  const std::string text = e.describe();
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("P3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,123 @@
+// Tests for the minimal JSON writer/parser backing the trace sinks and
+// --metrics-json.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/json.h"
+
+namespace optrec {
+namespace {
+
+std::string write(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  return os.str();
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a", std::uint64_t{1});
+    w.key("b").begin_array().value(2).value(3).end_array();
+    w.key("c").begin_object().kv("d", true).end_object();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"a":1,"b":[2,3],"c":{"d":true}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("s", "a\"b\\c\nd\te");
+    w.end_object();
+  });
+  EXPECT_EQ(out, "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  const std::string out = write([](JsonWriter& w) {
+    w.value(std::string_view("\x01", 1));
+  });
+  EXPECT_EQ(out, "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, LargeU64Exact) {
+  const std::uint64_t big = 0xffffffffffffffffull;
+  const std::string out = write([&](JsonWriter& w) { w.value(big); });
+  EXPECT_EQ(out, "18446744073709551615");
+}
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").as_double(), -250.0);
+  EXPECT_EQ(JsonValue::parse("\"x\\ny\"").as_string(), "x\ny");
+}
+
+TEST(JsonValueTest, U64RoundTripsExactly) {
+  // Doubles lose precision past 2^53; ids must not.
+  const JsonValue v = JsonValue::parse("18446744073709551615");
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+}
+
+TEST(JsonValueTest, ObjectLookup) {
+  const JsonValue v = JsonValue::parse(R"({"a":7,"b":{"c":[1,2]}})");
+  EXPECT_EQ(v.u64_or("a", 0), 7u);
+  EXPECT_EQ(v.u64_or("missing", 42), 42u);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  const JsonValue* c = b->find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->as_array().size(), 2u);
+  EXPECT_EQ(c->as_array()[1].as_u64(), 2u);
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(JsonValueTest, UnicodeEscapeDecodes) {
+  EXPECT_EQ(JsonValue::parse("\"A\\u0001\"").as_string(),
+            std::string("A\x01"));
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);  // trailing
+  EXPECT_THROW(JsonValue::parse("truthy"), std::runtime_error);
+}
+
+TEST(JsonValueTest, KindMismatchThrows) {
+  const JsonValue v = JsonValue::parse("3");
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+}
+
+TEST(JsonRoundTripTest, WriterOutputParses) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("n", std::uint64_t{12345678901234567ull});
+    w.kv("f", 1.5);
+    w.kv("neg", std::int64_t{-9});
+    w.key("list").begin_array().value("a").value(false).null().end_array();
+    w.end_object();
+  });
+  const JsonValue v = JsonValue::parse(out);
+  EXPECT_EQ(v.u64_or("n", 0), 12345678901234567ull);
+  EXPECT_DOUBLE_EQ(v.find("f")->as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_double(), -9.0);
+  const auto& list = v.find("list")->as_array();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].as_string(), "a");
+  EXPECT_EQ(list[1].as_bool(), false);
+  EXPECT_TRUE(list[2].is_null());
+}
+
+}  // namespace
+}  // namespace optrec

@@ -1,0 +1,75 @@
+// Tests for the leveled logger: sink capture, level filtering, lazy
+// evaluation of the stream expression.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/log.h"
+
+namespace optrec {
+namespace {
+
+/// Redirects the global sink/level for one test and restores the defaults
+/// afterwards so later tests (and other suites) see stderr logging again.
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel level, const std::string& text) {
+      captured_.emplace_back(level, text);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogCaptureTest, SinkReceivesMessageAndLevel) {
+  set_log_level(LogLevel::kInfo);
+  OPTREC_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LogCaptureTest, LevelFiltersBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  OPTREC_LOG(kDebug) << "dropped";
+  OPTREC_LOG(kInfo) << "dropped too";
+  OPTREC_LOG(kWarn) << "kept";
+  OPTREC_LOG(kError) << "kept too";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "kept");
+  EXPECT_EQ(captured_[1].second, "kept too");
+}
+
+TEST_F(LogCaptureTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  OPTREC_LOG(kError) << "nothing";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogCaptureTest, DisabledStreamExpressionNotEvaluated) {
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  OPTREC_LOG(kDebug) << probe();
+  EXPECT_EQ(evaluations, 0);
+  OPTREC_LOG(kWarn) << probe();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogLevelNameTest, Names) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+}
+
+}  // namespace
+}  // namespace optrec
