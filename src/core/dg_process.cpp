@@ -64,7 +64,8 @@ void DamaniGargProcess::handle_message(const Message& msg) {
 void DamaniGargProcess::receive_app_message(const Message& msg) {
   // Obsolete (Lemma 4): the message depends on a state beyond a restored
   // point we know about — sent by a lost or orphan state.
-  if (history_.is_obsolete(msg.clock)) {
+  if (!config().ablation_skip_obsolete_filter &&
+      history_.is_obsolete(msg.clock)) {
     ++metrics().messages_discarded_obsolete;
     if (oracle()) oracle()->record_discard(msg.id);
     trace_message(TraceEventType::kDiscardObsolete, msg);

@@ -1,0 +1,159 @@
+#include "src/explore/case_mutator.h"
+
+#include <algorithm>
+
+namespace optrec {
+
+namespace {
+
+CrashEvent random_crash(const CaseGenOptions& options, Rng& rng) {
+  CrashEvent e;
+  e.pid = static_cast<ProcessId>(rng.uniform(options.base.n));
+  e.at = rng.uniform(options.fault_window + 1);
+  return e;
+}
+
+PartitionEvent random_partition(const CaseGenOptions& options, Rng& rng) {
+  PartitionEvent e;
+  e.at = rng.uniform(options.fault_window + 1);
+  e.heal_at = e.at + millis(5) + rng.uniform(options.fault_window + 1);
+  e.groups.assign(2, {});
+  for (ProcessId pid = 0; pid < options.base.n; ++pid) {
+    e.groups[rng.uniform(2)].push_back(pid);
+  }
+  // A one-sided split is a no-op partition; force at least one island.
+  if (e.groups[0].empty() || e.groups[1].empty()) {
+    const ProcessId lone = static_cast<ProcessId>(rng.uniform(options.base.n));
+    e.groups[0].assign({lone});
+    e.groups[1].clear();
+    for (ProcessId pid = 0; pid < options.base.n; ++pid) {
+      if (pid != lone) e.groups[1].push_back(pid);
+    }
+  }
+  return e;
+}
+
+void sort_crashes(FailurePlan& plan) {
+  std::sort(plan.crashes.begin(), plan.crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) { return a.at < b.at; });
+}
+
+}  // namespace
+
+ExploreCase random_case(const CaseGenOptions& options, Rng& rng) {
+  ExploreCase c;
+  c.scenario = options.base;
+  c.scenario.schedule_hook = nullptr;  // installed per-run, never inherited
+  c.scenario.seed = rng.next_u64();
+  c.schedule.seed = rng.next_u64();
+
+  c.schedule.reorder_prob = rng.chance(0.75) ? rng.uniform01() * 0.5 : 0.0;
+  c.schedule.max_extra_delay =
+      c.schedule.reorder_prob > 0 ? rng.uniform(options.max_extra_delay + 1) : 0;
+  c.schedule.drop_prob =
+      rng.chance(0.5) ? rng.uniform01() * options.max_drop_prob : 0.0;
+  c.schedule.dup_prob =
+      rng.chance(0.35) ? rng.uniform01() * options.max_dup_prob : 0.0;
+
+  c.scenario.failures = FailurePlan::none();
+  const std::size_t crashes = rng.uniform(options.max_crashes + 1);
+  for (std::size_t k = 0; k < crashes; ++k) {
+    c.scenario.failures.crashes.push_back(random_crash(options, rng));
+  }
+  // Concurrent failures are a headline paper scenario: sometimes align them.
+  if (crashes >= 2 && rng.chance(0.3)) {
+    for (CrashEvent& e : c.scenario.failures.crashes) {
+      e.at = c.scenario.failures.crashes.front().at;
+    }
+  }
+  sort_crashes(c.scenario.failures);
+
+  const std::size_t partitions = rng.uniform(options.max_partitions + 1);
+  for (std::size_t k = 0; k < partitions; ++k) {
+    c.scenario.failures.partitions.push_back(random_partition(options, rng));
+  }
+  return c;
+}
+
+ExploreCase mutate_case(const ExploreCase& parent,
+                        const CaseGenOptions& options, Rng& rng) {
+  ExploreCase c = parent;
+  c.scenario.schedule_hook = nullptr;
+  const std::size_t edits = 1 + rng.uniform(3);
+  for (std::size_t k = 0; k < edits; ++k) {
+    switch (rng.uniform(12)) {
+      case 0:
+        c.schedule.seed = rng.next_u64();
+        break;
+      case 1:
+        c.scenario.seed = rng.next_u64();
+        break;
+      case 2:
+        c.schedule.reorder_prob = rng.uniform01() * 0.5;
+        if (c.schedule.max_extra_delay == 0) {
+          c.schedule.max_extra_delay = rng.uniform(options.max_extra_delay + 1);
+        }
+        break;
+      case 3:
+        c.schedule.max_extra_delay = rng.uniform(options.max_extra_delay + 1);
+        break;
+      case 4:
+        c.schedule.drop_prob = rng.uniform01() * options.max_drop_prob;
+        break;
+      case 5:
+        c.schedule.dup_prob = rng.uniform01() * options.max_dup_prob;
+        break;
+      case 6:
+        if (c.scenario.failures.crashes.size() < options.max_crashes) {
+          c.scenario.failures.crashes.push_back(random_crash(options, rng));
+          sort_crashes(c.scenario.failures);
+        }
+        break;
+      case 7:
+        if (!c.scenario.failures.crashes.empty()) {
+          c.scenario.failures.crashes.erase(
+              c.scenario.failures.crashes.begin() +
+              rng.uniform(c.scenario.failures.crashes.size()));
+        }
+        break;
+      case 8:
+        if (!c.scenario.failures.crashes.empty()) {
+          c.scenario.failures
+              .crashes[rng.uniform(c.scenario.failures.crashes.size())]
+              .at = rng.uniform(options.fault_window + 1);
+          sort_crashes(c.scenario.failures);
+        }
+        break;
+      case 9:
+        // Align every crash on one instant (concurrent-failure pressure).
+        if (c.scenario.failures.crashes.size() >= 2) {
+          for (CrashEvent& e : c.scenario.failures.crashes) {
+            e.at = c.scenario.failures.crashes.front().at;
+          }
+        }
+        break;
+      case 10:
+        if (c.scenario.failures.partitions.size() < options.max_partitions) {
+          c.scenario.failures.partitions.push_back(
+              random_partition(options, rng));
+        } else if (!c.scenario.failures.partitions.empty()) {
+          c.scenario.failures.partitions.erase(
+              c.scenario.failures.partitions.begin() +
+              rng.uniform(c.scenario.failures.partitions.size()));
+        }
+        break;
+      case 11:
+        if (!c.scenario.failures.partitions.empty()) {
+          PartitionEvent& e =
+              c.scenario.failures
+                  .partitions[rng.uniform(c.scenario.failures.partitions.size())];
+          e.at = rng.uniform(options.fault_window + 1);
+          e.heal_at = e.at + millis(5) + rng.uniform(options.fault_window + 1);
+        }
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace optrec

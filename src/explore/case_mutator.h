@@ -1,0 +1,39 @@
+// Random generation and mutation of ExploreCases: the search moves of the
+// coverage-guided loop.
+//
+// Generation randomizes the *adversarial* dimensions around a fixed base
+// scenario (protocol, workload, cluster size stay as configured): crash
+// counts/times — including deliberately concurrent crashes — partition
+// windows and group splits, reorder/drop/duplicate pressure, and both the
+// workload seed and the schedule seed. Mutation applies a small number of
+// local edits to a corpus entry so the explorer can work outward from a
+// schedule that reached novel coverage.
+#pragma once
+
+#include "src/explore/explore_case.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+struct CaseGenOptions {
+  /// Template scenario; the generator only rewrites seeds, failures and
+  /// (through ScheduleParams) the network decision stream.
+  ScenarioConfig base;
+  std::size_t max_crashes = 2;
+  std::size_t max_partitions = 1;
+  /// Crashes and partition windows land in [0, fault_window].
+  SimTime fault_window = millis(250);
+  SimTime max_extra_delay = millis(80);
+  double max_drop_prob = 0.35;
+  /// Duplicate injection ceiling; set to 0 for protocols without a
+  /// duplicate filter (the paper's model does not require one of them).
+  double max_dup_prob = 0.15;
+};
+
+ExploreCase random_case(const CaseGenOptions& options, Rng& rng);
+
+/// One to three local edits of `parent` (never mutates in place).
+ExploreCase mutate_case(const ExploreCase& parent,
+                        const CaseGenOptions& options, Rng& rng);
+
+}  // namespace optrec

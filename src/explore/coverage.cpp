@@ -1,0 +1,99 @@
+#include "src/explore/coverage.h"
+
+#include <algorithm>
+#include <array>
+
+namespace optrec {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t key3(std::uint64_t domain, std::uint64_t a, std::uint64_t b) {
+  return splitmix64((domain << 48) ^ (a << 24) ^ b);
+}
+
+std::uint64_t log2_bucket(std::uint64_t v) {
+  std::uint64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+constexpr std::size_t kNumTypes =
+    static_cast<std::size_t>(TraceEventType::kGc) + 1;
+
+}  // namespace
+
+std::vector<std::uint64_t> coverage_signatures(
+    const std::vector<TraceEvent>& events, const FailurePlan& plan,
+    std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(events.size() / 4 + 16);
+
+  const SimTime last_planned_crash =
+      plan.crashes.empty() ? 0 : plan.crashes.back().at;
+
+  // Track which processes are down from the trace itself (crash..restart).
+  std::vector<bool> down(n, false);
+  std::size_t down_count = 0;
+  // Previous event type per process, for the bigram keys. kNumTypes = "none".
+  std::vector<std::uint64_t> prev_type(n, kNumTypes);
+  std::array<std::uint64_t, kNumTypes> totals{};
+
+  const auto in_partition = [&plan](SimTime t) {
+    return std::any_of(plan.partitions.begin(), plan.partitions.end(),
+                       [t](const PartitionEvent& p) {
+                         return p.at <= t && t < p.heal_at;
+                       });
+  };
+
+  for (const TraceEvent& e : events) {
+    const auto type = static_cast<std::uint64_t>(e.type);
+    if (type < kNumTypes) ++totals[type];
+
+    std::uint64_t flags = 0;
+    if (in_partition(e.at)) flags |= kSigInPartition;
+    if (down_count >= 1) flags |= kSigOneDown;
+    if (down_count >= 2) flags |= kSigTwoDown;
+    if (e.at < last_planned_crash) flags |= kSigCrashPending;
+
+    keys.push_back(key3(1, type, flags));
+    if (e.pid != kNoProcess && e.pid < n) {
+      keys.push_back(key3(2, prev_type[e.pid] * kNumTypes + type, flags));
+      prev_type[e.pid] = type;
+    }
+
+    // Update the down set AFTER stamping the event's own flags, so a crash
+    // event itself is judged against the pre-crash context.
+    if (e.type == TraceEventType::kCrash && e.pid < n && !down[e.pid]) {
+      down[e.pid] = true;
+      ++down_count;
+    } else if (e.type == TraceEventType::kRestart && e.pid < n && down[e.pid]) {
+      down[e.pid] = false;
+      --down_count;
+    }
+  }
+
+  for (std::size_t t = 0; t < kNumTypes; ++t) {
+    if (totals[t] > 0) keys.push_back(key3(3, t, log2_bucket(totals[t])));
+  }
+  return keys;
+}
+
+std::size_t CoverageMap::add_all(const std::vector<std::uint64_t>& keys) {
+  std::size_t fresh = 0;
+  for (std::uint64_t k : keys) {
+    if (seen_.insert(k).second) ++fresh;
+  }
+  return fresh;
+}
+
+}  // namespace optrec

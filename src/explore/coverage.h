@@ -1,0 +1,59 @@
+// Coverage over protocol-event signatures: the feedback signal that steers
+// the exploration engine toward rare protocol states.
+//
+// A recorded trace is reduced to a set of 64-bit signature keys capturing
+// *qualitative* situations rather than raw counts:
+//
+//  * contextual unigrams — (event type, context flags) where the flags say
+//    whether the event happened during a partition window, while one / two+
+//    processes were down, or while a later crash was still pending. "orphan
+//    detected during partition" or "rollback while a second crash is
+//    pending" are exactly such keys;
+//  * per-process bigrams — (previous event type at this process, current
+//    type, context flags), which distinguish e.g. a rollback right after a
+//    token from a rollback after a postponement release, and catch ordering
+//    oddities like a token arriving between a retransmission's send and its
+//    delivery;
+//  * magnitude buckets — (event type, log2 of total count), so a schedule
+//    that provokes 32 postponements is novel relative to one that provokes 2.
+//
+// A schedule that produces any previously unseen key earns a place in the
+// corpus; the mutation loop then works outward from it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/harness/failure_plan.h"
+#include "src/trace/trace_event.h"
+
+namespace optrec {
+
+/// Context flag bits for signature keys.
+inline constexpr std::uint64_t kSigInPartition = 1;   // inside a partition window
+inline constexpr std::uint64_t kSigOneDown = 2;       // >= 1 process down
+inline constexpr std::uint64_t kSigTwoDown = 4;       // >= 2 processes down
+inline constexpr std::uint64_t kSigCrashPending = 8;  // a later crash is planned
+
+/// Reduce one recorded run to its signature key set. `plan` supplies the
+/// partition windows and planned crash times for the context flags; `n` is
+/// the cluster size (bounds the per-process bigram state).
+std::vector<std::uint64_t> coverage_signatures(
+    const std::vector<TraceEvent>& events, const FailurePlan& plan,
+    std::size_t n);
+
+/// Deduplicating accumulator shared across a sweep (guard with a mutex when
+/// workers run in parallel; the sim itself is single-threaded).
+class CoverageMap {
+ public:
+  /// Insert all keys; returns how many were new.
+  std::size_t add_all(const std::vector<std::uint64_t>& keys);
+  std::size_t size() const { return seen_.size(); }
+  bool contains(std::uint64_t key) const { return seen_.count(key) > 0; }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,84 @@
+// ExploreCase: one fully pinned adversarial run — a ScenarioConfig plus the
+// ScheduleParams that drive the network's delivery decisions — and the
+// self-contained repro artifact format built from it.
+//
+// A repro artifact is one JSON document:
+//
+//   {
+//     "schema": "optrec-explore-repro-v1",
+//     "scenario": { ...scenario_json... },
+//     "schedule": { "seed": ..., "reorder_prob": ..., ... },
+//     "expect":   { "kind": "audit", "category": "rollback budget exceeded" }
+//   }
+//
+// `expect` names the violation the case was minimized against; replaying the
+// artifact (optrec_explore --repro FILE) re-runs the case and checks that
+// the same violation category fires again.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/explore/schedule_mutator.h"
+#include "src/harness/experiment.h"
+#include "src/harness/scenario.h"
+
+namespace optrec {
+
+struct ExploreCase {
+  ScenarioConfig scenario;
+  ScheduleParams schedule;
+};
+
+/// One classified violation. `kind` is the detecting oracle ("audit" = trace
+/// auditor, "oracle" = causality oracle, "hang" = no quiescence before the
+/// time cap); `category` is the stable, number-free prefix of the message,
+/// used for shrink/replay matching so pids and seqs may differ.
+struct ViolationRecord {
+  std::string kind;
+  std::string category;
+  std::string message;
+};
+
+/// Strip digits and cut at the first ':' — "rollback budget exceeded: P2
+/// rolled back 3 times..." and "...P0 rolled back 2 times..." both map to
+/// "rollback budget exceeded".
+std::string violation_category(std::string_view message);
+
+/// What a repro artifact promises to reproduce. Empty kind = any violation.
+struct Expectation {
+  std::string kind;
+  std::string category;
+
+  bool matches(const std::vector<ViolationRecord>& violations) const;
+};
+
+/// Everything one exploration run produced.
+struct RunOutcome {
+  bool quiesced = false;
+  SimTime end_time = 0;
+  std::vector<ViolationRecord> violations;
+  std::vector<std::uint64_t> signatures;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t events_total = 0;  // deliveries+rollbacks etc. (size proxy)
+
+  bool ok() const { return violations.empty(); }
+  /// First violation, for reporting ({} when ok()).
+  const ViolationRecord* first() const {
+    return violations.empty() ? nullptr : &violations.front();
+  }
+};
+
+/// Execute one case: force trace+oracle on, install a ScheduleMutator, run
+/// to quiescence, classify every oracle/auditor violation, extract coverage
+/// signatures. Deterministic: equal cases give equal outcomes.
+RunOutcome run_explore_case(const ExploreCase& c);
+
+/// Repro artifact (de)serialization.
+std::string repro_to_json(const ExploreCase& c, const Expectation& expect);
+void parse_repro_json(std::string_view text, ExploreCase* c,
+                      Expectation* expect);
+
+}  // namespace optrec

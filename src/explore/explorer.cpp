@@ -1,0 +1,151 @@
+#include "src/explore/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/explore/coverage.h"
+#include "src/util/json.h"
+
+namespace optrec {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Mutable sweep state shared by the workers, guarded by one mutex: the sim
+/// runs dominate wall time, so contention here is negligible.
+struct Shared {
+  std::mutex mu;
+  std::size_t next_index = 0;
+  bool stop = false;
+  CoverageMap coverage;
+  std::vector<ExploreCase> corpus;
+  SweepReport report;
+  std::size_t shrink_slots_taken = 0;
+};
+
+}  // namespace
+
+SweepReport run_sweep(const SweepOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(Clock::now() - started).count();
+  };
+
+  Shared shared;
+  std::size_t jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::min<std::size_t>(
+        16, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  jobs = std::min(jobs, options.runs == 0 ? std::size_t{1} : options.runs);
+
+  const auto worker = [&] {
+    for (;;) {
+      std::size_t index;
+      ExploreCase c;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (shared.stop || shared.next_index >= options.runs) return;
+        if (options.time_budget_seconds > 0 &&
+            elapsed() > options.time_budget_seconds) {
+          shared.stop = true;
+          return;
+        }
+        index = shared.next_index++;
+        Rng rng(splitmix64(options.seed ^ (index * 0x9e3779b97f4a7c15ull)));
+        if (!shared.corpus.empty() && rng.chance(0.65)) {
+          const std::size_t pick = rng.uniform(shared.corpus.size());
+          c = mutate_case(shared.corpus[pick], options.gen, rng);
+        } else {
+          c = random_case(options.gen, rng);
+        }
+      }
+
+      const RunOutcome outcome = run_explore_case(c);
+
+      bool shrink_this = false;
+      Expectation expect;
+      ViolationRecord violation;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        ++shared.report.runs_completed;
+        if (shared.coverage.add_all(outcome.signatures) > 0) {
+          shared.corpus.push_back(c);
+        }
+        if (!outcome.ok()) {
+          ++shared.report.violation_runs;
+          if (shared.shrink_slots_taken < options.max_repros) {
+            ++shared.shrink_slots_taken;
+            shrink_this = true;
+            violation = *outcome.first();
+            expect.kind = violation.kind;
+            expect.category = violation.category;
+          }
+        }
+      }
+
+      if (shrink_this) {
+        ReproArtifact artifact;
+        artifact.original = c;
+        artifact.expect = expect;
+        artifact.violation = violation;
+        artifact.minimal =
+            options.shrink
+                ? shrink_case(c, expect, options.shrink_budget,
+                              &artifact.shrink_stats)
+                : c;
+        std::lock_guard<std::mutex> lock(shared.mu);
+        shared.report.repros.push_back(std::move(artifact));
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t k = 0; k < jobs; ++k) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  shared.report.coverage_buckets = shared.coverage.size();
+  shared.report.corpus_size = shared.corpus.size();
+  shared.report.wall_seconds = elapsed();
+  shared.report.runs_per_second =
+      shared.report.wall_seconds > 0
+          ? static_cast<double>(shared.report.runs_completed) /
+                shared.report.wall_seconds
+          : 0.0;
+  // Deterministic artifact order regardless of worker completion order.
+  std::sort(shared.report.repros.begin(), shared.report.repros.end(),
+            [](const ReproArtifact& a, const ReproArtifact& b) {
+              return a.violation.message < b.violation.message;
+            });
+  return shared.report;
+}
+
+std::string SweepReport::bench_json(const std::string& protocol) const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", "explore");
+  w.kv("protocol", protocol);
+  w.kv("runs", std::uint64_t{runs_completed});
+  w.kv("violation_runs", std::uint64_t{violation_runs});
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("runs_per_second", runs_per_second);
+  w.kv("coverage_buckets", std::uint64_t{coverage_buckets});
+  w.kv("corpus_size", std::uint64_t{corpus_size});
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace optrec

@@ -1,0 +1,70 @@
+// Explorer driver: coverage-guided sweeps of adversarial schedules.
+//
+// Runs a corpus of ExploreCases across a pool of worker threads — the sim
+// itself is single-threaded and deterministic, so one isolated simulation
+// per worker makes parallelism free — funneling every run through the
+// causality oracle and the trace auditor. Coverage novelty (see
+// src/explore/coverage.h) admits a case into the corpus; later runs mutate
+// corpus entries, steering the search toward rare protocol states. Any
+// violating run is shrunk to a minimal repro artifact replayable via
+// `optrec_explore --repro FILE`.
+//
+// Per-run determinism is absolute (a case replays bit-identically). The
+// sweep-level corpus evolution is deterministic with jobs=1; with more
+// workers the mutation ancestry depends on completion order, which is fine:
+// every *finding* is pinned by its self-contained repro artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/explore/case_mutator.h"
+#include "src/explore/explore_case.h"
+#include "src/explore/shrinker.h"
+
+namespace optrec {
+
+struct SweepOptions {
+  CaseGenOptions gen;
+  std::size_t runs = 200;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency (capped at 16).
+  std::size_t jobs = 0;
+  /// Stop admitting new runs after this much wall time (0 = no box). Used by
+  /// the nightly CI job; runs already started still finish.
+  double time_budget_seconds = 0;
+  /// Shrink violating cases before reporting them.
+  bool shrink = true;
+  std::size_t shrink_budget = 300;
+  /// Keep at most this many repro artifacts (the rest only counts).
+  std::size_t max_repros = 4;
+};
+
+struct ReproArtifact {
+  ExploreCase original;
+  ExploreCase minimal;
+  Expectation expect;
+  ViolationRecord violation;  // from the original run
+  ShrinkStats shrink_stats;
+};
+
+struct SweepReport {
+  std::size_t runs_completed = 0;
+  std::size_t violation_runs = 0;
+  std::size_t coverage_buckets = 0;
+  std::size_t corpus_size = 0;
+  double wall_seconds = 0;
+  double runs_per_second = 0;
+  std::vector<ReproArtifact> repros;
+
+  bool ok() const { return violation_runs == 0; }
+
+  /// BENCH_explore.json payload: throughput and coverage of the sweep, the
+  /// first datapoints of the perf trajectory ('\n'-terminated, one line).
+  std::string bench_json(const std::string& protocol) const;
+};
+
+SweepReport run_sweep(const SweepOptions& options);
+
+}  // namespace optrec

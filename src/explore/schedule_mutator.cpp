@@ -1,0 +1,61 @@
+#include "src/explore/schedule_mutator.h"
+
+namespace optrec {
+
+namespace {
+/// SplitMix64 finalizer: decorrelates the per-class stream seeds.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+ScheduleMutator::ScheduleMutator(const ScheduleParams& params)
+    : params_(params),
+      delay_rng_(splitmix64(params.seed ^ 0xde1a1ull)),
+      reorder_rng_(splitmix64(params.seed ^ 0x5e0cde5ull)),
+      drop_rng_(splitmix64(params.seed ^ 0xd50bull)),
+      dup_rng_(splitmix64(params.seed ^ 0xd0b0a5a5ull)) {}
+
+SimTime ScheduleMutator::delivery_delay(ProcessId /*src*/, ProcessId /*dst*/,
+                                        bool /*token*/, SimTime lo,
+                                        SimTime hi) {
+  SimTime delay = delay_rng_.uniform_range(lo, hi);
+  if (params_.max_extra_delay > 0 && reorder_rng_.chance(params_.reorder_prob)) {
+    delay += reorder_rng_.uniform(params_.max_extra_delay + 1);
+  }
+  return delay;
+}
+
+bool ScheduleMutator::drop_app_message(ProcessId /*src*/, ProcessId /*dst*/) {
+  return drop_rng_.chance(params_.drop_prob);
+}
+
+bool ScheduleMutator::duplicate_app_message(ProcessId /*src*/,
+                                            ProcessId /*dst*/) {
+  return dup_rng_.chance(params_.dup_prob);
+}
+
+void write_schedule_params_json(JsonWriter& w, const ScheduleParams& p) {
+  w.begin_object();
+  w.kv("seed", p.seed);
+  w.kv("reorder_prob", p.reorder_prob);
+  w.kv("max_extra_delay_us", p.max_extra_delay);
+  w.kv("drop_prob", p.drop_prob);
+  w.kv("dup_prob", p.dup_prob);
+  w.end_object();
+}
+
+ScheduleParams schedule_params_from_json(const JsonValue& v) {
+  ScheduleParams p;
+  p.seed = v.u64_or("seed", p.seed);
+  if (const JsonValue* x = v.find("reorder_prob")) p.reorder_prob = x->as_double();
+  p.max_extra_delay = v.u64_or("max_extra_delay_us", p.max_extra_delay);
+  if (const JsonValue* x = v.find("drop_prob")) p.drop_prob = x->as_double();
+  if (const JsonValue* x = v.find("dup_prob")) p.dup_prob = x->as_double();
+  return p;
+}
+
+}  // namespace optrec

@@ -1,0 +1,62 @@
+// Seed-derived adversarial schedules: the ScheduleHook implementation the
+// exploration engine installs into the network.
+//
+// A ScheduleParams is a tiny genome of knobs plus a seed. The mutator
+// expands it into concrete per-delivery decisions through independent
+// SplitMix-derived PRNG streams (one per decision class, so e.g. raising
+// dup_prob does not perturb the delay sequence of an otherwise identical
+// schedule). A run driven by a mutator is a pure function of
+// (ScenarioConfig, ScheduleParams) — that is what makes explorer findings
+// replayable and shrinkable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sim/schedule_hook.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+struct ScheduleParams {
+  /// Root of every decision stream (delays, reorder, drops, duplicates).
+  std::uint64_t seed = 1;
+  /// Chance a delivery (message or token copy) gets a large extra delay on
+  /// top of the configured network jitter — the knob that forces messages
+  /// to overtake tokens, tokens to overtake retransmissions, and so on.
+  double reorder_prob = 0.0;
+  /// Upper bound of that extra delay.
+  SimTime max_extra_delay = 0;
+  /// Hook-driven app-message drop probability (replaces NetworkConfig's).
+  double drop_prob = 0.0;
+  /// Probability the network injects a second copy of an app message.
+  double dup_prob = 0.0;
+
+  friend bool operator==(const ScheduleParams&,
+                         const ScheduleParams&) = default;
+};
+
+/// Embeddable JSON object form ({"seed":..,"reorder_prob":..,...}).
+void write_schedule_params_json(JsonWriter& w, const ScheduleParams& p);
+ScheduleParams schedule_params_from_json(const JsonValue& v);
+
+class ScheduleMutator : public ScheduleHook {
+ public:
+  explicit ScheduleMutator(const ScheduleParams& params);
+
+  SimTime delivery_delay(ProcessId src, ProcessId dst, bool token, SimTime lo,
+                         SimTime hi) override;
+  bool drop_app_message(ProcessId src, ProcessId dst) override;
+  bool duplicate_app_message(ProcessId src, ProcessId dst) override;
+
+ private:
+  ScheduleParams params_;
+  Rng delay_rng_;
+  Rng reorder_rng_;
+  Rng drop_rng_;
+  Rng dup_rng_;
+};
+
+}  // namespace optrec

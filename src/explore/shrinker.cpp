@@ -1,0 +1,152 @@
+#include "src/explore/shrinker.h"
+
+#include <functional>
+#include <vector>
+
+namespace optrec {
+
+namespace {
+
+/// A candidate edit: apply to a copy of the case; return false when the edit
+/// is not applicable (already minimal in that dimension).
+using Edit = std::function<bool(ExploreCase&)>;
+
+void collect_edits(const ExploreCase& c, std::vector<Edit>& edits) {
+  // 1. Structural fault-plan reductions first: fewer faults beats smaller
+  // knobs for a human reading the repro.
+  for (std::size_t i = 0; i < c.scenario.failures.crashes.size(); ++i) {
+    edits.push_back([i](ExploreCase& e) {
+      if (i >= e.scenario.failures.crashes.size()) return false;
+      e.scenario.failures.crashes.erase(e.scenario.failures.crashes.begin() + i);
+      return true;
+    });
+  }
+  for (std::size_t i = 0; i < c.scenario.failures.partitions.size(); ++i) {
+    edits.push_back([i](ExploreCase& e) {
+      if (i >= e.scenario.failures.partitions.size()) return false;
+      e.scenario.failures.partitions.erase(
+          e.scenario.failures.partitions.begin() + i);
+      return true;
+    });
+  }
+
+  // 2. Schedule pressure: zero each knob, then halve what must stay.
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.dup_prob == 0) return false;
+    e.schedule.dup_prob = 0;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.drop_prob == 0) return false;
+    e.schedule.drop_prob = 0;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.scenario.network.drop_prob == 0) return false;
+    e.scenario.network.drop_prob = 0;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.reorder_prob == 0 && e.schedule.max_extra_delay == 0) {
+      return false;
+    }
+    e.schedule.reorder_prob = 0;
+    e.schedule.max_extra_delay = 0;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.max_extra_delay < millis(2)) return false;
+    e.schedule.max_extra_delay /= 2;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.drop_prob < 0.02) return false;
+    e.schedule.drop_prob /= 2;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.schedule.dup_prob < 0.02) return false;
+    e.schedule.dup_prob /= 2;
+    return true;
+  });
+
+  // 3. Optional protocol machinery off.
+  edits.push_back([](ExploreCase& e) {
+    if (!e.scenario.process.enable_stability_tracking &&
+        !e.scenario.process.enable_gc) {
+      return false;
+    }
+    e.scenario.process.enable_stability_tracking = false;
+    e.scenario.process.enable_gc = false;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (!e.scenario.process.retransmit_on_failure) return false;
+    e.scenario.process.retransmit_on_failure = false;
+    return true;
+  });
+
+  // 4. Workload size.
+  edits.push_back([](ExploreCase& e) {
+    if (e.scenario.workload.intensity <= 1) return false;
+    e.scenario.workload.intensity /= 2;
+    return true;
+  });
+  edits.push_back([](ExploreCase& e) {
+    if (e.scenario.workload.depth <= 2) return false;
+    e.scenario.workload.depth /= 2;
+    return true;
+  });
+
+  // 5. Cluster size (only when no plan event needs the last process).
+  edits.push_back([](ExploreCase& e) {
+    if (e.scenario.n <= 2) return false;
+    const std::size_t keep = e.scenario.n - 1;
+    for (const CrashEvent& crash : e.scenario.failures.crashes) {
+      if (crash.pid >= keep) return false;
+    }
+    e.scenario.n = keep;
+    for (PartitionEvent& p : e.scenario.failures.partitions) {
+      for (auto& group : p.groups) {
+        std::erase_if(group, [keep](ProcessId pid) { return pid >= keep; });
+      }
+      std::erase_if(p.groups,
+                    [](const std::vector<ProcessId>& g) { return g.empty(); });
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+ExploreCase shrink_case(const ExploreCase& failing, const Expectation& expect,
+                        std::size_t budget, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+
+  ExploreCase best = failing;
+  best.scenario.schedule_hook = nullptr;
+
+  bool improved = true;
+  while (improved && s.attempts < budget) {
+    improved = false;
+    std::vector<Edit> edits;
+    collect_edits(best, edits);
+    for (const Edit& edit : edits) {
+      if (s.attempts >= budget) break;
+      ExploreCase candidate = best;
+      if (!edit(candidate)) continue;
+      ++s.attempts;
+      const RunOutcome outcome = run_explore_case(candidate);
+      if (expect.matches(outcome.violations)) {
+        best = std::move(candidate);
+        ++s.improvements;
+        improved = true;
+        break;  // restart the pass on the simplified case
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace optrec

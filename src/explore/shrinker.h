@@ -1,0 +1,32 @@
+// Minimizing shrinker: reduce a violating ExploreCase to a minimal
+// deterministic repro.
+//
+// Greedy delta debugging over the case's structure: each pass proposes a
+// list of strictly simpler candidates (drop a crash, drop a partition
+// window, zero the duplicate/drop/reorder pressure, halve the workload,
+// shrink the cluster), re-runs each candidate, and keeps the first one that
+// still reproduces the expected violation *category* (categories are
+// number-free, so the same bug reported against a different pid still
+// matches). Passes repeat until a whole pass yields no simplification or the
+// run budget is exhausted. Every accepted candidate was actually re-run, so
+// the final case is replayable by construction.
+#pragma once
+
+#include <cstddef>
+
+#include "src/explore/explore_case.h"
+
+namespace optrec {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;      // candidate runs executed
+  std::size_t improvements = 0;  // candidates accepted
+};
+
+/// Shrink `failing` against `expect`. `budget` caps candidate re-runs.
+/// Returns the smallest still-failing case found (possibly `failing` itself).
+ExploreCase shrink_case(const ExploreCase& failing, const Expectation& expect,
+                        std::size_t budget = 300,
+                        ShrinkStats* stats = nullptr);
+
+}  // namespace optrec

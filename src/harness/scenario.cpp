@@ -11,6 +11,21 @@
 
 namespace optrec {
 
+ProtocolKind protocol_from_name(const std::string& name) {
+  if (name == "damani-garg" || name == "dg") return ProtocolKind::kDamaniGarg;
+  if (name == "pessimistic") return ProtocolKind::kPessimistic;
+  if (name == "coordinated") return ProtocolKind::kCoordinated;
+  if (name == "sender-based") return ProtocolKind::kSenderBased;
+  if (name == "cascading") return ProtocolKind::kCascading;
+  if (name == "peterson-kearns" || name == "pk") {
+    return ProtocolKind::kPetersonKearns;
+  }
+  if (name == "no-recovery" || name == "none" || name == "plain") {
+    return ProtocolKind::kPlain;
+  }
+  throw std::invalid_argument("unknown protocol '" + name + "'");
+}
+
 const char* protocol_name(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kDamaniGarg: return "damani-garg";
@@ -72,6 +87,9 @@ Scenario::Scenario(ScenarioConfig config)
   if (config_.enable_trace) {
     trace_ = std::make_unique<TraceRecorder>();
     net_.set_trace(trace_.get());
+  }
+  if (config_.schedule_hook != nullptr) {
+    net_.set_schedule_hook(config_.schedule_hook);
   }
 
   const AppFactory factory = config_.workload.make_factory();

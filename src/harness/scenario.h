@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/app/workload.h"
@@ -54,7 +55,15 @@ struct ScenarioConfig {
   SimTime time_cap = seconds(600);
   /// Settle-slice length for the quiescence detector.
   SimTime settle_slice = millis(200);
+  /// Optional externally driven schedule decisions (non-owning; must outlive
+  /// the Scenario). Installed into the network; see src/sim/schedule_hook.h.
+  /// Used by the exploration engine — not serialized with the config.
+  ScheduleHook* schedule_hook = nullptr;
 };
+
+/// Inverse of protocol_name (accepts the short aliases "dg" and "pk" too);
+/// throws std::invalid_argument on unknown names.
+ProtocolKind protocol_from_name(const std::string& name);
 
 class Scenario {
  public:

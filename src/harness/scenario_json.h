@@ -1,0 +1,33 @@
+// ScenarioConfig <-> JSON (src/util/json): the serialization behind explorer
+// repro artifacts, corpus entries, and any tooling that wants to pin a run.
+//
+// The JSON form captures everything that determines a run — protocol,
+// workload, process/network knobs, the failure plan, seeds and caps — but
+// NOT runtime-only attachments (the schedule hook pointer, trace/oracle
+// toggles), which the consumer re-establishes. Round-trip is exact:
+// parse(serialize(c)) reproduces a config whose run is bit-identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/harness/scenario.h"
+#include "src/util/json.h"
+
+namespace optrec {
+
+/// Write `config` as one JSON object (embeddable inside a larger document).
+void write_scenario_json(JsonWriter& w, const ScenarioConfig& config);
+
+/// Whole-document form: one line, '\n'-terminated.
+std::string scenario_to_json(const ScenarioConfig& config);
+
+/// Rebuild a config from the object form. Missing members keep the
+/// ScenarioConfig defaults; unknown members are ignored (forward compat).
+/// Throws std::runtime_error / std::invalid_argument on malformed input.
+ScenarioConfig scenario_from_json(const JsonValue& v);
+
+/// Parse a whole document produced by scenario_to_json.
+ScenarioConfig parse_scenario_json(std::string_view text);
+
+}  // namespace optrec

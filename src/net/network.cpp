@@ -19,7 +19,11 @@ void Network::attach(ProcessId pid, Endpoint* endpoint) {
   endpoints_[pid] = endpoint;
 }
 
-SimTime Network::draw_delay() {
+SimTime Network::draw_delay(ProcessId src, ProcessId dst, bool token) {
+  if (hook_ != nullptr) {
+    return hook_->delivery_delay(src, dst, token, config_.min_delay,
+                                 config_.max_delay);
+  }
   return rng_.uniform_range(config_.min_delay, config_.max_delay);
 }
 
@@ -63,14 +67,29 @@ MsgId Network::send(Message msg) {
     ++stats_.app_messages_sent;
     // Loss injection targets application traffic only; control traffic and
     // tokens stay reliable.
-    if (rng_.chance(config_.drop_prob)) {
+    const bool drop = hook_ != nullptr ? hook_->drop_app_message(msg.src, msg.dst)
+                                       : rng_.chance(config_.drop_prob);
+    if (drop) {
       ++stats_.messages_dropped;
       OPTREC_LOG(kTrace) << "net: dropped " << msg.describe();
       return msg.id;
     }
+    // Duplicate injection (explorer only): a second copy with its own delay,
+    // exercising the receiver-side duplicate filter under real interleaving.
+    if (hook_ != nullptr && hook_->duplicate_app_message(msg.src, msg.dst)) {
+      ++stats_.messages_duplicated;
+      const SimTime dup_at = fifo_floor(
+          msg.src, msg.dst,
+          sim_.now() + draw_delay(msg.src, msg.dst, /*token=*/false));
+      sim_.schedule_at(dup_at, [this, m = msg]() mutable {
+        deliver_message(std::move(m));
+      });
+    }
   }
   const MsgId id = msg.id;
-  const SimTime at = fifo_floor(msg.src, msg.dst, sim_.now() + draw_delay());
+  const SimTime at =
+      fifo_floor(msg.src, msg.dst,
+                 sim_.now() + draw_delay(msg.src, msg.dst, /*token=*/false));
   sim_.schedule_at(at, [this, m = std::move(msg)]() mutable {
     deliver_message(std::move(m));
   });
@@ -123,7 +142,8 @@ void Network::broadcast_token(const Token& token) {
 void Network::send_token(ProcessId dst, const Token& token) {
   ++stats_.tokens_sent;
   stats_.token_bytes += token.wire_size();
-  const SimTime at = sim_.now() + draw_delay();
+  const SimTime at =
+      sim_.now() + draw_delay(token.from, dst, /*token=*/true);
   sim_.schedule_at(at, [this, dst, token]() { deliver_token(dst, token); });
 }
 

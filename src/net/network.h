@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/net/message.h"
+#include "src/sim/schedule_hook.h"
 #include "src/sim/simulation.h"
 #include "src/trace/trace_event.h"
 #include "src/util/ids.h"
@@ -76,6 +77,12 @@ class Network {
   /// recorded (null detaches; disabled costs one pointer test per send).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Install a schedule-decision hook (null reverts to the internal PRNG).
+  /// With a hook installed the network consumes no randomness of its own:
+  /// delays, drops and duplicate injection are all externally driven, which
+  /// is what makes explorer runs replayable from a schedule seed.
+  void set_schedule_hook(ScheduleHook* hook) { hook_ = hook; }
+
   /// Partition the network into groups; traffic crossing group boundaries is
   /// held (messages) or retried (tokens) until heal_partition().
   void set_partition(const std::vector<std::vector<ProcessId>>& groups);
@@ -89,6 +96,7 @@ class Network {
     std::uint64_t app_messages_sent = 0;       // kApp only
     std::uint64_t app_messages_delivered = 0;  // kApp only
     std::uint64_t messages_dropped = 0;   // drop_prob losses
+    std::uint64_t messages_duplicated = 0;  // hook-injected app duplicates
     std::uint64_t messages_retried = 0;   // receiver down / partitioned
     std::uint64_t tokens_sent = 0;        // per-destination copies
     std::uint64_t tokens_delivered = 0;
@@ -102,15 +110,15 @@ class Network {
   /// endpoint (includes partition-held and retrying ones). Zero is a
   /// necessary condition for application quiescence.
   std::uint64_t app_messages_in_flight() const {
-    return stats_.app_messages_sent - stats_.app_messages_delivered -
-           stats_.messages_dropped;
+    return stats_.app_messages_sent + stats_.messages_duplicated -
+           stats_.app_messages_delivered - stats_.messages_dropped;
   }
   std::uint64_t tokens_in_flight() const {
     return stats_.tokens_sent - stats_.tokens_delivered;
   }
 
  private:
-  SimTime draw_delay();
+  SimTime draw_delay(ProcessId src, ProcessId dst, bool token);
   void deliver_message(Message msg);
   void deliver_token(ProcessId dst, Token token);
   /// FIFO mode: the earliest time a new (src,dst) delivery may fire.
@@ -132,6 +140,7 @@ class Network {
   MessageTap message_tap_;
   TokenTap token_tap_;
   TraceRecorder* trace_ = nullptr;
+  ScheduleHook* hook_ = nullptr;
 };
 
 }  // namespace optrec

@@ -52,6 +52,12 @@ struct ProcessConfig {
   /// higher-version clock entry — and exists so the ablation bench can
   /// measure how often that happens. Never enable in real deployments.
   bool ablation_disable_postponement = false;
+  /// FAULT INJECTION ONLY ("testing the tester"): skip the Lemma-4 obsolete
+  /// filter on receive, so messages from invalidated states are delivered.
+  /// The exploration engine flips this to prove its oracles catch a broken
+  /// protocol (`optrec_explore --mutate=skip-lemma4`). Never enable in real
+  /// deployments.
+  bool ablation_skip_obsolete_filter = false;
   /// Enable the stability tracker (gossiped log vectors) and with it output
   /// commit and storage garbage collection (paper Remark 2).
   bool enable_stability_tracking = false;

@@ -1,0 +1,39 @@
+// Pluggable schedule-decision hook for the simulator's nondeterminism.
+//
+// Every delivery-order-relevant decision the network makes — how long a
+// message or token copy is delayed, whether an application message is
+// dropped, whether a second copy is injected — can be delegated to a
+// ScheduleHook. With no hook installed the network draws the decisions from
+// its own seed-forked PRNG stream (the historical behaviour); with a hook
+// installed the network consumes *no* randomness of its own, so a run is a
+// pure function of (scenario config, hook decision stream). The exploration
+// engine (src/explore) uses this to drive adversarial, replayable schedules
+// through seed-derived streams it can mutate and shrink.
+#pragma once
+
+#include "src/sim/time.h"
+#include "src/util/ids.h"
+
+namespace optrec {
+
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+
+  /// Delivery delay for one message or token copy about to be scheduled.
+  /// `lo`/`hi` are the configured network bounds; implementations may return
+  /// values above `hi` to force reordering/overtaking. Called once per
+  /// scheduled copy, in a deterministic order.
+  virtual SimTime delivery_delay(ProcessId src, ProcessId dst, bool token,
+                                 SimTime lo, SimTime hi) = 0;
+
+  /// Should this application message be silently dropped? Control traffic
+  /// and tokens are never offered (the paper's model keeps tokens reliable).
+  virtual bool drop_app_message(ProcessId src, ProcessId dst) = 0;
+
+  /// Should the network inject a second copy of this application message?
+  /// The duplicate takes its own delivery_delay draw.
+  virtual bool duplicate_app_message(ProcessId src, ProcessId dst) = 0;
+};
+
+}  // namespace optrec

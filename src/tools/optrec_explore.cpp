@@ -1,0 +1,274 @@
+// optrec_explore — deterministic scenario-exploration engine CLI.
+//
+// Sweep mode (default): throw N seed-derived adversarial schedules — random
+// delivery orders, delays, drops, duplicates, partitions, concurrent
+// crashes — at a protocol, funnel every run through the causality oracle
+// and the trace auditor, and shrink any violation to a minimal repro
+// artifact (docs/EXPLORATION.md).
+//
+//   optrec_explore --protocol=dg --runs=1000 --seed=1 --out=repros/
+//
+// Repro mode: replay a repro artifact and check that the recorded violation
+// category fires again.
+//
+//   optrec_explore --repro=repros/repro-0.json
+//
+// Flags:
+//   --protocol=NAME     protocol under test (see optrec_sim)  [damani-garg]
+//   --workload=NAME     counter | pingpong | bank | gossip    [counter]
+//   --n=K               cluster size                          [4]
+//   --runs=N            sweep size                            [200]
+//   --seed=S            sweep seed (decides every schedule)   [1]
+//   --jobs=K            worker threads (0 = hardware)         [0]
+//   --time-budget=SEC   stop admitting runs after SEC wall s  [0 = off]
+//   --max-crashes=K     crashes per generated case            [2]
+//   --max-partitions=K  partition windows per generated case  [1]
+//   --retransmit        enable Remark-1 retransmission in the base scenario
+//   --stability         enable Remark-2 stability tracking + output commit
+//   --no-dup            never inject duplicate copies
+//   --no-shrink         report violations without minimizing them
+//   --shrink-budget=N   candidate re-runs allowed per shrink  [300]
+//   --max-repros=K      repro artifacts kept per sweep        [4]
+//   --out=DIR           write repro-<k>.json artifacts here   [.]
+//   --bench-out=FILE    write sweep throughput/coverage JSON (BENCH_explore)
+//   --mutate=NAME       fault injection, "testing the tester":
+//                         none | skip-lemma4 (drop the obsolete filter)
+//   --expect-violation  exit 0 iff the sweep DID find a violation (negative
+//                       controls: --mutate=... or --protocol=cascading)
+//   --repro=FILE        replay one artifact instead of sweeping
+//   --print-case        with --repro: dump the case JSON before running
+//   --quiet             suppress the per-violation detail lines
+//
+// Exit codes (docs/OBSERVABILITY.md):
+//   0  clean sweep / expected violation reproduced (or found, with
+//      --expect-violation)
+//   1  sweep found violations (repro artifacts written)
+//   2  usage error
+//   3  repro replay did NOT reproduce the expected violation, or an
+//      --expect-violation sweep stayed clean
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/explore/explorer.h"
+#include "src/harness/scenario_json.h"
+
+using namespace optrec;
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "optrec_explore: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    die(std::string("bad value for ") + flag + ": '" + value + "'");
+  }
+  return parsed;
+}
+
+WorkloadKind parse_workload(const std::string& name) {
+  if (name == "counter") return WorkloadKind::kCounter;
+  if (name == "pingpong") return WorkloadKind::kPingPong;
+  if (name == "bank") return WorkloadKind::kBank;
+  if (name == "gossip") return WorkloadKind::kGossip;
+  die("unknown workload '" + name + "'");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int replay_repro(const std::string& path, bool print_case) {
+  ExploreCase c;
+  Expectation expect;
+  try {
+    parse_repro_json(read_file(path), &c, &expect);
+  } catch (const std::exception& e) {
+    die("bad repro file '" + path + "': " + e.what());
+  }
+  if (print_case) {
+    std::fputs(repro_to_json(c, expect).c_str(), stdout);
+  }
+  const RunOutcome outcome = run_explore_case(c);
+  std::printf("repro %s: expected [%s] %s\n", path.c_str(),
+              expect.kind.c_str(), expect.category.c_str());
+  for (const ViolationRecord& v : outcome.violations) {
+    std::printf("  observed [%s] %s\n", v.kind.c_str(), v.message.c_str());
+  }
+  if (expect.matches(outcome.violations)) {
+    std::printf("repro: REPRODUCED\n");
+    return 0;
+  }
+  std::printf("repro: NOT reproduced (%zu violation%s observed)\n",
+              outcome.violations.size(),
+              outcome.violations.size() == 1 ? "" : "s");
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions options;
+  options.gen.base.n = 4;
+  options.gen.base.workload.intensity = 6;
+  options.gen.base.workload.depth = 48;
+  options.gen.base.workload.all_seed = true;
+  options.gen.base.process.flush_interval = millis(20);
+  options.gen.base.process.checkpoint_interval = millis(100);
+
+  std::string value;
+  std::string out_dir = ".";
+  std::string bench_out;
+  std::string repro_file;
+  bool print_case = false;
+  bool expect_violation = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_flag(arg, "--protocol", &value)) {
+      try {
+        options.gen.base.protocol = protocol_from_name(value);
+      } catch (const std::exception& e) {
+        die(e.what());
+      }
+    } else if (parse_flag(arg, "--workload", &value)) {
+      options.gen.base.workload.kind = parse_workload(value);
+    } else if (parse_flag(arg, "--n", &value)) {
+      options.gen.base.n = parse_u64(value, "--n");
+    } else if (parse_flag(arg, "--runs", &value)) {
+      options.runs = parse_u64(value, "--runs");
+    } else if (parse_flag(arg, "--seed", &value)) {
+      options.seed = parse_u64(value, "--seed");
+    } else if (parse_flag(arg, "--jobs", &value)) {
+      options.jobs = parse_u64(value, "--jobs");
+    } else if (parse_flag(arg, "--time-budget", &value)) {
+      options.time_budget_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(arg, "--max-crashes", &value)) {
+      options.gen.max_crashes = parse_u64(value, "--max-crashes");
+    } else if (parse_flag(arg, "--max-partitions", &value)) {
+      options.gen.max_partitions = parse_u64(value, "--max-partitions");
+    } else if (parse_flag(arg, "--retransmit", &value)) {
+      options.gen.base.process.retransmit_on_failure = true;
+    } else if (parse_flag(arg, "--stability", &value)) {
+      options.gen.base.process.enable_stability_tracking = true;
+    } else if (parse_flag(arg, "--no-dup", &value)) {
+      options.gen.max_dup_prob = 0.0;
+    } else if (parse_flag(arg, "--no-shrink", &value)) {
+      options.shrink = false;
+    } else if (parse_flag(arg, "--shrink-budget", &value)) {
+      options.shrink_budget = parse_u64(value, "--shrink-budget");
+    } else if (parse_flag(arg, "--max-repros", &value)) {
+      options.max_repros = parse_u64(value, "--max-repros");
+    } else if (parse_flag(arg, "--out", &value)) {
+      if (value.empty()) die("--out wants a directory");
+      out_dir = value;
+    } else if (parse_flag(arg, "--bench-out", &value)) {
+      if (value.empty()) die("--bench-out wants a file name");
+      bench_out = value;
+    } else if (parse_flag(arg, "--mutate", &value)) {
+      if (value == "skip-lemma4") {
+        options.gen.base.process.ablation_skip_obsolete_filter = true;
+      } else if (value != "none") {
+        die("--mutate wants none | skip-lemma4");
+      }
+    } else if (parse_flag(arg, "--expect-violation", &value)) {
+      expect_violation = true;
+    } else if (parse_flag(arg, "--repro", &value)) {
+      if (value.empty()) die("--repro wants a file name");
+      repro_file = value;
+    } else if (parse_flag(arg, "--print-case", &value)) {
+      print_case = true;
+    } else if (parse_flag(arg, "--quiet", &value)) {
+      quiet = true;
+    } else {
+      die(std::string("unknown flag '") + arg + "' (see header comment)");
+    }
+  }
+
+  if (options.gen.base.n < 2) die("--n must be >= 2");
+  if (!repro_file.empty()) return replay_repro(repro_file, print_case);
+  if (options.runs == 0) die("--runs must be > 0");
+
+  // Only Damani-Garg filters injected duplicates (the baselines make the
+  // paper's no-duplication channel assumption), so keep the negative
+  // pressure honest: no duplicate injection against baselines.
+  if (options.gen.base.protocol != ProtocolKind::kDamaniGarg) {
+    options.gen.max_dup_prob = 0.0;
+  }
+
+  const std::string protocol = protocol_name(options.gen.base.protocol);
+  std::printf("explore: protocol=%s workload=%s n=%zu runs=%zu seed=%llu%s\n",
+              protocol.c_str(), options.gen.base.workload.name().c_str(),
+              options.gen.base.n, options.runs,
+              (unsigned long long)options.seed,
+              options.gen.base.process.ablation_skip_obsolete_filter
+                  ? " mutate=skip-lemma4"
+                  : "");
+
+  const SweepReport report = run_sweep(options);
+
+  std::printf(
+      "explore: %zu runs in %.2fs (%.1f runs/s), coverage=%zu buckets, "
+      "corpus=%zu, violations=%zu\n",
+      report.runs_completed, report.wall_seconds, report.runs_per_second,
+      report.coverage_buckets, report.corpus_size, report.violation_runs);
+
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out, std::ios::binary);
+    if (!out) die("cannot open '" + bench_out + "'");
+    out << report.bench_json(protocol);
+  }
+
+  std::size_t artifact_index = 0;
+  for (const ReproArtifact& artifact : report.repros) {
+    const std::string path =
+        out_dir + "/repro-" + std::to_string(artifact_index++) + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) die("cannot open '" + path + "'");
+    out << repro_to_json(artifact.minimal, artifact.expect);
+    if (!quiet) {
+      std::printf("  !! [%s] %s\n", artifact.violation.kind.c_str(),
+                  artifact.violation.message.c_str());
+      std::printf(
+          "     shrunk with %zu re-runs (%zu simplifications) -> %s\n",
+          artifact.shrink_stats.attempts, artifact.shrink_stats.improvements,
+          path.c_str());
+    }
+  }
+
+  if (expect_violation) {
+    if (report.violation_runs == 0) {
+      std::printf("explore: expected a violation but the sweep was clean\n");
+      return 3;
+    }
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -36,6 +36,12 @@
 //                      violations fail the run (implies tracing)
 //   --metrics-json     print the full metrics as one JSON object instead of
 //                      the human-readable table
+//
+// Exit codes (docs/OBSERVABILITY.md; the explorer and CI key off them):
+//   0  run quiesced with no oracle/audit violation
+//   2  usage error (unknown flag / bad value)
+//   3  oracle or audit violation
+//   4  run hit the time cap without quiescing
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -242,9 +248,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Distinct exit codes: correctness violations (3) vs. a run that never
+  // quiesced (4); usage errors exit 2 via die(). See docs/OBSERVABILITY.md.
+  const int exit_code = !result.violations.empty() || !audit_ok ? 3
+                        : !result.quiesced                      ? 4
+                                                                : 0;
   if (metrics_json) {
     std::fputs(result_json(config, result).c_str(), stdout);
-    return result.quiesced && result.violations.empty() && audit_ok ? 0 : 1;
+    return exit_code;
   }
 
   std::printf("quiesced                %s (t = %.2f ms simulated)\n",
@@ -292,5 +303,5 @@ int main(int argc, char** argv) {
       std::printf("  !! %s\n", v.c_str());
     }
   }
-  return result.quiesced && result.violations.empty() && audit_ok ? 0 : 1;
+  return exit_code;
 }

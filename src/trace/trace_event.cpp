@@ -29,6 +29,42 @@ TraceEventType trace_event_type_from_name(const std::string& name) {
   throw std::invalid_argument("unknown trace event type '" + name + "'");
 }
 
+std::uint64_t trace_digest(const std::vector<TraceEvent>& events) {
+  // FNV-1a over the full field content, in seq order. Not cryptographic;
+  // collision resistance only needs to beat "two different runs of the same
+  // scenario", which field-level mixing handles comfortably.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const TraceEvent& e : events) {
+    mix(e.seq);
+    mix(e.at);
+    mix(static_cast<std::uint64_t>(e.type));
+    mix(e.pid);
+    mix(e.clock.ver);
+    mix(e.clock.ts);
+    mix(e.peer);
+    mix(e.msg_id);
+    mix(e.send_seq);
+    mix(e.msg_version);
+    mix(e.ref.ver);
+    mix(e.ref.ts);
+    mix(e.origin);
+    mix(e.origin_ver);
+    mix(e.count);
+    mix(e.detail);
+    for (const FtvcEntry& entry : e.mclock) {
+      mix(entry.ver);
+      mix(entry.ts);
+    }
+  }
+  return h;
+}
+
 std::string TraceEvent::describe() const {
   std::ostringstream os;
   os << '#' << seq << " t=" << at << " P" << pid << ' '

@@ -104,6 +104,11 @@ struct TraceEvent {
 inline constexpr std::uint64_t kTraceSendControl = 1;
 inline constexpr std::uint64_t kTraceSendRetransmission = 2;
 
+/// Order-sensitive 64-bit digest over every field of every event. Two runs
+/// with equal digests executed the same causal story; the determinism
+/// regression and the exploration engine's repro artifacts both key off it.
+std::uint64_t trace_digest(const std::vector<TraceEvent>& events);
+
 /// In-memory event collector. One recorder per run; every process and the
 /// network hold a non-owning pointer (null when tracing is disabled, which
 /// keeps the hot path allocation- and branch-cheap: a single pointer test).
