@@ -80,7 +80,7 @@ struct Stage {
     config.restart_delay = millis(5);
     for (ProcessId pid = 0; pid < 3; ++pid) {
       procs.push_back(std::make_unique<DamaniGargProcess>(
-          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          RuntimeEnv(sim, sim, net), pid, 3, std::make_unique<ScriptApp>(), config, metrics,
           nullptr));
     }
     for (auto& p : procs) {

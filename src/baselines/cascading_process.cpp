@@ -6,12 +6,11 @@
 
 namespace optrec {
 
-CascadingProcess::CascadingProcess(Simulation& sim, Network& net,
-                                   ProcessId pid, std::size_t n,
-                                   std::unique_ptr<App> app,
+CascadingProcess::CascadingProcess(RuntimeEnv env, ProcessId pid,
+                                   std::size_t n, std::unique_ptr<App> app,
                                    ProcessConfig config, Metrics& metrics,
                                    CausalityOracle* oracle)
-    : ProcessBase(sim, net, pid, n, std::move(app), config, metrics, oracle),
+    : ProcessBase(env, pid, n, std::move(app), config, metrics, oracle),
       clock_(pid, n),
       history_(pid, n) {}
 

@@ -24,10 +24,9 @@ namespace optrec {
 
 class CascadingProcess : public ProcessBase {
  public:
-  CascadingProcess(Simulation& sim, Network& net, ProcessId pid,
-                   std::size_t n, std::unique_ptr<App> app,
-                   ProcessConfig config, Metrics& metrics,
-                   CausalityOracle* oracle = nullptr);
+  CascadingProcess(RuntimeEnv env, ProcessId pid, std::size_t n,
+                   std::unique_ptr<App> app, ProcessConfig config,
+                   Metrics& metrics, CausalityOracle* oracle = nullptr);
 
   const Ftvc& clock() const { return clock_; }
 

@@ -12,11 +12,9 @@ constexpr std::uint8_t kCtlRecoveryAck = 41;  // distinct from DG's tags
 }  // namespace
 
 PetersonKearnsProcess::PetersonKearnsProcess(
-    Simulation& sim, Network& net, ProcessId pid, std::size_t n,
-    std::unique_ptr<App> app, ProcessConfig config, Metrics& metrics,
-    CausalityOracle* oracle)
-    : DamaniGargProcess(sim, net, pid, n, std::move(app), config, metrics,
-                        oracle) {
+    RuntimeEnv env, ProcessId pid, std::size_t n, std::unique_ptr<App> app,
+    ProcessConfig config, Metrics& metrics, CausalityOracle* oracle)
+    : DamaniGargProcess(env, pid, n, std::move(app), config, metrics, oracle) {
   if (config.enable_stability_tracking) {
     // The synchronous layer owns all control traffic.
     throw std::invalid_argument(

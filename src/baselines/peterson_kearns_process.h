@@ -21,10 +21,9 @@ namespace optrec {
 
 class PetersonKearnsProcess : public DamaniGargProcess {
  public:
-  PetersonKearnsProcess(Simulation& sim, Network& net, ProcessId pid,
-                        std::size_t n, std::unique_ptr<App> app,
-                        ProcessConfig config, Metrics& metrics,
-                        CausalityOracle* oracle = nullptr);
+  PetersonKearnsProcess(RuntimeEnv env, ProcessId pid, std::size_t n,
+                        std::unique_ptr<App> app, ProcessConfig config,
+                        Metrics& metrics, CausalityOracle* oracle = nullptr);
 
   bool recovering() const { return recovering_; }
   std::size_t pending_count() const override {

@@ -50,19 +50,19 @@ void DiffFtvcEncoder::invalidate_all() {
   for (auto& cache : per_dst_) cache.valid = false;
 }
 
-DiffFtvcDecoder::DiffFtvcDecoder(std::size_t n) : have_(n, false), last_(n) {}
+DiffFtvcDecoder::DiffFtvcDecoder(std::size_t n)
+    : have_(n, false), last_(n), owner_(n, kNoProcess) {}
 
 Ftvc DiffFtvcDecoder::decode_from(ProcessId src, const Bytes& encoded) {
   Reader r(encoded);
   const std::uint8_t tag = r.get_u8();
   auto& base = last_.at(src);
   if (tag == kFull) {
-    const ProcessId owner = r.get_u32();
+    owner_.at(src) = r.get_u32();
     const std::uint32_t n = r.get_u32();
     base.resize(n);
     for (auto& e : base) e = FtvcEntry::decode(r);
     have_.at(src) = true;
-    (void)owner;
   } else {
     if (!have_.at(src)) {
       throw DecodeError("diff clock with no base: FIFO/reset contract broken");
@@ -74,18 +74,13 @@ Ftvc DiffFtvcDecoder::decode_from(ProcessId src, const Bytes& encoded) {
       base[index] = FtvcEntry::decode(r);
     }
   }
-  // Re-materialize as an Ftvc owned by the sender.
-  Writer w;
-  w.put_u32(src);
-  w.put_u32(static_cast<std::uint32_t>(base.size()));
-  for (const auto& e : base) e.encode(w);
-  Reader rr(w.buffer());
-  return Ftvc::decode(rr);
+  return Ftvc::with_entries(owner_.at(src), base);
 }
 
 void DiffFtvcDecoder::reset(ProcessId src) {
   have_.at(src) = false;
   last_.at(src).clear();
+  owner_.at(src) = kNoProcess;
 }
 
 }  // namespace optrec

@@ -70,6 +70,9 @@ class DiffFtvcDecoder {
  private:
   std::vector<bool> have_;
   std::vector<std::vector<FtvcEntry>> last_;
+  /// Clock owner from the last full frame; diffs inherit it so the decoded
+  /// object is identical to the encoded one, not just entry-equal.
+  std::vector<ProcessId> owner_;
 };
 
 }  // namespace optrec

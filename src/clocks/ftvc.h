@@ -48,6 +48,14 @@ class Ftvc {
   /// is set to 1.
   Ftvc(ProcessId owner, std::size_t n);
 
+  /// Assemble a clock from parts (codec reconstruction paths and tests).
+  static Ftvc with_entries(ProcessId owner, std::vector<FtvcEntry> entries) {
+    Ftvc c;
+    c.owner_ = owner;
+    c.entries_ = std::move(entries);
+    return c;
+  }
+
   std::size_t size() const { return entries_.size(); }
   ProcessId owner() const { return owner_; }
 

@@ -14,12 +14,11 @@ namespace {
 constexpr std::uint8_t kCtlStabilityGossip = 1;
 }  // namespace
 
-DamaniGargProcess::DamaniGargProcess(Simulation& sim, Network& net,
-                                     ProcessId pid, std::size_t n,
-                                     std::unique_ptr<App> app,
+DamaniGargProcess::DamaniGargProcess(RuntimeEnv env, ProcessId pid,
+                                     std::size_t n, std::unique_ptr<App> app,
                                      ProcessConfig config, Metrics& metrics,
                                      CausalityOracle* oracle)
-    : ProcessBase(sim, net, pid, n, std::move(app), config, metrics, oracle),
+    : ProcessBase(env, pid, n, std::move(app), config, metrics, oracle),
       clock_(pid, n),
       history_(pid, n),
       stability_(n) {}

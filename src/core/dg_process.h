@@ -33,10 +33,9 @@ namespace optrec {
 
 class DamaniGargProcess : public ProcessBase {
  public:
-  DamaniGargProcess(Simulation& sim, Network& net, ProcessId pid,
-                    std::size_t n, std::unique_ptr<App> app,
-                    ProcessConfig config, Metrics& metrics,
-                    CausalityOracle* oracle = nullptr);
+  DamaniGargProcess(RuntimeEnv env, ProcessId pid, std::size_t n,
+                    std::unique_ptr<App> app, ProcessConfig config,
+                    Metrics& metrics, CausalityOracle* oracle = nullptr);
 
   const Ftvc& clock() const { return clock_; }
   const History& history() const { return history_; }

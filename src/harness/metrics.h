@@ -29,7 +29,7 @@ struct Metrics {
   std::uint64_t messages_discarded_duplicate = 0;
   std::uint64_t messages_postponed = 0;
   std::uint64_t postponed_released = 0;
-  std::uint64_t piggyback_bytes = 0;  // clock + header bytes beyond payload
+  std::uint64_t piggyback_bytes = 0;  // exact wire-frame bytes beyond payload
   std::uint64_t payload_bytes = 0;
 
   // --- logging / checkpointing
@@ -81,6 +81,12 @@ struct Metrics {
 
   /// Mean piggyback bytes per application message sent.
   double piggyback_per_message() const;
+
+  /// Fold another Metrics object into this one (counters add, stats merge,
+  /// attribution maps union). The live runtime gives each worker thread a
+  /// private Metrics and merges them post-join, so the hot path never takes
+  /// a lock on a shared counter block.
+  void merge_from(const Metrics& other);
 
   std::string summary() const;
 };

@@ -1,0 +1,74 @@
+#include "src/harness/protocol_factory.h"
+
+#include <stdexcept>
+
+#include "src/baselines/cascading_process.h"
+#include "src/baselines/coordinated_process.h"
+#include "src/baselines/peterson_kearns_process.h"
+#include "src/baselines/pessimistic_process.h"
+#include "src/baselines/plain_process.h"
+#include "src/baselines/sender_based_process.h"
+#include "src/core/dg_process.h"
+
+namespace optrec {
+
+ProtocolKind protocol_from_name(const std::string& name) {
+  if (name == "damani-garg" || name == "dg") return ProtocolKind::kDamaniGarg;
+  if (name == "pessimistic") return ProtocolKind::kPessimistic;
+  if (name == "coordinated") return ProtocolKind::kCoordinated;
+  if (name == "sender-based") return ProtocolKind::kSenderBased;
+  if (name == "cascading") return ProtocolKind::kCascading;
+  if (name == "peterson-kearns" || name == "pk") {
+    return ProtocolKind::kPetersonKearns;
+  }
+  if (name == "no-recovery" || name == "none" || name == "plain") {
+    return ProtocolKind::kPlain;
+  }
+  throw std::invalid_argument("unknown protocol '" + name + "'");
+}
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDamaniGarg: return "damani-garg";
+    case ProtocolKind::kPessimistic: return "pessimistic";
+    case ProtocolKind::kCoordinated: return "coordinated";
+    case ProtocolKind::kSenderBased: return "sender-based";
+    case ProtocolKind::kCascading: return "cascading";
+    case ProtocolKind::kPetersonKearns: return "peterson-kearns";
+    case ProtocolKind::kPlain: return "no-recovery";
+  }
+  return "?";
+}
+
+std::unique_ptr<ProcessBase> make_protocol_process(
+    ProtocolKind kind, RuntimeEnv env, ProcessId pid, std::size_t n,
+    std::unique_ptr<App> app, const ProcessConfig& config, Metrics& metrics,
+    CausalityOracle* oracle) {
+  switch (kind) {
+    case ProtocolKind::kDamaniGarg:
+      return std::make_unique<DamaniGargProcess>(env, pid, n, std::move(app),
+                                                 config, metrics, oracle);
+    case ProtocolKind::kPessimistic:
+      return std::make_unique<PessimisticProcess>(env, pid, n, std::move(app),
+                                                  config, metrics, oracle);
+    case ProtocolKind::kCoordinated:
+      return std::make_unique<CoordinatedProcess>(env, pid, n, std::move(app),
+                                                  config, metrics, oracle);
+    case ProtocolKind::kSenderBased:
+      return std::make_unique<SenderBasedProcess>(env, pid, n, std::move(app),
+                                                  config, metrics, oracle);
+    case ProtocolKind::kCascading:
+      return std::make_unique<CascadingProcess>(env, pid, n, std::move(app),
+                                                config, metrics, oracle);
+    case ProtocolKind::kPetersonKearns:
+      return std::make_unique<PetersonKearnsProcess>(env, pid, n,
+                                                     std::move(app), config,
+                                                     metrics, oracle);
+    case ProtocolKind::kPlain:
+      return std::make_unique<PlainProcess>(env, pid, n, std::move(app),
+                                            config, metrics, oracle);
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+
+}  // namespace optrec

@@ -2,83 +2,7 @@
 
 #include <stdexcept>
 
-#include "src/baselines/cascading_process.h"
-#include "src/baselines/coordinated_process.h"
-#include "src/baselines/peterson_kearns_process.h"
-#include "src/baselines/pessimistic_process.h"
-#include "src/baselines/plain_process.h"
-#include "src/baselines/sender_based_process.h"
-
 namespace optrec {
-
-ProtocolKind protocol_from_name(const std::string& name) {
-  if (name == "damani-garg" || name == "dg") return ProtocolKind::kDamaniGarg;
-  if (name == "pessimistic") return ProtocolKind::kPessimistic;
-  if (name == "coordinated") return ProtocolKind::kCoordinated;
-  if (name == "sender-based") return ProtocolKind::kSenderBased;
-  if (name == "cascading") return ProtocolKind::kCascading;
-  if (name == "peterson-kearns" || name == "pk") {
-    return ProtocolKind::kPetersonKearns;
-  }
-  if (name == "no-recovery" || name == "none" || name == "plain") {
-    return ProtocolKind::kPlain;
-  }
-  throw std::invalid_argument("unknown protocol '" + name + "'");
-}
-
-const char* protocol_name(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kDamaniGarg: return "damani-garg";
-    case ProtocolKind::kPessimistic: return "pessimistic";
-    case ProtocolKind::kCoordinated: return "coordinated";
-    case ProtocolKind::kSenderBased: return "sender-based";
-    case ProtocolKind::kCascading: return "cascading";
-    case ProtocolKind::kPetersonKearns: return "peterson-kearns";
-    case ProtocolKind::kPlain: return "no-recovery";
-  }
-  return "?";
-}
-
-namespace {
-std::unique_ptr<ProcessBase> make_process(ProtocolKind kind, Simulation& sim,
-                                          Network& net, ProcessId pid,
-                                          std::size_t n,
-                                          std::unique_ptr<App> app,
-                                          const ProcessConfig& config,
-                                          Metrics& metrics,
-                                          CausalityOracle* oracle) {
-  switch (kind) {
-    case ProtocolKind::kDamaniGarg:
-      return std::make_unique<DamaniGargProcess>(sim, net, pid, n,
-                                                 std::move(app), config,
-                                                 metrics, oracle);
-    case ProtocolKind::kPessimistic:
-      return std::make_unique<PessimisticProcess>(sim, net, pid, n,
-                                                  std::move(app), config,
-                                                  metrics, oracle);
-    case ProtocolKind::kCoordinated:
-      return std::make_unique<CoordinatedProcess>(sim, net, pid, n,
-                                                  std::move(app), config,
-                                                  metrics, oracle);
-    case ProtocolKind::kSenderBased:
-      return std::make_unique<SenderBasedProcess>(sim, net, pid, n,
-                                                  std::move(app), config,
-                                                  metrics, oracle);
-    case ProtocolKind::kCascading:
-      return std::make_unique<CascadingProcess>(sim, net, pid, n,
-                                                std::move(app), config,
-                                                metrics, oracle);
-    case ProtocolKind::kPetersonKearns:
-      return std::make_unique<PetersonKearnsProcess>(sim, net, pid, n,
-                                                     std::move(app), config,
-                                                     metrics, oracle);
-    case ProtocolKind::kPlain:
-      return std::make_unique<PlainProcess>(sim, net, pid, n, std::move(app),
-                                            config, metrics, oracle);
-  }
-  throw std::invalid_argument("unknown protocol kind");
-}
-}  // namespace
 
 Scenario::Scenario(ScenarioConfig config)
     : config_(config), sim_(config.seed), net_(sim_, config.network) {
@@ -95,9 +19,9 @@ Scenario::Scenario(ScenarioConfig config)
   const AppFactory factory = config_.workload.make_factory();
   processes_.reserve(config_.n);
   for (ProcessId pid = 0; pid < config_.n; ++pid) {
-    processes_.push_back(make_process(
-        config_.protocol, sim_, net_, pid, config_.n, factory(pid, config_.n),
-        config_.process, metrics_, oracle_.get()));
+    processes_.push_back(make_protocol_process(
+        config_.protocol, RuntimeEnv(sim_, sim_, net_), pid, config_.n,
+        factory(pid, config_.n), config_.process, metrics_, oracle_.get()));
     processes_.back()->set_trace(trace_.get());
   }
 }

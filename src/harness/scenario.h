@@ -16,6 +16,7 @@
 #include "src/core/dg_process.h"
 #include "src/harness/failure_plan.h"
 #include "src/harness/metrics.h"
+#include "src/harness/protocol_factory.h"
 #include "src/net/network.h"
 #include "src/runtime/process_base.h"
 #include "src/sim/simulation.h"
@@ -23,18 +24,6 @@
 #include "src/truth/causality_oracle.h"
 
 namespace optrec {
-
-enum class ProtocolKind : std::uint8_t {
-  kDamaniGarg,
-  kPessimistic,
-  kCoordinated,
-  kSenderBased,
-  kCascading,
-  kPetersonKearns,
-  kPlain,  // no recovery; failure-free reference only
-};
-
-const char* protocol_name(ProtocolKind kind);
 
 struct ScenarioConfig {
   std::size_t n = 4;
@@ -60,10 +49,6 @@ struct ScenarioConfig {
   /// Used by the exploration engine — not serialized with the config.
   ScheduleHook* schedule_hook = nullptr;
 };
-
-/// Inverse of protocol_name (accepts the short aliases "dg" and "pk" too);
-/// throws std::invalid_argument on unknown names.
-ProtocolKind protocol_from_name(const std::string& name);
 
 class Scenario {
  public:

@@ -1,0 +1,56 @@
+#include "src/live/live_channel.h"
+
+#include <algorithm>
+
+namespace optrec {
+
+void LiveChannel::push(LiveFrame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_one();
+}
+
+std::optional<LiveFrame> LiveChannel::pop_ready(const LiveClock& clock,
+                                                SimTime wait_until, Rng& rng) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const SimTime now = clock.now();
+    std::size_t pick = kNone;
+    std::size_t ready = 0;
+    SimTime next_due = kSimTimeMax;
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      const LiveFrame& f = frames_[i];
+      if (f.not_before > now) {
+        next_due = std::min(next_due, f.not_before);
+        continue;
+      }
+      if (f.kind != LiveFrame::Kind::kWire) {
+        pick = i;
+        break;
+      }
+      // Reservoir pick: after the scan each due wire frame was chosen with
+      // probability 1/ready, which is what makes delivery order random.
+      ++ready;
+      if (rng.uniform(ready) == 0) pick = i;
+    }
+    if (pick != kNone) {
+      LiveFrame out = std::move(frames_[pick]);
+      frames_[pick] = std::move(frames_.back());
+      frames_.pop_back();
+      return out;
+    }
+    if (now >= wait_until) return std::nullopt;
+    cv_.wait_until(lock,
+                   clock.to_time_point(std::min(wait_until, next_due)));
+  }
+}
+
+std::size_t LiveChannel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+}  // namespace optrec

@@ -1,0 +1,68 @@
+// MPSC frame channel: one inbox per live process.
+//
+// Many worker threads push wire-encoded frames; the owning worker pops.
+// Delivery order is deliberately NOT FIFO: pop_ready picks a uniformly
+// random frame among those whose delay has expired, so the live transport
+// exercises the paper's no-ordering-assumption property by construction
+// (Table 1), the way the simulator's random delivery delays do.
+//
+// Control frames (crash/stop injection) ride the same channel but take
+// priority over wire frames once due, so an injected crash cannot be
+// starved by a deep backlog of application traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/live/live_clock.h"
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+struct LiveFrame {
+  enum class Kind : std::uint8_t {
+    kWire = 0,   // an encoded message/token frame (src/wire/wire_codec.h)
+    kCrash = 1,  // failure injection: the owning worker must crash and exit
+    kStop = 2,   // shutdown: the owning worker must exit cleanly
+  };
+  Kind kind = Kind::kWire;
+  ProcessId src = kNoProcess;
+  /// Wire image (kWire only). The receiving worker decodes it; payloads
+  /// cross the thread boundary only as bytes, the way a socket would.
+  Bytes wire;
+  /// kWire accounting without a decode: app message vs control/token.
+  bool app = false;
+  bool token = false;
+  /// Earliest runtime instant the frame may be popped (injected delay for
+  /// wire frames, crash time for kCrash).
+  SimTime not_before = 0;
+  /// When the sender pushed it (delivery-latency accounting).
+  SimTime sent_at = 0;
+};
+
+class LiveChannel {
+ public:
+  void push(LiveFrame frame);
+
+  /// Block until some frame is ready (not_before <= now) or `wait_until`
+  /// passes; return a ready frame or nullopt on timeout. Due control frames
+  /// win; among due wire frames the pick is uniformly random via `rng`.
+  /// Single consumer: only the owning worker calls this.
+  std::optional<LiveFrame> pop_ready(const LiveClock& clock,
+                                     SimTime wait_until, Rng& rng);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<LiveFrame> frames_;
+};
+
+}  // namespace optrec

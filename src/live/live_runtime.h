@@ -1,0 +1,149 @@
+// Live multi-threaded runtime: the protocol off the simulator.
+//
+// Runs each recovery process as a real OS thread against the same protocol
+// code the simulator hosts (ProcessBase subclasses, selected through
+// src/harness/protocol_factory). Each worker owns its process object, a
+// private timer queue, a private Metrics block, and the consumer end of its
+// MPSC LiveChannel; the shared pieces — LiveClock, LiveTransport, the
+// causality oracle, the trace recorder — are thread-safe by construction.
+//
+// Failure injection is real: a kCrash control frame makes the worker call
+// ProcessBase::crash() and then EXIT ITS THREAD. The supervisor joins the
+// dead thread and respawns a fresh one, which resumes the worker loop and
+// fires the pending restart timer — so recovery runs through a genuine
+// thread death and rebirth, not a simulated flag flip.
+//
+// Quiescence mirrors Scenario::run(): all planned crashes consumed, every
+// process up, nothing application-relevant in flight (app messages, tokens,
+// protocol-held messages), and the progress signature stable across a
+// settle slice. Workers publish is_up/pending/signature mirrors as atomics
+// after every step so the supervisor never touches process internals while
+// threads run. Post-join, per-worker metrics and latency samples are merged
+// and the oracle/trace are safe to query.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/app/workload.h"
+#include "src/harness/failure_plan.h"
+#include "src/harness/metrics.h"
+#include "src/harness/protocol_factory.h"
+#include "src/live/live_channel.h"
+#include "src/live/live_clock.h"
+#include "src/live/live_transport.h"
+#include "src/live/worker_timers.h"
+#include "src/runtime/process_base.h"
+#include "src/trace/trace_event.h"
+#include "src/truth/causality_oracle.h"
+#include "src/util/stats.h"
+
+namespace optrec {
+
+struct LiveConfig {
+  std::size_t n = 4;
+  std::uint64_t seed = 1;
+  ProtocolKind protocol = ProtocolKind::kDamaniGarg;
+  WorkloadSpec workload;
+  ProcessConfig process;
+  LiveFaultConfig faults;
+  /// Crash schedule; `at` is runtime microseconds (wall time since start).
+  std::vector<CrashEvent> crashes;
+  bool enable_oracle = true;
+  bool enable_trace = false;
+  /// Hard cap on wall time; a run that hits it reports quiesced = false.
+  SimTime time_cap = seconds(30);
+  /// Settle-slice length for the quiescence detector (and the supervisor's
+  /// polling period).
+  SimTime settle_slice = millis(25);
+  /// Upper bound on one worker wait, so mirrors refresh even when idle.
+  SimTime max_block = millis(5);
+};
+
+struct LiveResult {
+  bool quiesced = false;
+  /// Wall time consumed by the run, in microseconds.
+  SimTime wall_time = 0;
+  /// All workers' metrics folded together.
+  Metrics metrics;
+  Network::Stats net;
+  /// Send-to-handler latency of every delivered wire frame, microseconds.
+  Percentiles delivery_latency_us;
+};
+
+class LiveRuntime {
+ public:
+  explicit LiveRuntime(LiveConfig config);
+  ~LiveRuntime();
+
+  LiveRuntime(const LiveRuntime&) = delete;
+  LiveRuntime& operator=(const LiveRuntime&) = delete;
+
+  /// Spawn workers, inject the crash plan, run to quiescence or the time
+  /// cap, join everything. May be called once.
+  LiveResult run();
+
+  // Post-run (or pre-run) access only; never touch these while run() is
+  // live on another thread's stack.
+  CausalityOracle* oracle() { return oracle_.get(); }
+  /// Non-null iff `config.enable_trace`.
+  TraceRecorder* trace() { return trace_.get(); }
+  LiveTransport& transport() { return transport_; }
+  const LiveClock& clock() const { return clock_; }
+  std::size_t size() const { return workers_.size(); }
+  ProcessBase& process(ProcessId pid);
+  const LiveConfig& config() const { return config_; }
+
+ private:
+  enum class WorkerState : int { kRunning = 0, kExitedCrash, kExitedStop };
+
+  struct Worker {
+    explicit Worker(std::uint64_t rng_seed) : rng(rng_seed) {}
+
+    ProcessId pid = 0;
+    std::unique_ptr<WorkerTimers> timers;
+    std::unique_ptr<ProcessBase> proc;
+    Metrics metrics;           // worker-private; merged post-join
+    Percentiles latency_us;    // worker-private; merged post-join
+    Rng rng;                   // channel-pick randomness, worker-thread only
+    std::thread thread;
+    bool started = false;      // proc->start() ran (spawn/join handoff)
+    bool joined = true;        // supervisor-side bookkeeping
+
+    // Supervisor-visible mirrors, refreshed by the worker after each step.
+    std::atomic<bool> up{false};
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<std::uint64_t> signature{0};
+    std::atomic<WorkerState> state{WorkerState::kRunning};
+  };
+
+  void worker_main(Worker& w);
+  void sync_mirrors(Worker& w);
+  void spawn(Worker& w);
+  /// Wait up to `wait` for worker exits, then join them; crashed workers
+  /// are respawned when `respawn_crashed`.
+  void drain_exited(bool respawn_crashed, SimTime wait);
+  bool all_joined() const;
+  bool quiet_now() const;
+  std::uint64_t progress_signature() const;
+
+  LiveConfig config_;
+  LiveClock clock_;
+  LiveTransport transport_;
+  std::unique_ptr<CausalityOracle> oracle_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> crashes_pending_{0};
+  bool ran_ = false;
+
+  std::mutex exit_mu_;
+  std::condition_variable exit_cv_;
+  std::vector<ProcessId> exited_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,153 @@
+#include "src/live/live_transport.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/wire/wire_codec.h"
+
+namespace optrec {
+
+LiveTransport::LiveTransport(const LiveClock& clock, std::size_t n,
+                             std::uint64_t seed, LiveFaultConfig faults)
+    : clock_(clock), faults_(faults), endpoints_(n, nullptr) {
+  channels_.reserve(n);
+  send_rng_.reserve(n);
+  Rng base(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    channels_.push_back(std::make_unique<LiveChannel>());
+    send_rng_.push_back(base.fork());
+  }
+}
+
+void LiveTransport::attach(ProcessId pid, Endpoint* endpoint) {
+  if (endpoint == nullptr) throw std::invalid_argument("attach: null endpoint");
+  endpoints_.at(pid) = endpoint;
+}
+
+SimTime LiveTransport::draw_delay(Rng& rng) {
+  return rng.uniform_range(faults_.min_delay, faults_.max_delay);
+}
+
+void LiveTransport::push_wire(ProcessId src, ProcessId dst, Bytes wire,
+                              bool app, bool token, SimTime delay) {
+  LiveFrame f;
+  f.kind = LiveFrame::Kind::kWire;
+  f.src = src;
+  f.wire = std::move(wire);
+  f.app = app;
+  f.token = token;
+  f.sent_at = clock_.now();
+  f.not_before = f.sent_at + delay;
+  frames_pushed_.fetch_add(1, std::memory_order_acq_rel);
+  channels_.at(dst)->push(std::move(f));
+}
+
+MsgId LiveTransport::send(Message msg) {
+  if (msg.src == msg.dst) throw std::invalid_argument("send: src == dst");
+  if (msg.dst >= endpoints_.size() || endpoints_[msg.dst] == nullptr) {
+    throw std::out_of_range("send: unknown destination");
+  }
+  msg.id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  message_bytes_.fetch_add(message_wire_bytes(msg), std::memory_order_relaxed);
+  if (trace_) {
+    TraceEvent e;
+    e.at = clock_.now();
+    e.type = TraceEventType::kSend;
+    e.pid = msg.src;
+    e.clock = msg.clock.size() > msg.src ? msg.clock.entry(msg.src)
+                                         : FtvcEntry{msg.src_version, 0};
+    e.peer = msg.dst;
+    e.msg_id = msg.id;
+    e.send_seq = msg.send_seq;
+    e.msg_version = msg.src_version;
+    if (msg.kind == MessageKind::kControl) e.detail |= kTraceSendControl;
+    if (msg.retransmission) e.detail |= kTraceSendRetransmission;
+    e.mclock = msg.clock.entries();
+    trace_->emit(std::move(e));
+  }
+  Rng& rng = send_rng_.at(msg.src);
+  const bool app = msg.kind == MessageKind::kApp;
+  if (app) {
+    app_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (rng.chance(faults_.drop_prob)) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return msg.id;
+    }
+  }
+  Bytes wire = encode_message_frame(msg);
+  if (app && rng.chance(faults_.duplicate_prob)) {
+    messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    push_wire(msg.src, msg.dst, wire, app, /*token=*/false, draw_delay(rng));
+  }
+  const SimTime delay = draw_delay(rng);
+  push_wire(msg.src, msg.dst, std::move(wire), app, /*token=*/false, delay);
+  return msg.id;
+}
+
+void LiveTransport::broadcast_token(const Token& token) {
+  token_broadcasts_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_) {
+    TraceEvent e;
+    e.at = clock_.now();
+    e.type = TraceEventType::kTokenBroadcast;
+    e.pid = token.from;
+    e.clock = token.failed;
+    e.ref = token.failed;
+    if (token.origin_pid != kNoProcess) {
+      e.origin = token.origin_pid;
+      e.origin_ver = token.origin_ver;
+    } else {
+      e.origin = token.from;
+      e.origin_ver = token.failed.ver;
+    }
+    trace_->emit(std::move(e));
+  }
+  for (ProcessId dst = 0; dst < endpoints_.size(); ++dst) {
+    if (dst == token.from || endpoints_[dst] == nullptr) continue;
+    send_token(dst, token);
+  }
+}
+
+void LiveTransport::send_token(ProcessId dst, const Token& token) {
+  tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+  token_bytes_.fetch_add(token_wire_bytes(token), std::memory_order_relaxed);
+  Rng& rng = send_rng_.at(token.from);
+  push_wire(token.from, dst, encode_token_frame(token), /*app=*/false,
+            /*token=*/true, draw_delay(rng));
+}
+
+void LiveTransport::note_delivered_message(bool app) {
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (app) app_messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  frames_handled_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void LiveTransport::note_delivered_token() {
+  tokens_delivered_.fetch_add(1, std::memory_order_relaxed);
+  frames_handled_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void LiveTransport::note_retry(bool token) {
+  if (!token) messages_retried_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Network::Stats LiveTransport::stats() const {
+  Network::Stats s;
+  s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+  s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+  s.app_messages_sent = app_messages_sent_.load(std::memory_order_relaxed);
+  s.app_messages_delivered =
+      app_messages_delivered_.load(std::memory_order_relaxed);
+  s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  s.messages_duplicated = messages_duplicated_.load(std::memory_order_relaxed);
+  s.messages_retried = messages_retried_.load(std::memory_order_relaxed);
+  s.tokens_sent = tokens_sent_.load(std::memory_order_relaxed);
+  s.tokens_delivered = tokens_delivered_.load(std::memory_order_relaxed);
+  s.token_broadcasts = token_broadcasts_.load(std::memory_order_relaxed);
+  s.message_bytes = message_bytes_.load(std::memory_order_relaxed);
+  s.token_bytes = token_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace optrec

@@ -1,0 +1,144 @@
+// Live Transport: wire-encoded frames over per-process MPSC channels.
+//
+// The thread-backed counterpart of src/net/Network. Every send serializes
+// the message/token through src/wire/wire_codec and pushes the byte image
+// into the destination's LiveChannel with an injected delivery delay; the
+// receiving worker decodes it back. Channels are non-FIFO by construction
+// (random ready-frame pick), and faults — drop, duplicate, extra delay —
+// are injected per sender from deterministic per-sender streams.
+//
+// Thread contract:
+//   * attach() runs on the supervisor thread before workers spawn.
+//   * send()/broadcast_token()/send_token() for source process p run only
+//     on p's worker thread (protocols always send as themselves), so the
+//     per-sender fault RNGs need no locks.
+//   * note_*() delivery accounting runs on the receiving worker.
+//   * stats() snapshots atomics and may run anywhere, any time.
+// As in the simulator, application messages and tokens are retried while
+// the receiver is down (reliable transport): the worker loop requeues the
+// undecoded frame with retry_interval backoff. Information loss comes only
+// from crash-wiped volatile state — the paper's failure model — unless
+// drop_prob explicitly injects transport loss.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/live/live_channel.h"
+#include "src/live/live_clock.h"
+#include "src/net/message.h"
+#include "src/net/network.h"
+#include "src/runtime/env.h"
+#include "src/trace/trace_event.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+struct LiveFaultConfig {
+  /// Injected delivery delay range (real microseconds).
+  SimTime min_delay = micros(50);
+  SimTime max_delay = millis(2);
+  /// Probability an application message is silently dropped. Control
+  /// messages and tokens stay reliable, mirroring NetworkConfig.
+  double drop_prob = 0.0;
+  /// Probability an application message is delivered twice (independent
+  /// delays), exercising the receiver-side duplicate filter for real.
+  double duplicate_prob = 0.0;
+  /// Backoff between delivery attempts while the receiver is down.
+  SimTime retry_interval = millis(2);
+};
+
+class LiveTransport : public Transport {
+ public:
+  LiveTransport(const LiveClock& clock, std::size_t n, std::uint64_t seed,
+                LiveFaultConfig faults);
+
+  void attach(ProcessId pid, Endpoint* endpoint) override;
+  MsgId send(Message msg) override;
+  void broadcast_token(const Token& token) override;
+  void send_token(ProcessId dst, const Token& token) override;
+
+  /// Attach a trace recorder (thread-safe emit); null detaches.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  std::size_t size() const { return channels_.size(); }
+  LiveChannel& channel(ProcessId pid) { return *channels_.at(pid); }
+  Endpoint* endpoint(ProcessId pid) const { return endpoints_.at(pid); }
+  const LiveFaultConfig& faults() const { return faults_; }
+
+  // --- worker-side delivery accounting -------------------------------
+  void note_delivered_message(bool app);
+  void note_delivered_token();
+  /// Receiver was down; the frame went back into the channel. Mirrors the
+  /// simulator: message retries are counted, token retries are silent.
+  void note_retry(bool token);
+
+  /// Wire frames pushed but not yet handed to an endpoint (includes frames
+  /// parked for a down receiver).
+  std::uint64_t frames_in_flight() const {
+    return frames_pushed_.load(std::memory_order_acquire) -
+           frames_handled_.load(std::memory_order_acquire);
+  }
+
+  /// Application messages accepted but not yet handed to an endpoint; zero
+  /// is a necessary condition for quiescence (Network has the same query).
+  /// Loads delivered/dropped before sent/duplicated so a racing snapshot
+  /// errs toward "still in flight", never toward a false zero.
+  std::uint64_t app_messages_in_flight() const {
+    const std::uint64_t delivered =
+        app_messages_delivered_.load(std::memory_order_acquire);
+    const std::uint64_t dropped =
+        messages_dropped_.load(std::memory_order_acquire);
+    const std::uint64_t sent =
+        app_messages_sent_.load(std::memory_order_acquire);
+    const std::uint64_t dup =
+        messages_duplicated_.load(std::memory_order_acquire);
+    return sent + dup - delivered - dropped;
+  }
+  std::uint64_t tokens_in_flight() const {
+    const std::uint64_t delivered =
+        tokens_delivered_.load(std::memory_order_acquire);
+    return tokens_sent_.load(std::memory_order_acquire) - delivered;
+  }
+
+  /// Counter snapshot, shaped like Network::Stats so reporting code treats
+  /// the two backends alike.
+  Network::Stats stats() const;
+
+ private:
+  SimTime draw_delay(Rng& rng);
+  void push_wire(ProcessId src, ProcessId dst, Bytes wire, bool app,
+                 bool token, SimTime delay);
+
+  const LiveClock& clock_;
+  LiveFaultConfig faults_;
+  std::vector<std::unique_ptr<LiveChannel>> channels_;
+  std::vector<Endpoint*> endpoints_;
+  /// Fault/delay streams, indexed by sending process (worker-thread-local
+  /// by the thread contract above).
+  std::vector<Rng> send_rng_;
+  TraceRecorder* trace_ = nullptr;
+
+  std::atomic<MsgId> next_msg_id_{1};
+  std::atomic<std::uint64_t> frames_pushed_{0};
+  std::atomic<std::uint64_t> frames_handled_{0};
+
+  // Counter block: relaxed atomics, snapshotted by stats().
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> app_messages_sent_{0};
+  std::atomic<std::uint64_t> app_messages_delivered_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> messages_duplicated_{0};
+  std::atomic<std::uint64_t> messages_retried_{0};
+  std::atomic<std::uint64_t> tokens_sent_{0};
+  std::atomic<std::uint64_t> tokens_delivered_{0};
+  std::atomic<std::uint64_t> token_broadcasts_{0};
+  std::atomic<std::uint64_t> message_bytes_{0};
+  std::atomic<std::uint64_t> token_bytes_{0};
+};
+
+}  // namespace optrec

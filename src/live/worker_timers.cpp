@@ -1,0 +1,37 @@
+#include "src/live/worker_timers.h"
+
+namespace optrec {
+
+TimerId WorkerTimers::schedule_after(SimTime delay, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  const SimTime at = clock_->now() + delay;
+  queue_.emplace(at, std::make_pair(id, std::move(fn)));
+  return id;
+}
+
+void WorkerTimers::cancel(TimerId id) {
+  if (id == 0) return;
+  cancelled_.insert(id);
+}
+
+SimTime WorkerTimers::next_deadline() const {
+  for (const auto& [at, entry] : queue_) {
+    if (cancelled_.count(entry.first) == 0) return at;
+  }
+  return kSimTimeMax;
+}
+
+void WorkerTimers::fire_due() {
+  // Pop before running: the callback may schedule new timers (re-entering
+  // queue_) or cancel pending ones.
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first > clock_->now()) break;
+    auto [id, fn] = std::move(it->second);
+    queue_.erase(it);
+    if (cancelled_.erase(id) > 0) continue;
+    fn();
+  }
+}
+
+}  // namespace optrec

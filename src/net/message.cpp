@@ -53,8 +53,7 @@ std::string Message::describe() const {
   return os.str();
 }
 
-std::size_t Token::wire_size() const {
-  Writer w;
+void Token::encode(Writer& w) const {
   w.put_u32(from);
   w.put_u32(failed.ver);
   w.put_u64(failed.ts);
@@ -64,7 +63,26 @@ std::size_t Token::wire_size() const {
   } else {
     w.put_bool(false);
   }
-  return w.size();
+  w.put_u32(origin_pid);
+  w.put_u32(origin_ver);
+}
+
+Token Token::decode(Reader& r) {
+  Token t;
+  t.from = r.get_u32();
+  t.failed.ver = r.get_u32();
+  t.failed.ts = r.get_u64();
+  if (r.get_bool()) t.restored_clock = Ftvc::decode(r);
+  t.origin_pid = r.get_u32();
+  t.origin_ver = r.get_u32();
+  return t;
+}
+
+std::size_t Token::wire_size() const {
+  Writer w;
+  encode(w);
+  // The metrics-attribution trailer is bookkeeping, not wire content.
+  return w.size() - varint_size(origin_pid) - varint_size(origin_ver);
 }
 
 std::string Token::describe() const {

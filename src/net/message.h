@@ -76,6 +76,12 @@ struct Token {
   Version origin_ver = 0;
 
   std::size_t wire_size() const;
+
+  /// Full serialization including the attribution trailer (which wire_size
+  /// excludes, mirroring Message's sender_state treatment).
+  void encode(Writer& w) const;
+  static Token decode(Reader& r);
+
   std::string describe() const;
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/util/log.h"
+#include "src/wire/wire_codec.h"
 
 namespace optrec {
 
@@ -43,7 +44,7 @@ MsgId Network::send(Message msg) {
   }
   msg.id = next_msg_id_++;
   ++stats_.messages_sent;
-  stats_.message_bytes += msg.wire_size();
+  stats_.message_bytes += message_wire_bytes(msg);
   if (message_tap_) message_tap_(msg);
   if (trace_) {
     TraceEvent e;
@@ -141,7 +142,7 @@ void Network::broadcast_token(const Token& token) {
 
 void Network::send_token(ProcessId dst, const Token& token) {
   ++stats_.tokens_sent;
-  stats_.token_bytes += token.wire_size();
+  stats_.token_bytes += token_wire_bytes(token);
   const SimTime at =
       sim_.now() + draw_delay(token.from, dst, /*token=*/true);
   sim_.schedule_at(at, [this, dst, token]() { deliver_token(dst, token); });

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/net/message.h"
+#include "src/runtime/env.h"
 #include "src/sim/schedule_hook.h"
 #include "src/sim/simulation.h"
 #include "src/trace/trace_event.h"
@@ -47,23 +48,23 @@ struct NetworkConfig {
   SimTime retry_interval = millis(20);
 };
 
-class Network {
+class Network : public Transport {
  public:
   Network(Simulation& sim, NetworkConfig config);
 
   /// Register endpoint for `pid`. Endpoints must cover 0..n-1 before
   /// traffic starts; re-attaching replaces (used by restart-in-place tests).
-  void attach(ProcessId pid, Endpoint* endpoint);
+  void attach(ProcessId pid, Endpoint* endpoint) override;
   std::size_t size() const { return endpoints_.size(); }
 
   /// Send an application or control message; assigns Message::id.
   /// src != dst required.
-  MsgId send(Message msg);
+  MsgId send(Message msg) override;
 
   /// Reliably deliver `token` to every process except `token.from`.
-  void broadcast_token(const Token& token);
+  void broadcast_token(const Token& token) override;
   /// Reliably deliver `token` to one process (used by retransmission tests).
-  void send_token(ProcessId dst, const Token& token);
+  void send_token(ProcessId dst, const Token& token) override;
 
   /// Test taps: observe every accepted send (post-stamp, with assigned id)
   /// and every token broadcast. Used by scenario tests that hand-deliver

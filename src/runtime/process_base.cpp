@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/util/log.h"
+#include "src/wire/wire_codec.h"
 
 namespace optrec {
 
@@ -22,12 +23,10 @@ class ProcessBase::ContextShim : public AppContext {
   ProcessBase& host_;
 };
 
-ProcessBase::ProcessBase(Simulation& sim, Network& net, ProcessId pid,
-                         std::size_t n, std::unique_ptr<App> app,
-                         ProcessConfig config, Metrics& metrics,
-                         CausalityOracle* oracle)
-    : sim_(sim),
-      net_(net),
+ProcessBase::ProcessBase(RuntimeEnv env, ProcessId pid, std::size_t n,
+                         std::unique_ptr<App> app, ProcessConfig config,
+                         Metrics& metrics, CausalityOracle* oracle)
+    : env_(env),
       pid_(pid),
       n_(n),
       app_(std::move(app)),
@@ -36,7 +35,7 @@ ProcessBase::ProcessBase(Simulation& sim, Network& net, ProcessId pid,
       oracle_(oracle),
       ctx_(std::make_unique<ContextShim>(*this)) {
   if (!app_) throw std::invalid_argument("ProcessBase: null app");
-  net_.attach(pid_, this);
+  env_.transport().attach(pid_, this);
 }
 
 ProcessBase::~ProcessBase() = default;
@@ -64,20 +63,20 @@ void ProcessBase::start_timers() {
         config_.checkpoint_interval +
         (config_.checkpoint_interval * pid_) / (n_ ? n_ : 1);
     checkpoint_timer_ =
-        sim_.schedule_after(stagger, [this] { checkpoint_timer_fired(); });
+        env_.schedule_after(stagger, [this] { checkpoint_timer_fired(); });
   }
   if (config_.flush_interval > 0) {
     const SimTime stagger =
         config_.flush_interval + (config_.flush_interval * pid_) / (n_ ? n_ : 1);
     flush_timer_ =
-        sim_.schedule_after(stagger, [this] { flush_timer_fired(); });
+        env_.schedule_after(stagger, [this] { flush_timer_fired(); });
   }
 }
 
 void ProcessBase::checkpoint_timer_fired() {
   if (!up_) return;
   take_checkpoint();
-  checkpoint_timer_ = sim_.schedule_after(config_.checkpoint_interval,
+  checkpoint_timer_ = env_.schedule_after(config_.checkpoint_interval,
                                           [this] { checkpoint_timer_fired(); });
 }
 
@@ -89,16 +88,16 @@ void ProcessBase::flush_timer_fired() {
     ++metrics_.log_flushes;
     trace_simple(TraceEventType::kLogFlush, flushed);
   }
-  flush_timer_ = sim_.schedule_after(config_.flush_interval,
+  flush_timer_ = env_.schedule_after(config_.flush_interval,
                                      [this] { flush_timer_fired(); });
 }
 
 void ProcessBase::crash() {
   if (!up_ || !started_) return;
   up_ = false;
-  crash_time_ = sim_.now();
+  crash_time_ = env_.now();
   ++metrics_.crashes;
-  OPTREC_LOG(kInfo) << "P" << pid_ << " crashed at t=" << sim_.now()
+  OPTREC_LOG(kInfo) << "P" << pid_ << " crashed at t=" << env_.now()
                     << " (version " << version_ << ")";
 
   // States whose receipts were not yet on stable storage are lost forever.
@@ -114,11 +113,11 @@ void ProcessBase::crash() {
   pending_outputs_.clear();
   delivered_keys_.clear();
 
-  sim_.cancel(checkpoint_timer_);
-  sim_.cancel(flush_timer_);
+  env_.cancel(checkpoint_timer_);
+  env_.cancel(flush_timer_);
   checkpoint_timer_ = flush_timer_ = 0;
 
-  sim_.schedule_after(config_.restart_delay, [this] { restart_now(); });
+  env_.schedule_after(config_.restart_delay, [this] { restart_now(); });
 }
 
 void ProcessBase::restart_now() {
@@ -126,10 +125,10 @@ void ProcessBase::restart_now() {
   up_ = true;
   ++metrics_.restarts;
   trace_simple(TraceEventType::kRestart, delivered_total_);
-  metrics_.restart_latency.add(static_cast<double>(sim_.now() - crash_time_));
+  metrics_.restart_latency.add(static_cast<double>(env_.now() - crash_time_));
   start_timers();
   on_started();
-  OPTREC_LOG(kInfo) << "P" << pid_ << " restarted at t=" << sim_.now()
+  OPTREC_LOG(kInfo) << "P" << pid_ << " restarted at t=" << env_.now()
                     << " as version " << version_;
 }
 
@@ -208,22 +207,22 @@ void ProcessBase::transmit_now(Message msg) {
   const StateId sender_state = msg.sender_state;
   ++metrics_.app_messages_sent;
   metrics_.payload_bytes += msg.payload.size();
-  metrics_.piggyback_bytes += msg.wire_size() - msg.payload.size();
-  const MsgId id = net_.send(std::move(msg));
+  metrics_.piggyback_bytes += message_piggyback_bytes(msg);
+  const MsgId id = env_.transport().send(std::move(msg));
   if (oracle_) oracle_->record_send(id, sender_state);
 }
 
 void ProcessBase::resend_raw(Message msg) {
   msg.retransmission = true;
   const StateId sender_state = msg.sender_state;
-  const MsgId id = net_.send(std::move(msg));
+  const MsgId id = env_.transport().send(std::move(msg));
   if (oracle_) oracle_->record_send(id, sender_state);
   ++metrics_.retransmissions;
 }
 
 void ProcessBase::requeue_local(Message msg) {
   ++metrics_.messages_requeued_after_rollback;
-  sim_.schedule_after(micros(1), [this, m = std::move(msg)]() mutable {
+  env_.schedule_after(micros(1), [this, m = std::move(msg)]() mutable {
     if (!up_) {
       requeue_retry(std::move(m));
       return;
@@ -233,7 +232,7 @@ void ProcessBase::requeue_local(Message msg) {
 }
 
 void ProcessBase::requeue_retry(Message msg) {
-  sim_.schedule_after(millis(1), [this, m = std::move(msg)]() mutable {
+  env_.schedule_after(millis(1), [this, m = std::move(msg)]() mutable {
     if (!up_) {
       requeue_retry(std::move(m));
       return;
@@ -269,12 +268,12 @@ std::vector<StateId> ProcessBase::take_states_for_deliveries(
 void ProcessBase::request_output(const std::string& data) {
   ++metrics_.outputs_requested;
   if (!output_commit_gated()) {
-    outputs_.push_back({data, sim_.now(), sim_.now()});
+    outputs_.push_back({data, env_.now(), env_.now()});
     ++metrics_.outputs_committed;
     trace_simple(TraceEventType::kOutputCommit, 1);
     return;
   }
-  pending_outputs_.push_back({data, sim_.now(), delivered_total_});
+  pending_outputs_.push_back({data, env_.now(), delivered_total_});
 }
 
 void ProcessBase::commit_pending_outputs_up_to(std::uint64_t delivered_count) {
@@ -283,9 +282,9 @@ void ProcessBase::commit_pending_outputs_up_to(std::uint64_t delivered_count) {
   auto it = pending_outputs_.begin();
   while (it != pending_outputs_.end()) {
     if (it->delivered_count <= delivered_count) {
-      outputs_.push_back({it->data, it->requested_at, sim_.now()});
+      outputs_.push_back({it->data, it->requested_at, env_.now()});
       ++metrics_.outputs_committed;
-      const SimTime latency = sim_.now() - it->requested_at;
+      const SimTime latency = env_.now() - it->requested_at;
       metrics_.output_commit_latency.add(static_cast<double>(latency));
       oldest_latency = std::max(oldest_latency, latency);
       ++committed;
@@ -307,7 +306,7 @@ void ProcessBase::drop_pending_outputs_after(std::uint64_t count) {
 
 TraceEvent ProcessBase::trace_base(TraceEventType type) const {
   TraceEvent e;
-  e.at = sim_.now();
+  e.at = env_.now();
   e.type = type;
   e.pid = pid_;
   e.clock = trace_clock_entry();

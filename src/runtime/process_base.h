@@ -23,6 +23,7 @@
 #include "src/app/app.h"
 #include "src/harness/metrics.h"
 #include "src/net/network.h"
+#include "src/runtime/env.h"
 #include "src/sim/simulation.h"
 #include "src/storage/stable_storage.h"
 #include "src/trace/trace_event.h"
@@ -74,7 +75,7 @@ struct CommittedOutput {
 
 class ProcessBase : public Endpoint {
  public:
-  ProcessBase(Simulation& sim, Network& net, ProcessId pid, std::size_t n,
+  ProcessBase(RuntimeEnv env, ProcessId pid, std::size_t n,
               std::unique_ptr<App> app, ProcessConfig config,
               Metrics& metrics, CausalityOracle* oracle);
   ~ProcessBase() override;
@@ -152,8 +153,11 @@ class ProcessBase : public Endpoint {
   virtual bool output_commit_gated() const { return false; }
 
   // ---- services for subclasses ----------------------------------------
-  Simulation& sim() { return sim_; }
-  Network& net() { return net_; }
+  /// Clock + timers. Named `sim()` for continuity with the original
+  /// simulator-only code; on the live backend this is real time and
+  /// worker-thread-local timers.
+  RuntimeEnv& sim() { return env_; }
+  Transport& net() { return env_.transport(); }
   Metrics& metrics() { return metrics_; }
   CausalityOracle* oracle() { return oracle_; }
   TraceRecorder* trace() const { return trace_; }
@@ -253,8 +257,7 @@ class ProcessBase : public Endpoint {
   void restart_now();
   void requeue_retry(Message msg);
 
-  Simulation& sim_;
-  Network& net_;
+  RuntimeEnv env_;
   ProcessId pid_;
   std::size_t n_;
   std::unique_ptr<App> app_;
@@ -267,8 +270,8 @@ class ProcessBase : public Endpoint {
   bool up_ = false;
   bool started_ = false;
   SimTime crash_time_ = 0;
-  EventId checkpoint_timer_ = 0;
-  EventId flush_timer_ = 0;
+  TimerId checkpoint_timer_ = 0;
+  TimerId flush_timer_ = 0;
 
   StateId cur_state_ = 0;
   std::unordered_map<std::uint64_t, std::vector<StateId>> states_at_count_;

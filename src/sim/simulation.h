@@ -8,30 +8,34 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/runtime/env.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 #include "src/util/rng.h"
 
 namespace optrec {
 
-class Simulation {
+/// The simulator IS the runtime backend: it serves the backend-neutral
+/// Clock and TimerService interfaces directly (timers are plain scheduler
+/// events), so processes built against a RuntimeEnv run on it unchanged.
+class Simulation : public Clock, public TimerService {
  public:
   explicit Simulation(std::uint64_t seed) : rng_(seed) {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  SimTime now() const { return scheduler_.now(); }
+  SimTime now() const override { return scheduler_.now(); }
   Rng& rng() { return rng_; }
   Scheduler& scheduler() { return scheduler_; }
 
   EventId schedule_at(SimTime at, std::function<void()> fn) {
     return scheduler_.schedule_at(at, std::move(fn));
   }
-  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+  EventId schedule_after(SimTime delay, std::function<void()> fn) override {
     return scheduler_.schedule_at(now() + delay, std::move(fn));
   }
-  void cancel(EventId id) { scheduler_.cancel(id); }
+  void cancel(EventId id) override { scheduler_.cancel(id); }
 
   struct RunResult {
     SimTime end_time = 0;

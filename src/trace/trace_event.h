@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -112,10 +113,17 @@ std::uint64_t trace_digest(const std::vector<TraceEvent>& events);
 /// In-memory event collector. One recorder per run; every process and the
 /// network hold a non-owning pointer (null when tracing is disabled, which
 /// keeps the hot path allocation- and branch-cheap: a single pointer test).
+///
+/// emit() is thread-safe so worker threads of the live runtime can share one
+/// recorder; the seq stamped under the lock gives the total order the
+/// auditor replays. The read accessors are NOT synchronized — call them only
+/// after the run (single-threaded simulator, or post-join on the live
+/// runtime).
 class TraceRecorder {
  public:
   /// Stamp the total-order sequence number and store the event.
   void emit(TraceEvent e) {
+    std::lock_guard<std::mutex> lock(mu_);
     e.seq = events_.size();
     events_.push_back(std::move(e));
   }
@@ -127,6 +135,7 @@ class TraceRecorder {
   std::vector<TraceEvent> take() { return std::move(events_); }
 
  private:
+  std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/truth/causality_oracle.h"
 
 #include <deque>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +23,7 @@ StateId CausalityOracle::new_state(ProcessId pid) {
 }
 
 StateId CausalityOracle::initial_state(ProcessId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
   const StateId s = new_state(pid);
   frontier_.at(pid) = s;
   return s;
@@ -29,6 +31,7 @@ StateId CausalityOracle::initial_state(ProcessId pid) {
 
 StateId CausalityOracle::delivery_state(ProcessId pid, StateId prev,
                                         StateId sender_state) {
+  std::lock_guard<std::mutex> lock(mu_);
   const StateId s = new_state(pid);
   out_edges_.at(prev).push_back(s);
   in_edges_.at(s).push_back(prev);
@@ -39,6 +42,7 @@ StateId CausalityOracle::delivery_state(ProcessId pid, StateId prev,
 }
 
 StateId CausalityOracle::recovery_state(ProcessId pid, StateId restored) {
+  std::lock_guard<std::mutex> lock(mu_);
   const StateId s = new_state(pid);
   out_edges_.at(restored).push_back(s);
   in_edges_.at(s).push_back(restored);
@@ -47,30 +51,36 @@ StateId CausalityOracle::recovery_state(ProcessId pid, StateId restored) {
 }
 
 void CausalityOracle::record_send(MsgId msg, StateId sender_state) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& fate = messages_[msg];
   fate.sender_state = sender_state;
 }
 
 void CausalityOracle::record_delivery(MsgId msg, StateId receiver_state) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& fate = messages_[msg];
   fate.delivered = true;
   fate.receiver_states.push_back(receiver_state);
 }
 
 void CausalityOracle::record_discard(MsgId msg) {
+  std::lock_guard<std::mutex> lock(mu_);
   messages_[msg].discarded = true;
 }
 
 void CausalityOracle::mark_lost(const std::vector<StateId>& states) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (StateId s : states) lost_.insert(s);
   orphans_valid_ = false;
 }
 
 void CausalityOracle::mark_rolled_back(const std::vector<StateId>& states) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (StateId s : states) rolled_back_.insert(s);
 }
 
 void CausalityOracle::set_frontier(ProcessId pid, StateId s) {
+  std::lock_guard<std::mutex> lock(mu_);
   frontier_.at(pid) = s;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,11 @@
 
 namespace optrec {
 
+/// Thread-safety contract: the run-time mutators (state creation, record_*,
+/// mark_*, set_frontier) take an internal lock so live-runtime workers can
+/// share one oracle. The query side is NOT synchronized — it is meant for
+/// post-run validation, after the simulator quiesces or the live workers are
+/// joined.
 class CausalityOracle {
  public:
   /// Create the initial state of a process (before any delivery).
@@ -106,6 +112,9 @@ class CausalityOracle {
  private:
   StateId new_state(ProcessId pid);
 
+  /// Guards all mutation; public mutators lock it, queries do not (see the
+  /// class comment for the contract).
+  std::mutex mu_;
   std::vector<std::vector<StateId>> per_process_;
   std::vector<ProcessId> process_of_;          // indexed by StateId
   std::vector<std::size_t> index_of_;          // position within its process

@@ -13,6 +13,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Fold another accumulator into this one (Chan's parallel update), as if
+  /// every sample of `other` had been add()ed here. Used to combine
+  /// per-worker stats after a live run.
+  void merge_from(const RunningStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
@@ -39,6 +44,11 @@ class Percentiles {
  public:
   void add(double x) {
     samples_.push_back(x);
+    sorted_ = false;
+  }
+  void merge_from(const Percentiles& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
     sorted_ = false;
   }
   std::size_t count() const { return samples_.size(); }

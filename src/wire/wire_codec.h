@@ -1,0 +1,88 @@
+// Binary wire codec: the exact byte image of protocol traffic.
+//
+// Frames what the simulator passes around as structs into self-describing
+// varint-encoded byte strings, so piggyback overhead is measured in real
+// serialized bytes and the live runtime (src/live/) can move traffic through
+// channels as flat buffers, the way a socket transport would.
+//
+// Frame layout:   [type u8] [body] [telemetry trailer]
+//   kMessage body = Message::encode  (headers, optional FTVC, payload);
+//                   the trailer is the oracle's sender_state (already the
+//                   last field of Message::encode) plus the substrate msg id.
+//   kToken body   = Token::encode    (from, failed entry, optional restored
+//                   clock, attribution trailer).
+// Telemetry trailers ride along so post-hoc validation (causality oracle,
+// trace auditor) works on live runs, but are excluded from the byte
+// accounting — message_wire_bytes/token_wire_bytes report what a production
+// transport would actually put on the wire.
+//
+// Stateless by design: every frame decodes on its own, which is what a
+// non-FIFO transport needs. For FIFO transports, DiffWireEncoder/-Decoder
+// swap the full FTVC for a differential one (src/clocks/diff_codec),
+// approaching the paper's single-timestamp ideal (Section 7).
+#pragma once
+
+#include <cstddef>
+
+#include "src/clocks/diff_codec.h"
+#include "src/net/message.h"
+#include "src/util/bytes.h"
+
+namespace optrec {
+
+enum class FrameType : std::uint8_t { kMessage = 1, kToken = 2 };
+
+/// One decoded frame; `type` says which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kMessage;
+  Message message;
+  Token token;
+};
+
+Bytes encode_message_frame(const Message& msg);
+Bytes encode_token_frame(const Token& token);
+
+/// Decode either frame kind. Throws DecodeError on malformed input.
+Frame decode_frame(const Bytes& wire);
+
+/// Exact on-the-wire size of a message/token frame, excluding the telemetry
+/// trailer (oracle state id, substrate message id, token attribution).
+std::size_t message_wire_bytes(const Message& msg);
+std::size_t token_wire_bytes(const Token& token);
+
+/// Exact piggyback cost of a message: everything the protocol adds on top of
+/// the raw application payload (frame header, ids, flags, FTVC). This is the
+/// number the paper's O(n) overhead claim is about, and what
+/// Metrics::piggyback_bytes accumulates.
+std::size_t message_piggyback_bytes(const Message& msg);
+
+/// FIFO-transport variant: message frames carry a differential FTVC.
+/// Requires per-(sender,receiver) FIFO delivery and the invalidate/reset
+/// discipline documented in src/clocks/diff_codec.h. Token frames are
+/// unchanged (tokens always carry full information).
+class DiffWireEncoder {
+ public:
+  explicit DiffWireEncoder(std::size_t n) : clocks_(n) {}
+
+  Bytes encode_message(const Message& msg);
+  /// Next message to `dst` (or everyone) carries a full clock again.
+  void invalidate(ProcessId dst) { clocks_.invalidate(dst); }
+  void invalidate_all() { clocks_.invalidate_all(); }
+
+ private:
+  DiffFtvcEncoder clocks_;
+};
+
+class DiffWireDecoder {
+ public:
+  explicit DiffWireDecoder(std::size_t n) : clocks_(n) {}
+
+  Message decode_message(const Bytes& wire);
+  /// Drop the clock base cached for `src` (its incarnation changed).
+  void reset(ProcessId src) { clocks_.reset(src); }
+
+ private:
+  DiffFtvcDecoder clocks_;
+};
+
+}  // namespace optrec

@@ -84,6 +84,66 @@ TEST(DiffCodecTest, VersionChangesTravelInDiffs) {
   EXPECT_EQ(dec.decode_from(1, enc.encode_for(0, clock)), clock);
 }
 
+// ---- edge cases hit by the wire codec (regression tests) -----------------
+
+TEST(DiffCodecTest, EmptyClockRoundTripsFullAndDiff) {
+  // A baseline message with no piggyback carries a default (size-0) clock;
+  // the codec must round-trip it on both the full and the diff path.
+  DiffFtvcEncoder enc(3);
+  DiffFtvcDecoder dec(3);
+  const Ftvc empty;
+  Ftvc out = dec.decode_from(0, enc.encode_for(1, empty));
+  EXPECT_EQ(out, empty);
+  EXPECT_EQ(out.owner(), empty.owner());
+  EXPECT_EQ(out.size(), 0u);
+  // Second frame takes the diff path (warm cache, zero changed entries).
+  out = dec.decode_from(0, enc.encode_for(1, empty));
+  EXPECT_EQ(out, empty);
+  EXPECT_EQ(out.owner(), empty.owner());
+}
+
+TEST(DiffCodecTest, SingleEntryClockRoundTrips) {
+  DiffFtvcEncoder enc(1);
+  DiffFtvcDecoder dec(1);
+  Ftvc clock(0, 1);
+  EXPECT_EQ(dec.decode_from(0, enc.encode_for(0, clock)), clock);
+  clock.tick_send();
+  Ftvc out = dec.decode_from(0, enc.encode_for(0, clock));
+  EXPECT_EQ(out, clock);
+  EXPECT_EQ(out.owner(), clock.owner());
+}
+
+TEST(DiffCodecTest, VersionCountersNearUint32MaxRoundTrip) {
+  DiffFtvcEncoder enc(2);
+  DiffFtvcDecoder dec(2);
+  const std::uint32_t big = 0xffffffffu;
+  Ftvc clock = Ftvc::with_entries(
+      0, {{big, 7}, {big - 1, 0xffffffffffffffffull}});
+  Ftvc out = dec.decode_from(0, enc.encode_for(1, clock));
+  EXPECT_EQ(out, clock);
+  EXPECT_EQ(out.entry(0).ver, big);
+  EXPECT_EQ(out.entry(1).ts, 0xffffffffffffffffull);
+  // And across a diff frame: bump only entry 1's version to the max.
+  clock = Ftvc::with_entries(0, {{big, 7}, {big, 0}});
+  out = dec.decode_from(0, enc.encode_for(1, clock));
+  EXPECT_EQ(out, clock);
+  EXPECT_EQ(out.entry(1).ver, big);
+}
+
+TEST(DiffCodecTest, OwnerSurvivesDiffFrames) {
+  // The decoder used to substitute the transport-level sender id for the
+  // clock owner; a forwarded/mismatched owner must survive both frame kinds.
+  DiffFtvcEncoder enc(3);
+  DiffFtvcDecoder dec(3);
+  Ftvc clock(2, 3);  // owner 2, but transported under src=0
+  Ftvc out = dec.decode_from(0, enc.encode_for(1, clock));
+  EXPECT_EQ(out.owner(), 2u);
+  clock.tick_send();
+  out = dec.decode_from(0, enc.encode_for(1, clock));
+  EXPECT_EQ(out.owner(), 2u) << "diff frames must inherit the cached owner";
+  EXPECT_EQ(out, clock);
+}
+
 TEST(DiffCodecTest, RandomizedRoundTripAndSavings) {
   Rng rng(99);
   const std::size_t n = 6;

@@ -73,5 +73,26 @@ TEST(MetricsPiggybackTest, PerMessageAverage) {
   EXPECT_DOUBLE_EQ(m.piggyback_per_message(), 25.0);
 }
 
+TEST(MetricsMergeTest, CountersStatsAndAttributionCombine) {
+  Metrics a, b;
+  a.app_messages_sent = 3;
+  a.piggyback_bytes = 30;
+  a.restart_latency.add(10.0);
+  a.count_rollback({0, 1}, 2);
+  b.app_messages_sent = 7;
+  b.piggyback_bytes = 70;
+  b.restart_latency.add(20.0);
+  b.count_rollback({0, 1}, 2);
+  b.count_rollback({1, 0}, 4);
+  a.merge_from(b);
+  EXPECT_EQ(a.app_messages_sent, 10u);
+  EXPECT_EQ(a.piggyback_bytes, 100u);
+  EXPECT_EQ(a.restart_latency.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.restart_latency.mean(), 15.0);
+  EXPECT_EQ(a.rollbacks, 3u);
+  // P2 rolled back once in each half for failure (0,1): counts add to 2.
+  EXPECT_EQ(a.max_rollbacks_per_process_per_failure(), 2u);
+}
+
 }  // namespace
 }  // namespace optrec

@@ -36,7 +36,7 @@ struct Driver {
     config.ablation_disable_postponement = disable_postponement;
     for (ProcessId pid = 0; pid < 3; ++pid) {
       procs.push_back(std::make_unique<DamaniGargProcess>(
-          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          RuntimeEnv(sim, sim, net), pid, 3, std::make_unique<ScriptApp>(), config, metrics,
           nullptr));
     }
     for (auto& p : procs) {

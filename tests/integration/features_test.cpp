@@ -143,7 +143,7 @@ TEST(OutputCommitTest, CommitsHappenAndNeverExceedRequests) {
   std::vector<std::unique_ptr<DamaniGargProcess>> procs;
   for (ProcessId pid = 0; pid < 3; ++pid) {
     procs.push_back(std::make_unique<DamaniGargProcess>(
-        sim, net, pid, 3, std::make_unique<CounterApp>(pid, 3, app_config),
+        RuntimeEnv(sim, sim, net), pid, 3, std::make_unique<CounterApp>(pid, 3, app_config),
         pconfig, metrics, nullptr));
   }
   for (auto& p : procs) {

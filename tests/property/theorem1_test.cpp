@@ -54,7 +54,7 @@ TEST_P(Theorem1Sweep, ClockOrderEquivalentToHappenedBefore) {
   std::vector<std::unique_ptr<DamaniGargProcess>> procs;
   for (ProcessId pid = 0; pid < kN; ++pid) {
     procs.push_back(std::make_unique<DamaniGargProcess>(
-        sim, net, pid, kN, std::make_unique<CounterApp>(pid, kN, app_config),
+        RuntimeEnv(sim, sim, net), pid, kN, std::make_unique<CounterApp>(pid, kN, app_config),
         pconfig, metrics, &oracle));
     procs.back()->set_delivery_observer(
         [&samples](const DamaniGargProcess& p, const Ftvc& delivery_clock) {

@@ -30,7 +30,7 @@ class Figure1Test : public ::testing::Test {
     config.restart_delay = millis(5);
     for (ProcessId pid = 0; pid < 3; ++pid) {
       procs.push_back(std::make_unique<DamaniGargProcess>(
-          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          RuntimeEnv(sim, sim, net), pid, 3, std::make_unique<ScriptApp>(), config, metrics,
           nullptr));
     }
     for (auto& p : procs) {

@@ -37,7 +37,7 @@ class Figure5Test : public ::testing::Test {
     config.discard_rollback_suffix = discard_suffix;
     for (ProcessId pid = 0; pid < 3; ++pid) {
       procs.push_back(std::make_unique<DamaniGargProcess>(
-          sim, net, pid, 3, std::make_unique<ScriptApp>(), config, metrics,
+          RuntimeEnv(sim, sim, net), pid, 3, std::make_unique<ScriptApp>(), config, metrics,
           nullptr));
     }
     for (auto& p : procs) {

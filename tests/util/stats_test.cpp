@@ -65,5 +65,42 @@ TEST(PercentilesTest, AddAfterQueryStillWorks) {
   EXPECT_EQ(p.median(), 50.0);
 }
 
+TEST(RunningStatsTest, MergeFromMatchesSequentialAdds) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 3.7 * i - 20.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeFromEmptySides) {
+  RunningStats a, b;
+  a.add(5.0);
+  RunningStats empty;
+  a.merge_from(empty);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge_from(a);  // copy into empty
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(PercentilesTest, MergeFromCombinesSamples) {
+  Percentiles a, b;
+  for (int i = 1; i <= 50; ++i) a.add(static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.add(static_cast<double>(i));
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_NEAR(a.median(), 50.0, 1.0);
+  EXPECT_EQ(a.percentile(1.0), 100.0);
+}
+
 }  // namespace
 }  // namespace optrec
