@@ -1,0 +1,207 @@
+// TCP-backend throughput/latency bench.
+//
+// Like bench_live_throughput, but the fleet spans real loopback sockets:
+// an in-process TcpCluster (one TcpNode per node id, ephemeral ports, the
+// gossip quiescence protocol) instead of in-process channels. Every
+// protocol runs the same workload twice — failure-free, and with two
+// injected crashes — and we report wall-clock throughput, delivery-latency
+// percentiles, exact piggyback bytes per message, recovery time, and the
+// socket-layer counters (frames, bytes, token retries).
+//
+// Emits BENCH_tcp.json (override with --out=FILE) for CI artifact upload;
+// prints a human-readable table to stdout. Exits non-zero if any run fails
+// to quiesce, so CI catches TCP-backend regressions.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/failure_plan.h"
+#include "src/harness/table_printer.h"
+#include "src/tcp/tcp_cluster.h"
+#include "src/util/json.h"
+
+using namespace optrec;
+
+namespace {
+
+constexpr ProtocolKind kProtocols[] = {
+    ProtocolKind::kDamaniGarg,
+    ProtocolKind::kPessimistic,
+    ProtocolKind::kCoordinated,
+    ProtocolKind::kCascading,
+};
+
+struct Row {
+  const char* protocol = "";
+  const char* phase = "";
+  bool quiesced = false;
+  std::uint64_t delivered = 0;
+  SimTime wall_us = 0;
+  double msgs_per_sec = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  double piggyback_per_msg = 0;
+  double recovery_mean_us = 0;
+  double recovery_max_us = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t token_retries = 0;
+};
+
+Row run_one(ProtocolKind protocol, std::size_t n, std::size_t nodes,
+            std::uint64_t seed, std::size_t crashes) {
+  TcpClusterConfig config;
+  config.n = n;
+  config.nodes = nodes;
+  config.seed = seed;
+  config.protocol = protocol;
+  config.workload.intensity = 6;
+  config.workload.depth = 48;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(10);
+  config.process.checkpoint_interval = millis(50);
+  config.process.retransmit_on_failure = crashes > 0;
+  config.enable_oracle = false;
+  config.time_cap = millis(30000);
+  if (crashes > 0) {
+    Rng rng(seed * 977 + 3);
+    config.crashes =
+        FailurePlan::random(rng, n, crashes, millis(20), millis(120)).crashes;
+  }
+
+  TcpCluster cluster(config);
+  const TcpClusterResult result = cluster.run();
+
+  Row row;
+  row.protocol = protocol_name(protocol);
+  row.phase = crashes > 0 ? "crashes" : "failure_free";
+  row.quiesced = result.quiesced;
+  row.delivered = result.metrics.messages_delivered;
+  row.wall_us = result.wall_time;
+  const double wall_s = static_cast<double>(result.wall_time) / 1e6;
+  row.msgs_per_sec =
+      wall_s > 0 ? static_cast<double>(row.delivered) / wall_s : 0.0;
+  row.latency_p50_us = result.delivery_latency_us.percentile(0.50);
+  row.latency_p99_us = result.delivery_latency_us.percentile(0.99);
+  row.piggyback_per_msg = result.metrics.piggyback_per_message();
+  row.recovery_mean_us = result.metrics.restart_latency.mean();
+  row.recovery_max_us = result.metrics.restart_latency.max();
+  row.rollbacks = result.metrics.rollbacks;
+  row.frames_tx = result.tcp.frames_tx;
+  row.bytes_tx = result.tcp.bytes_tx;
+  row.token_retries = result.tcp.token_retries;
+  return row;
+}
+
+std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_file = "BENCH_tcp.json";
+  std::size_t n = 8;
+  std::size_t nodes = 4;
+  std::uint64_t seed = 1;
+  std::size_t crashes = 2;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_file = arg + 6;
+    } else if (std::strncmp(arg, "--n=", 4) == 0) {
+      n = std::strtoull(arg + 4, nullptr, 10);
+    } else if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      nodes = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--crashes=", 10) == 0) {
+      crashes = std::strtoull(arg + 10, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "bench_tcp_throughput: unknown flag '%s' "
+                   "(--out= --n= --nodes= --seed= --crashes=)\n",
+                   arg);
+      return 2;
+    }
+  }
+
+  std::printf("bench_tcp_throughput: n=%zu nodes=%zu seed=%llu crashes=%zu\n\n",
+              n, nodes, (unsigned long long)seed, crashes);
+
+  std::vector<Row> rows;
+  for (ProtocolKind protocol : kProtocols) {
+    rows.push_back(run_one(protocol, n, nodes, seed, 0));
+    rows.push_back(run_one(protocol, n, nodes, seed, crashes));
+  }
+
+  TablePrinter table({"protocol", "phase", "msgs/s", "p50 us", "p99 us",
+                      "piggyback B/msg", "recovery ms", "rollbacks",
+                      "tok-retry", "quiesced"});
+  for (const Row& r : rows) {
+    table.add_row({r.protocol, r.phase, fmt(r.msgs_per_sec, 0),
+                   fmt(r.latency_p50_us, 0), fmt(r.latency_p99_us, 0),
+                   fmt(r.piggyback_per_msg),
+                   fmt(r.recovery_mean_us / 1000.0, 2),
+                   std::to_string(r.rollbacks),
+                   std::to_string(r.token_retries), r.quiesced ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::ofstream os(out_file, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "bench_tcp_throughput: cannot open '%s'\n",
+                 out_file.c_str());
+    return 2;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("config").begin_object();
+  w.kv("backend", "tcp");
+  w.kv("n", std::uint64_t{n});
+  w.kv("nodes", std::uint64_t{nodes});
+  w.kv("seed", seed);
+  w.kv("crashes", std::uint64_t{crashes});
+  w.kv("workload", "counter");
+  w.end_object();
+  w.key("results").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.kv("protocol", r.protocol);
+    w.kv("phase", r.phase);
+    w.kv("quiesced", r.quiesced);
+    w.kv("messages_delivered", r.delivered);
+    w.kv("wall_time_us", r.wall_us);
+    w.kv("msgs_per_sec", r.msgs_per_sec);
+    w.kv("delivery_latency_p50_us", r.latency_p50_us);
+    w.kv("delivery_latency_p99_us", r.latency_p99_us);
+    w.kv("piggyback_bytes_per_msg", r.piggyback_per_msg);
+    w.kv("recovery_mean_us", r.recovery_mean_us);
+    w.kv("recovery_max_us", r.recovery_max_us);
+    w.kv("rollbacks", r.rollbacks);
+    w.kv("tcp_frames_tx", r.frames_tx);
+    w.kv("tcp_bytes_tx", r.bytes_tx);
+    w.kv("tcp_token_retries", r.token_retries);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  os.flush();
+  std::printf("\nwrote %s\n", out_file.c_str());
+
+  for (const Row& r : rows) {
+    if (!r.quiesced) {
+      std::fprintf(stderr, "FAIL: %s/%s did not quiesce\n", r.protocol,
+                   r.phase);
+      return 1;
+    }
+  }
+  return 0;
+}

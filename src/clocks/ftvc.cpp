@@ -75,6 +75,12 @@ Ftvc Ftvc::decode(Reader& r) {
   Ftvc c;
   c.owner_ = r.get_u32();
   const std::uint32_t n = r.get_u32();
+  // Each entry costs at least two bytes (two varints), so a count beyond
+  // remaining()/2 cannot be honest. Checking before the resize keeps a
+  // corrupt count from forcing a multi-gigabyte allocation.
+  if (n > r.remaining() / 2) {
+    throw DecodeError("ftvc entry count exceeds remaining bytes");
+  }
   c.entries_.resize(n);
   for (auto& e : c.entries_) e = FtvcEntry::decode(r);
   return c;

@@ -1,8 +1,24 @@
 #include "src/harness/failure_plan.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace optrec {
+
+namespace {
+
+std::uint64_t parse_number(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument(std::string("partition spec: bad ") + what +
+                                " '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
 
 FailurePlan FailurePlan::single(ProcessId pid, SimTime at) {
   FailurePlan plan;
@@ -29,6 +45,57 @@ FailurePlan FailurePlan::random(Rng& rng, std::size_t n, std::size_t count,
               return a.at < b.at;
             });
   return plan;
+}
+
+PartitionEvent parse_partition_spec(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos : spec.find(':', first + 1);
+  if (second == std::string::npos) {
+    throw std::invalid_argument(
+        "partition spec wants AT_MS:HEAL_MS:G0/G1, got '" + spec + "'");
+  }
+  PartitionEvent event;
+  event.at = millis(parse_number(spec.substr(0, first), "start time"));
+  event.heal_at =
+      millis(parse_number(spec.substr(first + 1, second - first - 1),
+                          "heal time"));
+  if (event.heal_at <= event.at) {
+    throw std::invalid_argument("partition spec: heal must be after start");
+  }
+  std::string groups = spec.substr(second + 1);
+  std::size_t pos = 0;
+  while (pos <= groups.size()) {
+    const std::size_t slash = groups.find('/', pos);
+    const std::string group_text =
+        groups.substr(pos, slash == std::string::npos ? std::string::npos
+                                                      : slash - pos);
+    std::vector<ProcessId> group;
+    std::size_t id_pos = 0;
+    while (id_pos <= group_text.size()) {
+      const std::size_t comma = group_text.find(',', id_pos);
+      const std::string id_text =
+          group_text.substr(id_pos, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - id_pos);
+      if (id_text.empty()) {
+        throw std::invalid_argument("partition spec: empty id in '" + spec +
+                                    "'");
+      }
+      group.push_back(
+          static_cast<ProcessId>(parse_number(id_text, "group id")));
+      if (comma == std::string::npos) break;
+      id_pos = comma + 1;
+    }
+    event.groups.push_back(std::move(group));
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  if (event.groups.size() < 2) {
+    throw std::invalid_argument(
+        "partition spec wants at least two groups, got '" + spec + "'");
+  }
+  return event;
 }
 
 }  // namespace optrec

@@ -17,6 +17,16 @@ LiveTransport::LiveTransport(const LiveClock& clock, std::size_t n,
     channels_.push_back(std::make_unique<LiveChannel>());
     send_rng_.push_back(base.fork());
   }
+  fanout_thread_ = std::thread([this] { fanout_main(); });
+}
+
+LiveTransport::~LiveTransport() {
+  {
+    std::lock_guard<std::mutex> lock(fanout_mu_);
+    fanout_stop_ = true;
+  }
+  fanout_cv_.notify_all();
+  fanout_thread_.join();
 }
 
 void LiveTransport::attach(ProcessId pid, Endpoint* endpoint) {
@@ -28,6 +38,35 @@ SimTime LiveTransport::draw_delay(Rng& rng) {
   return rng.uniform_range(faults_.min_delay, faults_.max_delay);
 }
 
+SimTime LiveTransport::link_clear_at(ProcessId src, ProcessId dst,
+                                     SimTime t) const {
+  // Mirror Network::connected: unlisted processes share group 0, traffic
+  // crossing groups is held until the heal. Windows may overlap, so iterate
+  // to a fixpoint (the schedule is tiny — scripted events, not traffic).
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const PartitionEvent& event : faults_.partitions) {
+      if (t < event.at || t >= event.heal_at) continue;
+      std::uint32_t src_group = 0;
+      std::uint32_t dst_group = 0;
+      std::uint32_t group_id = 1;
+      for (const auto& group : event.groups) {
+        for (ProcessId pid : group) {
+          if (pid == src) src_group = group_id;
+          if (pid == dst) dst_group = group_id;
+        }
+        ++group_id;
+      }
+      if (src_group != dst_group) {
+        t = event.heal_at;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
 void LiveTransport::push_wire(ProcessId src, ProcessId dst, Bytes wire,
                               bool app, bool token, SimTime delay) {
   LiveFrame f;
@@ -37,9 +76,31 @@ void LiveTransport::push_wire(ProcessId src, ProcessId dst, Bytes wire,
   f.app = app;
   f.token = token;
   f.sent_at = clock_.now();
-  f.not_before = f.sent_at + delay;
+  f.not_before = link_clear_at(src, dst, f.sent_at + delay);
   frames_pushed_.fetch_add(1, std::memory_order_acq_rel);
   channels_.at(dst)->push(std::move(f));
+}
+
+void LiveTransport::fanout_main() {
+  std::unique_lock<std::mutex> lock(fanout_mu_);
+  for (;;) {
+    fanout_cv_.wait(lock,
+                    [this] { return fanout_stop_ || !fanout_queue_.empty(); });
+    if (fanout_queue_.empty()) {
+      if (fanout_stop_) return;
+      continue;
+    }
+    PendingBroadcast b = std::move(fanout_queue_.front());
+    fanout_queue_.pop_front();
+    lock.unlock();
+    for (std::size_t i = 0; i < b.dst_delays.size(); ++i) {
+      const auto& [dst, delay] = b.dst_delays[i];
+      Bytes wire = i + 1 == b.dst_delays.size() ? std::move(b.wire) : b.wire;
+      push_wire(b.src, dst, std::move(wire), /*app=*/false, /*token=*/true,
+                delay);
+    }
+    lock.lock();
+  }
 }
 
 MsgId LiveTransport::send(Message msg) {
@@ -103,10 +164,27 @@ void LiveTransport::broadcast_token(const Token& token) {
     }
     trace_->emit(std::move(e));
   }
+  // Account + draw everything on the announcing worker (cheap), then let
+  // the fan-out thread do the O(n) encode-once pushes. tokens_sent_ is
+  // bumped here, before the handoff, so tokens_in_flight() covers frames
+  // that are queued for fan-out but not yet pushed.
+  PendingBroadcast b;
+  b.src = token.from;
+  Rng& rng = send_rng_.at(token.from);
+  const std::size_t bytes = token_wire_bytes(token);
   for (ProcessId dst = 0; dst < endpoints_.size(); ++dst) {
     if (dst == token.from || endpoints_[dst] == nullptr) continue;
-    send_token(dst, token);
+    tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+    token_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    b.dst_delays.emplace_back(dst, draw_delay(rng));
   }
+  if (b.dst_delays.empty()) return;
+  b.wire = encode_token_frame(token);
+  {
+    std::lock_guard<std::mutex> lock(fanout_mu_);
+    fanout_queue_.push_back(std::move(b));
+  }
+  fanout_cv_.notify_one();
 }
 
 void LiveTransport::send_token(ProcessId dst, const Token& token) {

@@ -12,6 +12,12 @@
 //   * send()/broadcast_token()/send_token() for source process p run only
 //     on p's worker thread (protocols always send as themselves), so the
 //     per-sender fault RNGs need no locks.
+//   * broadcast_token() does its accounting and RNG draws on the caller,
+//     then hands the encoded frame to a dedicated fan-out thread which does
+//     the O(n) channel pushes — a recovering process announces its failure
+//     without stalling behind the unicast loop (ROADMAP: sharded token
+//     broadcast). Token in-flight counts are bumped synchronously, so
+//     quiescence can never observe a not-yet-fanned-out broadcast as done.
 //   * note_*() delivery accounting runs on the receiving worker.
 //   * stats() snapshots atomics and may run anywhere, any time.
 // As in the simulator, application messages and tokens are retried while
@@ -22,10 +28,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/harness/failure_plan.h"
 #include "src/live/live_channel.h"
 #include "src/live/live_clock.h"
 #include "src/net/message.h"
@@ -49,12 +61,18 @@ struct LiveFaultConfig {
   double duplicate_prob = 0.0;
   /// Backoff between delivery attempts while the receiver is down.
   SimTime retry_interval = millis(2);
+  /// Scripted link partitions (same semantics as Network::set_partition:
+  /// unlisted processes share group 0, traffic crossing group boundaries is
+  /// held — never dropped — until the heal time). Times are runtime
+  /// microseconds, like CrashEvent::at.
+  std::vector<PartitionEvent> partitions;
 };
 
 class LiveTransport : public Transport {
  public:
   LiveTransport(const LiveClock& clock, std::size_t n, std::uint64_t seed,
                 LiveFaultConfig faults);
+  ~LiveTransport() override;
 
   void attach(ProcessId pid, Endpoint* endpoint) override;
   MsgId send(Message msg) override;
@@ -109,9 +127,23 @@ class LiveTransport : public Transport {
   Network::Stats stats() const;
 
  private:
+  /// One queued broadcast: the frame is encoded once and fanned out to
+  /// every destination by the fan-out thread, so the announcing worker is
+  /// never stalled behind an O(n) unicast loop (delays are pre-drawn on the
+  /// caller to keep the per-sender RNGs single-threaded).
+  struct PendingBroadcast {
+    ProcessId src = kNoProcess;
+    Bytes wire;
+    std::vector<std::pair<ProcessId, SimTime>> dst_delays;
+  };
+
   SimTime draw_delay(Rng& rng);
+  /// Earliest instant >= t at which the src->dst link is outside every
+  /// scripted partition window (t itself when none applies).
+  SimTime link_clear_at(ProcessId src, ProcessId dst, SimTime t) const;
   void push_wire(ProcessId src, ProcessId dst, Bytes wire, bool app,
                  bool token, SimTime delay);
+  void fanout_main();
 
   const LiveClock& clock_;
   LiveFaultConfig faults_;
@@ -121,6 +153,12 @@ class LiveTransport : public Transport {
   /// by the thread contract above).
   std::vector<Rng> send_rng_;
   TraceRecorder* trace_ = nullptr;
+
+  std::mutex fanout_mu_;
+  std::condition_variable fanout_cv_;
+  std::deque<PendingBroadcast> fanout_queue_;
+  bool fanout_stop_ = false;
+  std::thread fanout_thread_;
 
   std::atomic<MsgId> next_msg_id_{1};
   std::atomic<std::uint64_t> frames_pushed_{0};

@@ -1,0 +1,116 @@
+// Node-to-node stream protocol for the TCP transport.
+//
+// A connection carries length-delimited envelopes: [len u32-LE][body],
+// where the body is a varint-encoded record tagged with an EnvelopeKind.
+// Protocol traffic (kWire) nests the exact src/wire/wire_codec frame the
+// in-process backends use — the TCP layer adds only addressing (source
+// node/pid, destination pid), the injected-delay and latency timestamps,
+// and an optional ack-tracked token sequence number.
+//
+// The codec is hardened the same way decode_frame is: every decode failure
+// is a FrameError (never UB, never an assert), the length prefix is checked
+// against kMaxEnvelopeBytes before any buffering, and EnvelopeReader
+// consumes arbitrary byte streams incrementally, so a hostile or corrupt
+// peer can at worst get its connection dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/wire/wire_codec.h"
+
+namespace optrec {
+
+enum class EnvelopeKind : std::uint8_t {
+  kHello = 1,        // first envelope on every connection: who is calling
+  kWire = 2,         // one protocol frame (message or token)
+  kTokenAck = 3,     // receipt for an ack-tracked token
+  kStatus = 4,       // node -> coordinator quiescence report
+  kShutdown = 5,     // coordinator -> node: stop with exit_code
+  kShutdownAck = 6,  // node -> coordinator: shutdown order received
+};
+
+/// One node's quiescence report, sent to the coordinator every status tick.
+/// `quiet` folds every local condition (workers up, nothing pending, no
+/// local frames in flight, outbound queues drained, no unacked tokens);
+/// `signature` is the node's progress signature, so the coordinator can
+/// require cluster-wide stability on top of everyone claiming quiet.
+struct NodeStatusReport {
+  std::uint32_t node = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  bool quiet = false;
+  std::uint64_t signature = 0;
+};
+
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::kWire;
+  /// Sender node, on every kind (kShutdown uses the coordinator's id).
+  std::uint32_t src_node = 0;
+
+  // kHello
+  std::uint64_t epoch = 0;  // sender incarnation (wall micros at node start)
+  std::string cluster;      // topology name; mismatch = config error
+
+  // kWire
+  std::uint32_t src_pid = 0;
+  std::uint32_t dst_pid = 0;
+  bool app = false;
+  bool token = false;
+  /// Nonzero = retry-until-acked token; receivers dedupe on
+  /// (src_node, epoch, token_seq) and always ack.
+  std::uint64_t token_seq = 0;
+  /// CLOCK_REALTIME micros at send, for cross-node latency accounting.
+  std::uint64_t sent_unix_us = 0;
+  /// Injected delivery delay, applied at the receiver on top of the real
+  /// network latency.
+  std::uint64_t delay_us = 0;
+  Bytes wire;  // the nested wire_codec frame
+
+  // kTokenAck
+  std::uint64_t ack_seq = 0;
+
+  // kStatus
+  NodeStatusReport status;
+
+  // kShutdown
+  std::uint8_t exit_code = 0;
+};
+
+/// Ceiling on one envelope body: a max-size wire frame plus headers. The
+/// length prefix is validated against this before a reader buffers
+/// anything.
+constexpr std::size_t kMaxEnvelopeBytes = kMaxFrameBytes + 256;
+
+/// Body only (no length prefix).
+Bytes encode_envelope(const Envelope& e);
+/// Throws FrameError on malformed bodies (unknown kind, truncation,
+/// trailing bytes, nested frame oversize).
+Envelope decode_envelope(const Bytes& body);
+
+/// Full stream image: [len u32-LE][body]. Throws FrameError(kOversized) if
+/// the body exceeds kMaxEnvelopeBytes (cannot happen for envelopes built
+/// from checked wire frames).
+Bytes frame_envelope(const Envelope& e);
+
+/// Incremental de-framer for one TCP stream. feed() raw socket bytes, then
+/// drain next() until it returns nullopt. next() throws
+/// FrameError(kOversized) as soon as a length prefix exceeds the cap —
+/// before buffering the body — so a hostile peer cannot balloon memory.
+class EnvelopeReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t len);
+  /// Next complete envelope body, or nullopt when more bytes are needed.
+  std::optional<Bytes> next();
+  /// Bytes buffered but not yet returned (diagnostics).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace optrec

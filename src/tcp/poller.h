@@ -1,0 +1,58 @@
+// Readiness notification for the TCP event loop: epoll on Linux, poll(2)
+// everywhere else (and on Linux when OPTREC_TCP_POLL=1 is set, so the
+// fallback path stays tested on the primary platform). Level-triggered on
+// both backends — the loop re-arms write interest only while an outbound
+// buffer is nonempty, so level semantics cost nothing and keep the state
+// machine simple.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace optrec {
+
+class Poller {
+ public:
+  /// Auto-select: epoll where available unless OPTREC_TCP_POLL=1.
+  Poller();
+  explicit Poller(bool use_poll);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error or hangup; the connection is dead either way.
+    bool broken = false;
+  };
+
+  /// Register `fd`; throws std::system_error on failure.
+  void add(int fd, bool want_read, bool want_write);
+  /// Update interest for a registered fd.
+  void set(int fd, bool want_read, bool want_write);
+  /// Deregister; unknown fds are a no-op (callers close eagerly).
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) and return the ready set. The
+  /// returned reference is valid until the next wait() call.
+  const std::vector<Event>& wait(int timeout_ms);
+
+  bool using_poll() const { return epfd_ < 0; }
+  std::size_t size() const { return interest_.size(); }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  int epfd_ = -1;  // -1 = poll backend
+  std::unordered_map<int, Interest> interest_;
+  std::vector<Event> events_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,117 @@
+#include "src/tcp/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace optrec {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(parse_ipv4(host));
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+std::uint32_t parse_ipv4(const std::string& host) {
+  const std::string literal = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, literal.c_str(), &addr) != 1) {
+    throw std::invalid_argument("not an IPv4 literal: '" + host + "'");
+  }
+  return ntohl(addr.s_addr);
+}
+
+Fd listen_on(const std::string& host, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_nonblocking(const std::string& host, std::uint16_t port,
+                       bool* in_progress) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  set_nonblocking(fd.get());
+  set_tcp_nodelay(fd.get());
+  const sockaddr_in addr = make_addr(host, port);
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc == 0) {
+    *in_progress = false;
+  } else if (errno == EINPROGRESS) {
+    *in_progress = true;
+  } else {
+    throw_errno("connect");
+  }
+  return fd;
+}
+
+int take_socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    throw_errno("getsockopt(SO_ERROR)");
+  }
+  return err;
+}
+
+}  // namespace optrec

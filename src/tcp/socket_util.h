@@ -1,0 +1,78 @@
+// Thin POSIX socket helpers for the TCP transport: an RAII fd wrapper and
+// the handful of syscall sequences (nonblocking listen, nonblocking
+// connect, option twiddling) that every event-loop transport needs. All
+// helpers throw std::system_error with the failing errno, so call sites
+// stay linear.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace optrec {
+
+/// Move-only owning file descriptor. Closing on destruction is the whole
+/// point; everything else forwards the raw int.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close the current fd (if any) and adopt `fd`.
+  void reset(int fd = -1);
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on. Throws std::system_error.
+void set_nonblocking(int fd);
+
+/// TCP_NODELAY on — latency benches measure delivery latency, so Nagle
+/// coalescing would dominate the numbers. Throws std::system_error.
+void set_tcp_nodelay(int fd);
+
+/// Resolve a dotted-quad IPv4 literal (or "localhost"). Throws
+/// std::invalid_argument on anything else; the topology format is explicit
+/// about addresses, so no resolver is needed.
+std::uint32_t parse_ipv4(const std::string& host);
+
+/// Bind + listen a nonblocking IPv4 socket on host:port (port 0 lets the
+/// kernel pick — read it back with local_port). SO_REUSEADDR is set so
+/// harness respawns can rebind immediately.
+Fd listen_on(const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// The locally bound port of a socket (resolves port-0 binds).
+std::uint16_t local_port(int fd);
+
+/// Begin a nonblocking connect to host:port. On return `*in_progress` says
+/// whether the connect is still pending (EINPROGRESS) — when false the
+/// socket is already connected (loopback fast path).
+Fd connect_nonblocking(const std::string& host, std::uint16_t port,
+                       bool* in_progress);
+
+/// Fetch-and-clear SO_ERROR: the deferred result of a nonblocking connect.
+/// 0 means connected.
+int take_socket_error(int fd);
+
+}  // namespace optrec

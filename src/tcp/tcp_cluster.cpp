@@ -1,0 +1,105 @@
+#include "src/tcp/tcp_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace optrec {
+
+namespace {
+
+void add_net(Network::Stats& into, const Network::Stats& from) {
+  into.messages_sent += from.messages_sent;
+  into.messages_delivered += from.messages_delivered;
+  into.app_messages_sent += from.app_messages_sent;
+  into.app_messages_delivered += from.app_messages_delivered;
+  into.messages_dropped += from.messages_dropped;
+  into.messages_duplicated += from.messages_duplicated;
+  into.messages_retried += from.messages_retried;
+  into.tokens_sent += from.tokens_sent;
+  into.tokens_delivered += from.tokens_delivered;
+  into.token_broadcasts += from.token_broadcasts;
+  into.message_bytes += from.message_bytes;
+  into.token_bytes += from.token_bytes;
+}
+
+void add_tcp(TcpTransport::TcpStats& into,
+             const TcpTransport::TcpStats& from) {
+  into.connects += from.connects;
+  into.accepts += from.accepts;
+  into.disconnects += from.disconnects;
+  into.connect_failures += from.connect_failures;
+  into.frames_tx += from.frames_tx;
+  into.frames_rx += from.frames_rx;
+  into.bytes_tx += from.bytes_tx;
+  into.bytes_rx += from.bytes_rx;
+  into.acks_tx += from.acks_tx;
+  into.acks_rx += from.acks_rx;
+  into.token_retries += from.token_retries;
+  into.dup_tokens_dropped += from.dup_tokens_dropped;
+  into.backpressure_drops += from.backpressure_drops;
+  into.protocol_errors += from.protocol_errors;
+}
+
+}  // namespace
+
+TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
+  topo_ = TcpTopology::loopback(config_.n, config_.nodes);
+  topo_.faults = config_.faults;
+  if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
+  if (config_.enable_trace) trace_ = std::make_unique<TraceRecorder>();
+
+  for (std::uint32_t id = 0; id < topo_.nodes.size(); ++id) {
+    TcpNodeConfig nc;
+    nc.topology = topo_;
+    nc.node = id;
+    nc.seed = config_.seed;
+    nc.protocol = config_.protocol;
+    nc.workload = config_.workload;
+    nc.process = config_.process;
+    nc.crashes = config_.crashes;
+    nc.time_cap = config_.time_cap;
+    nc.settle = config_.settle;
+    nc.status_interval = config_.status_interval;
+    nc.max_block = config_.max_block;
+    nc.oracle = oracle_.get();
+    nc.trace = trace_.get();
+    nodes_.push_back(std::make_unique<TcpNode>(std::move(nc)));
+  }
+  // Every node bound an ephemeral port in its constructor; tell the others.
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    for (std::uint32_t j = 0; j < nodes_.size(); ++j) {
+      if (i != j) nodes_[i]->set_peer_port(j, nodes_[j]->listen_port());
+    }
+  }
+}
+
+TcpClusterResult TcpCluster::run() {
+  TcpClusterResult result;
+  result.per_node.resize(nodes_.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    threads.emplace_back([this, id, &result] {
+      result.per_node[id] = nodes_[id]->run();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.exit_code = 0;
+  result.quiesced = true;
+  for (const TcpNodeResult& node : result.per_node) {
+    result.exit_code = std::max(result.exit_code, node.exit_code);
+    result.quiesced = result.quiesced && node.quiesced;
+    result.wall_time = std::max(result.wall_time, node.wall_time);
+    result.metrics.merge_from(node.metrics);
+    result.delivery_latency_us.merge_from(node.delivery_latency_us);
+    add_net(result.net, node.net);
+    add_tcp(result.tcp, node.tcp);
+  }
+  return result;
+}
+
+}  // namespace optrec

@@ -1,0 +1,368 @@
+#include "src/tcp/tcp_node.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/wire/wire_codec.h"
+
+namespace optrec {
+
+namespace {
+
+/// Same counter mix as LiveRuntime / Scenario::progress_signature, computed
+/// over one worker's private Metrics and published as one atomic word.
+std::uint64_t local_signature(const Metrics& m) {
+  std::uint64_t sig = 0;
+  const auto mix = [&sig](std::uint64_t v) { sig = sig * 1000003u + v; };
+  mix(m.app_messages_sent);
+  mix(m.messages_delivered);
+  mix(m.messages_discarded_obsolete);
+  mix(m.messages_discarded_duplicate);
+  mix(m.messages_postponed);
+  mix(m.postponed_released);
+  mix(m.messages_replayed);
+  mix(m.messages_requeued_after_rollback);
+  mix(m.crashes);
+  mix(m.restarts);
+  mix(m.rollbacks);
+  mix(m.tokens_processed);
+  mix(m.retransmissions);
+  return sig;
+}
+
+}  // namespace
+
+TcpNode::TcpNode(TcpNodeConfig config)
+    : config_(std::move(config)),
+      transport_(clock_, config_.topology, config_.node, config_.seed,
+                 config_.epoch) {
+  const TcpTopology& topo = config_.topology;
+  topo.validate();
+  if (config_.node >= topo.nodes.size()) {
+    throw std::invalid_argument("TcpNode: node id out of range");
+  }
+  if (topo.n < 2) throw std::invalid_argument("TcpNode: n must be >= 2");
+  transport_.set_trace(config_.trace);
+
+  const AppFactory factory = config_.workload.make_factory();
+  // Draw a seed for every pid in pid order so a worker's RNG stream is a
+  // function of (seed, pid), not of node placement.
+  Rng seeder(config_.seed ^ 0x9e3779b97f4a7c15ull);
+  for (ProcessId pid = 0; pid < topo.n; ++pid) {
+    const std::uint64_t rng_seed = seeder.next_u64();
+    if (!transport_.is_local(pid)) continue;
+    auto w = std::make_unique<Worker>(rng_seed);
+    w->pid = pid;
+    w->timers = std::make_unique<WorkerTimers>(clock_);
+    w->proc = make_protocol_process(
+        config_.protocol, RuntimeEnv(clock_, *w->timers, transport_), pid,
+        topo.n, factory(pid, topo.n), config_.process, w->metrics,
+        config_.oracle);
+    w->proc->set_trace(config_.trace);
+    workers_.push_back(std::move(w));
+  }
+}
+
+TcpNode::~TcpNode() {
+  // Emergency shutdown for runs abandoned mid-flight (run() normally joins
+  // everything itself).
+  for (auto& w : workers_) {
+    if (!w->joined) {
+      LiveFrame f;
+      f.kind = LiveFrame::Kind::kStop;
+      transport_.channel(w->pid).push(std::move(f));
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  transport_.stop();
+}
+
+void TcpNode::sync_mirrors(Worker& w) {
+  w.up.store(w.proc->is_up(), std::memory_order_release);
+  w.pending.store(w.proc->pending_count(), std::memory_order_release);
+  w.signature.store(local_signature(w.metrics), std::memory_order_release);
+}
+
+void TcpNode::spawn(Worker& w) {
+  w.joined = false;
+  w.state.store(WorkerState::kRunning, std::memory_order_release);
+  w.thread = std::thread([this, &w] { worker_main(w); });
+}
+
+void TcpNode::worker_main(Worker& w) {
+  const auto exit_as = [this, &w](WorkerState state) {
+    w.state.store(state, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(exit_mu_);
+      exited_.push_back(w.pid);
+    }
+    exit_cv_.notify_all();
+  };
+
+  if (!w.started) {
+    w.proc->start();
+    w.started = true;
+    sync_mirrors(w);
+  }
+  LiveChannel& channel = transport_.channel(w.pid);
+  for (;;) {
+    w.timers->fire_due();
+    sync_mirrors(w);
+    const SimTime wait_until =
+        std::min(w.timers->next_deadline(), clock_.now() + config_.max_block);
+    std::optional<LiveFrame> frame =
+        channel.pop_ready(clock_, wait_until, w.rng);
+    if (!frame) continue;
+
+    if (frame->kind == LiveFrame::Kind::kStop) {
+      exit_as(WorkerState::kExitedStop);
+      return;
+    }
+    if (frame->kind == LiveFrame::Kind::kCrash) {
+      crashes_pending_.fetch_sub(1, std::memory_order_acq_rel);
+      if (!w.proc->is_up()) continue;  // crash() would no-op while down
+      w.proc->crash();  // wipes volatile state, schedules the restart timer
+      sync_mirrors(w);
+      exit_as(WorkerState::kExitedCrash);
+      return;  // genuine thread death; the supervisor respawns us
+    }
+
+    // kWire. While down, park the frame and retry later — the reliable
+    // transport of the paper's model.
+    if (!w.proc->is_up()) {
+      transport_.note_retry(frame->token);
+      frame->not_before = clock_.now() + transport_.faults().retry_interval;
+      channel.push(std::move(*frame));
+      continue;
+    }
+    const Frame decoded = decode_frame(frame->wire);
+    w.latency_us.add(static_cast<double>(clock_.now() - frame->sent_at));
+    if (decoded.type == FrameType::kMessage) {
+      w.proc->on_message(decoded.message);
+      // Count the delivery only after the handler ran, so the quiescence
+      // claim never sees a transient "nothing in flight" mid-handler.
+      transport_.note_delivered_message(decoded.message.kind ==
+                                        MessageKind::kApp);
+    } else {
+      w.proc->on_token(decoded.token);
+      transport_.note_delivered_token();
+    }
+    sync_mirrors(w);
+  }
+}
+
+void TcpNode::drain_exited(bool respawn_crashed, SimTime wait) {
+  std::vector<ProcessId> batch;
+  {
+    std::unique_lock<std::mutex> lock(exit_mu_);
+    if (exited_.empty() && wait > 0) {
+      exit_cv_.wait_for(lock, std::chrono::microseconds(wait),
+                        [this] { return !exited_.empty(); });
+    }
+    batch.swap(exited_);
+  }
+  for (ProcessId pid : batch) {
+    for (auto& w : workers_) {
+      if (w->pid != pid) continue;
+      if (w->thread.joinable()) w->thread.join();
+      w->joined = true;
+      if (respawn_crashed && w->state.load(std::memory_order_acquire) ==
+                                 WorkerState::kExitedCrash) {
+        spawn(*w);
+      }
+      break;
+    }
+  }
+}
+
+bool TcpNode::all_joined() const {
+  for (const auto& w : workers_) {
+    if (!w->joined) return false;
+  }
+  return true;
+}
+
+bool TcpNode::local_quiet() const {
+  if (crashes_pending_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& w : workers_) {
+    if (w->state.load(std::memory_order_acquire) != WorkerState::kRunning) {
+      return false;
+    }
+    if (!w->up.load(std::memory_order_acquire)) return false;
+    if (w->pending.load(std::memory_order_acquire) != 0) return false;
+  }
+  if (transport_.frames_in_flight() != 0) return false;
+  if (transport_.outbound_pending() != 0) return false;
+  return true;
+}
+
+std::uint64_t TcpNode::local_signature_word() const {
+  std::uint64_t sig = 0;
+  for (const auto& w : workers_) {
+    sig = sig * 1000003u + w->signature.load(std::memory_order_acquire);
+  }
+  return sig * 1000003u + transport_.stats().messages_dropped;
+}
+
+void TcpNode::coordinate_shutdown(std::uint8_t exit_code, SimTime grace) {
+  const SimTime deadline = clock_.now() + grace;
+  for (;;) {
+    transport_.broadcast_shutdown(exit_code);
+    if (transport_.all_shutdowns_acked()) return;
+    if (clock_.now() >= deadline) return;
+    // Keep respawning crashed workers while the broadcast settles; the
+    // cluster is quiet, but restart timers may still be running down.
+    drain_exited(/*respawn_crashed=*/true, millis(5));
+  }
+}
+
+TcpNodeResult TcpNode::run() {
+  if (ran_) throw std::logic_error("TcpNode::run: may only be called once");
+  ran_ = true;
+
+  // Build the crash plan: scheduled events for LOCAL pids, plus — in
+  // recover mode — an immediate crash of every local process, announcing
+  // the killed incarnation's failure to the cluster.
+  for (const CrashEvent& c : config_.crashes) {
+    if (!transport_.is_local(c.pid)) continue;
+    LiveFrame f;
+    f.kind = LiveFrame::Kind::kCrash;
+    f.not_before = c.at;
+    f.sent_at = c.at;
+    transport_.channel(c.pid).push(std::move(f));
+    crashes_pending_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (config_.recover) {
+    for (const auto& w : workers_) {
+      LiveFrame f;
+      f.kind = LiveFrame::Kind::kCrash;
+      f.not_before = millis(1);
+      f.sent_at = millis(1);
+      transport_.channel(w->pid).push(std::move(f));
+      crashes_pending_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  transport_.start();
+  for (auto& w : workers_) spawn(*w);
+
+  const bool coordinator = config_.node == 0;
+  const SimTime staleness =
+      std::max<SimTime>(3 * config_.status_interval, millis(100));
+  bool quiesced = false;
+  int exit_code = 4;
+  bool have_sig = false;
+  std::uint64_t last_sig = 0;
+  SimTime sig_since = 0;
+  std::uint64_t status_seq = 0;
+  SimTime last_status = 0;
+  bool last_sent_quiet = false;
+
+  for (;;) {
+    drain_exited(/*respawn_crashed=*/true, config_.status_interval);
+    const SimTime now = clock_.now();
+
+    std::uint8_t code = 0;
+    if (!coordinator && transport_.shutdown_received(&code)) {
+      exit_code = code;
+      quiesced = code == 0;
+      break;
+    }
+    if (now >= config_.time_cap) break;  // exit_code stays 4
+
+    const bool quiet = local_quiet();
+    const std::uint64_t sig = local_signature_word();
+
+    if (!coordinator) {
+      // Gossip on the period, plus immediately on a quiet-flag flip so the
+      // coordinator is not a full tick behind local state changes.
+      if (now - last_status >= config_.status_interval ||
+          quiet != last_sent_quiet) {
+        NodeStatusReport s;
+        s.node = config_.node;
+        s.epoch = transport_.epoch();
+        s.seq = ++status_seq;
+        s.quiet = quiet;
+        s.signature = sig;
+        transport_.send_status(s);
+        last_status = now;
+        last_sent_quiet = quiet;
+      }
+      continue;
+    }
+
+    // Coordinator: every node must claim quiet on a fresh report, and the
+    // cluster-wide signature must hold still for a full settle window.
+    bool all_quiet = quiet;
+    std::uint64_t combined = sig;
+    if (all_quiet) {
+      const auto statuses = transport_.peer_statuses();
+      for (std::uint32_t nid = 1; nid < statuses.size(); ++nid) {
+        const auto& slot = statuses[nid];
+        if (!slot || !slot->first.quiet || now - slot->second > staleness) {
+          all_quiet = false;
+          break;
+        }
+        combined = combined * 1000003u + slot->first.signature;
+      }
+    }
+    if (!all_quiet) {
+      have_sig = false;
+      continue;
+    }
+    if (!have_sig || combined != last_sig) {
+      have_sig = true;
+      last_sig = combined;
+      sig_since = now;
+      continue;
+    }
+    if (now - sig_since >= config_.settle) {
+      quiesced = true;
+      exit_code = 0;
+      break;
+    }
+  }
+
+  // The coordinator tells everyone how the run ended — exit code 0 after a
+  // clean settle, 4 when its own time cap fired — so peers do not have to
+  // sit out their full caps.
+  if (coordinator) {
+    coordinate_shutdown(static_cast<std::uint8_t>(quiesced ? 0 : 4),
+                        quiesced ? seconds(2) : millis(300));
+  }
+
+  for (auto& w : workers_) {
+    LiveFrame f;
+    f.kind = LiveFrame::Kind::kStop;
+    transport_.channel(w->pid).push(std::move(f));
+  }
+  while (!all_joined()) {
+    drain_exited(/*respawn_crashed=*/false, millis(50));
+  }
+
+  // Give queued control traffic (shutdown acks, final token acks) a short
+  // window to reach the wire before sockets close.
+  const SimTime flush_deadline = clock_.now() + millis(200);
+  while (transport_.outbound_pending() != 0 && clock_.now() < flush_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  transport_.stop();
+
+  TcpNodeResult result;
+  result.exit_code = exit_code;
+  result.quiesced = quiesced;
+  result.wall_time = clock_.now();
+  for (auto& w : workers_) {
+    result.metrics.merge_from(w->metrics);
+    result.delivery_latency_us.merge_from(w->latency_us);
+  }
+  result.net = transport_.stats();
+  result.tcp = transport_.tcp_stats();
+  return result;
+}
+
+}  // namespace optrec

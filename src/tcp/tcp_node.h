@@ -1,0 +1,170 @@
+// TcpNode: one node's share of a TCP-backed recovery fleet.
+//
+// Hosts the protocol processes the topology assigns to this node, each as
+// a real OS thread (the same worker loop as src/live/LiveRuntime: private
+// timers, private metrics, crash = thread death + supervisor respawn),
+// wired to a TcpTransport instead of an in-process LiveTransport. A
+// cluster is one TcpNode per machine/process plus the topology file; the
+// in-process variant for tests and benches is src/tcp/tcp_cluster.h.
+//
+// Distributed quiescence: counters cannot be compared across machines the
+// way LiveRuntime compares them across threads (a killed node's counters
+// vanish), so the cluster settles by gossip instead. Every node folds its
+// local conditions — workers up, nothing pending, local frames handled,
+// outbound queues drained, no unacked tokens — into a NodeStatusReport and
+// streams it to node 0 (the coordinator) every status tick. The
+// coordinator declares quiescence when every node claims quiet on a fresh
+// report AND the cluster-wide progress signature has been stable for a
+// settle window, then broadcasts kShutdown (retried until acked) carrying
+// the exit code every node returns. A node that never hears a shutdown
+// exits 4 at its own time cap, so a dead coordinator cannot hang the
+// fleet.
+//
+// Node-kill recovery: a respawned node runs with `recover = true`, which
+// schedules an immediate crash of every local process right after start().
+// That is a genuine paper-model failure — the fresh incarnation announces
+// a version-0 failure token, peers roll back orphans of the old
+// incarnation, and (with retransmission enabled) lost messages are
+// re-sent. Stable storage here is process-local memory, so the announced
+// restoration point is the initial checkpoint, exactly the "lost
+// everything since the last stable state" failure the protocol is built
+// to absorb.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/app/workload.h"
+#include "src/harness/failure_plan.h"
+#include "src/harness/metrics.h"
+#include "src/harness/protocol_factory.h"
+#include "src/live/live_channel.h"
+#include "src/live/live_clock.h"
+#include "src/live/worker_timers.h"
+#include "src/runtime/process_base.h"
+#include "src/tcp/tcp_transport.h"
+#include "src/tcp/topology.h"
+#include "src/trace/trace_event.h"
+#include "src/truth/causality_oracle.h"
+#include "src/util/stats.h"
+
+namespace optrec {
+
+struct TcpNodeConfig {
+  TcpTopology topology;
+  std::uint32_t node = 0;
+  std::uint64_t seed = 1;
+  ProtocolKind protocol = ProtocolKind::kDamaniGarg;
+  WorkloadSpec workload;
+  ProcessConfig process;
+  /// Crash schedule over GLOBAL process ids; events for remote pids are
+  /// ignored, so every node can be handed the same plan.
+  std::vector<CrashEvent> crashes;
+  /// Respawned-after-kill mode: crash every local process right after
+  /// start, announcing the old incarnation's failure to the cluster.
+  bool recover = false;
+  SimTime time_cap = seconds(30);
+  /// Cluster-signature stability window required before shutdown.
+  SimTime settle = millis(150);
+  /// Status gossip period (and the supervisor's polling period).
+  SimTime status_interval = millis(25);
+  /// Upper bound on one worker wait, so mirrors refresh even when idle.
+  SimTime max_block = millis(5);
+  /// Shared validation hooks (in-process clusters); non-owning, may be
+  /// null. Cross-machine runs validate per-node traces post-hoc instead.
+  CausalityOracle* oracle = nullptr;
+  TraceRecorder* trace = nullptr;
+  /// Node incarnation id; 0 derives one from the wall clock.
+  std::uint64_t epoch = 0;
+};
+
+struct TcpNodeResult {
+  /// Shared runner convention: 0 clean quiescence, 4 time cap.
+  int exit_code = 4;
+  bool quiesced = false;
+  SimTime wall_time = 0;
+  Metrics metrics;
+  Network::Stats net;
+  TcpTransport::TcpStats tcp;
+  /// Send-to-handler latency of frames delivered on this node, micros
+  /// (cross-node values use the realtime-clock delta carried in the
+  /// envelope).
+  Percentiles delivery_latency_us;
+};
+
+class TcpNode {
+ public:
+  explicit TcpNode(TcpNodeConfig config);
+  ~TcpNode();
+
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  /// This node's listener port (resolves port-0 topologies).
+  std::uint16_t listen_port() const { return transport_.listen_port(); }
+  /// Forward an ephemeral-port exchange to the transport (before run()).
+  void set_peer_port(std::uint32_t node, std::uint16_t port) {
+    transport_.set_peer_port(node, port);
+  }
+
+  /// Spawn workers + IO, run the quiescence protocol to shutdown or the
+  /// time cap, join everything. May be called once.
+  TcpNodeResult run();
+
+  // Post-run access.
+  TcpTransport& transport() { return transport_; }
+  const LiveClock& clock() const { return clock_; }
+  const TcpNodeConfig& config() const { return config_; }
+
+ private:
+  enum class WorkerState : int { kRunning = 0, kExitedCrash, kExitedStop };
+
+  struct Worker {
+    explicit Worker(std::uint64_t rng_seed) : rng(rng_seed) {}
+
+    ProcessId pid = 0;
+    std::unique_ptr<WorkerTimers> timers;
+    std::unique_ptr<ProcessBase> proc;
+    Metrics metrics;
+    Percentiles latency_us;
+    Rng rng;
+    std::thread thread;
+    bool started = false;
+    bool joined = true;
+
+    std::atomic<bool> up{false};
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<std::uint64_t> signature{0};
+    std::atomic<WorkerState> state{WorkerState::kRunning};
+  };
+
+  void worker_main(Worker& w);
+  void sync_mirrors(Worker& w);
+  void spawn(Worker& w);
+  void drain_exited(bool respawn_crashed, SimTime wait);
+  bool all_joined() const;
+  /// Every local condition of the node's quiet claim.
+  bool local_quiet() const;
+  std::uint64_t local_signature_word() const;
+  /// Coordinator: run the shutdown broadcast until every peer acked or the
+  /// grace deadline passes.
+  void coordinate_shutdown(std::uint8_t exit_code, SimTime grace);
+
+  TcpNodeConfig config_;
+  LiveClock clock_;
+  TcpTransport transport_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // local processes only
+  std::atomic<std::uint64_t> crashes_pending_{0};
+  bool ran_ = false;
+
+  std::mutex exit_mu_;
+  std::condition_variable exit_cv_;
+  std::vector<ProcessId> exited_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,885 @@
+#include "src/tcp/tcp_transport.h"
+
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/util/log.h"
+#include "src/wire/wire_codec.h"
+
+namespace optrec {
+
+namespace {
+
+/// Stop staging pending frames into a connection's write buffer past this
+/// many bytes; the rest stays in the (loss-free) queue until the socket
+/// drains.
+constexpr std::size_t kOutbufHighWater = 1u << 20;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+TcpTransport::TcpTransport(const LiveClock& clock, const TcpTopology& topo,
+                           std::uint32_t node_id, std::uint64_t seed,
+                           std::uint64_t epoch)
+    : clock_(clock),
+      topo_(topo),
+      node_id_(node_id),
+      epoch_(epoch == 0 ? unix_micros() : epoch) {
+  topo_.validate();
+  if (node_id_ >= topo_.nodes.size()) {
+    throw std::invalid_argument("TcpTransport: node id out of range");
+  }
+  channels_.resize(topo_.n);
+  endpoints_.resize(topo_.n, nullptr);
+  send_rng_.resize(topo_.n);
+  // Per-sender streams seeded like LiveTransport: fork() in pid order from
+  // one base RNG, so a process's fault stream is a function of (seed, pid),
+  // not of which node hosts it.
+  Rng base(seed);
+  for (ProcessId pid = 0; pid < topo_.n; ++pid) {
+    Rng forked = base.fork();
+    if (topo_.node_of(pid) == node_id_) {
+      channels_[pid] = std::make_unique<LiveChannel>();
+      send_rng_[pid] = std::make_unique<Rng>(forked);
+    }
+  }
+
+  const TcpNodeSpec& self = topo_.node(node_id_);
+  listener_ = listen_on(self.host, self.port);
+  listen_port_ = local_port(listener_.get());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  }
+  wake_rd_.reset(pipe_fds[0]);
+  wake_wr_.reset(pipe_fds[1]);
+  set_nonblocking(wake_rd_.get());
+  set_nonblocking(wake_wr_.get());
+
+  peers_.resize(topo_.nodes.size());
+  for (std::uint32_t node = 0; node < topo_.nodes.size(); ++node) {
+    if (node == node_id_) continue;
+    auto p = std::make_unique<Peer>();
+    p->node = node;
+    p->host = topo_.node(node).host;
+    p->port = topo_.node(node).port;
+    p->initiator = node_id_ < node;
+    peers_[node] = std::move(p);
+  }
+  statuses_.resize(topo_.nodes.size());
+
+  poller_ = std::make_unique<Poller>();
+  poller_->add(wake_rd_.get(), /*want_read=*/true, /*want_write=*/false);
+  poller_->add(listener_.get(), /*want_read=*/true, /*want_write=*/false);
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::set_peer_port(std::uint32_t node, std::uint16_t port) {
+  if (io_running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("set_peer_port after start()");
+  }
+  if (node == node_id_) return;
+  peers_.at(node)->port = port;
+  topo_.nodes.at(node).port = port;
+}
+
+void TcpTransport::start() {
+  if (io_running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_main(); });
+}
+
+void TcpTransport::stop() {
+  if (io_thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    wake();
+    io_thread_.join();
+  }
+  io_running_.store(false, std::memory_order_release);
+  for (auto& p : peers_) {
+    if (p != nullptr && p->fd.valid()) close_peer(*p, false);
+  }
+  accepted_.clear();
+}
+
+void TcpTransport::attach(ProcessId pid, Endpoint* endpoint) {
+  if (endpoint == nullptr) throw std::invalid_argument("attach: null endpoint");
+  if (!is_local(pid)) {
+    throw std::invalid_argument("attach: pid not hosted on this node");
+  }
+  endpoints_.at(pid) = endpoint;
+}
+
+SimTime TcpTransport::draw_delay(Rng& rng) {
+  return rng.uniform_range(topo_.faults.min_delay, topo_.faults.max_delay);
+}
+
+std::uint64_t TcpTransport::unix_micros() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+void TcpTransport::wake() {
+  const char b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_wr_.get(), &b, 1);
+}
+
+void TcpTransport::push_local(ProcessId src, ProcessId dst, Bytes wire,
+                              bool app, bool token, SimTime delay) {
+  LiveFrame f;
+  f.kind = LiveFrame::Kind::kWire;
+  f.src = src;
+  f.wire = std::move(wire);
+  f.app = app;
+  f.token = token;
+  f.sent_at = clock_.now();
+  f.not_before = f.sent_at + delay;
+  frames_pushed_.fetch_add(1, std::memory_order_acq_rel);
+  channels_.at(dst)->push(std::move(f));
+}
+
+Envelope TcpTransport::wire_envelope(ProcessId src, ProcessId dst, Bytes wire,
+                                     bool app, bool token, SimTime delay) {
+  Envelope e;
+  e.kind = EnvelopeKind::kWire;
+  e.src_node = node_id_;
+  e.src_pid = src;
+  e.dst_pid = dst;
+  e.app = app;
+  e.token = token;
+  e.sent_unix_us = unix_micros();
+  e.delay_us = delay;
+  e.wire = std::move(wire);
+  return e;
+}
+
+bool TcpTransport::queue_to_peer(std::uint32_t node, Bytes framed, bool app) {
+  Peer& p = *peers_.at(node);
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    if (app && p.pending_app >= topo_.faults.outbound_cap_frames) {
+      backpressure_drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (app) ++p.pending_app;
+    p.pending.push_back({std::move(framed), app});
+  }
+  return true;
+}
+
+void TcpTransport::emit_send_trace(const Message& msg) {
+  TraceEvent e;
+  e.at = clock_.now();
+  e.type = TraceEventType::kSend;
+  e.pid = msg.src;
+  e.clock = msg.clock.size() > msg.src ? msg.clock.entry(msg.src)
+                                       : FtvcEntry{msg.src_version, 0};
+  e.peer = msg.dst;
+  e.msg_id = msg.id;
+  e.send_seq = msg.send_seq;
+  e.msg_version = msg.src_version;
+  if (msg.kind == MessageKind::kControl) e.detail |= kTraceSendControl;
+  if (msg.retransmission) e.detail |= kTraceSendRetransmission;
+  e.mclock = msg.clock.entries();
+  trace_->emit(std::move(e));
+}
+
+void TcpTransport::emit_token_trace(const Token& token) {
+  TraceEvent e;
+  e.at = clock_.now();
+  e.type = TraceEventType::kTokenBroadcast;
+  e.pid = token.from;
+  e.clock = token.failed;
+  e.ref = token.failed;
+  if (token.origin_pid != kNoProcess) {
+    e.origin = token.origin_pid;
+    e.origin_ver = token.origin_ver;
+  } else {
+    e.origin = token.from;
+    e.origin_ver = token.failed.ver;
+  }
+  trace_->emit(std::move(e));
+}
+
+MsgId TcpTransport::send(Message msg) {
+  if (msg.src == msg.dst) throw std::invalid_argument("send: src == dst");
+  if (msg.dst >= topo_.n) throw std::out_of_range("send: unknown destination");
+  if (!is_local(msg.src)) {
+    throw std::invalid_argument("send: src not hosted on this node");
+  }
+  // Node-unique id space: high bits are the node, low bits a local counter
+  // (40 bits of messages per node before wrap — plenty).
+  msg.id = (static_cast<MsgId>(node_id_ + 1) << 40) |
+           next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  message_bytes_.fetch_add(message_wire_bytes(msg), std::memory_order_relaxed);
+  if (trace_) emit_send_trace(msg);
+
+  Rng& rng = *send_rng_.at(msg.src);
+  const bool app = msg.kind == MessageKind::kApp;
+  if (app) {
+    app_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (rng.chance(topo_.faults.drop_prob)) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return msg.id;
+    }
+  }
+  Bytes wire = encode_message_frame(msg);
+  const std::uint32_t dst_node = topo_.node_of(msg.dst);
+  const bool local = dst_node == node_id_;
+
+  const auto deliver = [&](Bytes w, SimTime delay) {
+    if (local) {
+      push_local(msg.src, msg.dst, std::move(w), app, /*token=*/false, delay);
+      return;
+    }
+    Envelope e = wire_envelope(msg.src, msg.dst, std::move(w), app,
+                               /*token=*/false, delay);
+    if (!queue_to_peer(dst_node, frame_envelope(e), app)) {
+      // Backpressure loss is transport loss: account it like a drop so
+      // merged cluster stats still balance.
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (app && rng.chance(topo_.faults.duplicate_prob)) {
+    messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    deliver(wire, draw_delay(rng));
+  }
+  deliver(std::move(wire), draw_delay(rng));
+  if (!local) wake();
+  return msg.id;
+}
+
+void TcpTransport::send_token_tracked(std::uint32_t dst_node, Envelope e) {
+  e.token_seq = next_token_seq_.fetch_add(1, std::memory_order_relaxed);
+  Bytes framed = frame_envelope(e);
+  Peer& p = *peers_.at(dst_node);
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    PendingTokenSend pending;
+    pending.node = dst_node;
+    pending.framed = framed;
+    pending.next_retry = clock_.now() + topo_.faults.token_retry;
+    unacked_tokens_.emplace(e.token_seq, std::move(pending));
+    p.pending.push_back({std::move(framed), /*app=*/false});
+  }
+}
+
+void TcpTransport::broadcast_token(const Token& token) {
+  token_broadcasts_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_) emit_token_trace(token);
+  Rng& rng = *send_rng_.at(token.from);
+  const std::size_t bytes = token_wire_bytes(token);
+  Bytes wire = encode_token_frame(token);
+  bool remote = false;
+  for (ProcessId dst = 0; dst < topo_.n; ++dst) {
+    if (dst == token.from) continue;
+    tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+    token_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const SimTime delay = draw_delay(rng);
+    const std::uint32_t dst_node = topo_.node_of(dst);
+    if (dst_node == node_id_) {
+      push_local(token.from, dst, wire, /*app=*/false, /*token=*/true, delay);
+    } else {
+      remote = true;
+      send_token_tracked(dst_node, wire_envelope(token.from, dst, wire,
+                                                 /*app=*/false, /*token=*/true,
+                                                 delay));
+    }
+  }
+  if (remote) wake();
+}
+
+void TcpTransport::send_token(ProcessId dst, const Token& token) {
+  tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+  token_bytes_.fetch_add(token_wire_bytes(token), std::memory_order_relaxed);
+  Rng& rng = *send_rng_.at(token.from);
+  const SimTime delay = draw_delay(rng);
+  Bytes wire = encode_token_frame(token);
+  const std::uint32_t dst_node = topo_.node_of(dst);
+  if (dst_node == node_id_) {
+    push_local(token.from, dst, std::move(wire), /*app=*/false, /*token=*/true,
+               delay);
+    return;
+  }
+  send_token_tracked(dst_node, wire_envelope(token.from, dst, std::move(wire),
+                                             /*app=*/false, /*token=*/true,
+                                             delay));
+  wake();
+}
+
+void TcpTransport::note_delivered_message(bool app) {
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (app) app_messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  frames_handled_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TcpTransport::note_delivered_token() {
+  tokens_delivered_.fetch_add(1, std::memory_order_relaxed);
+  frames_handled_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TcpTransport::note_retry(bool token) {
+  if (!token) messages_retried_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t TcpTransport::outbound_pending() const {
+  std::uint64_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    for (const auto& p : peers_) {
+      if (p != nullptr) pending += p->pending.size();
+    }
+    pending += unacked_tokens_.size();
+  }
+  return pending + outbuf_bytes_.load(std::memory_order_acquire);
+}
+
+void TcpTransport::send_status(const NodeStatusReport& s) {
+  if (node_id_ == 0) return;
+  Envelope e;
+  e.kind = EnvelopeKind::kStatus;
+  e.src_node = node_id_;
+  e.status = s;
+  queue_to_peer(0, frame_envelope(e), /*app=*/false);
+  wake();
+}
+
+std::vector<std::optional<std::pair<NodeStatusReport, SimTime>>>
+TcpTransport::peer_statuses() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return statuses_;
+}
+
+void TcpTransport::broadcast_shutdown(std::uint8_t exit_code) {
+  const SimTime now = clock_.now();
+  bool queued = false;
+  for (auto& p : peers_) {
+    if (p == nullptr || p->shutdown_acked.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (p->shutdown_sent_at != 0 &&
+        now - p->shutdown_sent_at < topo_.faults.token_retry) {
+      continue;
+    }
+    p->shutdown_sent_at = now;
+    Envelope e;
+    e.kind = EnvelopeKind::kShutdown;
+    e.src_node = node_id_;
+    e.exit_code = exit_code;
+    queue_to_peer(p->node, frame_envelope(e), /*app=*/false);
+    queued = true;
+  }
+  if (queued) wake();
+}
+
+bool TcpTransport::all_shutdowns_acked() const {
+  for (const auto& p : peers_) {
+    if (p != nullptr && !p->shutdown_acked.load(std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TcpTransport::shutdown_received(std::uint8_t* code) const {
+  if (!shutdown_flag_.load(std::memory_order_acquire)) return false;
+  *code = shutdown_code_.load(std::memory_order_acquire);
+  return true;
+}
+
+Network::Stats TcpTransport::stats() const {
+  Network::Stats s;
+  s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+  s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+  s.app_messages_sent = app_messages_sent_.load(std::memory_order_relaxed);
+  s.app_messages_delivered =
+      app_messages_delivered_.load(std::memory_order_relaxed);
+  s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  s.messages_duplicated = messages_duplicated_.load(std::memory_order_relaxed);
+  s.messages_retried = messages_retried_.load(std::memory_order_relaxed);
+  s.tokens_sent = tokens_sent_.load(std::memory_order_relaxed);
+  s.tokens_delivered = tokens_delivered_.load(std::memory_order_relaxed);
+  s.token_broadcasts = token_broadcasts_.load(std::memory_order_relaxed);
+  s.message_bytes = message_bytes_.load(std::memory_order_relaxed);
+  s.token_bytes = token_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+TcpTransport::TcpStats TcpTransport::tcp_stats() const {
+  TcpStats s;
+  s.connects = connects_.load(std::memory_order_relaxed);
+  s.accepts = accepts_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.connect_failures = connect_failures_.load(std::memory_order_relaxed);
+  s.frames_tx = frames_tx_.load(std::memory_order_relaxed);
+  s.frames_rx = frames_rx_.load(std::memory_order_relaxed);
+  s.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
+  s.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
+  s.acks_tx = acks_tx_.load(std::memory_order_relaxed);
+  s.acks_rx = acks_rx_.load(std::memory_order_relaxed);
+  s.token_retries = token_retries_.load(std::memory_order_relaxed);
+  s.dup_tokens_dropped = dup_tokens_dropped_.load(std::memory_order_relaxed);
+  s.backpressure_drops = backpressure_drops_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// IO thread
+// ---------------------------------------------------------------------
+
+void TcpTransport::io_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    try {
+      io_step();
+    } catch (const std::exception& e) {
+      // Keep the node alive on transient syscall failures; back off so a
+      // persistent one cannot spin the thread hot.
+      OPTREC_LOG(kWarn) << "tcp io: " << e.what();
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      ::usleep(10000);
+    }
+  }
+}
+
+void TcpTransport::io_step() {
+  const auto& events = poller_->wait(5);
+  for (const Poller::Event& ev : events) {
+    if (ev.fd == wake_rd_.get()) {
+      char buf[256];
+      while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    if (ev.fd == listener_.get()) {
+      handle_listener();
+      continue;
+    }
+    if (accepted_.count(ev.fd) != 0) {
+      handle_accepted(ev.fd, ev);
+      continue;
+    }
+    const auto it = fd_to_node_.find(ev.fd);
+    if (it != fd_to_node_.end()) handle_peer(*peers_[it->second], ev);
+  }
+
+  update_partition_masks();
+  const SimTime now = clock_.now();
+  for (auto& p : peers_) {
+    if (p == nullptr) continue;
+    if (p->initiator && !p->fd.valid() && !p->blocked && now >= p->retry_at) {
+      start_connect(*p);
+    }
+  }
+  retry_unacked_tokens();
+  for (auto& p : peers_) {
+    if (p != nullptr && p->connected) flush_peer(*p);
+  }
+}
+
+void TcpTransport::handle_listener() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      OPTREC_LOG(kWarn) << "tcp accept: " << std::strerror(errno);
+      return;
+    }
+    try {
+      set_nonblocking(fd);
+      set_tcp_nodelay(fd);
+    } catch (const std::exception&) {
+      ::close(fd);
+      continue;
+    }
+    Accepted acc;
+    acc.fd.reset(fd);
+    accepted_.emplace(fd, std::move(acc));
+    poller_->add(fd, /*want_read=*/true, /*want_write=*/false);
+  }
+}
+
+void TcpTransport::handle_accepted(int fd, const Poller::Event& ev) {
+  Accepted& acc = accepted_.at(fd);
+  const auto drop = [&] {
+    poller_->remove(fd);
+    accepted_.erase(fd);
+  };
+  if (ev.broken) {
+    drop();
+    return;
+  }
+  std::uint8_t buf[kRecvChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_rx_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      acc.reader.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop();  // EOF or hard error before identification
+    return;
+  }
+  std::optional<Bytes> body;
+  try {
+    body = acc.reader.next();
+    if (!body) return;  // hello not complete yet
+    const Envelope hello = decode_envelope(*body);
+    if (hello.kind != EnvelopeKind::kHello ||
+        hello.cluster != topo_.cluster || hello.src_node == node_id_ ||
+        hello.src_node >= peers_.size()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      drop();
+      return;
+    }
+    Peer& p = *peers_[hello.src_node];
+    if (p.fd.valid()) close_peer(p, false);  // stale connection superseded
+    // Adopt: the accepted fd (already read-registered) becomes the peer
+    // connection, its reader keeps any bytes that followed the hello.
+    p.fd = std::move(acc.fd);
+    p.reader = std::move(acc.reader);
+    accepted_.erase(fd);
+    fd_to_node_[fd] = p.node;
+    p.hello_received = true;
+    p.peer_epoch = hello.epoch;
+    accepts_.fetch_add(1, std::memory_order_relaxed);
+    frames_rx_.fetch_add(1, std::memory_order_relaxed);
+    on_peer_established(p);
+    if (p.fd.valid()) drain_reader(p);
+  } catch (const FrameError&) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    drop();
+  }
+}
+
+void TcpTransport::start_connect(Peer& p) {
+  bool in_progress = false;
+  try {
+    p.fd = connect_nonblocking(p.host, p.port, &in_progress);
+  } catch (const std::exception&) {
+    connect_failures_.fetch_add(1, std::memory_order_relaxed);
+    p.backoff = p.backoff == 0
+                    ? topo_.faults.reconnect_min
+                    : std::min(topo_.faults.reconnect_max, p.backoff * 2);
+    p.retry_at = clock_.now() + p.backoff;
+    return;
+  }
+  fd_to_node_[p.fd.get()] = p.node;
+  poller_->add(p.fd.get(), /*want_read=*/false, /*want_write=*/true);
+  if (in_progress) {
+    p.connecting = true;
+  } else {
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    on_peer_established(p);
+  }
+}
+
+void TcpTransport::on_peer_established(Peer& p) {
+  p.connecting = false;
+  p.connected = true;
+  p.backoff = 0;
+  // Hello first: a fresh connection has an empty outbuf, so the hello is
+  // guaranteed to precede any staged traffic.
+  Envelope hello;
+  hello.kind = EnvelopeKind::kHello;
+  hello.src_node = node_id_;
+  hello.epoch = epoch_;
+  hello.cluster = topo_.cluster;
+  Bytes framed = frame_envelope(hello);
+  outbuf_bytes_.fetch_add(framed.size(), std::memory_order_acq_rel);
+  frames_tx_.fetch_add(1, std::memory_order_relaxed);
+  p.outbuf = std::move(framed);
+  p.outbuf_off = 0;
+  flush_peer(p);
+}
+
+void TcpTransport::close_peer(Peer& p, bool was_protocol_error) {
+  if (was_protocol_error) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (p.fd.valid()) {
+    poller_->remove(p.fd.get());
+    fd_to_node_.erase(p.fd.get());
+    p.fd.reset();
+  }
+  if (p.connected) disconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (p.outbuf.size() > p.outbuf_off) {
+    outbuf_bytes_.fetch_sub(p.outbuf.size() - p.outbuf_off,
+                            std::memory_order_acq_rel);
+  }
+  p.connected = false;
+  p.connecting = false;
+  p.hello_received = false;
+  p.reader = EnvelopeReader();
+  p.outbuf.clear();
+  p.outbuf_off = 0;
+  if (p.initiator) {
+    p.backoff = p.backoff == 0
+                    ? topo_.faults.reconnect_min
+                    : std::min(topo_.faults.reconnect_max, p.backoff * 2);
+    p.retry_at = clock_.now() + p.backoff;
+  }
+}
+
+void TcpTransport::handle_peer(Peer& p, const Poller::Event& ev) {
+  if (p.connecting) {
+    if (!ev.writable && !ev.broken) return;
+    const int err = take_socket_error(p.fd.get());
+    if (err != 0 || ev.broken) {
+      connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      close_peer(p, false);
+      return;
+    }
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    on_peer_established(p);
+    return;
+  }
+  if (ev.readable && !p.blocked) {
+    std::uint8_t buf[kRecvChunk];
+    for (;;) {
+      const ssize_t n = ::recv(p.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        bytes_rx_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+        p.reader.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_peer(p, false);  // EOF or hard error
+      return;
+    }
+    drain_reader(p);
+    if (!p.fd.valid()) return;
+  }
+  if (ev.broken) {
+    close_peer(p, false);
+    return;
+  }
+  if (ev.writable) flush_peer(p);
+}
+
+void TcpTransport::drain_reader(Peer& p) {
+  try {
+    for (;;) {
+      std::optional<Bytes> body = p.reader.next();
+      if (!body) return;
+      frames_rx_.fetch_add(1, std::memory_order_relaxed);
+      const Envelope e = decode_envelope(*body);
+      process_envelope(p, e);
+      if (!p.fd.valid()) return;  // process_envelope dropped the connection
+    }
+  } catch (const FrameError&) {
+    close_peer(p, /*was_protocol_error=*/true);
+  }
+}
+
+void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
+  if (e.kind == EnvelopeKind::kHello) {
+    if (e.cluster != topo_.cluster || e.src_node != p.node) {
+      close_peer(p, /*was_protocol_error=*/true);
+      return;
+    }
+    p.hello_received = true;
+    p.peer_epoch = e.epoch;
+    return;
+  }
+  if (!p.hello_received) {
+    close_peer(p, /*was_protocol_error=*/true);
+    return;
+  }
+  switch (e.kind) {
+    case EnvelopeKind::kWire: {
+      if (e.token_seq != 0) {
+        // Ack every copy (retries included); deliver only the first.
+        Envelope ack;
+        ack.kind = EnvelopeKind::kTokenAck;
+        ack.src_node = node_id_;
+        ack.epoch = p.peer_epoch;  // echo the sender incarnation
+        ack.ack_seq = e.token_seq;
+        acks_tx_.fetch_add(1, std::memory_order_relaxed);
+        queue_to_peer(p.node, frame_envelope(ack), /*app=*/false);
+        if (!p.seen_tokens[p.peer_epoch].insert(e.token_seq).second) {
+          dup_tokens_dropped_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (e.dst_pid >= topo_.n || !is_local(e.dst_pid)) {
+        // Misrouted: a topology mismatch, not a stream corruption — count
+        // it, drop the frame, keep the connection.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      LiveFrame f;
+      f.kind = LiveFrame::Kind::kWire;
+      f.src = e.src_pid;
+      f.wire = e.wire;
+      f.app = e.app;
+      f.token = e.token;
+      const SimTime now = clock_.now();
+      const std::uint64_t unix_now = unix_micros();
+      const std::uint64_t elapsed =
+          unix_now > e.sent_unix_us ? unix_now - e.sent_unix_us : 0;
+      f.sent_at = now > elapsed ? now - elapsed : 0;
+      f.not_before = now + e.delay_us;
+      frames_pushed_.fetch_add(1, std::memory_order_acq_rel);
+      channels_[e.dst_pid]->push(std::move(f));
+      return;
+    }
+    case EnvelopeKind::kTokenAck: {
+      acks_rx_.fetch_add(1, std::memory_order_relaxed);
+      if (e.epoch != epoch_) return;  // receipt for a previous incarnation
+      std::lock_guard<std::mutex> lock(out_mu_);
+      unacked_tokens_.erase(e.ack_seq);
+      return;
+    }
+    case EnvelopeKind::kStatus: {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      if (e.status.node < statuses_.size()) {
+        statuses_[e.status.node] = {e.status, clock_.now()};
+      }
+      return;
+    }
+    case EnvelopeKind::kShutdown: {
+      shutdown_code_.store(e.exit_code, std::memory_order_release);
+      shutdown_flag_.store(true, std::memory_order_release);
+      Envelope ack;
+      ack.kind = EnvelopeKind::kShutdownAck;
+      ack.src_node = node_id_;
+      queue_to_peer(p.node, frame_envelope(ack), /*app=*/false);
+      return;
+    }
+    case EnvelopeKind::kShutdownAck: {
+      p.shutdown_acked.store(true, std::memory_order_release);
+      return;
+    }
+    case EnvelopeKind::kHello:
+      return;  // handled above; unreachable
+  }
+}
+
+void TcpTransport::flush_peer(Peer& p) {
+  if (!p.connected || p.blocked || !p.fd.valid()) return;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    while (!p.pending.empty() &&
+           p.outbuf.size() - p.outbuf_off < kOutbufHighWater) {
+      OutFrame f = std::move(p.pending.front());
+      p.pending.pop_front();
+      if (f.app && p.pending_app > 0) --p.pending_app;
+      outbuf_bytes_.fetch_add(f.framed.size(), std::memory_order_acq_rel);
+      frames_tx_.fetch_add(1, std::memory_order_relaxed);
+      p.outbuf.insert(p.outbuf.end(), f.framed.begin(), f.framed.end());
+    }
+  }
+  while (p.outbuf_off < p.outbuf.size()) {
+    const ssize_t n =
+        ::send(p.fd.get(), p.outbuf.data() + p.outbuf_off,
+               p.outbuf.size() - p.outbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      p.outbuf_off += static_cast<std::size_t>(n);
+      bytes_tx_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      outbuf_bytes_.fetch_sub(static_cast<std::uint64_t>(n),
+                              std::memory_order_acq_rel);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_peer(p, false);
+    return;
+  }
+  if (p.outbuf_off == p.outbuf.size()) {
+    p.outbuf.clear();
+    p.outbuf_off = 0;
+  }
+  update_interest(p);
+}
+
+void TcpTransport::update_interest(Peer& p) {
+  if (!p.fd.valid()) return;
+  if (p.connecting) {
+    poller_->set(p.fd.get(), /*want_read=*/false, /*want_write=*/!p.blocked);
+    return;
+  }
+  const bool want_write =
+      !p.blocked && (p.outbuf.size() > p.outbuf_off ||
+                     [this, &p] {
+                       std::lock_guard<std::mutex> lock(out_mu_);
+                       return !p.pending.empty();
+                     }());
+  poller_->set(p.fd.get(), /*want_read=*/!p.blocked, want_write);
+}
+
+bool TcpTransport::link_blocked_now(std::uint32_t peer_node) const {
+  const SimTime now = clock_.now();
+  for (const PartitionEvent& event : topo_.faults.partitions) {
+    if (now < event.at || now >= event.heal_at) continue;
+    std::uint32_t self_group = 0;
+    std::uint32_t peer_group = 0;
+    std::uint32_t group_id = 1;
+    for (const auto& group : event.groups) {
+      for (ProcessId id : group) {
+        if (id == node_id_) self_group = group_id;
+        if (id == peer_node) peer_group = group_id;
+      }
+      ++group_id;
+    }
+    if (self_group != peer_group) return true;
+  }
+  return false;
+}
+
+void TcpTransport::update_partition_masks() {
+  if (topo_.faults.partitions.empty()) return;
+  for (auto& p : peers_) {
+    if (p == nullptr) continue;
+    const bool blocked = link_blocked_now(p->node);
+    if (blocked == p->blocked) continue;
+    p->blocked = blocked;
+    if (p->fd.valid()) update_interest(*p);
+    if (!blocked) {
+      if (p->connected) {
+        flush_peer(*p);
+      } else if (p->initiator && !p->fd.valid()) {
+        p->retry_at = clock_.now();  // heal: dial again immediately
+      }
+    }
+  }
+}
+
+void TcpTransport::retry_unacked_tokens() {
+  const SimTime now = clock_.now();
+  std::lock_guard<std::mutex> lock(out_mu_);
+  for (auto& [seq, pending] : unacked_tokens_) {
+    if (now < pending.next_retry) continue;
+    pending.next_retry = now + topo_.faults.token_retry;
+    Peer& p = *peers_.at(pending.node);
+    // Re-send only where the copy could actually have been lost: over an
+    // established, unmasked connection. While disconnected or partitioned
+    // the original still sits in the queue.
+    if (!p.connected || p.blocked) continue;
+    token_retries_.fetch_add(1, std::memory_order_relaxed);
+    p.pending.push_back({pending.framed, /*app=*/false});
+  }
+}
+
+}  // namespace optrec

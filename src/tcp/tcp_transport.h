@@ -1,0 +1,318 @@
+// TCP Transport: the recovery fleet over real sockets.
+//
+// The third Transport backend (after src/net/Network and src/live/
+// LiveTransport): one TcpTransport per NODE hosts the LiveChannel inboxes
+// of its local processes and exchanges length-delimited envelopes
+// (src/tcp/envelope.h) with every other node over nonblocking TCP. A
+// single IO thread per node owns all sockets through a Poller (epoll, or
+// poll(2) with OPTREC_TCP_POLL=1); worker threads only serialize, queue,
+// and poke the IO thread through a wake pipe.
+//
+// Topology: one connection per unordered node pair, dialed by the
+// lower-numbered node ("initiator") and re-dialed by it with exponential
+// backoff whenever it dies; both directions of traffic share the socket.
+// Every connection opens with a kHello carrying node id, incarnation epoch
+// and cluster name — a mismatched cluster or a non-hello first envelope is
+// a protocol error and drops the connection.
+//
+// Reliability model, mirroring the paper's assumptions:
+//   * Tokens are retried until acked. Each ack-tracked token carries a
+//     (node, epoch, seq) identity; receivers dedupe on it and always ack,
+//     so token delivery survives connection loss, node kills and scripted
+//     partitions — the transport-level reliable broadcast the protocol's
+//     liveness argument needs.
+//   * Application frames queue per peer (never lost while queued, bounded
+//     by outbound_cap_frames; overflow is dropped and counted). Frames
+//     already staged into a dying connection's write buffer are lost, like
+//     packets on the wire — information loss the protocols already face
+//     from drop injection.
+//   * Scripted partitions (node-id groups) mask the affected sockets
+//     instead of closing them: no reads, no writes, no reconnects until
+//     heal, so in-flight bytes are held exactly the way Network holds
+//     cross-group traffic in the simulator.
+//
+// Thread contract:
+//   * attach()/set_peer_port()/start() run before workers spawn; stop()
+//     after they join (the destructor stops too).
+//   * send()/broadcast_token()/send_token() for local pid p run on p's
+//     worker thread (per-sender fault RNGs stay lock-free); queue pushes
+//     take out_mu_.
+//   * The IO thread owns all sockets and per-connection state; it shares
+//     only the outbound queues (out_mu_), the coordinator status table
+//     (status_mu_) and the atomic counters.
+//   * The quiescence surface (send_status/peer_statuses/broadcast_shutdown/
+//     shutdown_received) is for the node supervisor thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/live/live_channel.h"
+#include "src/live/live_clock.h"
+#include "src/net/message.h"
+#include "src/net/network.h"
+#include "src/runtime/env.h"
+#include "src/tcp/envelope.h"
+#include "src/tcp/poller.h"
+#include "src/tcp/socket_util.h"
+#include "src/tcp/topology.h"
+#include "src/trace/trace_event.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+class TcpTransport : public Transport {
+ public:
+  /// Socket-layer telemetry, all relaxed atomics.
+  struct TcpStats {
+    std::uint64_t connects = 0;          // outbound connections established
+    std::uint64_t accepts = 0;           // inbound connections adopted
+    std::uint64_t disconnects = 0;       // established connections lost
+    std::uint64_t connect_failures = 0;  // dial attempts that failed
+    std::uint64_t frames_tx = 0;         // envelopes written
+    std::uint64_t frames_rx = 0;         // envelopes decoded
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t acks_tx = 0;
+    std::uint64_t acks_rx = 0;
+    std::uint64_t token_retries = 0;      // unacked re-sends
+    std::uint64_t dup_tokens_dropped = 0; // dedupe suppressions
+    std::uint64_t backpressure_drops = 0; // app frames over the queue cap
+    std::uint64_t protocol_errors = 0;    // FrameError / bad hello
+  };
+
+  /// Binds the listener (resolving port 0 immediately) but does not start
+  /// the IO thread. `epoch` identifies this node incarnation; 0 derives it
+  /// from the wall clock.
+  TcpTransport(const LiveClock& clock, const TcpTopology& topo,
+               std::uint32_t node_id, std::uint64_t seed,
+               std::uint64_t epoch = 0);
+  ~TcpTransport() override;
+
+  std::uint16_t listen_port() const { return listen_port_; }
+  /// Override a peer's dial port (in-process clusters bind ephemeral ports
+  /// and exchange them before start()).
+  void set_peer_port(std::uint32_t node, std::uint16_t port);
+
+  /// Spawn the IO thread. Call after attach()/set_peer_port().
+  void start();
+  /// Join the IO thread and close every socket; idempotent.
+  void stop();
+
+  // --- Transport (worker threads; src must be a local pid) ------------
+  void attach(ProcessId pid, Endpoint* endpoint) override;
+  MsgId send(Message msg) override;
+  void broadcast_token(const Token& token) override;
+  void send_token(ProcessId dst, const Token& token) override;
+
+  /// Thread-safe trace recorder (null detaches); set before start().
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  std::uint32_t node_id() const { return node_id_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t size() const { return topo_.n; }
+  bool is_local(ProcessId pid) const { return channels_.at(pid) != nullptr; }
+  /// Local pids only.
+  LiveChannel& channel(ProcessId pid) { return *channels_.at(pid); }
+  Endpoint* endpoint(ProcessId pid) const { return endpoints_.at(pid); }
+  const TcpFaultConfig& faults() const { return topo_.faults; }
+
+  // --- worker-side delivery accounting (mirrors LiveTransport) --------
+  void note_delivered_message(bool app);
+  void note_delivered_token();
+  void note_retry(bool token);
+
+  /// Frames pushed into LOCAL channels but not yet handled (includes
+  /// remote-received and parked-for-down-receiver frames).
+  std::uint64_t frames_in_flight() const {
+    return frames_pushed_.load(std::memory_order_acquire) -
+           frames_handled_.load(std::memory_order_acquire);
+  }
+  /// Outbound work not yet on the wire: queued frames, staged write-buffer
+  /// bytes, unacked tokens. Zero is a necessary condition for this node's
+  /// "quiet" claim.
+  std::uint64_t outbound_pending() const;
+
+  // --- quiescence protocol (node supervisor thread) -------------------
+  /// Queue a status report to the coordinator (node 0). No-op on node 0.
+  void send_status(const NodeStatusReport& s);
+  /// Coordinator: latest report per node plus its local receive time
+  /// (index = node id; the coordinator's own slot stays empty).
+  std::vector<std::optional<std::pair<NodeStatusReport, SimTime>>>
+  peer_statuses() const;
+  /// Coordinator: (re-)queue kShutdown to every peer that has not acked
+  /// yet, rate-limited by faults().token_retry. Call every supervisor tick
+  /// until all_shutdowns_acked().
+  void broadcast_shutdown(std::uint8_t exit_code);
+  bool all_shutdowns_acked() const;
+  /// True once a kShutdown arrived; *code receives its exit code.
+  bool shutdown_received(std::uint8_t* code) const;
+
+  /// Counter snapshot shaped like Network::Stats. Counts are local-view:
+  /// sends initiated here, deliveries handled here — summing every node's
+  /// snapshot yields cluster totals with nothing double-counted.
+  Network::Stats stats() const;
+  TcpStats tcp_stats() const;
+
+ private:
+  struct OutFrame {
+    Bytes framed;  // full stream image: [len][body]
+    bool app = false;
+  };
+
+  /// One remote node. Connection state is IO-thread-only; `pending`,
+  /// `pending_app` and `shutdown_*` are shared under out_mu_ / atomics.
+  struct Peer {
+    std::uint32_t node = 0;
+    std::string host;
+    std::uint16_t port = 0;
+    bool initiator = false;  // we dial iff our node id is lower
+
+    // IO-thread-only.
+    Fd fd;
+    bool connecting = false;      // nonblocking connect pending
+    bool connected = false;       // usable for traffic (our hello sent)
+    bool hello_received = false;  // their hello arrived on this connection
+    bool blocked = false;         // partition mask active
+    EnvelopeReader reader;
+    Bytes outbuf;
+    std::size_t outbuf_off = 0;
+    SimTime retry_at = 0;   // next dial attempt (initiator)
+    SimTime backoff = 0;    // current backoff step
+    std::uint64_t peer_epoch = 0;
+    /// Token dedupe: epoch -> acked-tracked seqs already delivered.
+    std::map<std::uint64_t, std::unordered_set<std::uint64_t>> seen_tokens;
+
+    // Shared.
+    std::deque<OutFrame> pending;    // out_mu_
+    std::size_t pending_app = 0;     // out_mu_
+    SimTime shutdown_sent_at = 0;    // supervisor-thread-only
+    std::atomic<bool> shutdown_acked{false};
+  };
+
+  struct PendingTokenSend {
+    std::uint32_t node = 0;
+    Bytes framed;
+    SimTime next_retry = 0;
+  };
+
+  /// An accepted connection whose hello has not arrived yet.
+  struct Accepted {
+    Fd fd;
+    EnvelopeReader reader;
+  };
+
+  SimTime draw_delay(Rng& rng);
+  static std::uint64_t unix_micros();
+  void wake();
+  void push_local(ProcessId src, ProcessId dst, Bytes wire, bool app,
+                  bool token, SimTime delay);
+  /// Queue one framed envelope to `node` (out_mu_ inside). App frames are
+  /// subject to the backpressure cap; returns false when dropped.
+  bool queue_to_peer(std::uint32_t node, Bytes framed, bool app);
+  Envelope wire_envelope(ProcessId src, ProcessId dst, Bytes wire, bool app,
+                         bool token, SimTime delay);
+  void emit_send_trace(const Message& msg);
+  void emit_token_trace(const Token& token);
+  void send_token_tracked(std::uint32_t dst_node, Envelope e);
+
+  // IO-thread internals.
+  void io_main();
+  void io_step();
+  void handle_listener();
+  void handle_accepted(int fd, const Poller::Event& ev);
+  void handle_peer(Peer& p, const Poller::Event& ev);
+  void start_connect(Peer& p);
+  void on_peer_established(Peer& p);
+  void close_peer(Peer& p, bool was_protocol_error);
+  void drain_reader(Peer& p);
+  void process_envelope(Peer& p, const Envelope& e);
+  void flush_peer(Peer& p);
+  void update_partition_masks();
+  void retry_unacked_tokens();
+  bool link_blocked_now(std::uint32_t peer_node) const;
+  void update_interest(Peer& p);
+
+  const LiveClock& clock_;
+  TcpTopology topo_;
+  const std::uint32_t node_id_;
+  const std::uint64_t epoch_;
+  TraceRecorder* trace_ = nullptr;
+
+  Fd listener_;
+  std::uint16_t listen_port_ = 0;
+  Fd wake_rd_, wake_wr_;
+
+  /// Local pids get a channel + fault RNG; remote slots stay null.
+  std::vector<std::unique_ptr<LiveChannel>> channels_;
+  std::vector<Endpoint*> endpoints_;
+  std::vector<std::unique_ptr<Rng>> send_rng_;
+
+  std::vector<std::unique_ptr<Peer>> peers_;  // index = node id; self null
+  std::unordered_map<int, std::uint32_t> fd_to_node_;
+  std::unordered_map<int, Accepted> accepted_;
+  std::unique_ptr<Poller> poller_;
+
+  std::thread io_thread_;
+  std::atomic<bool> io_running_{false};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex out_mu_;
+  /// Ack-tracked token sends by seq (out_mu_).
+  std::map<std::uint64_t, PendingTokenSend> unacked_tokens_;
+  std::atomic<std::uint64_t> next_token_seq_{1};
+  /// Bytes staged in connection write buffers (IO thread updates).
+  std::atomic<std::uint64_t> outbuf_bytes_{0};
+
+  mutable std::mutex status_mu_;
+  std::vector<std::optional<std::pair<NodeStatusReport, SimTime>>> statuses_;
+
+  std::atomic<bool> shutdown_flag_{false};
+  std::atomic<std::uint8_t> shutdown_code_{0};
+
+  std::atomic<MsgId> next_msg_id_{1};
+  std::atomic<std::uint64_t> frames_pushed_{0};
+  std::atomic<std::uint64_t> frames_handled_{0};
+
+  // Network::Stats counters.
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> app_messages_sent_{0};
+  std::atomic<std::uint64_t> app_messages_delivered_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> messages_duplicated_{0};
+  std::atomic<std::uint64_t> messages_retried_{0};
+  std::atomic<std::uint64_t> tokens_sent_{0};
+  std::atomic<std::uint64_t> tokens_delivered_{0};
+  std::atomic<std::uint64_t> token_broadcasts_{0};
+  std::atomic<std::uint64_t> message_bytes_{0};
+  std::atomic<std::uint64_t> token_bytes_{0};
+
+  // TcpStats counters.
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> accepts_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> connect_failures_{0};
+  std::atomic<std::uint64_t> frames_tx_{0};
+  std::atomic<std::uint64_t> frames_rx_{0};
+  std::atomic<std::uint64_t> bytes_tx_{0};
+  std::atomic<std::uint64_t> bytes_rx_{0};
+  std::atomic<std::uint64_t> acks_tx_{0};
+  std::atomic<std::uint64_t> acks_rx_{0};
+  std::atomic<std::uint64_t> token_retries_{0};
+  std::atomic<std::uint64_t> dup_tokens_dropped_{0};
+  std::atomic<std::uint64_t> backpressure_drops_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace optrec

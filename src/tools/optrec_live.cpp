@@ -18,6 +18,8 @@
 //   --crashes=K        random crashes in the first 200 ms    [0]
 //   --drop=P           app-message drop probability          [0]
 //   --dup=P            app-message duplicate probability     [0]
+//   --partition=SPEC   scripted partition AT_MS:HEAL_MS:G0/G1 (repeatable;
+//                      groups are comma-separated process ids)
 //   --min-delay-us=K   injected delivery delay floor         [50]
 //   --max-delay-us=K   injected delivery delay ceiling       [2000]
 //   --flush-ms=K       log flush interval                    [10]
@@ -36,8 +38,8 @@
 //                      violations fail the run (implies tracing)
 //   --metrics-json     print the full result as one JSON object
 //
-// Exit codes match optrec_sim:
-//   0 quiesced clean; 2 usage error; 3 oracle/audit violation; 4 time cap.
+// Exit codes: the shared runner convention — see "Exit codes" in README.md
+// (0 clean, 2 usage, 3 violation, 4 time cap).
 //
 // Note: the live runtime is non-FIFO by construction, so protocols that
 // assume FIFO channels (peterson-kearns) are not meaningful here.
@@ -230,6 +232,12 @@ int main(int argc, char** argv) {
       config.faults.drop_prob = std::strtod(value.c_str(), nullptr);
     } else if (parse_flag(arg, "--dup", &value)) {
       config.faults.duplicate_prob = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(arg, "--partition", &value)) {
+      try {
+        config.faults.partitions.push_back(parse_partition_spec(value));
+      } catch (const std::invalid_argument& e) {
+        die(e.what());
+      }
     } else if (parse_flag(arg, "--min-delay-us", &value)) {
       config.faults.min_delay = micros(parse_u64(value, "--min-delay-us"));
     } else if (parse_flag(arg, "--max-delay-us", &value)) {

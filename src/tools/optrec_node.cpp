@@ -1,0 +1,693 @@
+// optrec_node — TCP cluster node runner and loopback fleet harness.
+//
+// Runs the recovery protocols over REAL sockets (src/tcp/): every node is
+// an OS process hosting a share of the protocol processes, traffic is
+// length-delimited wire frames over nonblocking TCP, and the cluster
+// settles through the gossip quiescence protocol (node 0 coordinates).
+//
+// Three modes:
+//
+//   --node=all   (default) whole fleet in this process, loopback sockets,
+//                ephemeral ports, shared causality oracle + trace auditor.
+//                  optrec_node --processes=8 --tcp-nodes=4 --crashes=2 \
+//                      --oracle --audit
+//
+//   --node=K     one node of a real cluster. Describe the cluster either
+//                with --topology=FILE (JSON, see docs/TCP_TRANSPORT.md) or
+//                with --tcp-nodes=K --base-port=P (loopback, fixed ports —
+//                every node must be started with identical flags).
+//                  optrec_node --node=1 --topology=cluster.json
+//
+//   --spawn      multi-process harness: forks one child per node (each a
+//                real `optrec_node --node=K`), optionally SIGKILLs and
+//                respawns children mid-run, and folds their exit codes.
+//                  optrec_node --spawn --processes=8 --tcp-nodes=4 \
+//                      --retransmit --kill=1:400:900
+//
+// Flags shared with optrec_live (same spelling, same defaults):
+//   --protocol=NAME --workload=NAME --n=K|--processes=K --seed=S
+//   --intensity=K --depth=K --crashes=K --drop=P --dup=P
+//   --partition=AT_MS:HEAL_MS:G0/G1 (groups are NODE ids here)
+//   --min-delay-us=K --max-delay-us=K --flush-ms=K --ckpt-ms=K
+//   --retransmit --stability --gc --time-cap-ms=K --verbose --oracle
+//   --trace=FILE --trace-format=jsonl|chrome|dot --audit --metrics-json
+//
+// TCP-specific flags:
+//   --tcp-nodes=K      nodes in a generated loopback topology      [2]
+//   --base-port=P      first loopback listen port (0 = ephemeral, only
+//                      valid for --node=all; --spawn picks one itself)
+//   --topology=FILE    JSON topology (overrides --tcp-nodes/--base-port)
+//   --node=K|all       which node this process runs               [all]
+//   --recover          this node replaces a killed incarnation: crash
+//                      every local process immediately after start so the
+//                      old incarnation's failure is announced cluster-wide
+//   --settle-ms=K      quiescence settle window                   [150]
+//   --status-ms=K      status gossip period                       [25]
+//   --kill=N:AT:RESP   (--spawn) SIGKILL node N's child AT ms into the
+//                      run, respawn it with --recover at RESP ms; AT-only
+//                      form kills without respawn; repeatable
+//   --print-topology   print the effective topology JSON and exit
+//
+// --oracle and --audit need every process in one address space, so they
+// are valid only with --node=all.
+//
+// Exit codes: the shared runner convention — see "Exit codes" in README.md
+// (0 clean, 2 usage, 3 violation, 4 time cap). --spawn returns the worst
+// child's code.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/harness/failure_plan.h"
+#include "src/tcp/tcp_cluster.h"
+#include "src/trace/trace_auditor.h"
+#include "src/trace/trace_sink.h"
+#include "src/util/json.h"
+#include "src/util/log.h"
+
+using namespace optrec;
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "optrec_node: %s\n", message.c_str());
+  std::exit(2);
+}
+
+ProtocolKind parse_protocol(const std::string& name) {
+  try {
+    return protocol_from_name(name);
+  } catch (const std::invalid_argument&) {
+    die("unknown protocol '" + name + "'");
+  }
+}
+
+WorkloadKind parse_workload(const std::string& name) {
+  if (name == "counter") return WorkloadKind::kCounter;
+  if (name == "pingpong") return WorkloadKind::kPingPong;
+  if (name == "bank") return WorkloadKind::kBank;
+  if (name == "gossip") return WorkloadKind::kGossip;
+  die("unknown workload '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    die(std::string("bad value for ") + flag + ": '" + value + "'");
+  }
+  return parsed;
+}
+
+struct KillSpec {
+  std::uint32_t node = 0;
+  std::uint64_t at_ms = 0;
+  std::uint64_t respawn_ms = 0;  // 0 = never respawn
+};
+
+KillSpec parse_kill_spec(const std::string& value) {
+  KillSpec spec;
+  const std::size_t c1 = value.find(':');
+  if (c1 == std::string::npos) die("--kill wants NODE:AT_MS[:RESPAWN_MS]");
+  const std::size_t c2 = value.find(':', c1 + 1);
+  spec.node = static_cast<std::uint32_t>(
+      parse_u64(value.substr(0, c1), "--kill node"));
+  const std::string at = c2 == std::string::npos
+                             ? value.substr(c1 + 1)
+                             : value.substr(c1 + 1, c2 - c1 - 1);
+  spec.at_ms = parse_u64(at, "--kill at_ms");
+  if (c2 != std::string::npos) {
+    spec.respawn_ms = parse_u64(value.substr(c2 + 1), "--kill respawn_ms");
+    if (spec.respawn_ms <= spec.at_ms) {
+      die("--kill respawn_ms must be > at_ms");
+    }
+  }
+  return spec;
+}
+
+std::string result_json(const TcpClusterConfig& config, const char* mode,
+                        std::uint32_t node, int exit_code, bool quiesced,
+                        SimTime wall_time, const Metrics& m,
+                        const Network::Stats& n,
+                        const TcpTransport::TcpStats& t,
+                        const Percentiles& latency,
+                        std::size_t oracle_violations, bool audited,
+                        std::size_t audit_violations) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  const double wall_s = static_cast<double>(wall_time) / 1e6;
+
+  w.begin_object();
+  w.key("config").begin_object();
+  w.kv("backend", "tcp");
+  w.kv("mode", mode);
+  if (std::strcmp(mode, "node") == 0) w.kv("node", node);
+  w.kv("protocol", protocol_name(config.protocol));
+  w.kv("workload", config.workload.name());
+  w.kv("n", std::uint64_t{config.n});
+  w.kv("tcp_nodes", std::uint64_t{config.nodes});
+  w.kv("seed", config.seed);
+  w.kv("crashes_planned", std::uint64_t{config.crashes.size()});
+  w.end_object();
+
+  w.kv("exit_code", std::uint64_t(exit_code));
+  w.kv("quiesced", quiesced);
+  w.kv("wall_time_us", wall_time);
+  w.kv("delivered_per_second",
+       wall_s > 0 ? static_cast<double>(m.messages_delivered) / wall_s : 0.0);
+  w.key("delivery_latency_us").begin_object();
+  w.kv("count", std::uint64_t{latency.count()});
+  w.kv("p50", latency.percentile(0.50));
+  w.kv("p99", latency.percentile(0.99));
+  w.end_object();
+
+  w.key("metrics").begin_object();
+  w.kv("app_messages_sent", m.app_messages_sent);
+  w.kv("messages_delivered", m.messages_delivered);
+  w.kv("messages_discarded_obsolete", m.messages_discarded_obsolete);
+  w.kv("messages_discarded_duplicate", m.messages_discarded_duplicate);
+  w.kv("piggyback_bytes", m.piggyback_bytes);
+  w.kv("piggyback_per_message", m.piggyback_per_message());
+  w.kv("crashes", m.crashes);
+  w.kv("restarts", m.restarts);
+  w.kv("rollbacks", m.rollbacks);
+  w.kv("max_rollbacks_per_process_per_failure",
+       m.max_rollbacks_per_process_per_failure());
+  w.kv("tokens_processed", m.tokens_processed);
+  w.kv("messages_replayed", m.messages_replayed);
+  w.kv("retransmissions", m.retransmissions);
+  w.end_object();
+
+  w.key("net").begin_object();
+  w.kv("messages_sent", n.messages_sent);
+  w.kv("messages_delivered", n.messages_delivered);
+  w.kv("messages_dropped", n.messages_dropped);
+  w.kv("messages_retried", n.messages_retried);
+  w.kv("tokens_sent", n.tokens_sent);
+  w.kv("tokens_delivered", n.tokens_delivered);
+  w.kv("message_bytes", n.message_bytes);
+  w.kv("token_bytes", n.token_bytes);
+  w.end_object();
+
+  w.key("tcp").begin_object();
+  w.kv("connects", t.connects);
+  w.kv("accepts", t.accepts);
+  w.kv("disconnects", t.disconnects);
+  w.kv("frames_tx", t.frames_tx);
+  w.kv("frames_rx", t.frames_rx);
+  w.kv("bytes_tx", t.bytes_tx);
+  w.kv("bytes_rx", t.bytes_rx);
+  w.kv("acks_rx", t.acks_rx);
+  w.kv("token_retries", t.token_retries);
+  w.kv("dup_tokens_dropped", t.dup_tokens_dropped);
+  w.kv("backpressure_drops", t.backpressure_drops);
+  w.kv("protocol_errors", t.protocol_errors);
+  w.end_object();
+
+  w.kv("oracle_violations", std::uint64_t{oracle_violations});
+  if (audited) w.kv("audit_violations", std::uint64_t{audit_violations});
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+void print_summary(const char* head, bool quiesced, SimTime wall_time,
+                   const Metrics& m, const Network::Stats& n,
+                   const TcpTransport::TcpStats& t,
+                   const Percentiles& latency) {
+  const double wall_s = static_cast<double>(wall_time) / 1e6;
+  std::printf("%s quiesced=%s (t = %.2f ms wall)\n", head,
+              quiesced ? "yes" : "NO", wall_time / 1000.0);
+  std::printf("throughput %.0f delivered/s (%llu delivered in %.2f s)\n",
+              wall_s > 0 ? m.messages_delivered / wall_s : 0.0,
+              (unsigned long long)m.messages_delivered, wall_s);
+  std::printf("latency    p50=%.0f us p99=%.0f us (n=%zu)\n",
+              latency.percentile(0.50), latency.percentile(0.99),
+              latency.count());
+  std::printf("recovery   crashes=%llu restarts=%llu rollbacks=%llu "
+              "(max %llu/proc/failure)\n",
+              (unsigned long long)m.crashes, (unsigned long long)m.restarts,
+              (unsigned long long)m.rollbacks,
+              (unsigned long long)m.max_rollbacks_per_process_per_failure());
+  std::printf("wire       piggyback=%.1f B/msg msg-bytes=%llu "
+              "token-bytes=%llu retried=%llu\n",
+              m.piggyback_per_message(),
+              (unsigned long long)n.message_bytes,
+              (unsigned long long)n.token_bytes,
+              (unsigned long long)n.messages_retried);
+  std::printf("sockets    connects=%llu accepts=%llu disconnects=%llu "
+              "frames tx/rx=%llu/%llu token-retries=%llu dup-dropped=%llu\n",
+              (unsigned long long)t.connects, (unsigned long long)t.accepts,
+              (unsigned long long)t.disconnects,
+              (unsigned long long)t.frames_tx, (unsigned long long)t.frames_rx,
+              (unsigned long long)t.token_retries,
+              (unsigned long long)t.dup_tokens_dropped);
+}
+
+void write_trace(const std::string& trace_file, const std::string& format,
+                 const std::vector<TraceEvent>& events) {
+  std::ofstream file_out;
+  if (trace_file != "-") {
+    file_out.open(trace_file, std::ios::binary);
+    if (!file_out) die("cannot open trace file '" + trace_file + "'");
+  }
+  std::ostream& out = trace_file == "-" ? std::cout : file_out;
+  if (format == "jsonl") {
+    write_trace_jsonl(out, events);
+  } else if (format == "chrome") {
+    write_trace_chrome(out, events);
+  } else {
+    write_trace_dot(out, events);
+  }
+  if (&out == &file_out && !file_out) {
+    die("failed writing trace file '" + trace_file + "'");
+  }
+}
+
+/// --spawn: fork a child running `--node=K` with the given base argv.
+pid_t spawn_child(const std::vector<std::string>& base_args,
+                  std::uint32_t node, bool recover) {
+  std::vector<std::string> args = base_args;
+  args.push_back("--node=" + std::to_string(node));
+  if (recover) args.push_back("--recover");
+  const pid_t pid = ::fork();
+  if (pid < 0) die("fork failed");
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv("/proc/self/exe", argv.data());
+    std::perror("optrec_node: execv");
+    ::_exit(2);
+  }
+  return pid;
+}
+
+int run_spawn_harness(const std::vector<std::string>& base_args,
+                      std::size_t tcp_nodes, std::vector<KillSpec> kills,
+                      bool verbose) {
+  std::vector<pid_t> child(tcp_nodes, -1);
+  for (std::uint32_t k = 0; k < tcp_nodes; ++k) {
+    child[k] = spawn_child(base_args, k, /*recover=*/false);
+  }
+
+  // Apply the kill/respawn schedule in event-time order.
+  struct HarnessEvent {
+    std::uint64_t at_ms = 0;
+    std::uint32_t node = 0;
+    bool respawn = false;
+  };
+  std::vector<HarnessEvent> events;
+  for (const KillSpec& kill : kills) {
+    if (kill.node >= tcp_nodes) die("--kill names unknown node");
+    events.push_back({kill.at_ms, kill.node, false});
+    if (kill.respawn_ms > 0) events.push_back({kill.respawn_ms, kill.node, true});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const HarnessEvent& a, const HarnessEvent& b) {
+              return a.at_ms < b.at_ms;
+            });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const HarnessEvent& event : events) {
+    std::this_thread::sleep_until(start +
+                                  std::chrono::milliseconds(event.at_ms));
+    if (event.respawn) {
+      if (verbose) {
+        std::fprintf(stderr, "harness: respawning node %u (--recover)\n",
+                     event.node);
+      }
+      child[event.node] =
+          spawn_child(base_args, event.node, /*recover=*/true);
+    } else {
+      if (verbose) {
+        std::fprintf(stderr, "harness: SIGKILL node %u (pid %d)\n", event.node,
+                     (int)child[event.node]);
+      }
+      ::kill(child[event.node], SIGKILL);
+      int status = 0;
+      ::waitpid(child[event.node], &status, 0);
+      child[event.node] = -1;
+    }
+  }
+
+  int worst = 0;
+  for (std::uint32_t k = 0; k < tcp_nodes; ++k) {
+    if (child[k] < 0) continue;  // killed without respawn — expected
+    int status = 0;
+    if (::waitpid(child[k], &status, 0) < 0) die("waitpid failed");
+    int code = 1;
+    if (WIFEXITED(status)) code = WEXITSTATUS(status);
+    if (verbose || code != 0) {
+      std::fprintf(stderr, "harness: node %u exited %d\n", k, code);
+    }
+    worst = std::max(worst, code);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TcpClusterConfig config;
+  config.n = 4;
+  config.nodes = 2;
+  config.seed = 1;
+  config.workload.intensity = 6;
+  config.workload.depth = 48;
+  config.workload.all_seed = true;
+  config.process.flush_interval = millis(10);
+  config.process.checkpoint_interval = millis(50);
+  config.enable_oracle = false;
+  config.time_cap = millis(15000);
+
+  std::size_t crashes = 0;
+  std::string value;
+  std::string trace_file;
+  std::string trace_format = "jsonl";
+  std::string topology_file;
+  std::string node_arg = "all";
+  std::uint16_t base_port = 0;
+  bool recover = false;
+  bool spawn = false;
+  bool audit = false;
+  bool metrics_json = false;
+  bool verbose = false;
+  bool print_topology = false;
+  bool enable_trace = false;
+  std::vector<KillSpec> kills;
+  /// Flags forwarded verbatim to --spawn children (everything except the
+  /// harness-only flags and --node itself).
+  std::vector<std::string> child_args;
+  child_args.push_back("optrec_node");
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool forward = true;
+    if (parse_flag(arg, "--protocol", &value)) {
+      config.protocol = parse_protocol(value);
+    } else if (parse_flag(arg, "--workload", &value)) {
+      config.workload.kind = parse_workload(value);
+    } else if (parse_flag(arg, "--n", &value)) {
+      config.n = parse_u64(value, "--n");
+    } else if (parse_flag(arg, "--processes", &value)) {
+      config.n = parse_u64(value, "--processes");
+    } else if (parse_flag(arg, "--seed", &value)) {
+      config.seed = parse_u64(value, "--seed");
+    } else if (parse_flag(arg, "--intensity", &value)) {
+      config.workload.intensity =
+          static_cast<std::uint32_t>(parse_u64(value, "--intensity"));
+    } else if (parse_flag(arg, "--depth", &value)) {
+      config.workload.depth =
+          static_cast<std::uint32_t>(parse_u64(value, "--depth"));
+    } else if (parse_flag(arg, "--crashes", &value)) {
+      crashes = parse_u64(value, "--crashes");
+    } else if (parse_flag(arg, "--drop", &value)) {
+      config.faults.drop_prob = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(arg, "--dup", &value)) {
+      config.faults.duplicate_prob = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(arg, "--partition", &value)) {
+      try {
+        config.faults.partitions.push_back(parse_partition_spec(value));
+      } catch (const std::invalid_argument& e) {
+        die(e.what());
+      }
+    } else if (parse_flag(arg, "--min-delay-us", &value)) {
+      config.faults.min_delay = micros(parse_u64(value, "--min-delay-us"));
+    } else if (parse_flag(arg, "--max-delay-us", &value)) {
+      config.faults.max_delay = micros(parse_u64(value, "--max-delay-us"));
+    } else if (parse_flag(arg, "--flush-ms", &value)) {
+      config.process.flush_interval = millis(parse_u64(value, "--flush-ms"));
+    } else if (parse_flag(arg, "--ckpt-ms", &value)) {
+      config.process.checkpoint_interval =
+          millis(parse_u64(value, "--ckpt-ms"));
+    } else if (parse_flag(arg, "--retransmit", &value)) {
+      config.process.retransmit_on_failure = true;
+    } else if (parse_flag(arg, "--stability", &value)) {
+      config.process.enable_stability_tracking = true;
+    } else if (parse_flag(arg, "--gc", &value)) {
+      config.process.enable_stability_tracking = true;
+      config.process.enable_gc = true;
+    } else if (parse_flag(arg, "--time-cap-ms", &value)) {
+      config.time_cap = millis(parse_u64(value, "--time-cap-ms"));
+    } else if (parse_flag(arg, "--settle-ms", &value)) {
+      config.settle = millis(parse_u64(value, "--settle-ms"));
+    } else if (parse_flag(arg, "--status-ms", &value)) {
+      config.status_interval = millis(parse_u64(value, "--status-ms"));
+    } else if (parse_flag(arg, "--verbose", &value)) {
+      set_log_level(LogLevel::kInfo);
+      verbose = true;
+    } else if (parse_flag(arg, "--oracle", &value)) {
+      config.enable_oracle = true;
+      forward = false;
+    } else if (parse_flag(arg, "--trace-format", &value)) {
+      if (value != "jsonl" && value != "chrome" && value != "dot") {
+        die("--trace-format wants jsonl | chrome | dot");
+      }
+      trace_format = value;
+    } else if (parse_flag(arg, "--trace", &value)) {
+      if (value.empty()) die("--trace wants a file name (or - for stdout)");
+      trace_file = value;
+      enable_trace = true;
+      forward = false;  // children would clobber one another's file
+    } else if (parse_flag(arg, "--audit", &value)) {
+      audit = true;
+      enable_trace = true;
+      forward = false;
+    } else if (parse_flag(arg, "--metrics-json", &value)) {
+      metrics_json = true;
+      forward = false;  // interleaved child JSON is not a document
+    } else if (parse_flag(arg, "--tcp-nodes", &value)) {
+      config.nodes = parse_u64(value, "--tcp-nodes");
+    } else if (parse_flag(arg, "--base-port", &value)) {
+      base_port = static_cast<std::uint16_t>(parse_u64(value, "--base-port"));
+      forward = false;  // --spawn re-adds the port it actually picked
+    } else if (parse_flag(arg, "--topology", &value)) {
+      topology_file = value;
+    } else if (parse_flag(arg, "--node", &value)) {
+      node_arg = value;
+      forward = false;
+    } else if (parse_flag(arg, "--recover", &value)) {
+      recover = true;
+      forward = false;
+    } else if (parse_flag(arg, "--spawn", &value)) {
+      spawn = true;
+      forward = false;
+    } else if (parse_flag(arg, "--kill", &value)) {
+      kills.push_back(parse_kill_spec(value));
+      forward = false;
+    } else if (parse_flag(arg, "--print-topology", &value)) {
+      print_topology = true;
+      forward = false;
+    } else {
+      die(std::string("unknown flag '") + arg + "' (see header comment)");
+    }
+    if (forward) child_args.push_back(arg);
+  }
+
+  if (config.faults.min_delay > config.faults.max_delay) {
+    die("--min-delay-us must be <= --max-delay-us");
+  }
+  config.enable_trace = enable_trace;
+  if (crashes > 0) {
+    Rng rng(config.seed * 977 + 3);
+    const FailurePlan plan = FailurePlan::random(rng, config.n, crashes,
+                                                 millis(20), millis(200));
+    config.crashes = plan.crashes;
+  }
+
+  // Resolve the topology every mode agrees on.
+  TcpTopology topo;
+  if (!topology_file.empty()) {
+    std::ifstream in(topology_file, std::ios::binary);
+    if (!in) die("cannot open topology file '" + topology_file + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      topo = TcpTopology::parse(text.str());
+    } catch (const std::exception& e) {
+      die(std::string("bad topology: ") + e.what());
+    }
+    topo.faults.partitions.insert(topo.faults.partitions.end(),
+                                  config.faults.partitions.begin(),
+                                  config.faults.partitions.end());
+    config.n = topo.n;
+    config.nodes = topo.nodes.size();
+  } else {
+    try {
+      topo = TcpTopology::loopback(config.n, config.nodes, base_port);
+    } catch (const std::invalid_argument& e) {
+      die(e.what());
+    }
+    topo.faults = config.faults;
+  }
+
+  if (print_topology) {
+    std::fputs(topo.to_json().c_str(), stdout);
+    return 0;
+  }
+
+  // ---- --spawn: multi-process harness --------------------------------
+  if (spawn) {
+    if (node_arg != "all") die("--spawn and --node are mutually exclusive");
+    if (config.enable_oracle || audit) {
+      die("--oracle/--audit need one address space; use --node=all");
+    }
+    if (topology_file.empty() && base_port == 0) {
+      // Children must all compute identical fixed ports; derive a block
+      // from the harness pid and hand it down explicitly.
+      base_port = static_cast<std::uint16_t>(
+          20000 + (static_cast<std::uint32_t>(::getpid()) * 131) % 20000);
+    }
+    if (topology_file.empty()) {
+      child_args.push_back("--base-port=" + std::to_string(base_port));
+    }
+    return run_spawn_harness(child_args, config.nodes, kills, verbose);
+  }
+
+  // ---- --node=K: one node of the cluster -----------------------------
+  if (node_arg != "all") {
+    const std::uint32_t node =
+        static_cast<std::uint32_t>(parse_u64(node_arg, "--node"));
+    if (node >= topo.nodes.size()) die("--node out of range");
+    if (config.enable_oracle || audit) {
+      die("--oracle/--audit need one address space; use --node=all");
+    }
+    if (topology_file.empty() && base_port == 0) {
+      die("--node=K needs --topology=FILE or a fixed --base-port");
+    }
+
+    TcpNodeConfig nc;
+    nc.topology = topo;
+    nc.node = node;
+    nc.seed = config.seed;
+    nc.protocol = config.protocol;
+    nc.workload = config.workload;
+    nc.process = config.process;
+    // A recovered incarnation announces its own failure; the scheduled
+    // crash plan belonged to the incarnation the kill replaced.
+    if (!recover) nc.crashes = config.crashes;
+    nc.recover = recover;
+    nc.time_cap = config.time_cap;
+    nc.settle = config.settle;
+    nc.status_interval = config.status_interval;
+    nc.max_block = config.max_block;
+    std::unique_ptr<TraceRecorder> trace;
+    if (enable_trace) {
+      trace = std::make_unique<TraceRecorder>();
+      nc.trace = trace.get();
+    }
+
+    TcpNode runner(std::move(nc));
+    const TcpNodeResult result = runner.run();
+    if (trace != nullptr && !trace_file.empty()) {
+      write_trace(trace_file, trace_format, trace->events());
+    }
+    if (metrics_json) {
+      std::fputs(result_json(config, "node", node, result.exit_code,
+                             result.quiesced, result.wall_time, result.metrics,
+                             result.net, result.tcp,
+                             result.delivery_latency_us, 0, false, 0)
+                     .c_str(),
+                 stdout);
+    } else {
+      char head[64];
+      std::snprintf(head, sizeof head, "node %u", node);
+      print_summary(head, result.quiesced, result.wall_time, result.metrics,
+                    result.net, result.tcp, result.delivery_latency_us);
+    }
+    return result.exit_code;
+  }
+
+  // ---- --node=all: whole fleet in-process ----------------------------
+  if (recover) die("--recover only makes sense with --node=K");
+  if (!topology_file.empty()) {
+    die("--node=all generates its own loopback topology; run per-node "
+        "processes for --topology");
+  }
+
+  if (!metrics_json) {
+    std::printf(
+        "tcp: protocol=%s workload=%s n=%zu nodes=%zu seed=%llu crashes=%zu\n\n",
+        protocol_name(config.protocol), config.workload.name().c_str(),
+        config.n, config.nodes, (unsigned long long)config.seed, crashes);
+  }
+
+  TcpCluster cluster(config);
+  const TcpClusterResult result = cluster.run();
+
+  std::vector<std::string> violations;
+  if (config.enable_oracle && cluster.oracle() != nullptr) {
+    violations = cluster.oracle()->check_consistency();
+  }
+  const std::vector<TraceEvent>* events = nullptr;
+  if (cluster.trace() != nullptr) events = &cluster.trace()->events();
+  if (!trace_file.empty() && events != nullptr) {
+    write_trace(trace_file, trace_format, *events);
+  }
+
+  bool audit_ok = true;
+  std::size_t audit_violations = 0;
+  if (audit && events != nullptr) {
+    const AuditReport report = audit_trace(*events);
+    audit_ok = report.ok();
+    audit_violations = report.violations.size();
+    if (!metrics_json) std::printf("%s\n", report.summary().c_str());
+    for (const std::string& v : report.violations) {
+      std::fprintf(stderr, "audit !! %s\n", v.c_str());
+    }
+  }
+
+  const int exit_code = !violations.empty() || !audit_ok ? 3
+                        : !result.quiesced               ? 4
+                                                         : 0;
+  if (metrics_json) {
+    std::fputs(result_json(config, "all", 0, exit_code, result.quiesced,
+                           result.wall_time, result.metrics, result.net,
+                           result.tcp, result.delivery_latency_us,
+                           violations.size(), audit, audit_violations)
+                   .c_str(),
+               stdout);
+    return exit_code;
+  }
+
+  print_summary("cluster", result.quiesced, result.wall_time, result.metrics,
+                result.net, result.tcp, result.delivery_latency_us);
+  if (config.enable_oracle) {
+    std::printf("oracle     consistency=%s\n",
+                violations.empty() ? "OK" : "VIOLATED");
+    for (const auto& v : violations) std::printf("  !! %s\n", v.c_str());
+  }
+  return exit_code;
+}

@@ -26,7 +26,7 @@ void Writer::put_string(const std::string& s) {
 }
 
 std::uint8_t Reader::get_u8() {
-  if (pos_ >= buf_.size()) throw DecodeError("get_u8 past end");
+  if (pos_ >= buf_.size()) throw TruncatedError("get_u8 past end");
   return buf_[pos_++];
 }
 
@@ -34,7 +34,7 @@ std::uint64_t Reader::get_varint() {
   std::uint64_t result = 0;
   int shift = 0;
   while (true) {
-    if (pos_ >= buf_.size()) throw DecodeError("varint past end");
+    if (pos_ >= buf_.size()) throw TruncatedError("varint past end");
     const std::uint8_t byte = buf_[pos_++];
     if (shift >= 64) throw DecodeError("varint too long");
     result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
@@ -59,7 +59,7 @@ std::int64_t Reader::get_i64() {
 
 Bytes Reader::get_bytes() {
   const std::uint64_t n = get_varint();
-  if (n > remaining()) throw DecodeError("bytes length past end");
+  if (n > remaining()) throw TruncatedError("bytes length past end");
   Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
@@ -68,7 +68,7 @@ Bytes Reader::get_bytes() {
 
 std::string Reader::get_string() {
   const std::uint64_t n = get_varint();
-  if (n > remaining()) throw DecodeError("string length past end");
+  if (n > remaining()) throw TruncatedError("string length past end");
   std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;

@@ -17,12 +17,20 @@
 namespace optrec {
 
 /// Thrown when a Reader runs past the end of its buffer or decodes a
-/// malformed varint. Deserialization failures are programming errors in this
-/// codebase (we only read what we wrote), so tests assert it is never thrown
-/// on round-trips.
+/// malformed varint. Round-trips of our own encodings never throw (tests
+/// assert this); on bytes read off a socket these errors are expected and
+/// must be caught — see FrameError in src/wire/wire_codec.h.
 class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// DecodeError subtype for input that ends mid-value: the distinction a
+/// stream consumer cares about, because truncation can mean "wait for more
+/// bytes" where corruption always means "drop the connection".
+class TruncatedError : public DecodeError {
+ public:
+  explicit TruncatedError(const std::string& what) : DecodeError(what) {}
 };
 
 /// Appends primitive values to a byte buffer.

@@ -27,23 +27,40 @@ Bytes encode_token_frame(const Token& token) {
 }
 
 Frame decode_frame(const Bytes& wire) {
+  if (wire.empty()) {
+    throw FrameError(FrameError::Kind::kTruncated, "empty frame");
+  }
+  if (wire.size() > kMaxFrameBytes) {
+    throw FrameError(FrameError::Kind::kOversized,
+                     "frame exceeds kMaxFrameBytes");
+  }
   Reader r(wire);
   Frame f;
-  const std::uint8_t tag = r.get_u8();
-  switch (tag) {
-    case static_cast<std::uint8_t>(FrameType::kMessage):
-      f.type = FrameType::kMessage;
-      f.message = Message::decode(r);
-      f.message.id = r.get_u64();
-      break;
-    case static_cast<std::uint8_t>(FrameType::kToken):
-      f.type = FrameType::kToken;
-      f.token = Token::decode(r);
-      break;
-    default:
-      throw DecodeError("unknown frame type tag");
+  try {
+    const std::uint8_t tag = r.get_u8();
+    switch (tag) {
+      case static_cast<std::uint8_t>(FrameType::kMessage):
+        f.type = FrameType::kMessage;
+        f.message = Message::decode(r);
+        f.message.id = r.get_u64();
+        break;
+      case static_cast<std::uint8_t>(FrameType::kToken):
+        f.type = FrameType::kToken;
+        f.token = Token::decode(r);
+        break;
+      default:
+        throw FrameError(FrameError::Kind::kCorrupt, "unknown frame type tag");
+    }
+  } catch (const FrameError&) {
+    throw;
+  } catch (const TruncatedError& e) {
+    throw FrameError(FrameError::Kind::kTruncated, e.what());
+  } catch (const DecodeError& e) {
+    throw FrameError(FrameError::Kind::kCorrupt, e.what());
   }
-  if (!r.at_end()) throw DecodeError("trailing bytes after frame");
+  if (!r.at_end()) {
+    throw FrameError(FrameError::Kind::kTrailing, "trailing bytes after frame");
+  }
   return f;
 }
 

@@ -32,6 +32,33 @@ namespace optrec {
 
 enum class FrameType : std::uint8_t { kMessage = 1, kToken = 2 };
 
+/// Hard ceiling on one encoded frame. Anything larger is rejected before
+/// decoding begins (and before a stream reader would buffer it), so a
+/// hostile or corrupt length field cannot force an unbounded allocation.
+/// Generous: a 4096-process FTVC plus payload fits with room to spare.
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Typed decode failure for frames read off an untrusted byte stream.
+/// Everything decode_frame can object to lands here, tagged with why, so a
+/// socket transport can distinguish "wait for more bytes" (truncated, only
+/// meaningful mid-stream) from "drop the connection" (the rest).
+class FrameError : public DecodeError {
+ public:
+  enum class Kind {
+    kTruncated,  // input ended mid-value
+    kOversized,  // exceeds kMaxFrameBytes
+    kCorrupt,    // malformed varint, bad tag, impossible count
+    kTrailing,   // well-formed frame followed by garbage
+  };
+
+  FrameError(Kind kind, const std::string& what)
+      : DecodeError(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
 /// One decoded frame; `type` says which member is meaningful.
 struct Frame {
   FrameType type = FrameType::kMessage;
@@ -42,7 +69,9 @@ struct Frame {
 Bytes encode_message_frame(const Message& msg);
 Bytes encode_token_frame(const Token& token);
 
-/// Decode either frame kind. Throws DecodeError on malformed input.
+/// Decode either frame kind. Throws FrameError on malformed, truncated,
+/// oversized, or trailing-garbage input; never asserts or reads out of
+/// bounds, so it is safe to point at bytes from a socket.
 Frame decode_frame(const Bytes& wire);
 
 /// Exact on-the-wire size of a message/token frame, excluding the telemetry

@@ -13,9 +13,11 @@
 #include "src/live/live_channel.h"
 #include "src/live/live_clock.h"
 #include "src/live/live_runtime.h"
+#include "src/live/live_transport.h"
 #include "src/live/worker_timers.h"
 #include "src/trace/trace_auditor.h"
 #include "src/util/rng.h"
+#include "src/wire/wire_codec.h"
 
 namespace optrec {
 namespace {
@@ -217,6 +219,96 @@ TEST(LiveRuntimeTest, InjectedDuplicatesAreFiltered) {
   EXPECT_EQ(runtime.oracle()->check_consistency(),
             std::vector<std::string>{});
   expect_no_double_delivery(*runtime.oracle());
+}
+
+TEST(LiveTransportTest, BroadcastFanoutDeliversToAllPeersOffCallerThread) {
+  // Unit test of the sharded broadcast: the caller returns immediately
+  // (accounting done synchronously), the fan-out thread does the pushes,
+  // and every channel except the announcer's ends up with the token frame.
+  LiveClock clock;
+  LiveFaultConfig faults;
+  faults.min_delay = 0;
+  faults.max_delay = 0;
+  constexpr std::size_t kN = 6;
+  LiveTransport transport(clock, kN, /*seed=*/5, faults);
+
+  struct NullEndpoint : Endpoint {
+    bool is_up() const override { return true; }
+    void on_message(const Message&) override {}
+    void on_token(const Token&) override {}
+  };
+  NullEndpoint endpoints[kN];
+  for (ProcessId pid = 0; pid < kN; ++pid) {
+    transport.attach(pid, &endpoints[pid]);
+  }
+
+  Token token;
+  token.from = 2;
+  token.failed = {1, 7};
+  transport.broadcast_token(token);
+
+  // tokens_sent is bumped before the handoff, so in-flight is immediately
+  // visible even if the fan-out thread has not run yet.
+  EXPECT_EQ(transport.stats().tokens_sent, kN - 1);
+  Rng rng(9);
+  for (ProcessId pid = 0; pid < kN; ++pid) {
+    if (pid == token.from) continue;
+    auto frame = transport.channel(pid).pop_ready(
+        clock, clock.now() + seconds(5), rng);
+    ASSERT_TRUE(frame.has_value()) << "no token reached P" << pid;
+    EXPECT_TRUE(frame->token);
+    const Frame decoded = decode_frame(frame->wire);
+    ASSERT_EQ(decoded.type, FrameType::kToken);
+    EXPECT_EQ(decoded.token.from, token.from);
+    EXPECT_EQ(decoded.token.failed, token.failed);
+    transport.note_delivered_token();
+  }
+  EXPECT_EQ(transport.tokens_in_flight(), 0u);
+  EXPECT_EQ(transport.channel(token.from).size(), 0u);
+}
+
+TEST(LiveRuntimeTest, ScriptedPartitionHoldsCrossGroupTrafficUntilHeal) {
+  LiveConfig config = smoke_config(ProtocolKind::kDamaniGarg, 107);
+  config.crashes.clear();
+  // Cut early, while the causal web is still being seeded, so cross-group
+  // traffic is guaranteed to be in flight when the partition lands.
+  PartitionEvent split;
+  split.at = millis(10);
+  split.heal_at = millis(180);
+  split.groups = {{0, 1}, {2, 3}};
+  config.faults.partitions.push_back(split);
+  LiveRuntime runtime(config);
+  const LiveResult result = runtime.run();
+
+  // The counter workload's causal web crosses the cut, so the run cannot
+  // quiesce before the heal — and must still quiesce cleanly after it.
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_GE(result.wall_time, split.heal_at);
+  EXPECT_EQ(runtime.oracle()->check_consistency(),
+            std::vector<std::string>{});
+  expect_no_double_delivery(*runtime.oracle());
+}
+
+TEST(LiveRuntimeTest, CrashDuringPartitionStillRecovers) {
+  LiveConfig config = smoke_config(ProtocolKind::kDamaniGarg, 108);
+  config.crashes = {{millis(30), 2}};
+  PartitionEvent split;
+  split.at = millis(10);
+  split.heal_at = millis(160);
+  split.groups = {{0, 1}, {2, 3}};
+  config.faults.partitions.push_back(split);
+  LiveRuntime runtime(config);
+  const LiveResult result = runtime.run();
+
+  EXPECT_TRUE(result.quiesced);
+  EXPECT_EQ(result.metrics.crashes, 1u);
+  EXPECT_EQ(result.metrics.restarts, 1u);
+  EXPECT_EQ(runtime.oracle()->check_consistency(),
+            std::vector<std::string>{});
+  expect_no_double_delivery(*runtime.oracle());
+  ASSERT_NE(runtime.trace(), nullptr);
+  const AuditReport report = audit_trace(runtime.trace()->events());
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST(LiveRuntimeTest, ReportsTimeCapAsNonQuiescent) {
