@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "src/harness/failure_plan.h"
 #include "src/harness/table_printer.h"
 #include "src/tcp/tcp_cluster.h"
@@ -41,8 +42,7 @@ struct Row {
   std::uint64_t delivered = 0;
   SimTime wall_us = 0;
   double msgs_per_sec = 0;
-  double latency_p50_us = 0;
-  double latency_p99_us = 0;
+  bench::LatencySummary latency;
   double piggyback_per_msg = 0;
   double recovery_mean_us = 0;
   double recovery_max_us = 0;
@@ -85,8 +85,7 @@ Row run_one(ProtocolKind protocol, std::size_t n, std::size_t nodes,
   const double wall_s = static_cast<double>(result.wall_time) / 1e6;
   row.msgs_per_sec =
       wall_s > 0 ? static_cast<double>(row.delivered) / wall_s : 0.0;
-  row.latency_p50_us = result.delivery_latency_us.percentile(0.50);
-  row.latency_p99_us = result.delivery_latency_us.percentile(0.99);
+  row.latency = bench::LatencySummary::of(result.delivery_latency_us);
   row.piggyback_per_msg = result.metrics.piggyback_per_message();
   row.recovery_mean_us = result.metrics.restart_latency.mean();
   row.recovery_max_us = result.metrics.restart_latency.max();
@@ -141,13 +140,13 @@ int main(int argc, char** argv) {
     rows.push_back(run_one(protocol, n, nodes, seed, crashes));
   }
 
-  TablePrinter table({"protocol", "phase", "msgs/s", "p50 us", "p99 us",
-                      "piggyback B/msg", "recovery ms", "rollbacks",
+  TablePrinter table({"protocol", "phase", "msgs/s", "p50 us", "p90 us",
+                      "p99 us", "piggyback B/msg", "recovery ms", "rollbacks",
                       "tok-retry", "quiesced"});
   for (const Row& r : rows) {
     table.add_row({r.protocol, r.phase, fmt(r.msgs_per_sec, 0),
-                   fmt(r.latency_p50_us, 0), fmt(r.latency_p99_us, 0),
-                   fmt(r.piggyback_per_msg),
+                   fmt(r.latency.p50, 0), fmt(r.latency.p90, 0),
+                   fmt(r.latency.p99, 0), fmt(r.piggyback_per_msg),
                    fmt(r.recovery_mean_us / 1000.0, 2),
                    std::to_string(r.rollbacks),
                    std::to_string(r.token_retries), r.quiesced ? "yes" : "NO"});
@@ -179,8 +178,7 @@ int main(int argc, char** argv) {
     w.kv("messages_delivered", r.delivered);
     w.kv("wall_time_us", r.wall_us);
     w.kv("msgs_per_sec", r.msgs_per_sec);
-    w.kv("delivery_latency_p50_us", r.latency_p50_us);
-    w.kv("delivery_latency_p99_us", r.latency_p99_us);
+    bench::write_latency_fields(w, "delivery_latency", r.latency);
     w.kv("piggyback_bytes_per_msg", r.piggyback_per_msg);
     w.kv("recovery_mean_us", r.recovery_mean_us);
     w.kv("recovery_max_us", r.recovery_max_us);

@@ -12,8 +12,40 @@
 
 #include "src/harness/experiment.h"
 #include "src/harness/table_printer.h"
+#include "src/telemetry/histogram.h"
+#include "src/util/json.h"
 
 namespace optrec::bench {
+
+/// The standard latency emission every bench shares: p50/p90/p99 extracted
+/// from the fixed-bucket histogram (telemetry::FixedHistogram), so a bench
+/// table, a --metrics-json run, and a /metrics scrape all report the same
+/// interpolated quantiles for the same data.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  static LatencySummary of(const telemetry::FixedHistogram& h) {
+    LatencySummary s;
+    s.count = h.count();
+    s.p50 = h.percentile(0.50);
+    s.p90 = h.percentile(0.90);
+    s.p99 = h.percentile(0.99);
+    return s;
+  }
+};
+
+/// Emit `<prefix>_p50_us` / `_p90_us` / `_p99_us` / `_count` members into
+/// the currently open JSON object.
+inline void write_latency_fields(JsonWriter& w, const std::string& prefix,
+                                 const LatencySummary& s) {
+  w.kv(prefix + "_p50_us", s.p50);
+  w.kv(prefix + "_p90_us", s.p90);
+  w.kv(prefix + "_p99_us", s.p99);
+  w.kv(prefix + "_count", s.count);
+}
 
 /// A standard workload configuration shared by the comparison benches so
 /// protocols face identical traffic.

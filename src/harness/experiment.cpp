@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/telemetry/recovery_timeline.h"
 #include "src/util/json.h"
 
 namespace optrec {
@@ -136,6 +137,14 @@ std::string result_json(const ScenarioConfig& config,
   w.end_object();
 
   w.kv("trace_events", std::uint64_t{result.trace.size()});
+  // Phase-decomposed unavailability per failure — only derivable when the
+  // run recorded a trace (docs/OBSERVABILITY.md).
+  if (!result.trace.empty()) {
+    w.key("recovery_timeline").begin_object();
+    telemetry::write_recovery_timeline_fields(
+        w, telemetry::analyze_recovery_timeline(result.trace));
+    w.end_object();
+  }
   w.end_object();
   os << '\n';
   return os.str();

@@ -139,7 +139,7 @@ void LiveRuntime::worker_main(Worker& w) {
       continue;
     }
     const Frame decoded = decode_frame(frame->wire);
-    w.latency_us.add(
+    w.latency_us.observe(
         static_cast<double>(clock_.now() - frame->sent_at));
     if (decoded.type == FrameType::kMessage) {
       w.proc->on_message(decoded.message);

@@ -39,6 +39,7 @@
 #include "src/live/live_transport.h"
 #include "src/live/worker_timers.h"
 #include "src/runtime/process_base.h"
+#include "src/telemetry/histogram.h"
 #include "src/trace/trace_event.h"
 #include "src/truth/causality_oracle.h"
 #include "src/util/stats.h"
@@ -73,7 +74,8 @@ struct LiveResult {
   Metrics metrics;
   Network::Stats net;
   /// Send-to-handler latency of every delivered wire frame, microseconds.
-  Percentiles delivery_latency_us;
+  /// Shared fixed-bucket histogram: p50/p90/p99 via percentile().
+  telemetry::FixedHistogram delivery_latency_us;
 };
 
 class LiveRuntime {
@@ -109,7 +111,7 @@ class LiveRuntime {
     std::unique_ptr<WorkerTimers> timers;
     std::unique_ptr<ProcessBase> proc;
     Metrics metrics;           // worker-private; merged post-join
-    Percentiles latency_us;    // worker-private; merged post-join
+    telemetry::FixedHistogram latency_us;  // worker-private; merged post-join
     Rng rng;                   // channel-pick randomness, worker-thread only
     std::thread thread;
     bool started = false;      // proc->start() ran (spawn/join handoff)

@@ -33,6 +33,25 @@ enum class EnvelopeKind : std::uint8_t {
   kShutdownAck = 6,  // node -> coordinator: shutdown order received
 };
 
+/// Protocol/transport counters piggybacked on the status gossip, so the
+/// coordinator can render a live cluster table (`optrec_node --stats`, the
+/// /cluster telemetry route) without scraping every node itself. Sums over
+/// the node's local processes; latencies are histogram quantiles.
+struct NodeStatsBlock {
+  std::uint64_t app_sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t orphaned = 0;   // obsolete-filter discards
+  std::uint64_t rollbacks = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t tokens = 0;     // tokens processed
+  std::uint64_t replayed = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t bytes_tx = 0;   // socket bytes written
+  std::uint64_t latency_p50_us = 0;
+  std::uint64_t latency_p99_us = 0;
+};
+
 /// One node's quiescence report, sent to the coordinator every status tick.
 /// `quiet` folds every local condition (workers up, nothing pending, no
 /// local frames in flight, outbound queues drained, no unacked tokens);
@@ -44,6 +63,7 @@ struct NodeStatusReport {
   std::uint64_t seq = 0;
   bool quiet = false;
   std::uint64_t signature = 0;
+  NodeStatsBlock stats;
 };
 
 struct Envelope {

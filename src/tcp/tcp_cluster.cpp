@@ -45,7 +45,8 @@ void add_tcp(TcpTransport::TcpStats& into,
 }  // namespace
 
 TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
-  topo_ = TcpTopology::loopback(config_.n, config_.nodes);
+  topo_ = TcpTopology::loopback(config_.n, config_.nodes, /*base_port=*/0,
+                                "loopback", config_.telemetry_base_port);
   topo_.faults = config_.faults;
   if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
   if (config_.enable_trace) trace_ = std::make_unique<TraceRecorder>();
@@ -65,6 +66,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
     nc.max_block = config_.max_block;
     nc.oracle = oracle_.get();
     nc.trace = trace_.get();
+    nc.telemetry = config_.telemetry;
     nodes_.push_back(std::make_unique<TcpNode>(std::move(nc)));
   }
   // Every node bound an ephemeral port in its constructor; tell the others.

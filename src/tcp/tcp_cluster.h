@@ -37,6 +37,12 @@ struct TcpClusterConfig {
   SimTime max_block = millis(5);
   bool enable_oracle = true;
   bool enable_trace = false;
+  /// Serve each node's telemetry HTTP endpoint from its IO thread.
+  bool telemetry = false;
+  /// First telemetry port; node i serves on telemetry_base_port + i.
+  /// 0 with telemetry=true means every node binds an ephemeral port
+  /// (read back with node(i).telemetry_port()).
+  std::uint16_t telemetry_base_port = 0;
 };
 
 struct TcpClusterResult {
@@ -49,7 +55,7 @@ struct TcpClusterResult {
   /// Cluster totals (per-node local-view snapshots summed).
   Network::Stats net;
   TcpTransport::TcpStats tcp;
-  Percentiles delivery_latency_us;
+  telemetry::FixedHistogram delivery_latency_us;
   std::vector<TcpNodeResult> per_node;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/json.h"
 #include "src/wire/wire_codec.h"
 
 namespace optrec {
@@ -61,8 +63,142 @@ TcpNode::TcpNode(TcpNodeConfig config)
         topo.n, factory(pid, topo.n), config_.process, w->metrics,
         config_.oracle);
     w->proc->set_trace(config_.trace);
+    w->gauges = std::make_unique<telemetry::ProcessGauges>(registry_, pid);
+    w->latency_live = &registry_.histogram(
+        "optrec_delivery_latency_us", "Send-to-handler delivery latency",
+        {{"pid", std::to_string(pid)}});
     workers_.push_back(std::move(w));
   }
+  setup_telemetry();
+}
+
+void TcpNode::setup_telemetry() {
+  // Transport counters export through pull collectors — the transport
+  // already keeps them as atomics, so scrapes read them without any hot-
+  // path double bookkeeping.
+  telemetry::register_network_stats(registry_,
+                                    [this] { return transport_.stats(); });
+  registry_.add_collector([this](std::vector<telemetry::Sample>& out) {
+    const TcpTransport::TcpStats s = transport_.tcp_stats();
+    const auto add = [&out](const char* name, std::uint64_t v) {
+      telemetry::Sample sample;
+      sample.name = name;
+      sample.kind = telemetry::SampleKind::kCounter;
+      sample.value = static_cast<double>(v);
+      out.push_back(std::move(sample));
+    };
+    add("optrec_tcp_connects_total", s.connects);
+    add("optrec_tcp_accepts_total", s.accepts);
+    add("optrec_tcp_disconnects_total", s.disconnects);
+    add("optrec_tcp_connect_failures_total", s.connect_failures);
+    add("optrec_tcp_frames_tx_total", s.frames_tx);
+    add("optrec_tcp_frames_rx_total", s.frames_rx);
+    add("optrec_tcp_bytes_tx_total", s.bytes_tx);
+    add("optrec_tcp_bytes_rx_total", s.bytes_rx);
+    add("optrec_tcp_acks_tx_total", s.acks_tx);
+    add("optrec_tcp_acks_rx_total", s.acks_rx);
+    add("optrec_tcp_token_retries_total", s.token_retries);
+    add("optrec_tcp_dup_tokens_dropped_total", s.dup_tokens_dropped);
+    add("optrec_tcp_backpressure_drops_total", s.backpressure_drops);
+    add("optrec_tcp_protocol_errors_total", s.protocol_errors);
+    // Per-peer outbound queue depth (takes out_mu_; scrape path only).
+    for (const auto& [node, depth] : transport_.queue_depths()) {
+      telemetry::Sample sample;
+      sample.name = "optrec_tcp_outbound_queue_depth";
+      sample.labels = {{"peer", std::to_string(node)}};
+      sample.kind = telemetry::SampleKind::kGauge;
+      sample.value = static_cast<double>(depth);
+      out.push_back(std::move(sample));
+    }
+  });
+  registry_
+      .gauge("optrec_node_info", "Constant 1, labelled with this node's id",
+             {{"node", std::to_string(config_.node)}})
+      .set(1);
+  quiet_gauge_ = &registry_.gauge(
+      "optrec_node_quiet", "1 while this node's local quiet claim holds");
+
+  if (!config_.telemetry) return;
+  const TcpNodeSpec& self = config_.topology.node(config_.node);
+  const std::uint16_t port = config_.telemetry_port != 0
+                                 ? config_.telemetry_port
+                                 : self.telemetry_port;
+  http_ = std::make_unique<telemetry::TelemetryHttpServer>(self.host, port);
+  http_->route("/metrics", "text/plain; version=0.0.4", [this] {
+    std::ostringstream os;
+    registry_.render_prometheus(os);
+    return os.str();
+  });
+  http_->route("/metrics.json", "application/json", [this] {
+    std::ostringstream os;
+    registry_.render_json(os);
+    return os.str();
+  });
+  http_->route("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  // The cluster table: this node's own live row plus (on the coordinator)
+  // the latest gossip row of every peer.
+  http_->route("/cluster", "application/json", [this] {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("node", config_.node);
+    w.kv("coordinator", config_.node == 0);
+    w.key("rows").begin_array();
+    const auto row = [&w](std::uint32_t node, bool quiet, std::uint64_t age_us,
+                          const NodeStatsBlock& b) {
+      w.begin_object();
+      w.kv("node", node);
+      w.kv("quiet", quiet);
+      w.kv("age_us", age_us);
+      w.kv("app_sent", b.app_sent);
+      w.kv("delivered", b.delivered);
+      w.kv("orphaned", b.orphaned);
+      w.kv("rollbacks", b.rollbacks);
+      w.kv("crashes", b.crashes);
+      w.kv("restarts", b.restarts);
+      w.kv("tokens", b.tokens);
+      w.kv("replayed", b.replayed);
+      w.kv("checkpoints", b.checkpoints);
+      w.kv("bytes_tx", b.bytes_tx);
+      w.kv("latency_p50_us", b.latency_p50_us);
+      w.kv("latency_p99_us", b.latency_p99_us);
+      w.end_object();
+    };
+    row(config_.node, local_quiet(), 0, stats_block());
+    const auto statuses = transport_.peer_statuses();
+    const SimTime now = clock_.now();
+    for (const auto& slot : statuses) {
+      if (!slot) continue;
+      const NodeStatusReport& s = slot->first;
+      row(s.node, s.quiet, now - slot->second, s.stats);
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    return os.str();
+  });
+  transport_.set_poll_client(http_.get());
+}
+
+NodeStatsBlock TcpNode::stats_block() const {
+  NodeStatsBlock b;
+  telemetry::FixedHistogram latency;
+  for (const auto& w : workers_) {
+    b.app_sent += w->gauges->sent();
+    b.delivered += w->gauges->delivered();
+    b.orphaned += w->gauges->orphaned();
+    b.rollbacks += w->gauges->rollbacks();
+    b.crashes += w->gauges->crashes();
+    b.restarts += w->gauges->restarts();
+    b.tokens += w->gauges->tokens_processed();
+    b.replayed += w->gauges->replayed();
+    b.checkpoints += w->gauges->checkpoints();
+    latency.merge_from(w->latency_live->snapshot());
+  }
+  b.bytes_tx = transport_.tcp_stats().bytes_tx;
+  b.latency_p50_us = static_cast<std::uint64_t>(latency.percentile(0.50));
+  b.latency_p99_us = static_cast<std::uint64_t>(latency.percentile(0.99));
+  return b;
 }
 
 TcpNode::~TcpNode() {
@@ -85,6 +221,10 @@ void TcpNode::sync_mirrors(Worker& w) {
   w.up.store(w.proc->is_up(), std::memory_order_release);
   w.pending.store(w.proc->pending_count(), std::memory_order_release);
   w.signature.store(local_signature(w.metrics), std::memory_order_release);
+  // Mirror the worker-private Metrics into the registry at the same cadence
+  // (relaxed stores; the telemetry endpoint reads them from the IO thread).
+  w.gauges->update(w.metrics);
+  w.gauges->set_up(w.proc->is_up());
 }
 
 void TcpNode::spawn(Worker& w) {
@@ -140,7 +280,9 @@ void TcpNode::worker_main(Worker& w) {
       continue;
     }
     const Frame decoded = decode_frame(frame->wire);
-    w.latency_us.add(static_cast<double>(clock_.now() - frame->sent_at));
+    const double lat = static_cast<double>(clock_.now() - frame->sent_at);
+    w.latency_us.observe(lat);
+    w.latency_live->observe(lat);
     if (decoded.type == FrameType::kMessage) {
       w.proc->on_message(decoded.message);
       // Count the delivery only after the handler ran, so the quiescence
@@ -276,6 +418,7 @@ TcpNodeResult TcpNode::run() {
 
     const bool quiet = local_quiet();
     const std::uint64_t sig = local_signature_word();
+    quiet_gauge_->set(quiet ? 1 : 0);
 
     if (!coordinator) {
       // Gossip on the period, plus immediately on a quiet-flag flip so the
@@ -288,6 +431,7 @@ TcpNodeResult TcpNode::run() {
         s.seq = ++status_seq;
         s.quiet = quiet;
         s.signature = sig;
+        s.stats = stats_block();
         transport_.send_status(s);
         last_status = now;
         last_sent_quiet = quiet;

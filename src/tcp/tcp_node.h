@@ -49,6 +49,10 @@
 #include "src/runtime/process_base.h"
 #include "src/tcp/tcp_transport.h"
 #include "src/tcp/topology.h"
+#include "src/telemetry/histogram.h"
+#include "src/telemetry/http_endpoint.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/telemetry/wiring.h"
 #include "src/trace/trace_event.h"
 #include "src/truth/causality_oracle.h"
 #include "src/util/stats.h"
@@ -81,6 +85,12 @@ struct TcpNodeConfig {
   TraceRecorder* trace = nullptr;
   /// Node incarnation id; 0 derives one from the wall clock.
   std::uint64_t epoch = 0;
+  /// Serve the telemetry HTTP endpoint (/metrics, /metrics.json, /cluster,
+  /// /healthz) from this node's IO thread.
+  bool telemetry = false;
+  /// Endpoint port override; 0 falls back to the topology's telemetry_port
+  /// for this node, and an ephemeral port when that is 0 too.
+  std::uint16_t telemetry_port = 0;
 };
 
 struct TcpNodeResult {
@@ -93,8 +103,9 @@ struct TcpNodeResult {
   TcpTransport::TcpStats tcp;
   /// Send-to-handler latency of frames delivered on this node, micros
   /// (cross-node values use the realtime-clock delta carried in the
-  /// envelope).
-  Percentiles delivery_latency_us;
+  /// envelope). The shared fixed-bucket histogram: p50/p90/p99 via
+  /// percentile().
+  telemetry::FixedHistogram delivery_latency_us;
 };
 
 class TcpNode {
@@ -121,6 +132,16 @@ class TcpNode {
   const LiveClock& clock() const { return clock_; }
   const TcpNodeConfig& config() const { return config_; }
 
+  /// Live metrics store (always populated; the HTTP endpoint renders it).
+  telemetry::MetricsRegistry& registry() { return registry_; }
+  /// Bound telemetry port, 0 when the endpoint is disabled.
+  std::uint16_t telemetry_port() const {
+    return http_ == nullptr ? 0 : http_->port();
+  }
+  /// Protocol/transport counter sums for the status gossip and /cluster
+  /// table. Thread-safe (reads mirrors and atomics only).
+  NodeStatsBlock stats_block() const;
+
  private:
   enum class WorkerState : int { kRunning = 0, kExitedCrash, kExitedStop };
 
@@ -131,7 +152,13 @@ class TcpNode {
     std::unique_ptr<WorkerTimers> timers;
     std::unique_ptr<ProcessBase> proc;
     Metrics metrics;
-    Percentiles latency_us;
+    telemetry::FixedHistogram latency_us;  // worker-private; merged post-join
+    /// Registry mirrors, owned by this worker: gauges take the private
+    /// Metrics on every sync, the atomic histogram takes each delivery
+    /// latency, so mid-run scrapes see live values without touching
+    /// worker-private state.
+    std::unique_ptr<telemetry::ProcessGauges> gauges;
+    telemetry::AtomicHistogram* latency_live = nullptr;  // registry-owned
     Rng rng;
     std::thread thread;
     bool started = false;
@@ -155,9 +182,14 @@ class TcpNode {
   /// grace deadline passes.
   void coordinate_shutdown(std::uint8_t exit_code, SimTime grace);
 
+  void setup_telemetry();
+
   TcpNodeConfig config_;
   LiveClock clock_;
   TcpTransport transport_;
+  telemetry::MetricsRegistry registry_;
+  std::unique_ptr<telemetry::TelemetryHttpServer> http_;
+  telemetry::Gauge* quiet_gauge_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;  // local processes only
   std::atomic<std::uint64_t> crashes_pending_{0};
   bool ran_ = false;

@@ -93,6 +93,14 @@ void TcpTransport::set_peer_port(std::uint32_t node, std::uint16_t port) {
   topo_.nodes.at(node).port = port;
 }
 
+void TcpTransport::set_poll_client(PollClient* client) {
+  if (io_running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("set_poll_client after start()");
+  }
+  poll_client_ = client;
+  if (client != nullptr) client->attach(*poller_);
+}
+
 void TcpTransport::start() {
   if (io_running_.exchange(true, std::memory_order_acq_rel)) return;
   stop_.store(false, std::memory_order_release);
@@ -439,6 +447,16 @@ TcpTransport::TcpStats TcpTransport::tcp_stats() const {
   return s;
 }
 
+std::vector<std::pair<std::uint32_t, std::size_t>>
+TcpTransport::queue_depths() const {
+  std::vector<std::pair<std::uint32_t, std::size_t>> out;
+  std::lock_guard<std::mutex> lock(out_mu_);
+  for (const auto& p : peers_) {
+    if (p != nullptr) out.emplace_back(p->node, p->pending.size());
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------
 // IO thread
 // ---------------------------------------------------------------------
@@ -472,6 +490,9 @@ void TcpTransport::io_step() {
     }
     if (accepted_.count(ev.fd) != 0) {
       handle_accepted(ev.fd, ev);
+      continue;
+    }
+    if (poll_client_ != nullptr && poll_client_->handle(*poller_, ev)) {
       continue;
     }
     const auto it = fd_to_node_.find(ev.fd);

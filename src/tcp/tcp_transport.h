@@ -118,6 +118,22 @@ class TcpTransport : public Transport {
   /// Thread-safe trace recorder (null detaches); set before start().
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Auxiliary fd owner served from this node's IO thread — the telemetry
+  /// HTTP endpoint rides the existing event loop instead of spawning one.
+  class PollClient {
+   public:
+    virtual ~PollClient() = default;
+    /// Register fds with the transport's poller (runs on the caller's
+    /// thread, before start(); afterwards the IO thread owns them).
+    virtual void attach(Poller& poller) = 0;
+    /// Offered every poller event the transport does not recognise;
+    /// return true when the fd belonged to this client.
+    virtual bool handle(Poller& poller, const Poller::Event& ev) = 0;
+  };
+  /// Install `client` (attaches immediately). Call before start(); the
+  /// client must outlive stop().
+  void set_poll_client(PollClient* client);
+
   std::uint32_t node_id() const { return node_id_; }
   std::uint64_t epoch() const { return epoch_; }
   std::size_t size() const { return topo_.n; }
@@ -163,6 +179,8 @@ class TcpTransport : public Transport {
   /// snapshot yields cluster totals with nothing double-counted.
   Network::Stats stats() const;
   TcpStats tcp_stats() const;
+  /// Outbound frames queued per remote node (takes out_mu_; scrape path).
+  std::vector<std::pair<std::uint32_t, std::size_t>> queue_depths() const;
 
  private:
   struct OutFrame {
@@ -248,6 +266,7 @@ class TcpTransport : public Transport {
   const std::uint32_t node_id_;
   const std::uint64_t epoch_;
   TraceRecorder* trace_ = nullptr;
+  PollClient* poll_client_ = nullptr;
 
   Fd listener_;
   std::uint16_t listen_port_ = 0;

@@ -39,6 +39,10 @@ struct TcpNodeSpec {
   /// Listen port; 0 = ephemeral (in-process clusters bind first and
   /// exchange the kernel-picked ports before starting traffic).
   std::uint16_t port = 0;
+  /// Telemetry HTTP port (/metrics, /metrics.json, /cluster, /healthz);
+  /// 0 = no fixed assignment (the node binds an ephemeral port when
+  /// telemetry is enabled, or none at all).
+  std::uint16_t telemetry_port = 0;
   /// Protocol processes hosted on this node.
   std::vector<ProcessId> processes;
 };
@@ -84,10 +88,12 @@ struct TcpTopology {
   const TcpNodeSpec& node(std::uint32_t id) const { return nodes.at(id); }
 
   /// `n` processes spread round-robin-contiguously over `k` loopback nodes;
-  /// node i listens on base_port + i (0 = all ephemeral).
+  /// node i listens on base_port + i (0 = all ephemeral) and serves
+  /// telemetry on telemetry_base_port + i (0 = no fixed assignment).
   static TcpTopology loopback(std::size_t n, std::size_t k,
                               std::uint16_t base_port = 0,
-                              std::string cluster = "loopback");
+                              std::string cluster = "loopback",
+                              std::uint16_t telemetry_base_port = 0);
 
   static TcpTopology from_json(const JsonValue& v);
   /// Parse a JSON document; throws std::runtime_error (parse) or

@@ -1,0 +1,101 @@
+#include "src/telemetry/histogram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optrec::telemetry {
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> kBounds = {
+      1,     2,     5,     10,    20,    50,    100,   200,
+      500,   1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,
+      2e5,   5e5,   1e6,   2e6,   5e6,
+  };
+  return kBounds;
+}
+
+namespace {
+
+std::size_t bucket_of(const std::vector<double>& bounds, double v) {
+  // First bound >= v; the extra slot past the end is the +inf bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+void check_bounds(const std::vector<double>& bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+}
+
+}  // namespace
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  check_bounds(bounds_);
+}
+
+void FixedHistogram::observe(double v) {
+  ++counts_[bucket_of(bounds_, v)];
+  ++count_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+void FixedHistogram::merge_from(const FixedHistogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("FixedHistogram::merge_from: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+FixedHistogram FixedHistogram::from_parts(std::vector<double> bounds,
+                                          std::vector<std::uint64_t> counts,
+                                          double sum, double max) {
+  FixedHistogram h(std::move(bounds));
+  if (counts.size() != h.counts_.size()) {
+    throw std::invalid_argument("FixedHistogram::from_parts: count mismatch");
+  }
+  h.counts_ = std::move(counts);
+  for (const std::uint64_t c : h.counts_) h.count_ += c;
+  h.sum_ = sum;
+  h.max_ = max;
+  return h;
+}
+
+AtomicHistogram::AtomicHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  check_bounds(bounds_);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void AtomicHistogram::observe(double v) {
+  if (v < 0) v = 0;
+  counts_[bucket_of(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_milli_.fetch_add(static_cast<std::uint64_t>(v * 1024.0),
+                       std::memory_order_relaxed);
+  const auto vi = static_cast<std::uint64_t>(v);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (vi > seen &&
+         !max_.compare_exchange_weak(seen, vi, std::memory_order_relaxed)) {
+  }
+}
+
+FixedHistogram AtomicHistogram::snapshot() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  const double sum =
+      static_cast<double>(sum_milli_.load(std::memory_order_relaxed)) / 1024.0;
+  const double max =
+      static_cast<double>(max_.load(std::memory_order_relaxed));
+  return FixedHistogram::from_parts(bounds_, std::move(counts), sum, max);
+}
+
+}  // namespace optrec::telemetry

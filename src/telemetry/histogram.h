@@ -1,0 +1,101 @@
+// Fixed-bucket latency histograms shared by the runtimes, the benches, and
+// the metrics registry.
+//
+// Two flavours over the same bucket layout:
+//
+//  * FixedHistogram — plain counters. Worker-private recording (each live/
+//    TCP worker owns one and the supervisor merges post-join), result
+//    structs, and bench emission. Copyable, mergeable, exact per-bucket.
+//  * AtomicHistogram — the same buckets as relaxed atomics, so the hot
+//    path (one binary search + two fetch_adds) stays lock-free while the
+//    telemetry endpoint snapshots it mid-run from another thread.
+//
+// Percentile extraction (p50/p90/p99) is Prometheus-style linear
+// interpolation inside the winning bucket — util/stats histogram_quantile —
+// so every consumer reports the same number for the same data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace optrec::telemetry {
+
+/// Default delivery-latency bucket ceilings, microseconds: a 1-2-5 ladder
+/// from 1us to 5s. Everything above falls into the implicit +inf bucket.
+const std::vector<double>& default_latency_bounds_us();
+
+/// Plain fixed-bucket histogram: per-bucket counts plus exact count/sum/max.
+class FixedHistogram {
+ public:
+  FixedHistogram() : FixedHistogram(default_latency_bounds_us()) {}
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void observe(double v);
+  /// Fold another histogram into this one. Bucket layouts must match.
+  void merge_from(const FixedHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Largest observed sample (exact, not bucket-quantised).
+  double max() const { return max_; }
+  /// q in [0,1]; interpolated within the winning bucket.
+  double percentile(double q) const {
+    return histogram_quantile(bounds_, counts_, q);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 slots; the last is the +inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Reassemble from recorded parts (AtomicHistogram::snapshot, JSON
+  /// readers). `counts` must have bounds.size() + 1 slots.
+  static FixedHistogram from_parts(std::vector<double> bounds,
+                                   std::vector<std::uint64_t> counts,
+                                   double sum, double max);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Lock-free-on-hot-path histogram for cross-thread telemetry. observe() is
+/// wait-free (relaxed atomics); snapshot() gives a consistent-enough view
+/// for monitoring (individual counters are exact, the set is torn at most
+/// by in-flight observations).
+class AtomicHistogram {
+ public:
+  AtomicHistogram() : AtomicHistogram(default_latency_bounds_us()) {}
+  explicit AtomicHistogram(std::vector<double> bounds);
+
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Materialise the current counters as a plain histogram (max() tracks
+  /// in microsecond-integer resolution).
+  FixedHistogram snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  /// Sum in 1/1024ths to keep it an integer atomic without losing much.
+  std::atomic<std::uint64_t> sum_milli_{0};
+  std::atomic<std::uint64_t> max_{0};  // bit-punned double via integer CAS
+};
+
+}  // namespace optrec::telemetry

@@ -1,0 +1,256 @@
+#include "src/telemetry/http_endpoint.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace optrec::telemetry {
+
+namespace {
+
+// One scrape of a large registry is a few hundred KB at most; a request
+// line is tiny. Both caps exist only to bound a misbehaving client.
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kRecvChunk = 4096;
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK\r\n";
+    case 404: return "HTTP/1.1 404 Not Found\r\n";
+    default: return "HTTP/1.1 400 Bad Request\r\n";
+  }
+}
+
+std::string make_response(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string r = status_line(code);
+  r += "Content-Type: " + content_type + "\r\n";
+  r += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  r += "Connection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
+}  // namespace
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms) {
+  bool in_progress = false;
+  Fd fd = connect_nonblocking(host, port, &in_progress);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const auto wait_for = [&](bool want_write) {
+    pollfd p{};
+    p.fd = fd.get();
+    p.events = static_cast<short>(want_write ? POLLOUT : POLLIN);
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0 || ::poll(&p, 1, static_cast<int>(left)) <= 0) {
+      throw std::runtime_error("http_get: timeout");
+    }
+  };
+  if (in_progress) {
+    wait_for(/*want_write=*/true);
+    if (const int err = take_socket_error(fd.get()); err != 0) {
+      throw std::runtime_error(std::string("http_get: connect: ") +
+                               std::strerror(err));
+    }
+  }
+
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd.get(), req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_for(/*want_write=*/true);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("http_get: send failed");
+  }
+
+  std::string response;
+  char buf[kRecvChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // server closed: response complete
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_for(/*want_write=*/false);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error("http_get: recv failed");
+  }
+
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos || response.rfind("HTTP/", 0) != 0) {
+    throw std::runtime_error("http_get: malformed response");
+  }
+  const std::string status = response.substr(0, line_end);
+  if (status.find(" 200 ") == std::string::npos) {
+    throw std::runtime_error("http_get: " + status);
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    throw std::runtime_error("http_get: missing header terminator");
+  }
+  return response.substr(body + 4);
+}
+
+TelemetryHttpServer::TelemetryHttpServer(const std::string& host,
+                                         std::uint16_t port) {
+  listener_ = listen_on(host, port);
+  port_ = local_port(listener_.get());
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() = default;
+
+void TelemetryHttpServer::route(const std::string& path,
+                                const std::string& content_type,
+                                std::function<std::string()> body) {
+  routes_[path] = Route{content_type, std::move(body)};
+}
+
+void TelemetryHttpServer::attach(Poller& poller) {
+  poller.add(listener_.get(), /*want_read=*/true, /*want_write=*/false);
+}
+
+bool TelemetryHttpServer::handle(Poller& poller, const Poller::Event& ev) {
+  if (ev.fd == listener_.get()) {
+    accept_new(poller);
+    return true;
+  }
+  const auto it = conns_.find(ev.fd);
+  if (it == conns_.end()) return false;
+  drive(poller, it->second, ev);
+  return true;
+}
+
+void TelemetryHttpServer::accept_new(Poller& poller) {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN / transient failure: nothing more to accept now
+    }
+    try {
+      set_nonblocking(fd);
+    } catch (const std::exception&) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd.reset(fd);
+    conns_.emplace(fd, std::move(conn));
+    poller.add(fd, /*want_read=*/true, /*want_write=*/false);
+  }
+}
+
+void TelemetryHttpServer::drive(Poller& poller, Conn& conn,
+                                const Poller::Event& ev) {
+  const int fd = conn.fd.get();
+  if (ev.broken) {
+    close_conn(poller, fd);
+    return;
+  }
+
+  if (!conn.responding && ev.readable) {
+    char buf[kRecvChunk];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > kMaxRequestBytes) {
+          close_conn(poller, fd);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn(poller, fd);  // EOF before a full request, or hard error
+      return;
+    }
+    // A request is complete at the header-terminating blank line; nothing
+    // after it matters for GET.
+    if (conn.in.find("\r\n\r\n") != std::string::npos ||
+        conn.in.find("\n\n") != std::string::npos) {
+      respond(conn);
+      poller.set(fd, /*want_read=*/false, /*want_write=*/true);
+    }
+  }
+
+  if (conn.responding) {
+    while (conn.off < conn.out.size()) {
+      const ssize_t n = ::send(fd, conn.out.data() + conn.off,
+                               conn.out.size() - conn.off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn(poller, fd);
+      return;
+    }
+    close_conn(poller, fd);  // Connection: close — done
+  }
+}
+
+void TelemetryHttpServer::respond(Conn& conn) {
+  conn.responding = true;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Parse "GET <path> HTTP/1.x"; strip any query string.
+  const std::size_t line_end = conn.in.find('\n');
+  std::string line = conn.in.substr(0, line_end);
+  int code = 400;
+  std::string path;
+  if (line.rfind("GET ", 0) == 0) {
+    const std::size_t sp = line.find(' ', 4);
+    path = line.substr(4, sp == std::string::npos ? std::string::npos : sp - 4);
+    if (const std::size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+    code = 404;
+  }
+
+  const auto it = routes_.find(path);
+  if (code == 404 && it != routes_.end()) {
+    std::string body;
+    try {
+      body = it->second.body();
+    } catch (const std::exception& ex) {
+      conn.out = make_response(400, "text/plain",
+                               std::string("error: ") + ex.what() + "\n");
+      return;
+    }
+    conn.out = make_response(200, it->second.content_type, body);
+    return;
+  }
+  conn.out = make_response(code, "text/plain",
+                           code == 404 ? "not found\n" : "bad request\n");
+}
+
+void TelemetryHttpServer::close_conn(Poller& poller, int fd) {
+  poller.remove(fd);
+  conns_.erase(fd);  // Fd destructor closes
+}
+
+}  // namespace optrec::telemetry

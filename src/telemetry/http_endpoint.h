@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 telemetry endpoint, served from the node's IO thread.
+//
+// Each optrec_node binds one extra listening socket and exposes
+//
+//   GET /metrics       Prometheus text exposition (MetricsRegistry)
+//   GET /metrics.json  JSON snapshot with histogram percentiles
+//   GET /cluster       coordinator-only: the live cluster table
+//   GET /healthz       "ok\n" liveness probe
+//
+// The server is a TcpTransport::PollClient — its listener and connection
+// fds live in the SAME Poller the transport's IO thread already drives, so
+// telemetry costs no extra thread and cannot race the event loop. Route
+// bodies are std::function callbacks invoked on the IO thread at request
+// time; they must confine themselves to thread-safe reads (the registry's
+// atomics, the transport's counters, mutex-guarded tables).
+//
+// Protocol support is deliberately tiny: GET only, request line + headers
+// ignored beyond the path, Connection: close on every response. That is
+// all curl and a Prometheus scraper need.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/tcp/socket_util.h"
+#include "src/tcp/tcp_transport.h"
+
+namespace optrec::telemetry {
+
+/// Blocking one-shot HTTP GET (scrape clients, tests, `optrec_node
+/// --stats`). Returns the response body; throws std::runtime_error on
+/// connect/IO failure or a non-200 status. `timeout_ms` bounds the whole
+/// exchange.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms = 2000);
+
+class TelemetryHttpServer : public TcpTransport::PollClient {
+ public:
+  /// Bind host:port (0 = kernel-assigned; read back with port()). Throws
+  /// std::system_error when the bind fails.
+  TelemetryHttpServer(const std::string& host, std::uint16_t port);
+  ~TelemetryHttpServer() override;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Register an exact-path route. `body` runs on the IO thread per
+  /// request and must be thread-safe.
+  void route(const std::string& path, const std::string& content_type,
+             std::function<std::string()> body);
+
+  /// Requests answered so far (any status). Relaxed; test/supervisor use.
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  // TcpTransport::PollClient
+  void attach(Poller& poller) override;
+  bool handle(Poller& poller, const Poller::Event& ev) override;
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::string in;    // request bytes until the blank line
+    std::string out;   // response bytes not yet written
+    std::size_t off = 0;
+    bool responding = false;
+  };
+  struct Route {
+    std::string content_type;
+    std::function<std::string()> body;
+  };
+
+  void accept_new(Poller& poller);
+  void drive(Poller& poller, Conn& conn, const Poller::Event& ev);
+  void respond(Conn& conn);
+  void close_conn(Poller& poller, int fd);
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::map<std::string, Route> routes_;
+  std::unordered_map<int, Conn> conns_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace optrec::telemetry

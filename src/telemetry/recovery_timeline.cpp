@@ -1,0 +1,246 @@
+#include "src/telemetry/recovery_timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/util/json.h"
+
+namespace optrec::telemetry {
+
+namespace {
+
+bool all_have_wall(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return false;
+  for (const TraceEvent& e : events) {
+    if (e.wall_us == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RecoveryTimelineReport analyze_recovery_timeline(
+    const std::vector<TraceEvent>& events) {
+  RecoveryTimelineReport report;
+  const bool wall = all_have_wall(events);
+  report.time_base = wall ? "wall_us" : "run_us";
+  const auto when = [wall](const TraceEvent& e) {
+    return wall ? e.wall_us : e.at;
+  };
+
+  // Merged multi-node traces are only per-node ordered; process the whole
+  // run in time order (seq breaks ties within a node).
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const TraceEvent* a, const TraceEvent* b) {
+                     if (when(*a) != when(*b)) return when(*a) < when(*b);
+                     return a->seq < b->seq;
+                   });
+
+  // Boundary-observed flags, parallel to the timeline fields.
+  struct Open {
+    std::size_t idx;            // into report.failures
+    bool detect = false, disseminate = false, rollback = false;
+  };
+  // Token/rollback attribution: failures are named by the paper's
+  // (origin process, failed version) pair, which every token and rollback
+  // event carries.
+  std::map<std::pair<ProcessId, Version>, Open> by_failure;
+  // Restart/replay/resume attribution: oldest open failure of the pid.
+  std::map<ProcessId, std::vector<std::size_t>> open_by_pid;
+
+  auto& failures = report.failures;
+  for (const TraceEvent* ep : ordered) {
+    const TraceEvent& e = *ep;
+    const std::uint64_t t = when(e);
+    switch (e.type) {
+      case TraceEventType::kCrash: {
+        FailureTimeline f;
+        f.pid = e.pid;
+        f.failed_version = e.clock.ver;
+        f.node = e.node;
+        f.t_crash = t;
+        f.deliveries_lost = e.detail;
+        by_failure[{e.pid, e.clock.ver}] = Open{failures.size()};
+        open_by_pid[e.pid].push_back(failures.size());
+        failures.push_back(f);
+        break;
+      }
+      case TraceEventType::kTokenBroadcast: {
+        const auto it = by_failure.find({e.origin, e.origin_ver});
+        if (it == by_failure.end()) break;
+        FailureTimeline& f = failures[it->second.idx];
+        if (!it->second.detect) {
+          it->second.detect = true;
+          f.t_detect = t;
+        }
+        break;
+      }
+      case TraceEventType::kTokenProcess: {
+        const auto it = by_failure.find({e.origin, e.origin_ver});
+        if (it == by_failure.end()) break;
+        FailureTimeline& f = failures[it->second.idx];
+        it->second.disseminate = true;
+        f.t_disseminate = std::max(f.t_disseminate, t);
+        ++f.tokens_processed;
+        break;
+      }
+      case TraceEventType::kRollback: {
+        const auto it = by_failure.find({e.origin, e.origin_ver});
+        if (it == by_failure.end()) break;
+        FailureTimeline& f = failures[it->second.idx];
+        it->second.rollback = true;
+        f.t_rollback = std::max(f.t_rollback, t);
+        ++f.rollbacks;
+        f.states_rolled_back += e.detail;
+        break;
+      }
+      case TraceEventType::kReplay: {
+        const auto it = open_by_pid.find(e.pid);
+        if (it == open_by_pid.end() || it->second.empty()) break;
+        FailureTimeline& f = failures[it->second.front()];
+        if (!f.restarted) ++f.messages_replayed;
+        break;
+      }
+      case TraceEventType::kRestart: {
+        const auto it = open_by_pid.find(e.pid);
+        if (it == open_by_pid.end() || it->second.empty()) break;
+        FailureTimeline& f = failures[it->second.front()];
+        if (!f.restarted) {
+          f.restarted = true;
+          f.t_restart = t;
+        }
+        break;
+      }
+      case TraceEventType::kDeliver: {
+        const auto it = open_by_pid.find(e.pid);
+        if (it == open_by_pid.end() || it->second.empty()) break;
+        FailureTimeline& f = failures[it->second.front()];
+        if (f.restarted) {
+          f.complete = true;
+          f.t_resume = t;
+          it->second.erase(it->second.begin());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Clamp boundaries monotonic so the five phase durations sum exactly to
+  // the unavailability window (see header). Unobserved boundaries inherit
+  // their predecessor; stragglers past t_resume are folded into the final
+  // phase end.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    FailureTimeline& f = failures[i];
+    const Open& open = by_failure[{f.pid, f.failed_version}];
+    struct Boundary {
+      std::uint64_t* t;
+      bool observed;
+    };
+    Boundary bs[] = {
+        {&f.t_detect, open.detect},
+        {&f.t_disseminate, open.disseminate},
+        {&f.t_rollback, open.rollback},
+        {&f.t_restart, f.restarted},
+        {&f.t_resume, f.complete},
+    };
+    std::uint64_t t_end = f.t_crash;
+    for (const Boundary& b : bs) {
+      if (b.observed) t_end = std::max(t_end, *b.t);
+    }
+    if (f.complete) t_end = f.t_resume;
+    std::uint64_t prev = f.t_crash;
+    for (Boundary& b : bs) {
+      if (!b.observed) {
+        *b.t = prev;
+      } else {
+        *b.t = std::clamp(*b.t, prev, t_end);
+      }
+      prev = *b.t;
+    }
+    f.t_resume = t_end;
+    windows.emplace_back(f.t_crash, t_end);
+  }
+
+  // Cluster-wide unavailability: length of the union of failure windows.
+  std::sort(windows.begin(), windows.end());
+  std::uint64_t total = 0, cur_lo = 0, cur_hi = 0;
+  bool open_window = false;
+  for (const auto& [lo, hi] : windows) {
+    if (!open_window || lo > cur_hi) {
+      if (open_window) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open_window = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open_window) total += cur_hi - cur_lo;
+  report.cluster_unavailability_us = total;
+  return report;
+}
+
+void write_recovery_timeline_json(std::ostream& os,
+                                  const RecoveryTimelineReport& report) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "optrec-recovery-timeline-v1");
+  write_recovery_timeline_fields(w, report);
+  w.end_object();
+  os << '\n';
+}
+
+void write_recovery_timeline_fields(JsonWriter& w,
+                                    const RecoveryTimelineReport& report) {
+  w.kv("time_base", report.time_base);
+  w.kv("failure_count", std::uint64_t{report.failures.size()});
+  w.kv("cluster_unavailability_us", report.cluster_unavailability_us);
+  std::uint64_t worst = 0, sum = 0;
+  for (const FailureTimeline& f : report.failures) {
+    worst = std::max(worst, f.unavailability_us());
+    sum += f.unavailability_us();
+  }
+  w.kv("max_unavailability_us", worst);
+  w.kv("mean_unavailability_us",
+       report.failures.empty()
+           ? 0.0
+           : static_cast<double>(sum) /
+                 static_cast<double>(report.failures.size()));
+  w.key("failures").begin_array();
+  for (const FailureTimeline& f : report.failures) {
+    w.begin_object();
+    w.kv("pid", f.pid);
+    w.kv("failed_version", f.failed_version);
+    if (f.node != kNoTraceNode) w.kv("node", f.node);
+    w.kv("t_crash", f.t_crash);
+    w.kv("t_detect", f.t_detect);
+    w.kv("t_disseminate", f.t_disseminate);
+    w.kv("t_rollback", f.t_rollback);
+    w.kv("t_restart", f.t_restart);
+    w.kv("t_resume", f.t_resume);
+    w.kv("detection_us", f.detection_us());
+    w.kv("dissemination_us", f.dissemination_us());
+    w.kv("rollback_us", f.rollback_us());
+    w.kv("replay_us", f.replay_us());
+    w.kv("resume_us", f.resume_us());
+    w.kv("unavailability_us", f.unavailability_us());
+    w.kv("restarted", f.restarted);
+    w.kv("complete", f.complete);
+    w.kv("tokens_processed", f.tokens_processed);
+    w.kv("rollbacks", f.rollbacks);
+    w.kv("states_rolled_back", f.states_rolled_back);
+    w.kv("messages_replayed", f.messages_replayed);
+    w.kv("deliveries_lost", f.deliveries_lost);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace optrec::telemetry

@@ -1,0 +1,245 @@
+#include "src/telemetry/trace_merge.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace optrec::telemetry {
+
+namespace {
+
+// Receive-side terminals of one message transfer. kPostpone is excluded:
+// a postponed message is delivered later, and two sinks for one send would
+// break the one-to-one pairing.
+bool is_receive(TraceEventType t) {
+  return t == TraceEventType::kDeliver || t == TraceEventType::kReplay ||
+         t == TraceEventType::kDiscardObsolete ||
+         t == TraceEventType::kDiscardDuplicate;
+}
+
+std::string describe_edge(const TraceEvent& from, const TraceEvent& to) {
+  std::ostringstream os;
+  os << trace_event_type_name(from.type) << "(node " << from.node << ", P"
+     << from.pid << ", t=" << from.at << ") -> "
+     << trace_event_type_name(to.type) << "(node " << to.node << ", P"
+     << to.pid << ", t=" << to.at << ")";
+  return os.str();
+}
+
+}  // namespace
+
+MergedTrace merge_traces(std::vector<std::vector<TraceEvent>> inputs) {
+  MergedTrace out;
+
+  // Flatten, assigning a node id to inputs recorded before the node field
+  // existed (and to simulator traces) so lanes never collide.
+  std::vector<TraceEvent> all;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (TraceEvent& e : inputs[i]) {
+      if (e.node == kNoTraceNode) e.node = static_cast<std::uint32_t>(i);
+      all.push_back(std::move(e));
+    }
+  }
+  if (all.empty()) return out;
+
+  // Rebase every event onto the shared wall axis when all recorders stamped
+  // one; otherwise the inputs' own run clocks are the best we have.
+  bool have_wall = true;
+  for (const TraceEvent& e : all) have_wall &= e.wall_us != 0;
+  if (have_wall) {
+    std::uint64_t wall0 = all.front().wall_us;
+    for (const TraceEvent& e : all) wall0 = std::min(wall0, e.wall_us);
+    out.wall0_us = wall0;
+    for (TraceEvent& e : all) e.at = e.wall_us - wall0;
+  }
+
+  std::set<std::uint32_t> node_ids;
+  for (const TraceEvent& e : all) node_ids.insert(e.node);
+  out.nodes = node_ids.size();
+
+  // ---- Build the happened-before DAG -------------------------------------
+  const std::size_t n = all.size();
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indegree(n, 0);
+  const auto add_edge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(to);
+    ++indegree[to];
+  };
+
+  // Per-node emission chains (each recorder's seq is its total order).
+  {
+    std::map<std::uint32_t, std::vector<std::size_t>> lanes;
+    for (std::size_t i = 0; i < n; ++i) lanes[all[i].node].push_back(i);
+    for (auto& [node, lane] : lanes) {
+      std::stable_sort(lane.begin(), lane.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return all[a].seq < all[b].seq;
+                       });
+      for (std::size_t i = 1; i < lane.size(); ++i) {
+        add_edge(lane[i - 1], lane[i]);
+      }
+    }
+  }
+
+  // Cross-node message edges. MsgIds collide across transports, so sends
+  // are keyed by (sender pid, send_seq, msg_version) — but that key alone
+  // still collides: a node killed and respawned restarts its sequence
+  // space, and a deterministic seeded workload re-generates byte-identical
+  // sends (same key, even the same piggybacked clock) whose originals'
+  // trace died with the SIGKILLed incarnation. Matching is therefore
+  // ONE-TO-ONE in time order, with every receive-side terminal — deliver,
+  // replay, duplicate/obsolete discard — consuming one send: the respawned
+  // incarnation's re-sends pair with the duplicate discards they actually
+  // caused, and the old deliveries whose true sends are lost stay cleanly
+  // unmatched instead of grabbing a later send and inventing a backwards
+  // edge. The piggybacked FTVC must agree for a pair to form at all
+  // (retransmissions carry the original clock, so they remain compatible).
+  // Pass 1 pairs each receive with the earliest unused compatible send not
+  // after it; pass 2 lets leftover receives take a later send — genuine
+  // cross-node clock skew — and flags the inversion.
+  {
+    struct KeyEvents {
+      std::vector<std::size_t> sends, recvs;
+    };
+    std::map<std::tuple<ProcessId, std::uint64_t, Version>, KeyEvents> keys;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = all[i];
+      if (e.send_seq == 0) continue;
+      if (e.type == TraceEventType::kSend) {
+        keys[{e.pid, e.send_seq, e.msg_version}].sends.push_back(i);
+      } else if (is_receive(e.type)) {
+        keys[{e.peer, e.send_seq, e.msg_version}].recvs.push_back(i);
+      }
+    }
+    const auto by_at = [&](std::size_t a, std::size_t b) {
+      return all[a].at < all[b].at;
+    };
+    const auto compatible = [&](const TraceEvent& s, const TraceEvent& r) {
+      return s.mclock.empty() || r.mclock.empty() || s.mclock == r.mclock;
+    };
+    for (auto& [key, ke] : keys) {
+      if (ke.sends.empty() || ke.recvs.empty()) continue;
+      std::sort(ke.sends.begin(), ke.sends.end(), by_at);
+      std::sort(ke.recvs.begin(), ke.recvs.end(), by_at);
+      std::vector<bool> used(ke.sends.size(), false);
+      std::vector<std::size_t> match(ke.recvs.size(), n);
+      for (std::size_t ri = 0; ri < ke.recvs.size(); ++ri) {
+        const TraceEvent& r = all[ke.recvs[ri]];
+        for (std::size_t si = 0; si < ke.sends.size(); ++si) {
+          const TraceEvent& s = all[ke.sends[si]];
+          if (s.at > r.at) break;  // sends are sorted; none later qualifies
+          if (used[si] || !compatible(s, r)) continue;
+          used[si] = true;
+          match[ri] = ke.sends[si];
+          break;
+        }
+      }
+      for (std::size_t ri = 0; ri < ke.recvs.size(); ++ri) {
+        if (match[ri] != n) continue;
+        const TraceEvent& r = all[ke.recvs[ri]];
+        for (std::size_t si = 0; si < ke.sends.size(); ++si) {
+          const TraceEvent& s = all[ke.sends[si]];
+          if (used[si] || !compatible(s, r)) continue;
+          // A later-stamped retransmission is the Remark-1 re-send of a
+          // message whose original send event died with its node: same
+          // identity, but this copy did not cause this receive.
+          if ((s.detail & kTraceSendRetransmission) != 0) continue;
+          used[si] = true;
+          match[ri] = ke.sends[si];
+          break;
+        }
+      }
+      for (std::size_t ri = 0; ri < ke.recvs.size(); ++ri) {
+        if (match[ri] == n) continue;
+        const std::size_t r_idx = ke.recvs[ri];
+        const TraceEvent& s = all[match[ri]];
+        const TraceEvent& r = all[r_idx];
+        ++out.matched_messages;
+        if (s.node != r.node) ++out.cross_node_edges;
+        if (r.at < s.at) {
+          out.violations.push_back("receive before matched send: " +
+                                   describe_edge(s, r));
+        }
+        add_edge(match[ri], r_idx);
+      }
+    }
+  }
+
+  // Cross-node token edges: a broadcast happens-before every processing of
+  // the same announced (announcer, version, timestamp) entry. Cascading
+  // recovery can re-announce the same identity; the earliest wins.
+  {
+    std::map<std::tuple<ProcessId, Version, Timestamp>, std::size_t> bcasts;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = all[i];
+      if (e.type != TraceEventType::kTokenBroadcast) continue;
+      const auto key = std::make_tuple(e.pid, e.ref.ver, e.ref.ts);
+      const auto it = bcasts.find(key);
+      if (it == bcasts.end() || all[it->second].at > e.at) bcasts[key] = i;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = all[i];
+      if (e.type != TraceEventType::kTokenProcess) continue;
+      const auto it = bcasts.find({e.peer, e.ref.ver, e.ref.ts});
+      if (it == bcasts.end() || it->second == i) continue;
+      const TraceEvent& b = all[it->second];
+      ++out.matched_tokens;
+      if (b.node != e.node) ++out.cross_node_edges;
+      if (e.at < b.at) {
+        out.violations.push_back("token processed before its broadcast: " +
+                                 describe_edge(b, e));
+      }
+      add_edge(it->second, i);
+    }
+  }
+
+  // ---- Linearise (Kahn, smallest-timestamp-first) ------------------------
+  // Popping the minimum ready timestamp keeps concurrent events in wall
+  // order; clamping each event to its predecessors repairs skew inversions.
+  using QEntry = std::tuple<std::uint64_t, std::uint32_t, std::uint64_t,
+                            std::size_t>;  // (at, node, seq, index)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> ready;
+  std::vector<std::uint64_t> adjusted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    adjusted[i] = all[i].at;
+    if (indegree[i] == 0) ready.emplace(all[i].at, all[i].node, all[i].seq, i);
+  }
+  out.events.reserve(n);
+  std::size_t released = 0;
+  while (released < n) {
+    if (ready.empty()) {
+      // A correct run cannot produce a causal cycle; report it and break the
+      // smallest-timestamp stuck event free so the merge still completes.
+      std::size_t stuck = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] > 0 &&
+            (stuck == n || adjusted[i] < adjusted[stuck])) {
+          stuck = i;
+        }
+      }
+      out.violations.push_back("causal cycle broken at " +
+                               all[stuck].describe());
+      indegree[stuck] = 0;
+      ready.emplace(adjusted[stuck], all[stuck].node, all[stuck].seq, stuck);
+      continue;
+    }
+    const auto [at, node, seq, i] = ready.top();
+    ready.pop();
+    TraceEvent e = all[i];
+    e.at = adjusted[i];
+    e.seq = released++;
+    for (const std::size_t s : succ[i]) {
+      adjusted[s] = std::max(adjusted[s], adjusted[i]);
+      if (indegree[s] > 0 && --indegree[s] == 0) {
+        ready.emplace(adjusted[s], all[s].node, all[s].seq, s);
+      }
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace optrec::telemetry

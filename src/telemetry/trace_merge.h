@@ -1,0 +1,58 @@
+// Causally-consistent merge of per-node trace files.
+//
+// A multi-process TCP cluster writes one JSONL trace per node, each on its
+// own recorder (own seq space, own run clock) — loading them side by side
+// into Perfetto gives N disconnected timelines whose cross-node arrows
+// dangle. merge_traces() joins them into ONE timeline:
+//
+//   1. Every event is rebased onto the shared wall-clock axis its recorder
+//      stamped (TraceEvent::wall_us), relative to the earliest event.
+//   2. A happened-before DAG is built from the per-node emission chains
+//      plus the cross-node edges the FTVC piggyback identifies: sends and
+//      receive-side terminals (kDeliver/kReplay/kDiscard*) sharing a
+//      (sender pid, send_seq, msg_version) key — MsgIds are per-transport
+//      and collide across nodes — and an agreeing piggybacked clock are
+//      paired ONE-TO-ONE in time order. That disambiguates a killed node's
+//      respawned incarnation reusing the same sequence space: its re-sends
+//      pair with the duplicate discards they caused, while a receive whose
+//      send event died with its node stays unmatched. A kTokenBroadcast
+//      matches each kTokenProcess by (announcer, ref).
+//   3. The DAG is linearised by Kahn's algorithm, always releasing the
+//      ready event with the smallest timestamp, and each event's timestamp
+//      is clamped to be >= its predecessors'. Wall-clock skew between
+//      nodes therefore cannot make an effect render before its cause.
+//
+// Every edge the wall clocks disagree with (receive stamped earlier than
+// its matched send, or a causal cycle, which a correct run cannot produce)
+// is reported as a violation — the acceptance bar for a same-host cluster
+// run is zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace optrec::telemetry {
+
+struct MergedTrace {
+  /// One causally-ordered timeline; seq renumbered to the merged order and
+  /// `at` rebased to micros since the merged origin (monotone along every
+  /// causal edge). node/wall_us are preserved from the inputs.
+  std::vector<TraceEvent> events;
+  std::uint64_t wall0_us = 0;          // wall-clock origin of the merged axis
+  std::size_t nodes = 0;               // distinct recording nodes seen
+  std::size_t matched_messages = 0;    // send -> receive pairs joined
+  std::size_t matched_tokens = 0;      // broadcast -> process pairs joined
+  std::size_t cross_node_edges = 0;    // matches that span two nodes
+  /// Human-readable causal anomalies (clock-skew inversions, piggyback
+  /// mismatches, cycles). Empty for a healthy run.
+  std::vector<std::string> violations;
+};
+
+/// Merge one recorded trace per node. Inputs without a recorded node id
+/// (pre-telemetry files, simulator traces) are assigned their input index.
+MergedTrace merge_traces(std::vector<std::vector<TraceEvent>> inputs);
+
+}  // namespace optrec::telemetry

@@ -1,0 +1,70 @@
+// Glue between the runtime's existing accounting and the MetricsRegistry.
+//
+//  * ProcessGauges — one block of pre-registered per-process instruments.
+//    A worker thread owns its ProcessGauges and calls update() with its
+//    private Metrics after every step (the same cadence as the quiescence
+//    mirrors), so the telemetry endpoint sees live protocol counters
+//    without ever touching another thread's Metrics block. Counters are
+//    mirrored with Counter::store() — each is monotonic within its owning
+//    worker, so the mirror stays a valid Prometheus counter.
+//
+//  * register_network_stats — a collector exporting a Network::Stats
+//    snapshot function (Network, LiveTransport and TcpTransport all speak
+//    this shape) as optrec_net_* counters.
+#pragma once
+
+#include <functional>
+
+#include "src/harness/metrics.h"
+#include "src/net/network.h"
+#include "src/telemetry/metrics_registry.h"
+#include "src/util/ids.h"
+
+namespace optrec::telemetry {
+
+/// Live per-process protocol instruments, labelled {pid="K"}.
+class ProcessGauges {
+ public:
+  ProcessGauges(MetricsRegistry& registry, ProcessId pid);
+
+  /// Mirror the worker-private Metrics into the registry. Hot-path cost:
+  /// a dozen relaxed atomic stores, no locks.
+  void update(const Metrics& m);
+  void set_up(bool up);
+
+  // Live reads of the mirrored counters (status-gossip stats, tests).
+  std::uint64_t sent() const { return sent_.value(); }
+  std::uint64_t delivered() const { return delivered_.value(); }
+  std::uint64_t orphaned() const { return orphaned_.value(); }
+  std::uint64_t rollbacks() const { return rollbacks_.value(); }
+  std::uint64_t crashes() const { return crashes_.value(); }
+  std::uint64_t restarts() const { return restarts_.value(); }
+  std::uint64_t tokens_processed() const { return tokens_processed_.value(); }
+  std::uint64_t replayed() const { return replayed_.value(); }
+  std::uint64_t checkpoints() const { return checkpoints_.value(); }
+
+ private:
+  Counter& sent_;
+  Counter& delivered_;
+  Counter& orphaned_;       // obsolete discards: messages from undone states
+  Counter& duplicates_;
+  Counter& postponed_;
+  Counter& rollbacks_;
+  Counter& states_rolled_back_;
+  Counter& checkpoints_;
+  Counter& log_flushes_;
+  Counter& crashes_;
+  Counter& restarts_;
+  Counter& tokens_processed_;
+  Counter& replayed_;
+  Counter& retransmissions_;
+  Counter& piggyback_bytes_;
+  Gauge& up_;
+};
+
+/// Export a Network::Stats source as optrec_net_* counters. `snap` is
+/// called on every scrape and must be thread-safe.
+void register_network_stats(MetricsRegistry& registry,
+                            std::function<Network::Stats()> snap);
+
+}  // namespace optrec::telemetry

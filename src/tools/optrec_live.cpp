@@ -36,7 +36,8 @@
 //   --trace-format=F   jsonl | chrome | dot                  [jsonl]
 //   --audit            replay the trace through the invariant auditor;
 //                      violations fail the run (implies tracing)
-//   --metrics-json     print the full result as one JSON object
+//   --metrics-json[=FILE]  print the full result as one JSON object (to
+//                      FILE instead of stdout when given)
 //
 // Exit codes: the shared runner convention — see "Exit codes" in README.md
 // (0 clean, 2 usage, 3 violation, 4 time cap).
@@ -54,6 +55,7 @@
 
 #include "src/harness/failure_plan.h"
 #include "src/live/live_runtime.h"
+#include "src/telemetry/recovery_timeline.h"
 #include "src/trace/trace_auditor.h"
 #include "src/trace/trace_sink.h"
 #include "src/util/json.h"
@@ -110,7 +112,8 @@ std::uint64_t parse_u64(const std::string& value, const char* flag) {
 std::string result_json(const LiveConfig& config, const LiveResult& result,
                         std::size_t crashes_planned,
                         const std::vector<std::string>& violations,
-                        bool audited, std::size_t audit_violations) {
+                        bool audited, std::size_t audit_violations,
+                        const std::vector<TraceEvent>* events) {
   std::ostringstream os;
   JsonWriter w(os);
   const Metrics& m = result.metrics;
@@ -134,6 +137,7 @@ std::string result_json(const LiveConfig& config, const LiveResult& result,
   w.key("delivery_latency_us").begin_object();
   w.kv("count", std::uint64_t{result.delivery_latency_us.count()});
   w.kv("p50", result.delivery_latency_us.percentile(0.50));
+  w.kv("p90", result.delivery_latency_us.percentile(0.90));
   w.kv("p99", result.delivery_latency_us.percentile(0.99));
   w.end_object();
   w.key("recovery_us").begin_object();
@@ -182,6 +186,14 @@ std::string result_json(const LiveConfig& config, const LiveResult& result,
 
   w.kv("oracle_violations", std::uint64_t{violations.size()});
   if (audited) w.kv("audit_violations", std::uint64_t{audit_violations});
+  // Phase-decomposed unavailability per failure — only derivable when the
+  // run recorded a trace (docs/OBSERVABILITY.md).
+  if (events != nullptr && !events->empty()) {
+    w.key("recovery_timeline").begin_object();
+    telemetry::write_recovery_timeline_fields(
+        w, telemetry::analyze_recovery_timeline(*events));
+    w.end_object();
+  }
   w.end_object();
   os << "\n";
   return os.str();
@@ -207,6 +219,7 @@ int main(int argc, char** argv) {
   std::string trace_format = "jsonl";
   bool audit = false;
   bool metrics_json = false;
+  std::string metrics_json_file;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -274,6 +287,7 @@ int main(int argc, char** argv) {
       config.enable_trace = true;
     } else if (parse_flag(arg, "--metrics-json", &value)) {
       metrics_json = true;
+      metrics_json_file = value;
     } else {
       die(std::string("unknown flag '") + arg + "' (see header comment)");
     }
@@ -342,10 +356,17 @@ int main(int argc, char** argv) {
                         : !result.quiesced               ? 4
                                                          : 0;
   if (metrics_json) {
-    std::fputs(result_json(config, result, config.crashes.size(), violations,
-                           audit, audit_violations)
-                   .c_str(),
-               stdout);
+    const std::string json =
+        result_json(config, result, config.crashes.size(), violations, audit,
+                    audit_violations, events);
+    if (metrics_json_file.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_json_file, std::ios::binary);
+      if (!out) die("cannot open metrics file '" + metrics_json_file + "'");
+      out << json;
+      if (!out) die("failed writing metrics file '" + metrics_json_file + "'");
+    }
     return exit_code;
   }
 
@@ -355,10 +376,11 @@ int main(int argc, char** argv) {
   std::printf("throughput %.0f delivered/s (%llu delivered in %.2f s)\n",
               wall_s > 0 ? m.messages_delivered / wall_s : 0.0,
               (unsigned long long)m.messages_delivered, wall_s);
-  std::printf("latency    p50=%.0f us p99=%.0f us (n=%zu)\n",
+  std::printf("latency    p50=%.0f us p90=%.0f us p99=%.0f us (n=%llu)\n",
               result.delivery_latency_us.percentile(0.50),
+              result.delivery_latency_us.percentile(0.90),
               result.delivery_latency_us.percentile(0.99),
-              result.delivery_latency_us.count());
+              (unsigned long long)result.delivery_latency_us.count());
   std::printf("messages   sent=%llu delivered=%llu replayed=%llu\n",
               (unsigned long long)m.app_messages_sent,
               (unsigned long long)m.messages_delivered,

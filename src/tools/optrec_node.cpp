@@ -9,7 +9,7 @@
 //
 //   --node=all   (default) whole fleet in this process, loopback sockets,
 //                ephemeral ports, shared causality oracle + trace auditor.
-//                  optrec_node --processes=8 --tcp-nodes=4 --crashes=2 \
+//                  optrec_node --processes=8 --tcp-nodes=4 --crashes=2
 //                      --oracle --audit
 //
 //   --node=K     one node of a real cluster. Describe the cluster either
@@ -21,7 +21,7 @@
 //   --spawn      multi-process harness: forks one child per node (each a
 //                real `optrec_node --node=K`), optionally SIGKILLs and
 //                respawns children mid-run, and folds their exit codes.
-//                  optrec_node --spawn --processes=8 --tcp-nodes=4 \
+//                  optrec_node --spawn --processes=8 --tcp-nodes=4
 //                      --retransmit --kill=1:400:900
 //
 // Flags shared with optrec_live (same spelling, same defaults):
@@ -30,7 +30,26 @@
 //   --partition=AT_MS:HEAL_MS:G0/G1 (groups are NODE ids here)
 //   --min-delay-us=K --max-delay-us=K --flush-ms=K --ckpt-ms=K
 //   --retransmit --stability --gc --time-cap-ms=K --verbose --oracle
-//   --trace=FILE --trace-format=jsonl|chrome|dot --audit --metrics-json
+//   --trace=FILE --trace-format=jsonl|chrome|dot --audit
+//   --metrics-json[=FILE]  (FILE form writes the JSON there instead of
+//                      stdout; --spawn derives FILE.nodeK per child)
+//
+// Telemetry flags (docs/OBSERVABILITY.md):
+//   --telemetry        serve /metrics, /metrics.json, /cluster, /healthz
+//                      from each node's IO thread
+//   --telemetry-port=P     (--node=K) this node's endpoint port
+//   --telemetry-base-port=P  loopback topologies: node i serves on P+i
+//                      (forwarded to --spawn children)
+//   --stats[=HOST:PORT]    client mode: scrape the coordinator's /cluster
+//                      table and print it; target defaults to node 0 of
+//                      the topology (needs its telemetry_port, e.g. from
+//                      --telemetry-base-port or a topology file)
+//   --timeline=FILE    write the recovery-phase timeline JSON extracted
+//                      from the run's trace (implies tracing; --node=all
+//                      and --node=K only — merge --spawn traces with
+//                      optrec_trace_merge --timeline instead)
+//   --trace-dir=DIR    (--spawn) hand each child --trace=DIR/node-K.jsonl
+//                      so per-node traces land ready for optrec_trace_merge
 //
 // TCP-specific flags:
 //   --tcp-nodes=K      nodes in a generated loopback topology      [2]
@@ -54,10 +73,12 @@
 // Exit codes: the shared runner convention — see "Exit codes" in README.md
 // (0 clean, 2 usage, 3 violation, 4 time cap). --spawn returns the worst
 // child's code.
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -76,6 +97,8 @@
 
 #include "src/harness/failure_plan.h"
 #include "src/tcp/tcp_cluster.h"
+#include "src/telemetry/http_endpoint.h"
+#include "src/telemetry/recovery_timeline.h"
 #include "src/trace/trace_auditor.h"
 #include "src/trace/trace_sink.h"
 #include "src/util/json.h"
@@ -160,9 +183,10 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
                         SimTime wall_time, const Metrics& m,
                         const Network::Stats& n,
                         const TcpTransport::TcpStats& t,
-                        const Percentiles& latency,
+                        const telemetry::FixedHistogram& latency,
                         std::size_t oracle_violations, bool audited,
-                        std::size_t audit_violations) {
+                        std::size_t audit_violations,
+                        const telemetry::RecoveryTimelineReport* timeline) {
   std::ostringstream os;
   JsonWriter w(os);
   const double wall_s = static_cast<double>(wall_time) / 1e6;
@@ -188,8 +212,15 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
   w.key("delivery_latency_us").begin_object();
   w.kv("count", std::uint64_t{latency.count()});
   w.kv("p50", latency.percentile(0.50));
+  w.kv("p90", latency.percentile(0.90));
   w.kv("p99", latency.percentile(0.99));
   w.end_object();
+
+  if (timeline != nullptr) {
+    w.key("recovery_timeline").begin_object();
+    telemetry::write_recovery_timeline_fields(w, *timeline);
+    w.end_object();
+  }
 
   w.key("metrics").begin_object();
   w.kv("app_messages_sent", m.app_messages_sent);
@@ -244,16 +275,17 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
 void print_summary(const char* head, bool quiesced, SimTime wall_time,
                    const Metrics& m, const Network::Stats& n,
                    const TcpTransport::TcpStats& t,
-                   const Percentiles& latency) {
+                   const telemetry::FixedHistogram& latency) {
   const double wall_s = static_cast<double>(wall_time) / 1e6;
   std::printf("%s quiesced=%s (t = %.2f ms wall)\n", head,
               quiesced ? "yes" : "NO", wall_time / 1000.0);
   std::printf("throughput %.0f delivered/s (%llu delivered in %.2f s)\n",
               wall_s > 0 ? m.messages_delivered / wall_s : 0.0,
               (unsigned long long)m.messages_delivered, wall_s);
-  std::printf("latency    p50=%.0f us p99=%.0f us (n=%zu)\n",
-              latency.percentile(0.50), latency.percentile(0.99),
-              latency.count());
+  std::printf("latency    p50=%.0f us p90=%.0f us p99=%.0f us (n=%llu)\n",
+              latency.percentile(0.50), latency.percentile(0.90),
+              latency.percentile(0.99),
+              (unsigned long long)latency.count());
   std::printf("recovery   crashes=%llu restarts=%llu rollbacks=%llu "
               "(max %llu/proc/failure)\n",
               (unsigned long long)m.crashes, (unsigned long long)m.restarts,
@@ -294,12 +326,97 @@ void write_trace(const std::string& trace_file, const std::string& format,
   }
 }
 
-/// --spawn: fork a child running `--node=K` with the given base argv.
+/// Write --metrics-json output: stdout when `file` is empty, FILE otherwise.
+void emit_metrics_json(const std::string& file, const std::string& json) {
+  if (file.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(file, std::ios::binary);
+  if (!out) die("cannot open metrics file '" + file + "'");
+  out << json;
+  if (!out) die("failed writing metrics file '" + file + "'");
+}
+
+void write_timeline_file(const std::string& file,
+                         const telemetry::RecoveryTimelineReport& report) {
+  std::ofstream out(file, std::ios::binary);
+  if (!out) die("cannot open timeline file '" + file + "'");
+  telemetry::write_recovery_timeline_json(out, report);
+  if (!out) die("failed writing timeline file '" + file + "'");
+}
+
+/// --stats: scrape HOST:PORT/cluster and print the live table.
+int run_stats_client(const std::string& host, std::uint16_t port) {
+  std::string body;
+  try {
+    body = telemetry::http_get(host, port, "/cluster");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "optrec_node: --stats: %s\n", e.what());
+    return 1;
+  }
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(body);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "optrec_node: --stats: bad /cluster JSON: %s\n",
+                 e.what());
+    return 1;
+  }
+  std::printf("cluster @ %s:%u  (answering node %llu%s)\n", host.c_str(), port,
+              (unsigned long long)doc.u64_or("node", 0),
+              doc.find("coordinator") != nullptr &&
+                      doc.find("coordinator")->as_bool()
+                  ? ", coordinator"
+                  : "");
+  std::printf(
+      "%4s %-5s %8s %9s %9s %8s %8s %6s %7s %7s %7s %5s %10s %8s %8s\n",
+      "node", "quiet", "age_ms", "sent", "delivered", "orphaned", "rollbk",
+      "crash", "restart", "tokens", "replay", "ckpt", "tx_bytes", "p50_us",
+      "p99_us");
+  const JsonValue* rows = doc.find("rows");
+  if (rows != nullptr) {
+    for (const JsonValue& r : rows->as_array()) {
+      const JsonValue* quiet = r.find("quiet");
+      std::printf("%4llu %-5s %8.1f %9llu %9llu %8llu %8llu %6llu %7llu "
+                  "%7llu %7llu %5llu %10llu %8llu %8llu\n",
+                  (unsigned long long)r.u64_or("node", 0),
+                  quiet != nullptr && quiet->as_bool() ? "yes" : "no",
+                  static_cast<double>(r.u64_or("age_us", 0)) / 1000.0,
+                  (unsigned long long)r.u64_or("app_sent", 0),
+                  (unsigned long long)r.u64_or("delivered", 0),
+                  (unsigned long long)r.u64_or("orphaned", 0),
+                  (unsigned long long)r.u64_or("rollbacks", 0),
+                  (unsigned long long)r.u64_or("crashes", 0),
+                  (unsigned long long)r.u64_or("restarts", 0),
+                  (unsigned long long)r.u64_or("tokens", 0),
+                  (unsigned long long)r.u64_or("replayed", 0),
+                  (unsigned long long)r.u64_or("checkpoints", 0),
+                  (unsigned long long)r.u64_or("bytes_tx", 0),
+                  (unsigned long long)r.u64_or("latency_p50_us", 0),
+                  (unsigned long long)r.u64_or("latency_p99_us", 0));
+    }
+  }
+  return 0;
+}
+
+/// Micros since the Unix epoch; anchors per-node traces on a shared clock.
+std::uint64_t unix_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// --spawn: fork a child running `--node=K` with the given base argv plus
+/// per-node extras (trace file, metrics file).
 pid_t spawn_child(const std::vector<std::string>& base_args,
-                  std::uint32_t node, bool recover) {
+                  std::uint32_t node, bool recover,
+                  const std::vector<std::string>& extra) {
   std::vector<std::string> args = base_args;
   args.push_back("--node=" + std::to_string(node));
   if (recover) args.push_back("--recover");
+  args.insert(args.end(), extra.begin(), extra.end());
   const pid_t pid = ::fork();
   if (pid < 0) die("fork failed");
   if (pid == 0) {
@@ -316,10 +433,11 @@ pid_t spawn_child(const std::vector<std::string>& base_args,
 
 int run_spawn_harness(const std::vector<std::string>& base_args,
                       std::size_t tcp_nodes, std::vector<KillSpec> kills,
-                      bool verbose) {
+                      bool verbose,
+                      const std::vector<std::vector<std::string>>& extra) {
   std::vector<pid_t> child(tcp_nodes, -1);
   for (std::uint32_t k = 0; k < tcp_nodes; ++k) {
-    child[k] = spawn_child(base_args, k, /*recover=*/false);
+    child[k] = spawn_child(base_args, k, /*recover=*/false, extra[k]);
   }
 
   // Apply the kill/respawn schedule in event-time order.
@@ -349,7 +467,8 @@ int run_spawn_harness(const std::vector<std::string>& base_args,
                      event.node);
       }
       child[event.node] =
-          spawn_child(base_args, event.node, /*recover=*/true);
+          spawn_child(base_args, event.node, /*recover=*/true,
+                      extra[event.node]);
     } else {
       if (verbose) {
         std::fprintf(stderr, "harness: SIGKILL node %u (pid %d)\n", event.node,
@@ -403,9 +522,17 @@ int main(int argc, char** argv) {
   bool spawn = false;
   bool audit = false;
   bool metrics_json = false;
+  std::string metrics_json_file;
   bool verbose = false;
   bool print_topology = false;
   bool enable_trace = false;
+  bool telemetry = false;
+  std::uint16_t telemetry_port = 0;
+  std::uint16_t telemetry_base_port = 0;
+  bool stats_mode = false;
+  std::string stats_target;
+  std::string timeline_file;
+  std::string trace_dir;
   std::vector<KillSpec> kills;
   /// Flags forwarded verbatim to --spawn children (everything except the
   /// harness-only flags and --node itself).
@@ -487,7 +614,30 @@ int main(int argc, char** argv) {
       forward = false;
     } else if (parse_flag(arg, "--metrics-json", &value)) {
       metrics_json = true;
-      forward = false;  // interleaved child JSON is not a document
+      metrics_json_file = value;
+      forward = false;  // --spawn derives a per-child FILE.nodeK instead
+    } else if (parse_flag(arg, "--telemetry-port", &value)) {
+      telemetry_port =
+          static_cast<std::uint16_t>(parse_u64(value, "--telemetry-port"));
+      forward = false;  // one port cannot serve every child
+    } else if (parse_flag(arg, "--telemetry-base-port", &value)) {
+      telemetry_base_port = static_cast<std::uint16_t>(
+          parse_u64(value, "--telemetry-base-port"));
+    } else if (parse_flag(arg, "--telemetry", &value)) {
+      telemetry = true;
+    } else if (parse_flag(arg, "--stats", &value)) {
+      stats_mode = true;
+      stats_target = value;
+      forward = false;
+    } else if (parse_flag(arg, "--timeline", &value)) {
+      if (value.empty()) die("--timeline wants a file name");
+      timeline_file = value;
+      enable_trace = true;
+      forward = false;
+    } else if (parse_flag(arg, "--trace-dir", &value)) {
+      if (value.empty()) die("--trace-dir wants a directory");
+      trace_dir = value;
+      forward = false;  // --spawn derives a per-child --trace file instead
     } else if (parse_flag(arg, "--tcp-nodes", &value)) {
       config.nodes = parse_u64(value, "--tcp-nodes");
     } else if (parse_flag(arg, "--base-port", &value)) {
@@ -546,11 +696,34 @@ int main(int argc, char** argv) {
     config.nodes = topo.nodes.size();
   } else {
     try {
-      topo = TcpTopology::loopback(config.n, config.nodes, base_port);
+      topo = TcpTopology::loopback(config.n, config.nodes, base_port,
+                                   "loopback", telemetry_base_port);
     } catch (const std::invalid_argument& e) {
       die(e.what());
     }
     topo.faults = config.faults;
+  }
+
+  // ---- --stats: scrape the coordinator's /cluster table ---------------
+  if (stats_mode) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!stats_target.empty()) {
+      const std::size_t colon = stats_target.rfind(':');
+      if (colon == std::string::npos) die("--stats wants HOST:PORT");
+      host = stats_target.substr(0, colon);
+      port = static_cast<std::uint16_t>(
+          parse_u64(stats_target.substr(colon + 1), "--stats port"));
+    } else {
+      const TcpNodeSpec& coord = topo.node(0);
+      host = coord.host;
+      port = coord.telemetry_port;
+      if (port == 0) {
+        die("--stats needs an explicit HOST:PORT, a topology that assigns "
+            "node 0 a telemetry_port, or --telemetry-base-port");
+      }
+    }
+    return run_stats_client(host, port);
   }
 
   if (print_topology) {
@@ -564,6 +737,10 @@ int main(int argc, char** argv) {
     if (config.enable_oracle || audit) {
       die("--oracle/--audit need one address space; use --node=all");
     }
+    if (!timeline_file.empty()) {
+      die("--timeline needs one trace; collect per-node traces with "
+          "--trace-dir and run optrec_trace_merge --timeline instead");
+    }
     if (topology_file.empty() && base_port == 0) {
       // Children must all compute identical fixed ports; derive a block
       // from the harness pid and hand it down explicitly.
@@ -573,7 +750,41 @@ int main(int argc, char** argv) {
     if (topology_file.empty()) {
       child_args.push_back("--base-port=" + std::to_string(base_port));
     }
-    return run_spawn_harness(child_args, config.nodes, kills, verbose);
+    if (telemetry && telemetry_base_port == 0 && topology_file.empty()) {
+      // The children's scrape ports must be knowable; carve a block right
+      // above the data ports.
+      telemetry_base_port =
+          static_cast<std::uint16_t>(base_port + config.nodes);
+      child_args.push_back("--telemetry-base-port=" +
+                           std::to_string(telemetry_base_port));
+    }
+    if (telemetry && verbose && telemetry_base_port != 0) {
+      std::fprintf(stderr,
+                   "harness: telemetry on 127.0.0.1:%u..%u (/metrics)\n",
+                   telemetry_base_port,
+                   telemetry_base_port + (unsigned)config.nodes - 1);
+    }
+    if (!trace_dir.empty()) {
+      if (::mkdir(trace_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        die("cannot create --trace-dir '" + trace_dir + "'");
+      }
+    }
+    if (metrics_json && metrics_json_file.empty()) {
+      die("--spawn needs --metrics-json=FILE (children would interleave "
+          "one stdout)");
+    }
+    std::vector<std::vector<std::string>> extra(config.nodes);
+    for (std::uint32_t k = 0; k < config.nodes; ++k) {
+      if (!trace_dir.empty()) {
+        extra[k].push_back("--trace=" + trace_dir + "/node-" +
+                           std::to_string(k) + ".jsonl");
+      }
+      if (metrics_json) {
+        extra[k].push_back("--metrics-json=" + metrics_json_file + ".node" +
+                           std::to_string(k));
+      }
+    }
+    return run_spawn_harness(child_args, config.nodes, kills, verbose, extra);
   }
 
   // ---- --node=K: one node of the cluster -----------------------------
@@ -603,6 +814,8 @@ int main(int argc, char** argv) {
     nc.settle = config.settle;
     nc.status_interval = config.status_interval;
     nc.max_block = config.max_block;
+    nc.telemetry = telemetry;
+    nc.telemetry_port = telemetry_port;
     std::unique_ptr<TraceRecorder> trace;
     if (enable_trace) {
       trace = std::make_unique<TraceRecorder>();
@@ -610,17 +823,31 @@ int main(int argc, char** argv) {
     }
 
     TcpNode runner(std::move(nc));
+    if (trace != nullptr) {
+      // Stamp every event with this node's id and a wall-clock origin so
+      // per-node JSONL files merge (optrec_trace_merge) on a shared axis.
+      trace->set_origin(node, unix_micros() - runner.clock().now());
+    }
+    if (verbose && runner.telemetry_port() != 0) {
+      std::fprintf(stderr, "node %u: telemetry on %s:%u\n", node,
+                   topo.node(node).host.c_str(), runner.telemetry_port());
+    }
     const TcpNodeResult result = runner.run();
     if (trace != nullptr && !trace_file.empty()) {
       write_trace(trace_file, trace_format, trace->events());
     }
+    telemetry::RecoveryTimelineReport timeline;
+    if (trace != nullptr) {
+      timeline = telemetry::analyze_recovery_timeline(trace->events());
+      if (!timeline_file.empty()) write_timeline_file(timeline_file, timeline);
+    }
     if (metrics_json) {
-      std::fputs(result_json(config, "node", node, result.exit_code,
-                             result.quiesced, result.wall_time, result.metrics,
-                             result.net, result.tcp,
-                             result.delivery_latency_us, 0, false, 0)
-                     .c_str(),
-                 stdout);
+      emit_metrics_json(
+          metrics_json_file,
+          result_json(config, "node", node, result.exit_code, result.quiesced,
+                      result.wall_time, result.metrics, result.net, result.tcp,
+                      result.delivery_latency_us, 0, false, 0,
+                      trace != nullptr ? &timeline : nullptr));
     } else {
       char head[64];
       std::snprintf(head, sizeof head, "node %u", node);
@@ -636,6 +863,9 @@ int main(int argc, char** argv) {
     die("--node=all generates its own loopback topology; run per-node "
         "processes for --topology");
   }
+  if (!trace_dir.empty()) die("--trace-dir is for --spawn; use --trace=FILE");
+  config.telemetry = telemetry;
+  config.telemetry_base_port = telemetry_base_port;
 
   if (!metrics_json) {
     std::printf(
@@ -656,6 +886,11 @@ int main(int argc, char** argv) {
   if (!trace_file.empty() && events != nullptr) {
     write_trace(trace_file, trace_format, *events);
   }
+  telemetry::RecoveryTimelineReport timeline;
+  if (events != nullptr) {
+    timeline = telemetry::analyze_recovery_timeline(*events);
+    if (!timeline_file.empty()) write_timeline_file(timeline_file, timeline);
+  }
 
   bool audit_ok = true;
   std::size_t audit_violations = 0;
@@ -673,12 +908,12 @@ int main(int argc, char** argv) {
                         : !result.quiesced               ? 4
                                                          : 0;
   if (metrics_json) {
-    std::fputs(result_json(config, "all", 0, exit_code, result.quiesced,
-                           result.wall_time, result.metrics, result.net,
-                           result.tcp, result.delivery_latency_us,
-                           violations.size(), audit, audit_violations)
-                   .c_str(),
-               stdout);
+    emit_metrics_json(
+        metrics_json_file,
+        result_json(config, "all", 0, exit_code, result.quiesced,
+                    result.wall_time, result.metrics, result.net, result.tcp,
+                    result.delivery_latency_us, violations.size(), audit,
+                    audit_violations, events != nullptr ? &timeline : nullptr));
     return exit_code;
   }
 

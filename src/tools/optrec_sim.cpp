@@ -4,7 +4,7 @@
 // protocol and prints the metrics; the quickest way to poke at the system
 // without writing code.
 //
-//   optrec_sim --protocol=damani-garg --n=6 --workload=bank \
+//   optrec_sim --protocol=damani-garg --n=6 --workload=bank
 //              --crashes=2 --seed=7 --retransmit --verbose
 //
 // Flags (all optional):
@@ -34,8 +34,9 @@
 //                      dot (Graphviz space-time diagram)        [jsonl]
 //   --audit            replay the trace through the invariant auditor;
 //                      violations fail the run (implies tracing)
-//   --metrics-json     print the full metrics as one JSON object instead of
-//                      the human-readable table
+//   --metrics-json[=FILE]  print the full metrics as one JSON object
+//                      instead of the human-readable table (to FILE
+//                      instead of stdout when given)
 //
 // Exit codes (docs/OBSERVABILITY.md; the explorer and CI key off them):
 //   0  run quiesced with no oracle/audit violation
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
   std::string trace_format = "jsonl";
   bool audit = false;
   bool metrics_json = false;
+  std::string metrics_json_file;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -189,6 +191,7 @@ int main(int argc, char** argv) {
       config.enable_trace = true;
     } else if (parse_flag(arg, "--metrics-json", &value)) {
       metrics_json = true;
+      metrics_json_file = value;
     } else {
       die(std::string("unknown flag '") + arg + "' (see header comment)");
     }
@@ -254,7 +257,15 @@ int main(int argc, char** argv) {
                         : !result.quiesced                      ? 4
                                                                 : 0;
   if (metrics_json) {
-    std::fputs(result_json(config, result).c_str(), stdout);
+    const std::string json = result_json(config, result);
+    if (metrics_json_file.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_json_file, std::ios::binary);
+      if (!out) die("cannot open metrics file '" + metrics_json_file + "'");
+      out << json;
+      if (!out) die("failed writing metrics file '" + metrics_json_file + "'");
+    }
     return exit_code;
   }
 

@@ -69,6 +69,7 @@ std::string TraceEvent::describe() const {
   std::ostringstream os;
   os << '#' << seq << " t=" << at << " P" << pid << ' '
      << trace_event_type_name(type) << ' ' << clock.to_string();
+  if (node != kNoTraceNode) os << " node=" << node;
   if (peer != kNoProcess) os << " peer=P" << peer;
   if (msg_id != 0) os << " msg=" << msg_id;
   if (origin != kNoProcess) os << " origin=P" << origin << "v" << origin_ver;

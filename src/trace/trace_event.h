@@ -44,6 +44,9 @@ const char* trace_event_type_name(TraceEventType type);
 /// Inverse of trace_event_type_name; throws on unknown names.
 TraceEventType trace_event_type_from_name(const std::string& name);
 
+/// "No node" marker for TraceEvent::node (single-address-space runs).
+inline constexpr std::uint32_t kNoTraceNode = 0xffffffffu;
+
 /// One recorded event. Field semantics vary slightly by type; the unused
 /// fields of a type keep their defaults (and are omitted by the JSONL sink):
 ///
@@ -79,6 +82,15 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kSend;
   ProcessId pid = kNoProcess;     // acting process
   FtvcEntry clock{};              // actor's own (version, timestamp)
+
+  /// Recording TCP node (kNoTraceNode for simulator/live runs) and the
+  /// CLOCK_REALTIME microsecond instant of the event. Together they make
+  /// per-node JSONL files mergeable: multi-node runs no longer collide on
+  /// per-process ids alone, and optrec_trace_merge rebases every file onto
+  /// one wall-clock axis. Both are stamped by the recorder (set_origin) and
+  /// excluded from trace_digest — wall time is nondeterministic.
+  std::uint32_t node = kNoTraceNode;
+  std::uint64_t wall_us = 0;
 
   ProcessId peer = kNoProcess;    // counterparty (see table above)
   MsgId msg_id = 0;
@@ -121,10 +133,20 @@ std::uint64_t trace_digest(const std::vector<TraceEvent>& events);
 /// runtime).
 class TraceRecorder {
  public:
+  /// Stamp events with the recording node's identity and its wall-clock
+  /// origin (CLOCK_REALTIME micros at runtime-clock zero), so every event
+  /// carries a mergeable absolute timestamp. Call before the run starts.
+  void set_origin(std::uint32_t node, std::uint64_t wall0_us) {
+    node_ = node;
+    wall0_us_ = wall0_us;
+  }
+
   /// Stamp the total-order sequence number and store the event.
   void emit(TraceEvent e) {
     std::lock_guard<std::mutex> lock(mu_);
     e.seq = events_.size();
+    if (e.node == kNoTraceNode) e.node = node_;
+    if (e.wall_us == 0 && wall0_us_ != 0) e.wall_us = wall0_us_ + e.at;
     events_.push_back(std::move(e));
   }
 
@@ -137,6 +159,8 @@ class TraceRecorder {
  private:
   std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::uint32_t node_ = kNoTraceNode;
+  std::uint64_t wall0_us_ = 0;
 };
 
 }  // namespace optrec

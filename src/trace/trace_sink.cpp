@@ -1,9 +1,11 @@
 #include "src/trace/trace_sink.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 
 #include "src/util/json.h"
 
@@ -53,6 +55,8 @@ void write_trace_jsonl(std::ostream& os,
     w.kv("ts", e.clock.ts);
     // Fields at their default value are omitted; read_trace_jsonl restores
     // the defaults, so the omission is lossless.
+    if (e.node != kNoTraceNode) w.kv("node", e.node);
+    if (e.wall_us != 0) w.kv("wall", e.wall_us);
     if (e.peer != kNoProcess) w.kv("peer", e.peer);
     if (e.msg_id != 0) w.kv("msg", e.msg_id);
     if (e.send_seq != 0) w.kv("sseq", e.send_seq);
@@ -106,6 +110,8 @@ std::vector<TraceEvent> read_trace_jsonl(std::istream& is) {
     e.pid = static_cast<ProcessId>(v.u64_or("pid", kNoProcess));
     e.clock.ver = static_cast<Version>(v.u64_or("v", 0));
     e.clock.ts = v.u64_or("ts", 0);
+    e.node = static_cast<std::uint32_t>(v.u64_or("node", kNoTraceNode));
+    e.wall_us = v.u64_or("wall", 0);
     e.peer = static_cast<ProcessId>(v.u64_or("peer", kNoProcess));
     e.msg_id = v.u64_or("msg", 0);
     e.send_seq = v.u64_or("sseq", 0);
@@ -133,6 +139,20 @@ void write_trace_chrome(std::ostream& os,
                         const std::vector<TraceEvent>& events) {
   const std::size_t n = cluster_size_of(events);
 
+  // Multi-node (merged) traces render one Chrome "process" group per
+  // recording node; single-address-space traces keep the flat "cluster"
+  // group. A simulated process lives on exactly one node, so tid = pid
+  // stays unique either way.
+  bool have_nodes = false;
+  for (const TraceEvent& e : events) have_nodes |= e.node != kNoTraceNode;
+  const auto chrome_pid = [have_nodes](const TraceEvent& e) -> std::uint64_t {
+    return have_nodes && e.node != kNoTraceNode ? e.node : 0;
+  };
+  std::map<std::uint64_t, std::set<ProcessId>> tracks;  // chrome pid -> pids
+  for (const TraceEvent& e : events) {
+    if (e.pid != kNoProcess) tracks[chrome_pid(e)].insert(e.pid);
+  }
+
   // Pre-pass: pair each crash with the next restart of the same process so
   // downtime renders as one duration slice.
   std::map<std::uint64_t, SimTime> downtime;  // crash seq -> restart time
@@ -154,25 +174,46 @@ void write_trace_chrome(std::ostream& os,
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
 
-  // Track naming: one emulated OS process ("cluster"), one thread per
-  // simulated process, sorted by pid.
-  w.begin_object();
-  w.kv("name", "process_name").kv("ph", "M").kv("pid", 0);
-  w.key("args").begin_object().kv("name", "optrec cluster").end_object();
-  w.end_object();
-  for (std::size_t pid = 0; pid < n; ++pid) {
+  // Track naming: one emulated OS process per node (or one "cluster" when
+  // the trace is single-node), one thread per simulated process.
+  for (const auto& [cpid, pids] : tracks) {
     w.begin_object();
-    w.kv("name", "thread_name").kv("ph", "M").kv("pid", 0).kv("tid", pid);
+    w.kv("name", "process_name").kv("ph", "M").kv("pid", cpid);
     w.key("args")
         .begin_object()
-        .kv("name", "P" + std::to_string(pid))
+        .kv("name",
+            have_nodes ? "node " + std::to_string(cpid) : "optrec cluster")
         .end_object();
     w.end_object();
-    w.begin_object();
-    w.kv("name", "thread_sort_index").kv("ph", "M").kv("pid", 0).kv("tid", pid);
-    w.key("args").begin_object().kv("sort_index", pid).end_object();
-    w.end_object();
+    for (const ProcessId pid : pids) {
+      w.begin_object();
+      w.kv("name", "thread_name").kv("ph", "M").kv("pid", cpid).kv("tid", pid);
+      w.key("args")
+          .begin_object()
+          .kv("name", "P" + std::to_string(pid))
+          .end_object();
+      w.end_object();
+      w.begin_object();
+      w.kv("name", "thread_sort_index")
+          .kv("ph", "M")
+          .kv("pid", cpid)
+          .kv("tid", pid);
+      w.key("args").begin_object().kv("sort_index", pid).end_object();
+      w.end_object();
+    }
   }
+
+  // Flow arrows need an id that is unique per send across the whole merged
+  // trace; msg_id is only unique per transport, so in multi-node traces the
+  // (sender, send_seq, msg_version) identity allocates fresh arrow ids.
+  std::map<std::tuple<ProcessId, std::uint64_t, Version>, std::uint64_t>
+      arrow_ids;
+  const auto arrow_id = [&](const TraceEvent& e) -> std::uint64_t {
+    if (!have_nodes || e.send_seq == 0) return e.msg_id;
+    const ProcessId sender = e.type == TraceEventType::kSend ? e.pid : e.peer;
+    const auto key = std::make_tuple(sender, e.send_seq, e.msg_version);
+    return arrow_ids.emplace(key, arrow_ids.size() + 1).first->second;
+  };
 
   for (const TraceEvent& e : events) {
     if (e.pid == kNoProcess) continue;
@@ -183,7 +224,7 @@ void write_trace_chrome(std::ostream& os,
       w.begin_object();
       w.kv("name", "down").kv("cat", "failure").kv("ph", "X");
       w.kv("ts", e.at).kv("dur", until - e.at);
-      w.kv("pid", 0).kv("tid", e.pid);
+      w.kv("pid", chrome_pid(e)).kv("tid", e.pid);
       w.key("args")
           .begin_object()
           .kv("lost_deliveries", e.detail)
@@ -195,7 +236,7 @@ void write_trace_chrome(std::ostream& os,
     w.begin_object();
     w.kv("name", trace_event_type_name(e.type));
     w.kv("cat", "protocol").kv("ph", "i").kv("s", "t");
-    w.kv("ts", e.at).kv("pid", 0).kv("tid", e.pid);
+    w.kv("ts", e.at).kv("pid", chrome_pid(e)).kv("tid", e.pid);
     w.key("args").begin_object();
     w.kv("clock", e.clock.to_string());
     if (e.peer != kNoProcess) w.kv("peer", e.peer);
@@ -210,9 +251,8 @@ void write_trace_chrome(std::ostream& os,
     w.end_object();
     w.end_object();
 
-    // Message flow arrows: send -> deliver/replay, keyed by the network-
-    // assigned message id (unique per send).
-    if (e.msg_id != 0) {
+    // Message flow arrows: send -> deliver/replay.
+    if (e.msg_id != 0 || e.send_seq != 0) {
       const bool is_send = e.type == TraceEventType::kSend;
       const bool is_recv = e.type == TraceEventType::kDeliver ||
                            e.type == TraceEventType::kReplay;
@@ -221,8 +261,8 @@ void write_trace_chrome(std::ostream& os,
         w.kv("name", "msg").kv("cat", "msg");
         w.kv("ph", is_send ? "s" : "f");
         if (!is_send) w.kv("bp", "e");
-        w.kv("id", e.msg_id);
-        w.kv("ts", e.at).kv("pid", 0).kv("tid", e.pid);
+        w.kv("id", arrow_id(e));
+        w.kv("ts", e.at).kv("pid", chrome_pid(e)).kv("tid", e.pid);
         w.end_object();
       }
     }

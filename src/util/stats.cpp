@@ -52,6 +52,30 @@ std::string RunningStats::summary() const {
   return os.str();
 }
 
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::uint64_t>& counts, double q) {
+  if (counts.size() != upper_bounds.size() + 1) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (rank <= static_cast<double>(next)) {
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double hi = upper_bounds[i];
+      const double into = rank - static_cast<double>(cumulative);
+      return lo + (hi - lo) * into / static_cast<double>(counts[i]);
+    }
+    cumulative = next;
+  }
+  // Overflow bucket: the histogram cannot resolve beyond its last ceiling.
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
 double Percentiles::percentile(double q) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {

@@ -61,4 +61,12 @@ class Percentiles {
   mutable bool sorted_ = false;
 };
 
+/// Quantile extraction from a fixed-bucket histogram (Prometheus-style
+/// linear interpolation within the winning bucket). `upper_bounds` are the
+/// inclusive bucket ceilings in ascending order; `counts` has one extra
+/// trailing slot for the overflow (+inf) bucket, whose samples report the
+/// last finite bound. q in [0,1]; returns 0 when the histogram is empty.
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::uint64_t>& counts, double q);
+
 }  // namespace optrec

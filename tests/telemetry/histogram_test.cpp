@@ -1,0 +1,112 @@
+// FixedHistogram / AtomicHistogram: bucket accounting, percentile
+// extraction, merging, and the concurrent hot path (run under TSan by the
+// tsan CI job — observe() races against snapshot() by design).
+#include "src/telemetry/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace optrec::telemetry {
+namespace {
+
+TEST(FixedHistogramTest, CountsSumMeanMax) {
+  FixedHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(60.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 90.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(h.max(), 60.0);
+}
+
+TEST(FixedHistogramTest, PercentileInterpolatesWithinBucket) {
+  // A custom two-bucket layout makes the interpolation arithmetic exact:
+  // 10 samples in (0, 100], none above.
+  FixedHistogram h(std::vector<double>{100.0, 200.0});
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  // All mass in the first bucket: p50 lands mid-bucket per Prometheus-style
+  // linear interpolation.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(FixedHistogramTest, PercentileMonotoneOnLatencyLadder) {
+  FixedHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double p50 = h.percentile(0.50);
+  const double p90 = h.percentile(0.90);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Generous envelope: the 1-2-5 ladder quantises, but not wildly.
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p99, 500.0);
+}
+
+TEST(FixedHistogramTest, MergeFromAddsBuckets) {
+  FixedHistogram a;
+  FixedHistogram b;
+  a.observe(5.0);
+  b.observe(7.0);
+  b.observe(1000.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1012.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
+TEST(FixedHistogramTest, FromPartsRoundTrips) {
+  FixedHistogram h;
+  h.observe(3.0);
+  h.observe(300.0);
+  const FixedHistogram r = FixedHistogram::from_parts(
+      h.bounds(), h.bucket_counts(), h.sum(), h.max());
+  EXPECT_EQ(r.count(), h.count());
+  EXPECT_DOUBLE_EQ(r.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), h.percentile(0.5));
+}
+
+TEST(AtomicHistogramTest, SnapshotMatchesObservations) {
+  AtomicHistogram h;
+  for (int i = 0; i < 100; ++i) h.observe(42.0);
+  const FixedHistogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 100u);
+  // Sum is tracked in 1/1024ths; 42.0 * 100 is exactly representable.
+  EXPECT_NEAR(snap.sum(), 4200.0, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 42.0);
+}
+
+TEST(AtomicHistogramTest, ConcurrentObserveAndSnapshot) {
+  AtomicHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(i % 997));
+      }
+    });
+  }
+  // Snapshot concurrently — torn only by in-flight observations, never UB.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const FixedHistogram snap = h.snapshot();
+    EXPECT_GE(snap.count(), last);
+    last = snap.count();
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(h.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace optrec::telemetry

@@ -1,0 +1,166 @@
+// MetricsRegistry: registration identity, collectors, deterministic
+// rendering, and the multi-threaded hammer the TSan CI job runs — hot-path
+// updates racing collect()/render calls must be exactly accounted and
+// data-race free.
+#include "src/telemetry/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace optrec::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIdentityByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("optrec_messages_sent_total", "help");
+  Counter& b = reg.counter("optrec_messages_sent_total", "other help text");
+  EXPECT_EQ(&a, &b);  // same (name, labels) -> same instrument
+
+  Counter& p0 = reg.counter("optrec_msgs", "help", {{"pid", "0"}});
+  Counter& p1 = reg.counter("optrec_msgs", "help", {{"pid", "1"}});
+  EXPECT_NE(&p0, &p1);
+
+  a.inc();
+  a.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  p1.store(77);
+  EXPECT_EQ(p0.value(), 0u);
+  EXPECT_EQ(p1.value(), 77u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("optrec_queue_depth", "help");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(MetricsRegistryTest, CollectReturnsSortedSamples) {
+  MetricsRegistry reg;
+  reg.counter("zzz_total", "h").inc(1);
+  reg.counter("aaa_total", "h").inc(2);
+  reg.gauge("mmm", "h", {{"pid", "1"}}).set(3);
+  reg.gauge("mmm", "h", {{"pid", "0"}}).set(4);
+  reg.histogram("lat_us", "h").observe(5.0);
+
+  const std::vector<Sample> samples = reg.collect();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0].name, "aaa_total");
+  EXPECT_EQ(samples[1].name, "lat_us");
+  EXPECT_EQ(samples[1].kind, SampleKind::kHistogram);
+  EXPECT_EQ(samples[1].count, 1u);
+  EXPECT_EQ(samples[2].name, "mmm");
+  EXPECT_EQ(samples[2].labels.at("pid"), "0");
+  EXPECT_EQ(samples[3].labels.at("pid"), "1");
+  EXPECT_EQ(samples[4].name, "zzz_total");
+  EXPECT_DOUBLE_EQ(samples[4].value, 1.0);
+}
+
+TEST(MetricsRegistryTest, CollectorsAppendSamples) {
+  MetricsRegistry reg;
+  reg.add_collector([](std::vector<Sample>& out) {
+    Sample s;
+    s.name = "optrec_tcp_frames_tx_total";
+    s.kind = SampleKind::kCounter;
+    s.value = 42;
+    out.push_back(std::move(s));
+  });
+  const std::vector<Sample> samples = reg.collect();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "optrec_tcp_frames_tx_total");
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusRendering) {
+  MetricsRegistry reg;
+  reg.counter("optrec_rollbacks_total", "Rollbacks performed.",
+              {{"pid", "2"}})
+      .inc(3);
+  reg.gauge("optrec_quiet", "Node-quiet flag.").set(1);
+  reg.histogram("optrec_latency_us", "Delivery latency.").observe(12.0);
+
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP optrec_rollbacks_total Rollbacks performed."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE optrec_rollbacks_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("optrec_rollbacks_total{pid=\"2\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("optrec_quiet 1"), std::string::npos);
+  // Histograms expand to _bucket/_sum/_count with a +Inf bucket.
+  EXPECT_NE(text.find("optrec_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("optrec_latency_us_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonRenderingParses) {
+  MetricsRegistry reg;
+  reg.counter("optrec_messages_sent_total", "h").inc(9);
+  reg.histogram("optrec_latency_us", "h").observe(100.0);
+  std::ostringstream os;
+  reg.render_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"optrec_messages_sent_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(json.find("\n\n"), std::string::npos);
+}
+
+// The TSan target: four writer threads on counters/gauges/histograms while
+// a scraper thread renders continuously. Final counts must be exact.
+TEST(MetricsRegistryTest, ConcurrentHammerExactCounts) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25000;
+
+  Counter& shared = reg.counter("optrec_shared_total", "h");
+  AtomicHistogram& hist = reg.histogram("optrec_lat_us", "h");
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream os;
+      reg.render_prometheus(os);
+      reg.render_json(os);
+      (void)reg.collect();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, &shared, &hist, t] {
+      Counter& own = reg.counter("optrec_worker_total", "h",
+                                 {{"pid", std::to_string(t)}});
+      Gauge& depth = reg.gauge("optrec_depth", "h",
+                               {{"pid", std::to_string(t)}});
+      for (int i = 0; i < kIters; ++i) {
+        shared.inc();
+        own.inc();
+        depth.set(i);
+        hist.observe(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(shared.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(hist.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("optrec_worker_total", "h",
+                          {{"pid", std::to_string(t)}})
+                  .value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+}
+
+}  // namespace
+}  // namespace optrec::telemetry

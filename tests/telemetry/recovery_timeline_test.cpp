@@ -1,0 +1,197 @@
+// analyze_recovery_timeline: phase attribution, monotone-clamped
+// boundaries, the exact phase-sum == unavailability identity, and the
+// cluster-wide window union.
+#include "src/telemetry/recovery_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/json.h"
+
+namespace optrec::telemetry {
+namespace {
+
+std::uint64_t next_seq = 0;
+
+TraceEvent ev(TraceEventType type, SimTime at, ProcessId pid) {
+  TraceEvent e;
+  e.seq = next_seq++;
+  e.at = at;
+  e.type = type;
+  e.pid = pid;
+  return e;
+}
+
+// The canonical single-failure story: P1 crashes at t=1000, announces at
+// 1500, two survivors log the token (2000, 2200), one rolls back at 2100
+// (before dissemination finishes — the clamp must absorb it), replay at
+// 2400, restart at 2500, first fresh delivery at 3000.
+std::vector<TraceEvent> one_failure(SimTime base = 0) {
+  std::vector<TraceEvent> events;
+  TraceEvent crash = ev(TraceEventType::kCrash, base + 1000, 1);
+  crash.clock = {0, 900};
+  crash.detail = 3;  // deliveries lost with volatile state
+  events.push_back(crash);
+
+  TraceEvent bcast = ev(TraceEventType::kTokenBroadcast, base + 1500, 1);
+  bcast.origin = 1;
+  bcast.origin_ver = 0;
+  bcast.ref = {0, 400};
+  events.push_back(bcast);
+
+  for (SimTime at : {base + 2000, base + 2200}) {
+    TraceEvent tok = ev(TraceEventType::kTokenProcess, at, at % 2);
+    tok.origin = 1;
+    tok.origin_ver = 0;
+    tok.ref = {0, 400};
+    events.push_back(tok);
+  }
+
+  TraceEvent rb = ev(TraceEventType::kRollback, base + 2100, 0);
+  rb.origin = 1;
+  rb.origin_ver = 0;
+  rb.detail = 2;  // states undone
+  events.push_back(rb);
+
+  TraceEvent rp = ev(TraceEventType::kReplay, base + 2400, 1);
+  events.push_back(rp);
+  events.push_back(ev(TraceEventType::kRestart, base + 2500, 1));
+  events.push_back(ev(TraceEventType::kDeliver, base + 3000, 1));
+  return events;
+}
+
+TEST(RecoveryTimelineTest, SingleFailurePhases) {
+  const RecoveryTimelineReport report =
+      analyze_recovery_timeline(one_failure());
+  EXPECT_EQ(report.time_base, "run_us");  // no wall stamps
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FailureTimeline& f = report.failures[0];
+  EXPECT_EQ(f.pid, 1u);
+  EXPECT_EQ(f.failed_version, 0u);
+  EXPECT_TRUE(f.restarted);
+  EXPECT_TRUE(f.complete);
+
+  EXPECT_EQ(f.t_crash, 1000u);
+  EXPECT_EQ(f.t_detect, 1500u);
+  EXPECT_EQ(f.t_disseminate, 2200u);
+  // The rollback at 2100 predates the last token-process; the monotone
+  // clamp folds it into a zero-length phase instead of a negative one.
+  EXPECT_EQ(f.t_rollback, 2200u);
+  EXPECT_EQ(f.t_restart, 2500u);
+  EXPECT_EQ(f.t_resume, 3000u);
+
+  EXPECT_EQ(f.detection_us(), 500u);
+  EXPECT_EQ(f.dissemination_us(), 700u);
+  EXPECT_EQ(f.rollback_us(), 0u);
+  EXPECT_EQ(f.replay_us(), 300u);
+  EXPECT_EQ(f.resume_us(), 500u);
+  EXPECT_EQ(f.detection_us() + f.dissemination_us() + f.rollback_us() +
+                f.replay_us() + f.resume_us(),
+            f.unavailability_us());
+  EXPECT_EQ(f.unavailability_us(), 2000u);
+  EXPECT_EQ(report.cluster_unavailability_us, 2000u);
+
+  EXPECT_EQ(f.tokens_processed, 2u);
+  EXPECT_EQ(f.rollbacks, 1u);
+  EXPECT_EQ(f.states_rolled_back, 2u);
+  EXPECT_EQ(f.messages_replayed, 1u);
+  EXPECT_EQ(f.deliveries_lost, 3u);
+}
+
+TEST(RecoveryTimelineTest, IncompleteFailureInheritsBoundaries) {
+  // Run ends after the token broadcast: no dissemination, rollback,
+  // restart, or resume. Every later boundary inherits its predecessor and
+  // the identity still holds with zero-length tail phases.
+  std::vector<TraceEvent> events;
+  TraceEvent crash = ev(TraceEventType::kCrash, 100, 2);
+  crash.clock = {1, 50};
+  events.push_back(crash);
+  TraceEvent bcast = ev(TraceEventType::kTokenBroadcast, 250, 2);
+  bcast.origin = 2;
+  bcast.origin_ver = 1;
+  bcast.ref = {1, 30};
+  events.push_back(bcast);
+
+  const RecoveryTimelineReport report = analyze_recovery_timeline(events);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FailureTimeline& f = report.failures[0];
+  EXPECT_FALSE(f.restarted);
+  EXPECT_FALSE(f.complete);
+  EXPECT_EQ(f.t_detect, 250u);
+  EXPECT_EQ(f.t_disseminate, 250u);
+  EXPECT_EQ(f.t_rollback, 250u);
+  EXPECT_EQ(f.t_restart, 250u);
+  EXPECT_EQ(f.t_resume, 250u);
+  EXPECT_EQ(f.unavailability_us(), 150u);
+  EXPECT_EQ(report.cluster_unavailability_us, 150u);
+}
+
+TEST(RecoveryTimelineTest, DeliverBeforeRestartDoesNotComplete) {
+  std::vector<TraceEvent> events;
+  TraceEvent crash = ev(TraceEventType::kCrash, 100, 3);
+  events.push_back(crash);
+  // A delivery BEFORE restart must not close the failure (replayed state
+  // is not fresh work).
+  events.push_back(ev(TraceEventType::kDeliver, 200, 3));
+  const RecoveryTimelineReport report = analyze_recovery_timeline(events);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_FALSE(report.failures[0].complete);
+}
+
+TEST(RecoveryTimelineTest, OverlappingWindowsUnionOnce) {
+  // Failure A spans [1000, 3000), failure B (different pid) [2000, 4000):
+  // the union is 3000 us, not the 2000+2000 sum.
+  std::vector<TraceEvent> events = one_failure();
+  TraceEvent crash = ev(TraceEventType::kCrash, 2000, 5);
+  crash.clock = {0, 0};
+  events.push_back(crash);
+  events.push_back(ev(TraceEventType::kRestart, 3500, 5));
+  events.push_back(ev(TraceEventType::kDeliver, 4000, 5));
+
+  const RecoveryTimelineReport report = analyze_recovery_timeline(events);
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].unavailability_us(), 2000u);
+  EXPECT_EQ(report.failures[1].unavailability_us(), 2000u);
+  EXPECT_EQ(report.cluster_unavailability_us, 3000u);
+}
+
+TEST(RecoveryTimelineTest, DisjointWindowsSum) {
+  std::vector<TraceEvent> events = one_failure();
+  const std::vector<TraceEvent> later = one_failure(/*base=*/10000);
+  events.insert(events.end(), later.begin(), later.end());
+  const RecoveryTimelineReport report = analyze_recovery_timeline(events);
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.cluster_unavailability_us, 4000u);
+}
+
+TEST(RecoveryTimelineTest, WallClockBaseWhenAllStamped) {
+  std::vector<TraceEvent> events = one_failure();
+  for (TraceEvent& e : events) e.wall_us = 5'000'000 + e.at;
+  const RecoveryTimelineReport report = analyze_recovery_timeline(events);
+  EXPECT_EQ(report.time_base, "wall_us");
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].t_crash, 5'001'000u);
+  EXPECT_EQ(report.failures[0].unavailability_us(), 2000u);
+}
+
+TEST(RecoveryTimelineTest, JsonOutputCarriesIdentity) {
+  const RecoveryTimelineReport report =
+      analyze_recovery_timeline(one_failure());
+  std::ostringstream os;
+  write_recovery_timeline_json(os, report);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "optrec-recovery-timeline-v1");
+  EXPECT_EQ(doc.u64_or("failure_count", 0), 1u);
+  EXPECT_EQ(doc.u64_or("cluster_unavailability_us", 0), 2000u);
+  const auto& failures = doc.find("failures")->as_array();
+  ASSERT_EQ(failures.size(), 1u);
+  const JsonValue& f = failures[0];
+  EXPECT_EQ(f.u64_or("detection_us", 0) + f.u64_or("dissemination_us", 9) +
+                f.u64_or("rollback_us", 9) + f.u64_or("replay_us", 9) +
+                f.u64_or("resume_us", 9),
+            f.u64_or("unavailability_us", 1));
+}
+
+}  // namespace
+}  // namespace optrec::telemetry

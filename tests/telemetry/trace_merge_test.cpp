@@ -1,0 +1,234 @@
+// merge_traces: cross-node matching by FTVC piggyback keys, wall-clock
+// rebasing, skew clamping, and violation reporting on synthetic two-node
+// traces where every expectation is exact.
+#include "src/telemetry/trace_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace optrec::telemetry {
+namespace {
+
+constexpr std::uint64_t kWallBase = 1'700'000'000'000'000ull;
+
+TraceEvent ev(TraceEventType type, std::uint64_t seq, std::uint64_t wall_off,
+              ProcessId pid, std::uint32_t node) {
+  TraceEvent e;
+  e.seq = seq;
+  e.at = wall_off;  // per-node run clock; rebased when wall stamps exist
+  e.wall_us = kWallBase + wall_off;
+  e.type = type;
+  e.pid = pid;
+  e.node = node;
+  return e;
+}
+
+TraceEvent send_ev(std::uint64_t seq, std::uint64_t wall_off, ProcessId from,
+                   ProcessId to, std::uint64_t send_seq, Version ver,
+                   std::uint32_t node) {
+  TraceEvent e = ev(TraceEventType::kSend, seq, wall_off, from, node);
+  e.peer = to;
+  e.send_seq = send_seq;
+  e.msg_version = ver;
+  e.mclock = {{ver, 10}, {0, 0}};
+  return e;
+}
+
+TraceEvent deliver_ev(std::uint64_t seq, std::uint64_t wall_off, ProcessId to,
+                      ProcessId from, std::uint64_t send_seq, Version ver,
+                      std::uint32_t node) {
+  TraceEvent e = ev(TraceEventType::kDeliver, seq, wall_off, to, node);
+  e.peer = from;
+  e.send_seq = send_seq;
+  e.msg_version = ver;
+  e.mclock = {{ver, 10}, {0, 0}};
+  return e;
+}
+
+TEST(TraceMergeTest, HealthyTwoNodeMessage) {
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  inputs[0].push_back(send_ev(0, 100, /*from=*/0, /*to=*/1, 7, 1, /*node=*/0));
+  inputs[1].push_back(
+      deliver_ev(0, 250, /*to=*/1, /*from=*/0, 7, 1, /*node=*/1));
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.nodes, 2u);
+  EXPECT_EQ(merged.matched_messages, 1u);
+  EXPECT_EQ(merged.cross_node_edges, 1u);
+  EXPECT_TRUE(merged.violations.empty());
+  EXPECT_EQ(merged.wall0_us, kWallBase + 100);
+
+  ASSERT_EQ(merged.events.size(), 2u);
+  // Rebased to micros since the earliest event; seq renumbered to the
+  // merged order with the send first.
+  EXPECT_EQ(merged.events[0].type, TraceEventType::kSend);
+  EXPECT_EQ(merged.events[0].at, 0u);
+  EXPECT_EQ(merged.events[0].seq, 0u);
+  EXPECT_EQ(merged.events[1].type, TraceEventType::kDeliver);
+  EXPECT_EQ(merged.events[1].at, 150u);
+  EXPECT_EQ(merged.events[1].seq, 1u);
+  // node/wall_us survive the merge (Perfetto lanes key off them).
+  EXPECT_EQ(merged.events[1].node, 1u);
+  EXPECT_EQ(merged.events[1].wall_us, kWallBase + 250);
+}
+
+TEST(TraceMergeTest, ClockSkewInversionFlaggedAndClamped) {
+  // The receiver's wall clock runs 100us behind: its deliver is stamped
+  // BEFORE the matched send. The merge must report the inversion and clamp
+  // the deliver to the send's instant so the timeline stays causal.
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  inputs[0].push_back(send_ev(0, 200, 0, 1, 7, 1, 0));
+  inputs[1].push_back(deliver_ev(0, 150, 1, 0, 7, 1, 1));
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_messages, 1u);
+  ASSERT_EQ(merged.violations.size(), 1u);
+  EXPECT_NE(merged.violations[0].find("receive before matched send"),
+            std::string::npos);
+
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].type, TraceEventType::kSend);
+  EXPECT_EQ(merged.events[1].type, TraceEventType::kDeliver);
+  // wall0 is the (skewed) deliver stamp; the send lands at 50 and the
+  // deliver is clamped up to it.
+  EXPECT_EQ(merged.events[0].at, 50u);
+  EXPECT_EQ(merged.events[1].at, 50u);
+}
+
+TEST(TraceMergeTest, DisagreeingPiggybackIsADifferentMessage) {
+  // Same (pid, send_seq, msg_version) key but a different piggybacked
+  // clock: not the same message, so no match and no false violation.
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  inputs[0].push_back(send_ev(0, 100, 0, 1, 7, 1, 0));
+  TraceEvent d = deliver_ev(0, 250, 1, 0, 7, 1, 1);
+  d.mclock = {{1, 999}, {0, 0}};
+  inputs[1].push_back(d);
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_messages, 0u);
+  EXPECT_TRUE(merged.violations.empty());
+}
+
+TEST(TraceMergeTest, RespawnedIncarnationDoesNotStealOldDeliveries) {
+  // The kill/respawn shape: node 1's first incarnation sent a message that
+  // node 0 delivered at t=150, then node 1 was SIGKILLed (its trace lost)
+  // and the respawn reused send_seq=7 much later with an advanced clock.
+  // The old delivery must stay unmatched — pinning it to the new send
+  // would invert time — while the new delivery matches normally.
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  TraceEvent new_send = send_ev(0, 500'000, 2, 1, 7, 0, 1);
+  new_send.mclock = {{0, 0}, {0, 77}, {0, 0}};
+  inputs[1].push_back(new_send);
+  TraceEvent old_deliver = deliver_ev(0, 150, 1, 2, 7, 0, 0);
+  old_deliver.mclock = {{0, 0}, {0, 12}, {0, 0}};  // first incarnation clock
+  inputs[0].push_back(old_deliver);
+  TraceEvent new_deliver = deliver_ev(1, 500'200, 1, 2, 7, 0, 0);
+  new_deliver.mclock = new_send.mclock;
+  inputs[0].push_back(new_deliver);
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_messages, 1u);
+  EXPECT_TRUE(merged.violations.empty())
+      << "first: " << merged.violations.front();
+}
+
+TEST(TraceMergeTest, SeededRespawnPairsResendWithDuplicateDiscard) {
+  // The hardest collision: a SIGKILLed node's respawn re-runs the same
+  // seeded workload, re-generating a send that is byte-identical to the
+  // lost original — same key AND same piggybacked clock. The receiver
+  // already delivered the original and discards the re-sent copy as a
+  // duplicate. One-to-one time-ordered matching must pair the new send
+  // with the discard it caused and leave the old delivery unmatched,
+  // instead of pinning it to the later send (a false inversion).
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  inputs[1].push_back(send_ev(0, 497'000, 2, 1, 7, 0, 1));
+  inputs[0].push_back(deliver_ev(0, 150, 1, 2, 7, 0, 0));
+  TraceEvent discard = deliver_ev(1, 500'000, 1, 2, 7, 0, 0);
+  discard.type = TraceEventType::kDiscardDuplicate;
+  inputs[0].push_back(discard);
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_messages, 1u);  // send -> discard only
+  EXPECT_EQ(merged.cross_node_edges, 1u);
+  EXPECT_TRUE(merged.violations.empty())
+      << "first: " << merged.violations.front();
+  // The unmatched old delivery keeps its own (early) instant.
+  ASSERT_EQ(merged.events.size(), 3u);
+  EXPECT_EQ(merged.events[0].type, TraceEventType::kDeliver);
+  EXPECT_EQ(merged.events[1].type, TraceEventType::kSend);
+  EXPECT_EQ(merged.events[2].type, TraceEventType::kDiscardDuplicate);
+}
+
+TEST(TraceMergeTest, TokenBroadcastMatchesProcess) {
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  TraceEvent b = ev(TraceEventType::kTokenBroadcast, 0, 100, /*pid=*/1, 0);
+  b.ref = {1, 40};
+  b.origin = 1;
+  b.origin_ver = 1;
+  inputs[0].push_back(b);
+  TraceEvent p = ev(TraceEventType::kTokenProcess, 0, 300, /*pid=*/2, 1);
+  p.peer = 1;  // announcer
+  p.ref = {1, 40};
+  p.origin = 1;
+  p.origin_ver = 1;
+  inputs[1].push_back(p);
+
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_tokens, 1u);
+  EXPECT_EQ(merged.cross_node_edges, 1u);
+  EXPECT_TRUE(merged.violations.empty());
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].type, TraceEventType::kTokenBroadcast);
+}
+
+TEST(TraceMergeTest, UnmatchedReceiveIsNotAnError) {
+  // The sender's trace file is missing (node never flushed before a kill):
+  // the deliver stays unmatched but the merge still succeeds cleanly.
+  std::vector<std::vector<TraceEvent>> inputs(1);
+  inputs[0].push_back(deliver_ev(0, 100, 1, 0, 7, 1, 1));
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.matched_messages, 0u);
+  EXPECT_TRUE(merged.violations.empty());
+  EXPECT_EQ(merged.events.size(), 1u);
+}
+
+TEST(TraceMergeTest, NodeAssignedFromInputIndexWhenMissing) {
+  // Pre-telemetry JSONL (no node field) and simulator traces merge by
+  // input position.
+  std::vector<std::vector<TraceEvent>> inputs(2);
+  TraceEvent a = send_ev(0, 100, 0, 1, 7, 1, kNoTraceNode);
+  TraceEvent b = deliver_ev(0, 250, 1, 0, 7, 1, kNoTraceNode);
+  inputs[0].push_back(a);
+  inputs[1].push_back(b);
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  EXPECT_EQ(merged.nodes, 2u);
+  EXPECT_EQ(merged.cross_node_edges, 1u);
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].node, 0u);
+  EXPECT_EQ(merged.events[1].node, 1u);
+}
+
+TEST(TraceMergeTest, PerNodeSeqOrderPreservedUnderSkew) {
+  // Two events on the same node whose wall stamps are inverted relative to
+  // their seq order: the per-node emission chain must win, with the later
+  // event clamped.
+  std::vector<std::vector<TraceEvent>> inputs(1);
+  inputs[0].push_back(ev(TraceEventType::kCheckpoint, 0, 500, 0, 0));
+  inputs[0].push_back(ev(TraceEventType::kLogFlush, 1, 400, 0, 0));
+  const MergedTrace merged = merge_traces(std::move(inputs));
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].type, TraceEventType::kCheckpoint);
+  EXPECT_EQ(merged.events[1].type, TraceEventType::kLogFlush);
+  EXPECT_GE(merged.events[1].at, merged.events[0].at);
+}
+
+TEST(TraceMergeTest, EmptyInputs) {
+  const MergedTrace merged = merge_traces({});
+  EXPECT_EQ(merged.nodes, 0u);
+  EXPECT_TRUE(merged.events.empty());
+  EXPECT_TRUE(merged.violations.empty());
+}
+
+}  // namespace
+}  // namespace optrec::telemetry
