@@ -1,0 +1,41 @@
+#include "src/durable/crc32.h"
+
+#include <array>
+
+namespace optrec {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t len) {
+  const auto& t = table();
+  std::uint32_t c = crc ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ data[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  return crc32_update(0, data, len);
+}
+
+}  // namespace optrec

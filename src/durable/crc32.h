@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//
+// Every durable artifact — WAL records, checkpoint snapshots, the manifest —
+// carries a CRC so recovery can tell a torn tail (truncate and continue)
+// from corruption of supposedly-committed bytes (detect and refuse, per the
+// Salem-Schiller treatment of corrupted stable state as a first-class
+// input). CRC-32 detects any error burst of <= 32 bits, which covers the
+// single-byte garbling the fault-injecting filesystem produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace optrec {
+
+/// One-shot CRC-32 of a buffer region.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+inline std::uint32_t crc32(const Bytes& b) { return crc32(b.data(), b.size()); }
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t len);
+
+}  // namespace optrec

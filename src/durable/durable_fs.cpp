@@ -1,0 +1,177 @@
+#include "src/durable/durable_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace optrec {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw FsError(op + " " + path + ": " + std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open dir", dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync dir", dir);
+  }
+  ::close(fd);
+}
+
+class PosixFile final : public DurableFile {
+ public:
+  PosixFile(int fd, std::uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(const std::uint8_t* data, std::size_t len) override {
+    while (len > 0) {
+      const ssize_t n = ::write(fd_, data, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", path_);
+      }
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      size_ += static_cast<std::uint64_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fdatasync(fd_) != 0) throw_errno("fdatasync", path_);
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::uint64_t size_;
+  std::string path_;
+};
+
+class PosixFs final : public DurableFs {
+ public:
+  void mkdirs(const std::string& dir) override {
+    std::string sofar;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+      const auto slash = dir.find('/', pos);
+      const auto end = (slash == std::string::npos) ? dir.size() : slash;
+      sofar = dir.substr(0, end);
+      pos = end + 1;
+      if (sofar.empty()) continue;
+      if (::mkdir(sofar.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw_errno("mkdir", sofar);
+      }
+      if (slash == std::string::npos) break;
+    }
+  }
+
+  bool exists(const std::string& path) const override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::optional<Bytes> read_file(const std::string& path) const override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return std::nullopt;
+      throw_errno("open", path);
+    }
+    Bytes out;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("read", path);
+      }
+      if (n == 0) break;
+      out.insert(out.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return out;
+  }
+
+  std::unique_ptr<DurableFile> open_append(const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0666);
+    if (fd < 0) throw_errno("open append", path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fstat", path);
+    }
+    return std::make_unique<PosixFile>(
+        fd, static_cast<std::uint64_t>(st.st_size), path);
+  }
+
+  void write_file_atomic(const std::string& path, const Bytes& data) override {
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0666);
+    if (fd < 0) throw_errno("open tmp", tmp);
+    {
+      PosixFile f(fd, 0, tmp);  // owns fd; closes on scope exit
+      f.append(data.data(), data.size());
+      f.sync();
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", tmp);
+    fsync_dir(parent_dir(path));
+  }
+
+  void remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw_errno("unlink", path);
+    }
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) const override {
+    std::vector<std::string> names;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return names;
+      throw_errno("opendir", dir);
+    }
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+};
+
+}  // namespace
+
+DurableFs& posix_fs() {
+  static PosixFs fs;
+  return fs;
+}
+
+}  // namespace optrec

@@ -1,0 +1,72 @@
+// Filesystem abstraction for the durable storage backend.
+//
+// Two implementations: `PosixFs` (real files, real fsync, temp+rename atomic
+// replacement) used by nodes, and `MemFs` (src/durable/mem_fs.h) which keeps
+// everything in memory while modelling crash-consistency precisely — per-file
+// durable vs buffered bytes, torn tails, crash-during-flush — so the
+// exploration engine can hunt durability bugs without touching a disk.
+//
+// Error model: all IO failures throw FsError. The node treats a throw from
+// the durable layer as fatal (stable storage that cannot be written is a
+// fail-stop condition in the paper's model); MemFs additionally throws
+// CrashSignal at a scheduled fault point, which the explorer catches to
+// build a post-crash image.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace optrec {
+
+class FsError : public std::runtime_error {
+ public:
+  explicit FsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An open append-only file handle.
+class DurableFile {
+ public:
+  virtual ~DurableFile() = default;
+
+  /// Append bytes at the end of the file (buffered; not yet durable).
+  virtual void append(const std::uint8_t* data, std::size_t len) = 0;
+  void append(const Bytes& b) { append(b.data(), b.size()); }
+
+  /// Make all appended bytes durable (fdatasync).
+  virtual void sync() = 0;
+
+  /// Bytes written so far, including unsynced ones.
+  virtual std::uint64_t size() const = 0;
+};
+
+class DurableFs {
+ public:
+  virtual ~DurableFs() = default;
+
+  /// Create `dir` and any missing parents.
+  virtual void mkdirs(const std::string& dir) = 0;
+  virtual bool exists(const std::string& path) const = 0;
+  /// Whole-file read; nullopt if the file does not exist.
+  virtual std::optional<Bytes> read_file(const std::string& path) const = 0;
+  /// Open (creating if absent) for appending.
+  virtual std::unique_ptr<DurableFile> open_append(const std::string& path) = 0;
+  /// Durable atomic replacement: write to a temp file, fsync it, rename over
+  /// `path`, fsync the directory. After return the new content is durable
+  /// and a crash can never observe a mix of old and new.
+  virtual void write_file_atomic(const std::string& path, const Bytes& data) = 0;
+  virtual void remove(const std::string& path) = 0;
+  /// Names (not paths) of regular files directly inside `dir`; empty if the
+  /// directory does not exist.
+  virtual std::vector<std::string> list_dir(const std::string& dir) const = 0;
+};
+
+/// The process-wide real-filesystem backend.
+DurableFs& posix_fs();
+
+}  // namespace optrec

@@ -1,0 +1,161 @@
+// DurableBackend: the file-backed persistence engine behind StableStorage.
+//
+// Attached as a StableSink, it mirrors every stability-relevant mutation of
+// the in-memory StableStorage to disk:
+//
+//   message appends  -> buffered WAL records, group-committed on flush
+//   token appends    -> synchronous WAL commit (Section 6.3)
+//   truncate/reclaim -> synchronous WAL markers (+ opportunistic compaction)
+//   checkpoints      -> atomic snapshot files + manifest rewrite
+//
+// and can rebuild a StableStorage from disk after the owning process was
+// SIGKILLed (`recover_into`). Recovery is the paper's sequence made real:
+// read the manifest, load the checkpoint window it names, replay the WAL up
+// to the stable frontier (truncating a torn tail at the first bad CRC), and
+// refuse to trust anything whose supposedly-committed bytes fail validation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/durable/snapshot.h"
+#include "src/durable/wal.h"
+#include "src/storage/stable_sink.h"
+#include "src/storage/stable_storage.h"
+
+namespace optrec {
+
+struct DurableOptions {
+  std::string dir;
+  /// Filesystem to write through; nullptr = the real one (posix_fs()).
+  DurableFs* fs = nullptr;
+  /// Compact the WAL (drop reclaimed/truncated records) when a reclaim or
+  /// truncate leaves more than this many committed bytes on disk.
+  std::uint64_t compact_threshold = 1u << 20;
+  /// Fault-injection ablations (negative controls for the fuzzer).
+  WalAblations ablations;
+};
+
+/// Plain-value copy of the backend's counters, safe to read cross-thread
+/// via DurableBackend::stats().
+struct DurableStatsSnapshot {
+  std::uint64_t fsync_total = 0;
+  std::uint64_t fsync_messages = 0;
+  std::uint64_t fsync_tokens = 0;
+  std::uint64_t wal_bytes_written = 0;
+  std::uint64_t wal_records_written = 0;
+  std::uint64_t wal_buffered_bytes = 0;
+  std::uint64_t disk_stable_bytes = 0;
+  std::uint64_t snapshot_writes = 0;
+  std::uint64_t manifest_writes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t replayed_messages = 0;
+  std::uint64_t replayed_tokens = 0;
+  std::uint64_t recovered_checkpoints = 0;
+  std::uint64_t torn_bytes_truncated = 0;
+  std::uint64_t recovery_us = 0;
+  std::uint64_t flush_latency_last_us = 0;
+};
+
+struct RecoveryResult {
+  /// True when a valid manifest + checkpoint window was restored: the
+  /// caller should boot via ProcessBase::start_recovered().
+  bool warm = false;
+  /// Committed bytes failed validation (or the manifest names missing
+  /// files): stable storage is damaged; the caller must not trust it and
+  /// should fall back to a cold start.
+  bool corrupt = false;
+  std::string corrupt_reason;
+  std::uint64_t replayed_messages = 0;
+  std::uint64_t replayed_tokens = 0;
+  std::uint64_t recovered_checkpoints = 0;
+  std::uint64_t torn_bytes = 0;
+  /// Stable log frontier after replay (global delivery index).
+  std::uint64_t recovered_delivered = 0;
+};
+
+class DurableBackend final : public StableSink {
+ public:
+  explicit DurableBackend(DurableOptions opts);
+  ~DurableBackend() override = default;
+
+  /// Wipe the data dir and start an empty store (fresh boot, or fallback
+  /// after a failed/corrupt recovery).
+  void start_fresh();
+
+  /// Rebuild `storage` (which must be empty and have no sink attached)
+  /// from the data dir. On warm success the WAL is compacted and reopened,
+  /// stray files are removed, and the backend is ready for new writes; the
+  /// caller then attaches this backend as the storage's sink. On a
+  /// cold/corrupt result the backend is left unopened — call start_fresh().
+  RecoveryResult recover_into(StableStorage& storage);
+
+  // StableSink:
+  void log_append(std::uint64_t index, const Message& msg) override;
+  void log_flush(std::uint64_t upto) override;
+  void log_truncate(std::uint64_t from) override;
+  void log_reclaim(std::uint64_t before) override;
+  void log_crash_wipe(std::uint64_t stable_frontier) override;
+  void token_append(const Token& token) override;
+  void checkpoint_append(const Checkpoint& ckpt) override;
+  void checkpoint_truncate(std::size_t live_count) override;
+  void checkpoint_reclaim(std::size_t reclaimed) override;
+
+  DurableStatsSnapshot stats() const;
+  /// Called with each group commit's latency in microseconds (from the
+  /// worker thread; the hook must be thread-safe if read elsewhere).
+  void set_flush_latency_hook(std::function<void(std::uint64_t)> hook) {
+    flush_latency_hook_ = std::move(hook);
+  }
+
+  const std::string& dir() const { return opts_.dir; }
+
+ private:
+  DurableFs& fs() { return *fs_; }
+  void write_manifest();
+  void refresh_gauges();
+  void maybe_compact();
+
+  DurableOptions opts_;
+  DurableFs* fs_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Global log index just past the newest message record appended to /
+  /// committed into the WAL. The committed frontier can exceed the
+  /// in-memory stable frontier (token commits harden buffered messages);
+  /// log_crash_wipe uses the gap to decide whether a truncate record is
+  /// needed to keep replay contiguous.
+  std::uint64_t append_frontier_ = 0;
+  std::uint64_t committed_frontier_ = 0;
+  std::uint64_t wal_gen_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::deque<std::uint64_t> live_seqs_;
+  std::map<std::uint64_t, std::uint64_t> snapshot_bytes_;  // seq -> file size
+  std::uint64_t manifest_bytes_ = 0;
+  std::function<void(std::uint64_t)> flush_latency_hook_;
+
+  struct Stats {
+    std::atomic<std::uint64_t> fsync_total{0};
+    std::atomic<std::uint64_t> fsync_messages{0};
+    std::atomic<std::uint64_t> fsync_tokens{0};
+    std::atomic<std::uint64_t> wal_bytes_written{0};
+    std::atomic<std::uint64_t> wal_records_written{0};
+    std::atomic<std::uint64_t> wal_buffered_bytes{0};
+    std::atomic<std::uint64_t> disk_stable_bytes{0};
+    std::atomic<std::uint64_t> snapshot_writes{0};
+    std::atomic<std::uint64_t> manifest_writes{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<std::uint64_t> replayed_messages{0};
+    std::atomic<std::uint64_t> replayed_tokens{0};
+    std::atomic<std::uint64_t> recovered_checkpoints{0};
+    std::atomic<std::uint64_t> torn_bytes_truncated{0};
+    std::atomic<std::uint64_t> recovery_us{0};
+    std::atomic<std::uint64_t> flush_latency_last_us{0};
+  } stats_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,175 @@
+#include "src/durable/mem_fs.h"
+
+#include <algorithm>
+
+namespace optrec {
+namespace {
+
+std::string parent_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return "";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+class MemFile final : public DurableFile {
+ public:
+  MemFile(MemFs* fs, MemFs::File* file) : fs_(fs), file_(file) {}
+
+  void append(const std::uint8_t* data, std::size_t len) override {
+    fs_->tick(nullptr);
+    file_->data.insert(file_->data.end(), data, data + len);
+  }
+
+  void sync() override {
+    fs_->tick(file_);
+    file_->durable = file_->data.size();
+  }
+
+  std::uint64_t size() const override { return file_->data.size(); }
+
+ private:
+  MemFs* fs_;
+  MemFs::File* file_;
+};
+
+void MemFs::arm_crash(std::uint64_t crash_at_op, std::uint64_t seed,
+                      double garble_torn_tail) {
+  crash_at_op_ = crash_at_op;
+  garble_torn_tail_ = garble_torn_tail;
+  rng_ = Rng(seed);
+}
+
+void MemFs::tick(File* mid_sync_file) {
+  if (ops_++ != crash_at_op_) return;
+  crashed_ = true;
+  if (mid_sync_file != nullptr) {
+    // The flush was interrupted partway: some prefix of the unsynced bytes
+    // made it to the platter before power was lost.
+    const std::uint64_t unsynced =
+        mid_sync_file->data.size() - mid_sync_file->durable;
+    if (unsynced > 0) {
+      mid_sync_file->durable += rng_.uniform(unsynced + 1);
+    }
+  }
+  throw CrashSignal{};
+}
+
+std::unique_ptr<MemFs> MemFs::crash_image() {
+  auto image = std::make_unique<MemFs>();
+  image->dirs_ = dirs_;
+  for (const auto& [path, file] : files_) {
+    File survived;
+    const std::uint64_t unsynced = file.data.size() - file.durable;
+    const std::uint64_t keep =
+        file.durable + (unsynced > 0 ? rng_.uniform(unsynced + 1) : 0);
+    survived.data.assign(file.data.begin(),
+                         file.data.begin() + static_cast<std::ptrdiff_t>(keep));
+    survived.durable = survived.data.size();
+    if (keep > file.durable && rng_.chance(garble_torn_tail_)) {
+      const std::uint64_t at = rng_.uniform_range(file.durable, keep - 1);
+      survived.data[static_cast<std::size_t>(at)] ^=
+          static_cast<std::uint8_t>(1U << rng_.uniform(8));
+    }
+    image->files_.emplace(path, std::move(survived));
+  }
+  return image;
+}
+
+void MemFs::flip_bit(const std::string& path, std::uint64_t offset, int bit) {
+  auto it = files_.find(path);
+  if (it == files_.end() || offset >= it->second.data.size()) {
+    throw FsError("flip_bit: no byte " + std::to_string(offset) + " in " +
+                  path);
+  }
+  it->second.data[static_cast<std::size_t>(offset)] ^=
+      static_cast<std::uint8_t>(1U << (bit & 7));
+}
+
+std::uint64_t MemFs::durable_size(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.durable;
+}
+
+std::uint64_t MemFs::file_size(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+void MemFs::mkdirs(const std::string& dir) {
+  std::string sofar;
+  for (std::size_t pos = 0; pos <= dir.size();) {
+    const auto slash = dir.find('/', pos);
+    const auto end = (slash == std::string::npos) ? dir.size() : slash;
+    sofar = dir.substr(0, end);
+    pos = end + 1;
+    if (!sofar.empty()) dirs_.insert(sofar);
+    if (slash == std::string::npos) break;
+  }
+}
+
+bool MemFs::exists(const std::string& path) const {
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+std::optional<Bytes> MemFs::read_file(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.data;
+}
+
+std::unique_ptr<DurableFile> MemFs::open_append(const std::string& path) {
+  auto [it, inserted] = files_.try_emplace(path);
+  (void)inserted;
+  return std::make_unique<MemFile>(this, &it->second);
+}
+
+void MemFs::write_file_atomic(const std::string& path, const Bytes& data) {
+  const std::string parent = parent_of(path);
+  if (!parent.empty() && dirs_.count(parent) == 0) {
+    throw FsError("write_file_atomic: no such dir " + parent);
+  }
+  try {
+    tick(nullptr);
+  } catch (const CrashSignal&) {
+    // Crash mid-replacement: the rename either happened (new content,
+    // durable via the implied fsyncs) or it did not (old content intact).
+    if (rng_.chance(0.5)) {
+      File f;
+      f.data = data;
+      f.durable = f.data.size();
+      files_[path] = std::move(f);
+    }
+    throw;
+  }
+  File f;
+  f.data = data;
+  f.durable = f.data.size();
+  files_[path] = std::move(f);
+}
+
+void MemFs::remove(const std::string& path) {
+  try {
+    tick(nullptr);
+  } catch (const CrashSignal&) {
+    if (rng_.chance(0.5)) files_.erase(path);
+    throw;
+  }
+  files_.erase(path);
+}
+
+std::vector<std::string> MemFs::list_dir(const std::string& dir) const {
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  for (const auto& [path, file] : files_) {
+    (void)file;
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      continue;
+    if (path.find('/', prefix.size()) != std::string::npos) continue;
+    names.push_back(path.substr(prefix.size()));
+  }
+  return names;
+}
+
+}  // namespace optrec

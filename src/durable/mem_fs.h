@@ -1,0 +1,90 @@
+// In-memory filesystem with precise crash-consistency semantics, for the
+// durability fuzzer.
+//
+// Every file tracks its durable prefix (bytes covered by a completed sync)
+// separately from its buffered size. A crash can be armed at an absolute
+// mutation-op index; when that op starts, MemFs throws CrashSignal — for a
+// crash during sync(), a random prefix of the unsynced bytes is persisted
+// first, modelling a flush interrupted mid-write. `crash_image()` then
+// produces the filesystem a rebooted process would observe: per file, the
+// durable prefix plus a uniformly random prefix of the unsynced tail (a torn
+// write), optionally with one surviving torn-tail byte garbled.
+//
+// `write_file_atomic` matches PosixFs semantics (temp + fsync + rename +
+// directory fsync): after it returns the replacement is durable and
+// all-or-nothing; a crash *during* the call leaves either the old or the new
+// content, never a mix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/durable/durable_fs.h"
+#include "src/util/rng.h"
+
+namespace optrec {
+
+/// Thrown by MemFs when the armed crash point is reached. Not an FsError:
+/// callers that survive IO errors must still die on a crash.
+struct CrashSignal {};
+
+class MemFs final : public DurableFs {
+ public:
+  MemFs() = default;
+
+  /// Arm a crash at mutation-op index `crash_at_op` (0-based; ops are
+  /// append/sync/write_file_atomic/remove). `garble_torn_tail` is the
+  /// probability that a surviving torn tail gets one byte flipped in the
+  /// crash image.
+  void arm_crash(std::uint64_t crash_at_op, std::uint64_t seed,
+                 double garble_torn_tail);
+
+  bool crashed() const { return crashed_; }
+  std::uint64_t op_count() const { return ops_; }
+
+  /// The filesystem as observed after reboot. Only meaningful once crashed
+  /// (or as a power-cut image of the current durable state).
+  std::unique_ptr<MemFs> crash_image();
+
+  /// Deterministic corruption of supposedly-durable bytes (media fault /
+  /// stale state injection): flip bit `bit` of byte `offset` of `path`.
+  void flip_bit(const std::string& path, std::uint64_t offset, int bit);
+
+  std::uint64_t durable_size(const std::string& path) const;
+  std::uint64_t file_size(const std::string& path) const;
+
+  // DurableFs:
+  void mkdirs(const std::string& dir) override;
+  bool exists(const std::string& path) const override;
+  std::optional<Bytes> read_file(const std::string& path) const override;
+  std::unique_ptr<DurableFile> open_append(const std::string& path) override;
+  void write_file_atomic(const std::string& path, const Bytes& data) override;
+  void remove(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) const override;
+
+ private:
+  friend class MemFile;
+
+  struct File {
+    Bytes data;
+    std::uint64_t durable = 0;  // prefix guaranteed to survive a crash
+  };
+
+  /// Called at the start of every mutating op; throws CrashSignal when the
+  /// armed point is reached. `mid_sync_file` lets a crash-during-sync
+  /// persist a random partial prefix first.
+  void tick(File* mid_sync_file);
+
+  std::map<std::string, File> files_;
+  std::set<std::string> dirs_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t crash_at_op_ = UINT64_MAX;
+  double garble_torn_tail_ = 0.0;
+  bool crashed_ = false;
+  Rng rng_{1};
+};
+
+}  // namespace optrec

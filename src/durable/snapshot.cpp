@@ -1,0 +1,116 @@
+#include "src/durable/snapshot.h"
+
+#include <cstring>
+
+#include "src/durable/crc32.h"
+#include "src/util/serialization.h"
+
+namespace optrec {
+namespace {
+
+constexpr char kCkptMagic[8] = {'O', 'P', 'T', 'R', 'C', 'K', 'P', '1'};
+constexpr char kManifestMagic[8] = {'O', 'P', 'T', 'R', 'M', 'A', 'N', '1'};
+
+void append_crc_trailer(Bytes& out) {
+  const std::uint32_t crc = crc32(out);
+  out.push_back(static_cast<std::uint8_t>(crc));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  out.push_back(static_cast<std::uint8_t>(crc >> 16));
+  out.push_back(static_cast<std::uint8_t>(crc >> 24));
+}
+
+/// Checks magic + CRC trailer; returns the payload between them, or nullopt.
+std::optional<Bytes> open_envelope(const Bytes& raw, const char* magic) {
+  if (raw.size() < 12) return std::nullopt;
+  if (std::memcmp(raw.data(), magic, 8) != 0) return std::nullopt;
+  const std::size_t body_end = raw.size() - 4;
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(raw[body_end]) |
+      (static_cast<std::uint32_t>(raw[body_end + 1]) << 8) |
+      (static_cast<std::uint32_t>(raw[body_end + 2]) << 16) |
+      (static_cast<std::uint32_t>(raw[body_end + 3]) << 24);
+  if (crc32(raw.data(), body_end) != stored) return std::nullopt;
+  return Bytes(raw.begin() + 8, raw.begin() + static_cast<std::ptrdiff_t>(body_end));
+}
+
+}  // namespace
+
+Bytes Manifest::encode() const {
+  Bytes out(kManifestMagic, kManifestMagic + 8);
+  Writer w;
+  w.put_u32(format);
+  w.put_u64(wal_gen);
+  w.put_u64(wal_committed);
+  w.put_u64(next_seq);
+  w.put_u32(static_cast<std::uint32_t>(checkpoint_seqs.size()));
+  for (const auto seq : checkpoint_seqs) w.put_u64(seq);
+  const Bytes payload = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_crc_trailer(out);
+  return out;
+}
+
+std::optional<Manifest> Manifest::decode(const Bytes& raw) {
+  const auto payload = open_envelope(raw, kManifestMagic);
+  if (!payload) return std::nullopt;
+  try {
+    Reader r(*payload);
+    Manifest m;
+    m.format = r.get_u32();
+    if (m.format != 1) return std::nullopt;
+    m.wal_gen = r.get_u64();
+    m.wal_committed = r.get_u64();
+    m.next_seq = r.get_u64();
+    const std::uint32_t n = r.get_u32();
+    m.checkpoint_seqs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      m.checkpoint_seqs.push_back(r.get_u64());
+    }
+    if (!r.at_end()) return std::nullopt;
+    return m;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::string wal_path(const std::string& dir, std::uint64_t gen) {
+  return dir + "/wal-" + std::to_string(gen) + ".log";
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t seq) {
+  return dir + "/ckpt-" + std::to_string(seq) + ".bin";
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST.bin";
+}
+
+std::size_t write_snapshot(DurableFs& fs, const std::string& path,
+                           const Checkpoint& ckpt) {
+  Bytes out(kCkptMagic, kCkptMagic + 8);
+  Writer w;
+  ckpt.encode(w);
+  const Bytes payload = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_crc_trailer(out);
+  fs.write_file_atomic(path, out);
+  return out.size();
+}
+
+std::optional<Checkpoint> read_snapshot(DurableFs& fs,
+                                        const std::string& path) {
+  const auto raw = fs.read_file(path);
+  if (!raw) return std::nullopt;
+  const auto payload = open_envelope(*raw, kCkptMagic);
+  if (!payload) return std::nullopt;
+  try {
+    Reader r(*payload);
+    Checkpoint c = Checkpoint::decode(r);
+    if (!r.at_end()) return std::nullopt;
+    return c;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace optrec

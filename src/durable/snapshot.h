@@ -1,0 +1,65 @@
+// Checkpoint snapshot files and the manifest.
+//
+// Each checkpoint is one file, `ckpt-<seq>.bin` (seq = the store's lifetime
+// append counter, so names never collide across rollbacks):
+//
+//   [8-byte magic "OPTRCKP1"] [Checkpoint::encode bytes] [u32le CRC-32]
+//
+// written with temp-file + fsync + rename + directory fsync, so a crash can
+// never observe a half-written snapshot.
+//
+// The manifest, `MANIFEST.bin`, is the recovery root:
+//
+//   [8-byte magic "OPTRMAN1"] [payload via Writer] [u32le CRC-32]
+//   payload: format version, wal generation, committed WAL offset,
+//            next checkpoint seq, live checkpoint seq list (oldest first)
+//
+// also atomically replaced. Recovery trusts only what the manifest names:
+// the (checkpoint set, WAL offset) pair it records is the latest valid
+// durable frontier, and any stray files (older WAL generations, snapshots
+// from a rolled-back future, temp files) are deleted on recovery. The CRC
+// covers magic + payload, so stale or bit-flipped manifests are detected,
+// not trusted (Salem & Schiller's treatment of corrupted stable state).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/durable/durable_fs.h"
+#include "src/storage/checkpoint_store.h"
+
+namespace optrec {
+
+struct Manifest {
+  std::uint32_t format = 1;
+  /// Active WAL file is `wal-<wal_gen>.log`.
+  std::uint64_t wal_gen = 0;
+  /// Bytes of the active WAL known committed when the manifest was written.
+  /// A conservative floor: sync commits after the last manifest rewrite
+  /// legitimately extend past it.
+  std::uint64_t wal_committed = 0;
+  /// CheckpointStore::total_appended at manifest time; names the next
+  /// snapshot file and survives restarts.
+  std::uint64_t next_seq = 0;
+  /// Live window, oldest first; entry i is file `ckpt-<seq>.bin`.
+  std::vector<std::uint64_t> checkpoint_seqs;
+
+  Bytes encode() const;
+  /// nullopt on bad magic/CRC/format — a manifest that cannot be trusted.
+  static std::optional<Manifest> decode(const Bytes& raw);
+};
+
+std::string wal_path(const std::string& dir, std::uint64_t gen);
+std::string checkpoint_path(const std::string& dir, std::uint64_t seq);
+std::string manifest_path(const std::string& dir);
+
+/// Atomic durable write of a snapshot file. Returns the file size.
+std::size_t write_snapshot(DurableFs& fs, const std::string& path,
+                           const Checkpoint& ckpt);
+
+/// nullopt if the file is missing, torn, or fails its CRC.
+std::optional<Checkpoint> read_snapshot(DurableFs& fs, const std::string& path);
+
+}  // namespace optrec

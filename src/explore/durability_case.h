@@ -1,0 +1,131 @@
+// Durability fuzzing: crash-consistency cases for the file-backed stable
+// storage (src/durable/), on the same corpus/coverage/shrinker funnel as
+// the schedule explorer.
+//
+// One DurabilityCase pins a deterministic storage op schedule (appends,
+// group-commit flushes, synchronous tokens, checkpoints, rollback
+// truncations, GC reclaims, process-crash wipes) driven against a
+// StableStorage whose sink is a DurableBackend over the MemFs
+// crash-simulating filesystem. A crash is armed at a filesystem mutation-op
+// index; the resulting crash image (durable prefixes plus a random —
+// optionally garbled — torn tail) is recovered with a fresh backend, and
+// the recovered state is checked against the model:
+//
+//   the recovered stable state must equal the in-memory stable state at
+//   SOME legal point: the last completed op boundary, extended by any
+//   prefix of the messages buffered there (a group commit interrupted
+//   mid-sync hardens a prefix), or the interrupted op completed in full.
+//
+// Violation categories:
+//   durable-loss      recovered an older state than synced data allows
+//   phantom-state     recovered a state the schedule never produced
+//   unexpected-corrupt recovery flagged corruption with none injected
+//                     (torn tails must be absorbed, never rejected)
+//   corrupt-accepted  a bit flipped below the committed floor was NOT
+//                     flagged (reject-and-refail requirement)
+//   recovery-exception recover_into threw
+//
+// `mutation` selects a WalAblations negative control ("skip-crc",
+// "async-tokens"): each must make the sweep find violations that the real
+// implementation never produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/explore/explore_case.h"
+
+namespace optrec {
+
+inline constexpr char kDurabilityReproSchema[] = "optrec-durability-repro-v1";
+
+struct DurabilityCase {
+  /// Decides the whole op schedule and every payload byte.
+  std::uint64_t seed = 1;
+  /// Schedule length in storage primitives.
+  std::uint32_t ops = 48;
+  /// Filesystem mutation-op index (relative to the schedule start) to crash
+  /// at; past the schedule's op count = power-cut after the last op.
+  std::uint64_t crash_at_op = UINT64_MAX;
+  /// Probability that a surviving torn tail gets one byte garbled.
+  double garble_tail = 0.0;
+  /// Flip one durable bit below the committed floor before recovery; the
+  /// only acceptable outcome is then a corruption rejection.
+  bool corrupt_durable = false;
+  /// "" | "skip-crc" | "async-tokens" (WalAblations negative controls).
+  std::string mutation;
+};
+
+struct DurabilityOutcome {
+  /// The armed crash fired (false = power-cut at schedule end).
+  bool crashed = false;
+  /// Storage primitives fully completed before the crash.
+  std::size_t completed_ops = 0;
+  /// Filesystem mutation ops the full schedule executes (crash disarmed);
+  /// the generator uses this to place crash points in range.
+  std::uint64_t fs_ops = 0;
+  /// Below-floor corruption was actually injected (needs a manifest).
+  bool corrupted = false;
+  bool warm = false;
+  bool corrupt = false;
+  std::uint64_t replayed_messages = 0;
+  std::uint64_t replayed_tokens = 0;
+  std::uint64_t torn_bytes = 0;
+  std::vector<ViolationRecord> violations;
+  std::vector<std::uint64_t> signatures;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Execute one case end to end: run the schedule over MemFs, crash, recover
+/// the image, check the oracle. Deterministic: equal cases, equal outcomes.
+DurabilityOutcome run_durability_case(const DurabilityCase& c);
+
+struct DurabilitySweepOptions {
+  std::size_t runs = 200;
+  std::uint64_t seed = 1;
+  std::uint32_t ops = 48;
+  /// Applied to every generated case ("" = real implementation).
+  std::string mutation;
+  /// Fraction of cases with torn-tail garbling / below-floor corruption.
+  double garble_prob = 0.4;
+  double corrupt_prob = 0.15;
+  /// Stop admitting new runs after this much wall time (0 = no box).
+  double time_budget_seconds = 0;
+  bool shrink = true;
+  std::size_t shrink_budget = 200;
+  std::size_t max_repros = 4;
+};
+
+struct DurabilityRepro {
+  DurabilityCase original;
+  DurabilityCase minimal;
+  ViolationRecord violation;
+  std::size_t shrink_attempts = 0;
+  std::size_t shrink_improvements = 0;
+};
+
+struct DurabilitySweepReport {
+  std::size_t runs_completed = 0;
+  std::size_t violation_runs = 0;
+  std::size_t coverage_buckets = 0;
+  std::size_t corpus_size = 0;
+  double wall_seconds = 0;
+  std::vector<DurabilityRepro> repros;
+
+  bool ok() const { return violation_runs == 0; }
+};
+
+/// Coverage-guided sweep: seed cases plus mutants of coverage-novel corpus
+/// entries, violations shrunk to minimal repro cases.
+DurabilitySweepReport run_durability_sweep(const DurabilitySweepOptions& opts);
+
+/// Repro artifact (de)serialization, schema kDurabilityReproSchema.
+std::string durability_repro_to_json(const DurabilityCase& c,
+                                     const Expectation& expect);
+void parse_durability_repro_json(std::string_view text, DurabilityCase* c,
+                                 Expectation* expect);
+
+}  // namespace optrec

@@ -56,6 +56,24 @@ void ProcessBase::start() {
   on_started();
 }
 
+void ProcessBase::start_recovered() {
+  if (started_) {
+    throw std::logic_error("ProcessBase::start_recovered called twice");
+  }
+  if (storage_.checkpoints().empty()) {
+    throw std::logic_error("start_recovered: no restored checkpoint");
+  }
+  if (oracle_ != nullptr) {
+    throw std::logic_error(
+        "start_recovered: oracle state identities do not span process "
+        "incarnations");
+  }
+  started_ = true;
+  up_ = false;
+  crash_time_ = env_.now();
+  restart_now();
+}
+
 void ProcessBase::start_timers() {
   if (config_.checkpoint_interval > 0) {
     // Stagger first fires across processes so checkpoints stay uncoordinated.

@@ -87,6 +87,14 @@ class ProcessBase : public Endpoint {
   /// called exactly once, before the simulation runs.
   void start();
 
+  /// Boot from stable storage restored by a durable backend after a real
+  /// process death (instead of start()): runs the protocol's restart path —
+  /// restore the latest checkpoint, replay the stable log, announce the
+  /// failure token — exactly as an in-memory crash would, then comes up.
+  /// Requires a restored checkpoint and no oracle (ground-truth state
+  /// identities do not span process incarnations).
+  void start_recovered();
+
   /// Failure injection: wipe volatile state, go down, schedule restart.
   /// No-op while already down.
   void crash();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/storage/stable_sink.h"
+
 namespace optrec {
 
 void Checkpoint::encode(Writer& w) const {
@@ -35,6 +37,9 @@ std::size_t Checkpoint::byte_size() const {
 }
 
 void CheckpointStore::append(Checkpoint checkpoint) {
+  if (sink_ != nullptr) sink_->checkpoint_append(checkpoint);
+  byte_sizes_.push_back(checkpoint.byte_size());
+  stable_bytes_ += byte_sizes_.back();
   checkpoints_.push_back(std::move(checkpoint));
   ++total_appended_;
 }
@@ -49,8 +54,14 @@ std::optional<std::size_t> CheckpointStore::latest_matching(
 
 void CheckpointStore::truncate_after(std::size_t idx) {
   if (idx >= checkpoints_.size()) return;
+  for (std::size_t i = idx + 1; i < byte_sizes_.size(); ++i) {
+    stable_bytes_ -= byte_sizes_[i];
+  }
   checkpoints_.erase(checkpoints_.begin() + static_cast<std::ptrdiff_t>(idx + 1),
                      checkpoints_.end());
+  byte_sizes_.erase(byte_sizes_.begin() + static_cast<std::ptrdiff_t>(idx + 1),
+                    byte_sizes_.end());
+  if (sink_ != nullptr) sink_->checkpoint_truncate(checkpoints_.size());
 }
 
 std::size_t CheckpointStore::reclaim_before_delivered(
@@ -60,16 +71,26 @@ std::size_t CheckpointStore::reclaim_before_delivered(
   // everything after it; anything older can never be a restore target again.
   while (checkpoints_.size() > 1 &&
          checkpoints_[1].delivered_count <= stable_delivered) {
+    stable_bytes_ -= byte_sizes_.front();
     checkpoints_.pop_front();
+    byte_sizes_.pop_front();
     ++reclaimed;
   }
+  if (reclaimed > 0 && sink_ != nullptr) sink_->checkpoint_reclaim(reclaimed);
   return reclaimed;
 }
 
-std::size_t CheckpointStore::stable_bytes() const {
-  std::size_t total = 0;
-  for (const auto& c : checkpoints_) total += c.byte_size();
-  return total;
+void CheckpointStore::restore(std::deque<Checkpoint> checkpoints,
+                              std::uint64_t total_appended) {
+  if (!checkpoints_.empty() || total_appended_ != 0) {
+    throw std::logic_error("CheckpointStore::restore on non-empty store");
+  }
+  checkpoints_ = std::move(checkpoints);
+  for (const auto& c : checkpoints_) {
+    byte_sizes_.push_back(c.byte_size());
+    stable_bytes_ += byte_sizes_.back();
+  }
+  total_appended_ = total_appended;
 }
 
 }  // namespace optrec

@@ -20,6 +20,8 @@
 
 namespace optrec {
 
+class StableSink;
+
 struct Checkpoint {
   Version version = 0;
   /// Global count of messages this process had delivered when the checkpoint
@@ -68,11 +70,22 @@ class CheckpointStore {
   std::size_t reclaim_before_delivered(std::uint64_t stable_delivered);
 
   std::uint64_t total_appended() const { return total_appended_; }
-  std::size_t stable_bytes() const;
+  std::size_t stable_bytes() const { return stable_bytes_; }
+
+  /// Mirror mutations to a persistence backend (nullptr detaches).
+  void attach_sink(StableSink* sink) { sink_ = sink; }
+
+  /// Recovery: load checkpoints recovered from a durable backend. Only valid
+  /// on an empty store. `total_appended` restores the lifetime counter so
+  /// durable sequence numbers keep advancing across incarnations.
+  void restore(std::deque<Checkpoint> checkpoints, std::uint64_t total_appended);
 
  private:
   std::deque<Checkpoint> checkpoints_;
+  std::deque<std::size_t> byte_sizes_;  // parallel to checkpoints_
   std::uint64_t total_appended_ = 0;
+  std::size_t stable_bytes_ = 0;
+  StableSink* sink_ = nullptr;
 };
 
 }  // namespace optrec

@@ -2,9 +2,14 @@
 
 #include <stdexcept>
 
+#include "src/storage/stable_sink.h"
+
 namespace optrec {
 
-void MessageLog::append(Message msg) { entries_.push_back(std::move(msg)); }
+void MessageLog::append(Message msg) {
+  if (sink_ != nullptr) sink_->log_append(total_count(), msg);
+  entries_.push_back(std::move(msg));
+}
 
 void MessageLog::flush() {
   const std::uint64_t total = total_count();
@@ -14,6 +19,7 @@ void MessageLog::flush() {
   }
   stable_ = total;
   ++flushes_;
+  if (sink_ != nullptr) sink_->log_flush(total);
 }
 
 std::size_t MessageLog::on_crash() {
@@ -21,6 +27,7 @@ std::size_t MessageLog::on_crash() {
   const auto lost = static_cast<std::size_t>(total - stable_);
   entries_.erase(entries_.end() - static_cast<std::ptrdiff_t>(lost),
                  entries_.end());
+  if (sink_ != nullptr) sink_->log_crash_wipe(stable_);
   return lost;
 }
 
@@ -47,6 +54,7 @@ void MessageLog::truncate_from(std::uint64_t from) {
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(from - base_),
                  entries_.end());
   if (stable_ > from) stable_ = from;
+  if (sink_ != nullptr) sink_->log_truncate(from);
 }
 
 std::size_t MessageLog::reclaim_before(std::uint64_t before) {
@@ -57,7 +65,20 @@ std::size_t MessageLog::reclaim_before(std::uint64_t before) {
     ++base_;
     ++reclaimed;
   }
+  if (reclaimed > 0 && sink_ != nullptr) sink_->log_reclaim(base_);
   return reclaimed;
+}
+
+void MessageLog::restore(std::vector<Message> entries, std::uint64_t base) {
+  if (!entries_.empty() || base_ != 0) {
+    throw std::logic_error("MessageLog::restore on non-empty log");
+  }
+  base_ = base;
+  for (auto& m : entries) {
+    stable_bytes_ += m.wire_size();
+    entries_.push_back(std::move(m));
+  }
+  stable_ = base_ + entries_.size();
 }
 
 }  // namespace optrec

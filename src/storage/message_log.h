@@ -18,6 +18,8 @@
 
 namespace optrec {
 
+class StableSink;
+
 class MessageLog {
  public:
   /// Append a delivered message to the volatile tail.
@@ -55,12 +57,23 @@ class MessageLog {
   std::uint64_t flush_count() const { return flushes_; }
   std::size_t stable_bytes() const { return stable_bytes_; }
 
+  /// Mirror every stability-relevant mutation to a persistence backend
+  /// (nullptr detaches). Restore-time loading does not echo to the sink.
+  void attach_sink(StableSink* sink) { sink_ = sink; }
+
+  /// Recovery: load the stable prefix recovered from a durable backend.
+  /// `base` is the global index of `entries.front()` (reclaimed prefix
+  /// excluded); everything loaded is stable by construction. Only valid on
+  /// an empty log.
+  void restore(std::vector<Message> entries, std::uint64_t base);
+
  private:
   std::deque<Message> entries_;  // [base_, base_+size) global indices
   std::uint64_t base_ = 0;       // global index of entries_[0]
   std::uint64_t stable_ = 0;     // global index bound of the stable prefix
   std::uint64_t flushes_ = 0;
   std::size_t stable_bytes_ = 0;
+  StableSink* sink_ = nullptr;
 };
 
 }  // namespace optrec

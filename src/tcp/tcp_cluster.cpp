@@ -64,6 +64,9 @@ TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
     nc.settle = config_.settle;
     nc.status_interval = config_.status_interval;
     nc.max_block = config_.max_block;
+    if (!config_.data_dir.empty()) {
+      nc.data_dir = config_.data_dir + "/node-" + std::to_string(id);
+    }
     nc.oracle = oracle_.get();
     nc.trace = trace_.get();
     nc.telemetry = config_.telemetry;

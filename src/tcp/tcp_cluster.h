@@ -37,6 +37,11 @@ struct TcpClusterConfig {
   SimTime max_block = millis(5);
   bool enable_oracle = true;
   bool enable_trace = false;
+  /// Durable storage root; node i persists under `<data_dir>/node-<i>`.
+  /// Empty = in-memory stable storage only. In-process clusters always
+  /// start fresh (recovery across incarnations is the --spawn harness's
+  /// job), so this mostly buys the durability write path + telemetry.
+  std::string data_dir;
   /// Serve each node's telemetry HTTP endpoint from its IO thread.
   bool telemetry = false;
   /// First telemetry port; node i serves on telemetry_base_port + i.

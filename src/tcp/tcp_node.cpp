@@ -67,6 +67,28 @@ TcpNode::TcpNode(TcpNodeConfig config)
     w->latency_live = &registry_.histogram(
         "optrec_delivery_latency_us", "Send-to-handler delivery latency",
         {{"pid", std::to_string(pid)}});
+    if (!config_.data_dir.empty()) {
+      DurableOptions dopts;
+      dopts.dir = config_.data_dir + "/p" + std::to_string(pid);
+      w->durable = std::make_unique<DurableBackend>(std::move(dopts));
+      // Warm recovery rebuilds the exact pre-kill storage, which the shared
+      // oracle cannot follow across incarnations — in-process clusters with
+      // an oracle attached always recover cold.
+      if (config_.recover && !config_.recover_cold &&
+          config_.oracle == nullptr) {
+        w->recovery = w->durable->recover_into(w->proc->storage());
+        w->warm = w->recovery.warm;
+      }
+      if (!w->warm) w->durable->start_fresh();
+      w->proc->storage().attach_sink(w->durable.get());
+      w->flush_latency_live = &registry_.histogram(
+          "optrec_wal_flush_latency_us", "WAL group-commit fsync latency",
+          {{"pid", std::to_string(pid)}});
+      telemetry::AtomicHistogram* hist = w->flush_latency_live;
+      w->durable->set_flush_latency_hook([hist](std::uint64_t us) {
+        hist->observe(static_cast<double>(us));
+      });
+    }
     workers_.push_back(std::move(w));
   }
   setup_telemetry();
@@ -117,6 +139,43 @@ void TcpNode::setup_telemetry() {
       .set(1);
   quiet_gauge_ = &registry_.gauge(
       "optrec_node_quiet", "1 while this node's local quiet claim holds");
+  if (!config_.data_dir.empty()) {
+    // Durability counters are atomics inside each backend; scrapes read
+    // them directly, same pattern as the transport collectors above.
+    registry_.add_collector([this](std::vector<telemetry::Sample>& out) {
+      const auto add = [&out](const char* name, const std::string& pid,
+                              telemetry::SampleKind kind, std::uint64_t v) {
+        telemetry::Sample sample;
+        sample.name = name;
+        sample.labels = {{"pid", pid}};
+        sample.kind = kind;
+        sample.value = static_cast<double>(v);
+        out.push_back(std::move(sample));
+      };
+      constexpr auto kCounter = telemetry::SampleKind::kCounter;
+      constexpr auto kGauge = telemetry::SampleKind::kGauge;
+      for (const auto& w : workers_) {
+        if (!w->durable) continue;
+        const std::string pid = std::to_string(w->pid);
+        const DurableStatsSnapshot s = w->durable->stats();
+        add("optrec_fsync_total", pid, kCounter, s.fsync_total);
+        add("optrec_fsync_messages_total", pid, kCounter, s.fsync_messages);
+        add("optrec_fsync_tokens_total", pid, kCounter, s.fsync_tokens);
+        add("optrec_wal_bytes_written_total", pid, kCounter,
+            s.wal_bytes_written);
+        add("optrec_wal_records_written_total", pid, kCounter,
+            s.wal_records_written);
+        add("optrec_wal_buffered_bytes", pid, kGauge, s.wal_buffered_bytes);
+        add("optrec_replayed_msgs_total", pid, kCounter, s.replayed_messages);
+        add("optrec_snapshot_writes_total", pid, kCounter, s.snapshot_writes);
+        add("optrec_wal_compactions_total", pid, kCounter, s.compactions);
+        // Disk vs in-memory stable footprint, side by side.
+        add("optrec_disk_stable_bytes", pid, kGauge, s.disk_stable_bytes);
+        add("optrec_stable_bytes", pid, kGauge,
+            w->stable_mem.load(std::memory_order_relaxed));
+      }
+    });
+  }
 
   if (!config_.telemetry) return;
   const TcpNodeSpec& self = config_.topology.node(config_.node);
@@ -225,6 +284,10 @@ void TcpNode::sync_mirrors(Worker& w) {
   // (relaxed stores; the telemetry endpoint reads them from the IO thread).
   w.gauges->update(w.metrics);
   w.gauges->set_up(w.proc->is_up());
+  if (w.durable) {
+    w.stable_mem.store(w.proc->storage().stable_bytes(),
+                       std::memory_order_relaxed);
+  }
 }
 
 void TcpNode::spawn(Worker& w) {
@@ -244,7 +307,14 @@ void TcpNode::worker_main(Worker& w) {
   };
 
   if (!w.started) {
-    w.proc->start();
+    // A warm worker's storage was rebuilt from disk pre-spawn; boot through
+    // the restart path (announce failure at the restored point, replay the
+    // stable log) instead of the fresh-process path.
+    if (w.warm) {
+      w.proc->start_recovered();
+    } else {
+      w.proc->start();
+    }
     w.started = true;
     sync_mirrors(w);
   }
@@ -380,6 +450,10 @@ TcpNodeResult TcpNode::run() {
   }
   if (config_.recover) {
     for (const auto& w : workers_) {
+      // Warm workers already announce their failure (at the restored point)
+      // from start_recovered(); only pids with no usable durable state get
+      // the crash-announce-all treatment.
+      if (w->warm) continue;
       LiveFrame f;
       f.kind = LiveFrame::Kind::kCrash;
       f.not_before = millis(1);
@@ -503,6 +577,26 @@ TcpNodeResult TcpNode::run() {
   for (auto& w : workers_) {
     result.metrics.merge_from(w->metrics);
     result.delivery_latency_us.merge_from(w->latency_us);
+    if (!w->durable) continue;
+    auto& d = result.durable;
+    d.enabled = true;
+    if (w->warm) {
+      ++d.warm_recovered;
+      d.recovered_delivered += w->recovery.recovered_delivered;
+    }
+    const DurableStatsSnapshot s = w->durable->stats();
+    d.replayed_messages += s.replayed_messages;
+    d.replayed_tokens += s.replayed_tokens;
+    d.recovered_checkpoints += s.recovered_checkpoints;
+    d.torn_bytes += s.torn_bytes_truncated;
+    d.fsyncs += s.fsync_total;
+    d.wal_bytes_written += s.wal_bytes_written;
+    d.disk_stable_bytes += s.disk_stable_bytes;
+    d.memory_stable_bytes += w->stable_mem.load(std::memory_order_relaxed);
+    d.snapshot_writes += s.snapshot_writes;
+    d.manifest_writes += s.manifest_writes;
+    d.compactions += s.compactions;
+    d.recovery_us = std::max(d.recovery_us, s.recovery_us);
   }
   result.net = transport_.stats();
   result.tcp = transport_.tcp_stats();

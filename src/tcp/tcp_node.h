@@ -20,15 +20,15 @@
 // exits 4 at its own time cap, so a dead coordinator cannot hang the
 // fleet.
 //
-// Node-kill recovery: a respawned node runs with `recover = true`, which
-// schedules an immediate crash of every local process right after start().
-// That is a genuine paper-model failure — the fresh incarnation announces
-// a version-0 failure token, peers roll back orphans of the old
-// incarnation, and (with retransmission enabled) lost messages are
-// re-sent. Stable storage here is process-local memory, so the announced
-// restoration point is the initial checkpoint, exactly the "lost
-// everything since the last stable state" failure the protocol is built
-// to absorb.
+// Node-kill recovery: a respawned node runs with `recover = true`. With a
+// data dir, each local process is first rebuilt from its durable state
+// (latest checkpoint + WAL replay, src/durable/) and boots through the
+// restart path — announcing a failure token at the RESTORED point, so
+// peers only roll back what the disk genuinely lost. A pid with no usable
+// durable state (no data dir, corrupt files, or `recover_cold`) instead
+// crashes right after start(): the fresh incarnation announces a
+// version-0 failure token and the cluster absorbs the full "lost
+// everything since the initial checkpoint" failure.
 #pragma once
 
 #include <atomic>
@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/app/workload.h"
+#include "src/durable/durable_storage.h"
 #include "src/harness/failure_plan.h"
 #include "src/harness/metrics.h"
 #include "src/harness/protocol_factory.h"
@@ -69,9 +70,19 @@ struct TcpNodeConfig {
   /// Crash schedule over GLOBAL process ids; events for remote pids are
   /// ignored, so every node can be handed the same plan.
   std::vector<CrashEvent> crashes;
-  /// Respawned-after-kill mode: crash every local process right after
-  /// start, announcing the old incarnation's failure to the cluster.
+  /// Respawned-after-kill mode. With a data dir, each local process is
+  /// restored from its on-disk state (latest checkpoint + WAL replay) and
+  /// announces its failure at the restored point; pids with no usable
+  /// durable state — and every pid when there is no data dir or
+  /// `recover_cold` is set — fall back to crash-announcing right after
+  /// start, the version-0 "lost everything" failure.
   bool recover = false;
+  /// Per-node durable storage root; each local pid persists under
+  /// `<data_dir>/p<pid>`. Empty = in-memory stable storage only.
+  std::string data_dir;
+  /// Ignore on-disk state on --recover: wipe and crash-announce every local
+  /// pid (the pre-durability behavior, kept as an explicit fallback).
+  bool recover_cold = false;
   SimTime time_cap = seconds(30);
   /// Cluster-signature stability window required before shutdown.
   SimTime settle = millis(150);
@@ -106,6 +117,29 @@ struct TcpNodeResult {
   /// envelope). The shared fixed-bucket histogram: p50/p90/p99 via
   /// percentile().
   telemetry::FixedHistogram delivery_latency_us;
+
+  /// Durable-storage outcome (zeroed when no data dir was configured).
+  struct DurableSummary {
+    bool enabled = false;
+    /// Workers restored from disk on --recover (vs cold crash-announce).
+    std::uint32_t warm_recovered = 0;
+    /// Stable frontier restored from disk, summed over warm workers: > the
+    /// initial-checkpoint cursor proves recovery used the latest state.
+    std::uint64_t recovered_delivered = 0;
+    std::uint64_t replayed_messages = 0;
+    std::uint64_t replayed_tokens = 0;
+    std::uint64_t recovered_checkpoints = 0;
+    std::uint64_t torn_bytes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t wal_bytes_written = 0;
+    std::uint64_t disk_stable_bytes = 0;
+    std::uint64_t memory_stable_bytes = 0;
+    std::uint64_t snapshot_writes = 0;
+    std::uint64_t manifest_writes = 0;
+    std::uint64_t compactions = 0;
+    /// Max per-worker disk recovery time, micros.
+    std::uint64_t recovery_us = 0;
+  } durable;
 };
 
 class TcpNode {
@@ -159,6 +193,16 @@ class TcpNode {
     /// worker-private state.
     std::unique_ptr<telemetry::ProcessGauges> gauges;
     telemetry::AtomicHistogram* latency_live = nullptr;  // registry-owned
+    /// File-backed persistence (null without a data dir). Its counters are
+    /// atomics, so the scrape path reads them directly.
+    std::unique_ptr<DurableBackend> durable;
+    /// Set when --recover restored this worker from disk; worker_main then
+    /// boots via start_recovered() and run() skips its crash-announce.
+    bool warm = false;
+    RecoveryResult recovery;
+    telemetry::AtomicHistogram* flush_latency_live = nullptr;
+    /// In-memory stable_bytes(), mirrored each sync for the scrape thread.
+    std::atomic<std::uint64_t> stable_mem{0};
     Rng rng;
     std::thread thread;
     bool started = false;

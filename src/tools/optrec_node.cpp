@@ -57,9 +57,16 @@
 //                      valid for --node=all; --spawn picks one itself)
 //   --topology=FILE    JSON topology (overrides --tcp-nodes/--base-port)
 //   --node=K|all       which node this process runs               [all]
-//   --recover          this node replaces a killed incarnation: crash
-//                      every local process immediately after start so the
-//                      old incarnation's failure is announced cluster-wide
+//   --data-dir=DIR     durable stable storage (docs/DURABILITY.md): each
+//                      local process persists its WAL + checkpoints under
+//                      DIR/p<pid>; --spawn derives DIR/node-K per child
+//   --recover[=cold]   this node replaces a killed incarnation. With a
+//                      data dir every local process is rebuilt from disk
+//                      (latest checkpoint + WAL replay) and announces its
+//                      failure at the restored point; `=cold` — or no
+//                      data dir — wipes instead and crash-announces every
+//                      local process right after start, the version-0
+//                      "lost everything" failure
 //   --settle-ms=K      quiescence settle window                   [150]
 //   --status-ms=K      status gossip period                       [25]
 //   --kill=N:AT:RESP   (--spawn) SIGKILL node N's child AT ms into the
@@ -186,7 +193,8 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
                         const telemetry::FixedHistogram& latency,
                         std::size_t oracle_violations, bool audited,
                         std::size_t audit_violations,
-                        const telemetry::RecoveryTimelineReport* timeline) {
+                        const telemetry::RecoveryTimelineReport* timeline,
+                        const TcpNodeResult::DurableSummary* durable) {
   std::ostringstream os;
   JsonWriter w(os);
   const double wall_s = static_cast<double>(wall_time) / 1e6;
@@ -219,6 +227,25 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
   if (timeline != nullptr) {
     w.key("recovery_timeline").begin_object();
     telemetry::write_recovery_timeline_fields(w, *timeline);
+    w.end_object();
+  }
+
+  if (durable != nullptr && durable->enabled) {
+    w.key("durable").begin_object();
+    w.kv("warm_recovered", std::uint64_t{durable->warm_recovered});
+    w.kv("recovered_delivered", durable->recovered_delivered);
+    w.kv("replayed_msgs", durable->replayed_messages);
+    w.kv("replayed_tokens", durable->replayed_tokens);
+    w.kv("recovered_checkpoints", durable->recovered_checkpoints);
+    w.kv("torn_bytes", durable->torn_bytes);
+    w.kv("fsyncs", durable->fsyncs);
+    w.kv("wal_bytes_written", durable->wal_bytes_written);
+    w.kv("disk_stable_bytes", durable->disk_stable_bytes);
+    w.kv("memory_stable_bytes", durable->memory_stable_bytes);
+    w.kv("snapshot_writes", durable->snapshot_writes);
+    w.kv("manifest_writes", durable->manifest_writes);
+    w.kv("compactions", durable->compactions);
+    w.kv("recovery_us", durable->recovery_us);
     w.end_object();
   }
 
@@ -275,7 +302,8 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
 void print_summary(const char* head, bool quiesced, SimTime wall_time,
                    const Metrics& m, const Network::Stats& n,
                    const TcpTransport::TcpStats& t,
-                   const telemetry::FixedHistogram& latency) {
+                   const telemetry::FixedHistogram& latency,
+                   const TcpNodeResult::DurableSummary* durable = nullptr) {
   const double wall_s = static_cast<double>(wall_time) / 1e6;
   std::printf("%s quiesced=%s (t = %.2f ms wall)\n", head,
               quiesced ? "yes" : "NO", wall_time / 1000.0);
@@ -304,6 +332,17 @@ void print_summary(const char* head, bool quiesced, SimTime wall_time,
               (unsigned long long)t.frames_tx, (unsigned long long)t.frames_rx,
               (unsigned long long)t.token_retries,
               (unsigned long long)t.dup_tokens_dropped);
+  if (durable != nullptr && durable->enabled) {
+    std::printf("durable    warm=%u recovered-delivered=%llu replayed=%llu "
+                "fsyncs=%llu wal-bytes=%llu disk-bytes=%llu torn=%llu\n",
+                durable->warm_recovered,
+                (unsigned long long)durable->recovered_delivered,
+                (unsigned long long)durable->replayed_messages,
+                (unsigned long long)durable->fsyncs,
+                (unsigned long long)durable->wal_bytes_written,
+                (unsigned long long)durable->disk_stable_bytes,
+                (unsigned long long)durable->torn_bytes);
+  }
 }
 
 void write_trace(const std::string& trace_file, const std::string& format,
@@ -411,11 +450,11 @@ std::uint64_t unix_micros() {
 /// --spawn: fork a child running `--node=K` with the given base argv plus
 /// per-node extras (trace file, metrics file).
 pid_t spawn_child(const std::vector<std::string>& base_args,
-                  std::uint32_t node, bool recover,
+                  std::uint32_t node, bool recover, bool recover_cold,
                   const std::vector<std::string>& extra) {
   std::vector<std::string> args = base_args;
   args.push_back("--node=" + std::to_string(node));
-  if (recover) args.push_back("--recover");
+  if (recover) args.push_back(recover_cold ? "--recover=cold" : "--recover");
   args.insert(args.end(), extra.begin(), extra.end());
   const pid_t pid = ::fork();
   if (pid < 0) die("fork failed");
@@ -433,11 +472,12 @@ pid_t spawn_child(const std::vector<std::string>& base_args,
 
 int run_spawn_harness(const std::vector<std::string>& base_args,
                       std::size_t tcp_nodes, std::vector<KillSpec> kills,
-                      bool verbose,
+                      bool verbose, bool recover_cold,
                       const std::vector<std::vector<std::string>>& extra) {
   std::vector<pid_t> child(tcp_nodes, -1);
   for (std::uint32_t k = 0; k < tcp_nodes; ++k) {
-    child[k] = spawn_child(base_args, k, /*recover=*/false, extra[k]);
+    child[k] = spawn_child(base_args, k, /*recover=*/false, recover_cold,
+                           extra[k]);
   }
 
   // Apply the kill/respawn schedule in event-time order.
@@ -467,7 +507,7 @@ int run_spawn_harness(const std::vector<std::string>& base_args,
                      event.node);
       }
       child[event.node] =
-          spawn_child(base_args, event.node, /*recover=*/true,
+          spawn_child(base_args, event.node, /*recover=*/true, recover_cold,
                       extra[event.node]);
     } else {
       if (verbose) {
@@ -519,6 +559,8 @@ int main(int argc, char** argv) {
   std::string node_arg = "all";
   std::uint16_t base_port = 0;
   bool recover = false;
+  bool recover_cold = false;
+  std::string data_dir;
   bool spawn = false;
   bool audit = false;
   bool metrics_json = false;
@@ -650,7 +692,16 @@ int main(int argc, char** argv) {
       forward = false;
     } else if (parse_flag(arg, "--recover", &value)) {
       recover = true;
+      if (value == "cold") {
+        recover_cold = true;
+      } else if (!value.empty() && value != "warm") {
+        die("--recover wants no value, =warm, or =cold");
+      }
       forward = false;
+    } else if (parse_flag(arg, "--data-dir", &value)) {
+      if (value.empty()) die("--data-dir wants a directory");
+      data_dir = value;
+      forward = false;  // --spawn derives a per-child DIR/node-K instead
     } else if (parse_flag(arg, "--spawn", &value)) {
       spawn = true;
       forward = false;
@@ -769,6 +820,11 @@ int main(int argc, char** argv) {
         die("cannot create --trace-dir '" + trace_dir + "'");
       }
     }
+    if (!data_dir.empty()) {
+      if (::mkdir(data_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        die("cannot create --data-dir '" + data_dir + "'");
+      }
+    }
     if (metrics_json && metrics_json_file.empty()) {
       die("--spawn needs --metrics-json=FILE (children would interleave "
           "one stdout)");
@@ -779,12 +835,17 @@ int main(int argc, char** argv) {
         extra[k].push_back("--trace=" + trace_dir + "/node-" +
                            std::to_string(k) + ".jsonl");
       }
+      if (!data_dir.empty()) {
+        extra[k].push_back("--data-dir=" + data_dir + "/node-" +
+                           std::to_string(k));
+      }
       if (metrics_json) {
         extra[k].push_back("--metrics-json=" + metrics_json_file + ".node" +
                            std::to_string(k));
       }
     }
-    return run_spawn_harness(child_args, config.nodes, kills, verbose, extra);
+    return run_spawn_harness(child_args, config.nodes, kills, verbose,
+                             recover_cold, extra);
   }
 
   // ---- --node=K: one node of the cluster -----------------------------
@@ -810,6 +871,8 @@ int main(int argc, char** argv) {
     // crash plan belonged to the incarnation the kill replaced.
     if (!recover) nc.crashes = config.crashes;
     nc.recover = recover;
+    nc.data_dir = data_dir;
+    nc.recover_cold = recover_cold;
     nc.time_cap = config.time_cap;
     nc.settle = config.settle;
     nc.status_interval = config.status_interval;
@@ -847,12 +910,14 @@ int main(int argc, char** argv) {
           result_json(config, "node", node, result.exit_code, result.quiesced,
                       result.wall_time, result.metrics, result.net, result.tcp,
                       result.delivery_latency_us, 0, false, 0,
-                      trace != nullptr ? &timeline : nullptr));
+                      trace != nullptr ? &timeline : nullptr,
+                      &result.durable));
     } else {
       char head[64];
       std::snprintf(head, sizeof head, "node %u", node);
       print_summary(head, result.quiesced, result.wall_time, result.metrics,
-                    result.net, result.tcp, result.delivery_latency_us);
+                    result.net, result.tcp, result.delivery_latency_us,
+                    &result.durable);
     }
     return result.exit_code;
   }
@@ -866,6 +931,12 @@ int main(int argc, char** argv) {
   if (!trace_dir.empty()) die("--trace-dir is for --spawn; use --trace=FILE");
   config.telemetry = telemetry;
   config.telemetry_base_port = telemetry_base_port;
+  if (!data_dir.empty()) {
+    if (::mkdir(data_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      die("cannot create --data-dir '" + data_dir + "'");
+    }
+    config.data_dir = data_dir;
+  }
 
   if (!metrics_json) {
     std::printf(
@@ -907,18 +978,33 @@ int main(int argc, char** argv) {
   const int exit_code = !violations.empty() || !audit_ok ? 3
                         : !result.quiesced               ? 4
                                                          : 0;
+  // Cluster-wide durable totals (in-process runs always start fresh, so
+  // this is the write-path footprint, not a recovery report).
+  TcpNodeResult::DurableSummary durable;
+  for (const TcpNodeResult& nr : result.per_node) {
+    if (!nr.durable.enabled) continue;
+    durable.enabled = true;
+    durable.fsyncs += nr.durable.fsyncs;
+    durable.wal_bytes_written += nr.durable.wal_bytes_written;
+    durable.disk_stable_bytes += nr.durable.disk_stable_bytes;
+    durable.memory_stable_bytes += nr.durable.memory_stable_bytes;
+    durable.snapshot_writes += nr.durable.snapshot_writes;
+    durable.manifest_writes += nr.durable.manifest_writes;
+    durable.compactions += nr.durable.compactions;
+  }
   if (metrics_json) {
     emit_metrics_json(
         metrics_json_file,
         result_json(config, "all", 0, exit_code, result.quiesced,
                     result.wall_time, result.metrics, result.net, result.tcp,
                     result.delivery_latency_us, violations.size(), audit,
-                    audit_violations, events != nullptr ? &timeline : nullptr));
+                    audit_violations, events != nullptr ? &timeline : nullptr,
+                    &durable));
     return exit_code;
   }
 
   print_summary("cluster", result.quiesced, result.wall_time, result.metrics,
-                result.net, result.tcp, result.delivery_latency_us);
+                result.net, result.tcp, result.delivery_latency_us, &durable);
   if (config.enable_oracle) {
     std::printf("oracle     consistency=%s\n",
                 violations.empty() ? "OK" : "VIOLATED");

@@ -1,0 +1,142 @@
+// Durability fuzzer end-to-end: the fault-injection sweep must pass the
+// real implementation clean, catch both WAL ablations (negative controls),
+// shrink violations to replayable minimal cases, and round-trip repro
+// artifacts through JSON.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/explore/durability_case.h"
+
+namespace optrec {
+namespace {
+
+DurabilitySweepOptions base_opts() {
+  DurabilitySweepOptions opts;
+  opts.runs = 150;
+  opts.seed = 5;
+  opts.ops = 40;
+  opts.shrink_budget = 120;
+  return opts;
+}
+
+TEST(DurabilitySweep, RealImplementationSweepsClean) {
+  const DurabilitySweepReport report = run_durability_sweep(base_opts());
+  EXPECT_EQ(report.runs_completed, 150u);
+  EXPECT_TRUE(report.ok()) << report.violation_runs << " violation runs, "
+                           << report.repros.size() << " repros";
+  EXPECT_GT(report.coverage_buckets, 10u)
+      << "sweep did not explore distinct crash outcomes";
+}
+
+TEST(DurabilitySweep, SkipCrcAblationIsCaughtAndShrinks) {
+  DurabilitySweepOptions opts = base_opts();
+  opts.runs = 300;
+  opts.mutation = "skip-crc";
+  opts.corrupt_prob = 0.5;  // the CRC hole only shows under corruption
+  const DurabilitySweepReport report = run_durability_sweep(opts);
+  ASSERT_GT(report.violation_runs, 0u);
+  ASSERT_FALSE(report.repros.empty());
+
+  // Every shrunk minimal case still reproduces its violation category.
+  for (const DurabilityRepro& repro : report.repros) {
+    const Expectation want{repro.violation.kind, repro.violation.category};
+    const DurabilityOutcome rerun = run_durability_case(repro.minimal);
+    EXPECT_TRUE(want.matches(rerun.violations))
+        << "minimal case lost [" << repro.violation.category << "]";
+  }
+}
+
+TEST(DurabilitySweep, AsyncTokensAblationIsCaught) {
+  DurabilitySweepOptions opts = base_opts();
+  opts.runs = 300;
+  opts.mutation = "async-tokens";
+  const DurabilitySweepReport report = run_durability_sweep(opts);
+  ASSERT_GT(report.violation_runs, 0u)
+      << "buffered tokens must lose durable state under kill -9";
+  ASSERT_FALSE(report.repros.empty());
+  const DurabilityOutcome rerun = run_durability_case(report.repros[0].minimal);
+  const Expectation want{report.repros[0].violation.kind,
+                         report.repros[0].violation.category};
+  EXPECT_TRUE(want.matches(rerun.violations));
+}
+
+TEST(DurabilityCase, OutcomeIsDeterministic) {
+  DurabilityCase c;
+  c.seed = 987654321;
+  c.ops = 40;
+  c.crash_at_op = 9;
+  c.garble_tail = 1.0;
+  const DurabilityOutcome a = run_durability_case(c);
+  const DurabilityOutcome b = run_durability_case(c);
+  EXPECT_EQ(a.signatures, b.signatures);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.fs_ops, b.fs_ops);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].message, b.violations[i].message);
+  }
+}
+
+TEST(DurabilityCase, PowerCutRecoversTheFinalDurableState) {
+  // No crash mid-schedule: everything synced must come back, no violations.
+  DurabilityCase c;
+  c.seed = 31337;
+  c.ops = 60;
+  const DurabilityOutcome out = run_durability_case(c);
+  EXPECT_FALSE(out.crashed);
+  EXPECT_TRUE(out.ok()) << (out.violations.empty()
+                                ? std::string()
+                                : out.violations.front().message);
+  EXPECT_TRUE(out.warm) << "schedules start with a checkpoint, so a "
+                           "power-cut image always has a manifest";
+}
+
+TEST(DurabilityRepro, JsonRoundTrip) {
+  DurabilityCase c;
+  c.seed = 0xdeadbeefcafe;
+  c.ops = 23;
+  c.crash_at_op = 17;
+  c.garble_tail = 1.0;
+  c.corrupt_durable = true;
+  c.mutation = "async-tokens";
+  const Expectation expect{"durability", "durable-loss"};
+
+  const std::string json = durability_repro_to_json(c, expect);
+  EXPECT_NE(json.find(kDurabilityReproSchema), std::string::npos);
+
+  DurabilityCase back;
+  Expectation expect_back;
+  parse_durability_repro_json(json, &back, &expect_back);
+  EXPECT_EQ(back.seed, c.seed);
+  EXPECT_EQ(back.ops, c.ops);
+  EXPECT_EQ(back.crash_at_op, c.crash_at_op);
+  EXPECT_EQ(back.garble_tail, c.garble_tail);
+  EXPECT_EQ(back.corrupt_durable, c.corrupt_durable);
+  EXPECT_EQ(back.mutation, c.mutation);
+  EXPECT_EQ(expect_back.kind, expect.kind);
+  EXPECT_EQ(expect_back.category, expect.category);
+
+  // Power-cut cases omit crash_at_op and parse back as never-crash.
+  DurabilityCase powercut;
+  powercut.seed = 42;
+  const std::string pj = durability_repro_to_json(powercut, Expectation{});
+  EXPECT_EQ(pj.find("crash_at_op"), std::string::npos);
+  DurabilityCase pback;
+  Expectation pexpect;
+  parse_durability_repro_json(pj, &pback, &pexpect);
+  EXPECT_GE(pback.crash_at_op, 1ull << 40);
+}
+
+TEST(DurabilityRepro, RejectsForeignArtifacts) {
+  DurabilityCase c;
+  Expectation e;
+  EXPECT_THROW(parse_durability_repro_json("{\"schema\":\"bogus\"}", &c, &e),
+               std::exception);
+  EXPECT_THROW(parse_durability_repro_json("not json at all", &c, &e),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace optrec
