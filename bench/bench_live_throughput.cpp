@@ -37,6 +37,7 @@ constexpr ProtocolKind kProtocols[] = {
 struct Row {
   const char* protocol = "";
   const char* phase = "";
+  std::size_t producers = 0;  // per-channel fan-in: n - 1
   bool quiesced = false;
   std::uint64_t delivered = 0;
   SimTime wall_us = 0;
@@ -73,6 +74,7 @@ Row run_one(ProtocolKind protocol, std::size_t n, std::uint64_t seed,
   Row row;
   row.protocol = protocol_name(protocol);
   row.phase = crashes > 0 ? "crashes" : "failure_free";
+  row.producers = n - 1;
   row.quiesced = result.quiesced;
   row.delivered = result.metrics.messages_delivered;
   row.wall_us = result.wall_time;
@@ -127,6 +129,17 @@ int main(int argc, char** argv) {
     rows.push_back(run_one(protocol, n, seed, 0));
     rows.push_back(run_one(protocol, n, seed, crashes));
   }
+  // Channel fan-in sweep: with an all-to-all workload each inbox channel
+  // sees n-1 producers, so n = 2/5/17 puts 1/4/16 concurrent pushers on
+  // every channel — the contention axis bench_channel measures in
+  // isolation, here end to end through the full protocol stack.
+  std::vector<Row> fanin_rows;
+  for (std::size_t fanin_n : {std::size_t{2}, std::size_t{5},
+                              std::size_t{17}}) {
+    Row row = run_one(ProtocolKind::kDamaniGarg, fanin_n, seed, 0);
+    row.phase = "fanin";
+    fanin_rows.push_back(row);
+  }
 
   TablePrinter table({"protocol", "phase", "msgs/s", "p50 us", "p90 us",
                       "p99 us", "piggyback B/msg", "recovery ms", "rollbacks",
@@ -139,6 +152,17 @@ int main(int argc, char** argv) {
                    std::to_string(r.rollbacks), r.quiesced ? "yes" : "NO"});
   }
   table.print(std::cout);
+
+  std::printf("\nchannel fan-in sweep (dg, failure-free):\n");
+  TablePrinter fanin_table({"producers/chan", "msgs/s", "p50 us", "p90 us",
+                            "p99 us", "quiesced"});
+  for (const Row& r : fanin_rows) {
+    fanin_table.add_row({std::to_string(r.producers), fmt(r.msgs_per_sec, 0),
+                         fmt(r.latency.p50, 0), fmt(r.latency.p90, 0),
+                         fmt(r.latency.p99, 0), r.quiesced ? "yes" : "NO"});
+  }
+  fanin_table.print(std::cout);
+  rows.insert(rows.end(), fanin_rows.begin(), fanin_rows.end());
 
   std::ofstream os(out_file, std::ios::binary);
   if (!os) {
@@ -159,6 +183,7 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.kv("protocol", r.protocol);
     w.kv("phase", r.phase);
+    w.kv("producers_per_channel", std::uint64_t{r.producers});
     w.kv("quiesced", r.quiesced);
     w.kv("messages_delivered", r.delivered);
     w.kv("wall_time_us", r.wall_us);

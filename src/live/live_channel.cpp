@@ -5,52 +5,65 @@
 namespace optrec {
 
 void LiveChannel::push(LiveFrame frame) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    frames_.push_back(std::move(frame));
+  size_.fetch_add(1, std::memory_order_acq_rel);
+  ring_.push(std::move(frame));
+  bell_.ring();
+}
+
+void LiveChannel::intake(SimTime now) {
+  LiveFrame f;
+  while (ring_.try_pop(f)) {
+    if (f.not_before > now) {
+      wheel_.add(f.not_before, std::move(f));
+    } else if (f.kind != LiveFrame::Kind::kWire) {
+      due_ctrl_.push_back(std::move(f));
+    } else {
+      due_wire_.push_back(std::move(f));
+    }
   }
-  cv_.notify_one();
+  routed_.clear();
+  wheel_.advance(now, routed_);
+  for (LiveFrame& r : routed_) {
+    if (r.kind != LiveFrame::Kind::kWire) {
+      due_ctrl_.push_back(std::move(r));
+    } else {
+      due_wire_.push_back(std::move(r));
+    }
+  }
+  routed_.clear();
 }
 
 std::optional<LiveFrame> LiveChannel::pop_ready(const LiveClock& clock,
                                                 SimTime wait_until, Rng& rng) {
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    // Epoch snapshot BEFORE draining: a push that lands after the drain but
+    // before the sleep moves the epoch and wait_until returns immediately.
+    const std::uint64_t seen = bell_.epoch();
     const SimTime now = clock.now();
-    std::size_t pick = kNone;
-    std::size_t ready = 0;
-    SimTime next_due = kSimTimeMax;
-    for (std::size_t i = 0; i < frames_.size(); ++i) {
-      const LiveFrame& f = frames_[i];
-      if (f.not_before > now) {
-        next_due = std::min(next_due, f.not_before);
-        continue;
-      }
-      if (f.kind != LiveFrame::Kind::kWire) {
-        pick = i;
-        break;
-      }
-      // Reservoir pick: after the scan each due wire frame was chosen with
-      // probability 1/ready, which is what makes delivery order random.
-      ++ready;
-      if (rng.uniform(ready) == 0) pick = i;
+    intake(now);
+    if (!due_ctrl_.empty()) {
+      // Control frames preempt any wire backlog. Oldest injection first.
+      LiveFrame out = std::move(due_ctrl_.front());
+      due_ctrl_.erase(due_ctrl_.begin());
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return out;
     }
-    if (pick != kNone) {
-      LiveFrame out = std::move(frames_[pick]);
-      frames_[pick] = std::move(frames_.back());
-      frames_.pop_back();
+    if (!due_wire_.empty()) {
+      // Uniform-random pick keeps delivery order random (the paper's
+      // no-ordering assumption), same distribution as the old reservoir
+      // scan: every due wire frame is equally likely.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(static_cast<std::uint64_t>(due_wire_.size())));
+      LiveFrame out = std::move(due_wire_[pick]);
+      due_wire_[pick] = std::move(due_wire_.back());
+      due_wire_.pop_back();
+      size_.fetch_sub(1, std::memory_order_acq_rel);
       return out;
     }
     if (now >= wait_until) return std::nullopt;
-    cv_.wait_until(lock,
-                   clock.to_time_point(std::min(wait_until, next_due)));
+    const SimTime sleep_to = std::min(wait_until, wheel_.next_deadline());
+    bell_.wait_until(seen, clock.to_time_point(sleep_to));
   }
-}
-
-std::size_t LiveChannel::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return frames_.size();
 }
 
 }  // namespace optrec

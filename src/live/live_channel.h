@@ -9,19 +9,30 @@
 // Control frames (crash/stop injection) ride the same channel but take
 // priority over wire frames once due, so an injected crash cannot be
 // starved by a deep backlog of application traffic.
+//
+// Data plane (this is the hot path of the whole live/TCP substrate):
+//   producers --lock-free--> MpscRing --consumer drains--> route:
+//        due now  -> due_ctrl_ / due_wire_ (uniform-random pick)
+//        delayed  -> TimingWheel (consumer-private, exact release times)
+// Producers never take a lock (ring fast path) and never broadcast a
+// condvar; they ring a Doorbell whose slow path only fires when the
+// consumer is actually parked. Frame payloads are refcounted FrameRefs,
+// so a push moves a pointer, not bytes.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/live/live_clock.h"
 #include "src/sim/time.h"
-#include "src/util/bytes.h"
+#include "src/util/doorbell.h"
 #include "src/util/ids.h"
+#include "src/util/mpsc_ring.h"
 #include "src/util/rng.h"
+#include "src/util/timing_wheel.h"
+#include "src/wire/frame_buf.h"
 
 namespace optrec {
 
@@ -33,9 +44,10 @@ struct LiveFrame {
   };
   Kind kind = Kind::kWire;
   ProcessId src = kNoProcess;
-  /// Wire image (kWire only). The receiving worker decodes it; payloads
-  /// cross the thread boundary only as bytes, the way a socket would.
-  Bytes wire;
+  /// Wire image (kWire only), shared by reference: fan-out sends clone the
+  /// ref, never the bytes. The receiving worker decodes it; payloads cross
+  /// the thread boundary only as immutable bytes, the way a socket would.
+  FrameRef wire;
   /// kWire accounting without a decode: app message vs control/token.
   bool app = false;
   bool token = false;
@@ -57,12 +69,28 @@ class LiveChannel {
   std::optional<LiveFrame> pop_ready(const LiveClock& clock,
                                      SimTime wait_until, Rng& rng);
 
-  std::size_t size() const;
+  /// Frames inside the channel (ring + wheel + due sets). Lock-free; safe
+  /// from any thread.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  /// Most frames ever simultaneously queued in the producer ring.
+  std::size_t ring_high_water() const { return ring_.high_water(); }
+  /// Pushes that spilled past the lock-free ring into the overflow path.
+  std::uint64_t ring_overflows() const { return ring_.overflow_pushes(); }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<LiveFrame> frames_;
+  /// Consumer only: drain the ring, route frames due/ctrl/wheel, release
+  /// matured wheel entries.
+  void intake(SimTime now);
+
+  MpscRing<LiveFrame> ring_;
+  Doorbell bell_;
+  std::atomic<std::size_t> size_{0};
+
+  // Consumer-private state (owning worker thread only).
+  TimingWheel<LiveFrame> wheel_;
+  std::vector<LiveFrame> due_wire_;
+  std::vector<LiveFrame> due_ctrl_;
+  std::vector<LiveFrame> routed_;  // reusable scratch for wheel release
 };
 
 }  // namespace optrec

@@ -138,7 +138,7 @@ void LiveRuntime::worker_main(Worker& w) {
       channel.push(std::move(*frame));
       continue;
     }
-    const Frame decoded = decode_frame(frame->wire);
+    const Frame decoded = decode_frame(frame->wire.bytes());
     w.latency_us.observe(
         static_cast<double>(clock_.now() - frame->sent_at));
     if (decoded.type == FrameType::kMessage) {

@@ -67,7 +67,7 @@ SimTime LiveTransport::link_clear_at(ProcessId src, ProcessId dst,
   return t;
 }
 
-void LiveTransport::push_wire(ProcessId src, ProcessId dst, Bytes wire,
+void LiveTransport::push_wire(ProcessId src, ProcessId dst, FrameRef wire,
                               bool app, bool token, SimTime delay) {
   LiveFrame f;
   f.kind = LiveFrame::Kind::kWire;
@@ -95,7 +95,10 @@ void LiveTransport::fanout_main() {
     lock.unlock();
     for (std::size_t i = 0; i < b.dst_delays.size(); ++i) {
       const auto& [dst, delay] = b.dst_delays[i];
-      Bytes wire = i + 1 == b.dst_delays.size() ? std::move(b.wire) : b.wire;
+      // Shared ref: every destination's channel frame points at the same
+      // encoded token image (one atomic inc per clone, zero byte copies).
+      FrameRef wire =
+          i + 1 == b.dst_delays.size() ? std::move(b.wire) : b.wire;
       push_wire(b.src, dst, std::move(wire), /*app=*/false, /*token=*/true,
                 delay);
     }
@@ -136,7 +139,8 @@ MsgId LiveTransport::send(Message msg) {
       return msg.id;
     }
   }
-  Bytes wire = encode_message_frame(msg);
+  // Encode once into a pooled buffer; a duplicate delivery shares the ref.
+  FrameRef wire = FramePool::global().wrap(encode_message_frame(msg));
   if (app && rng.chance(faults_.duplicate_prob)) {
     messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
     push_wire(msg.src, msg.dst, wire, app, /*token=*/false, draw_delay(rng));
@@ -179,7 +183,7 @@ void LiveTransport::broadcast_token(const Token& token) {
     b.dst_delays.emplace_back(dst, draw_delay(rng));
   }
   if (b.dst_delays.empty()) return;
-  b.wire = encode_token_frame(token);
+  b.wire = FramePool::global().wrap(encode_token_frame(token));
   {
     std::lock_guard<std::mutex> lock(fanout_mu_);
     fanout_queue_.push_back(std::move(b));
@@ -191,8 +195,8 @@ void LiveTransport::send_token(ProcessId dst, const Token& token) {
   tokens_sent_.fetch_add(1, std::memory_order_relaxed);
   token_bytes_.fetch_add(token_wire_bytes(token), std::memory_order_relaxed);
   Rng& rng = send_rng_.at(token.from);
-  push_wire(token.from, dst, encode_token_frame(token), /*app=*/false,
-            /*token=*/true, draw_delay(rng));
+  push_wire(token.from, dst, FramePool::global().wrap(encode_token_frame(token)),
+            /*app=*/false, /*token=*/true, draw_delay(rng));
 }
 
 void LiveTransport::note_delivered_message(bool app) {

@@ -127,13 +127,14 @@ class LiveTransport : public Transport {
   Network::Stats stats() const;
 
  private:
-  /// One queued broadcast: the frame is encoded once and fanned out to
-  /// every destination by the fan-out thread, so the announcing worker is
-  /// never stalled behind an O(n) unicast loop (delays are pre-drawn on the
+  /// One queued broadcast: the frame is encoded once into a shared
+  /// FrameRef and fanned out to every destination by the fan-out thread, so
+  /// the announcing worker is never stalled behind an O(n) unicast loop and
+  /// the n-1 pushes share one byte image (delays are pre-drawn on the
   /// caller to keep the per-sender RNGs single-threaded).
   struct PendingBroadcast {
     ProcessId src = kNoProcess;
-    Bytes wire;
+    FrameRef wire;
     std::vector<std::pair<ProcessId, SimTime>> dst_delays;
   };
 
@@ -141,7 +142,7 @@ class LiveTransport : public Transport {
   /// Earliest instant >= t at which the src->dst link is outside every
   /// scripted partition window (t itself when none applies).
   SimTime link_clear_at(ProcessId src, ProcessId dst, SimTime t) const;
-  void push_wire(ProcessId src, ProcessId dst, Bytes wire, bool app,
+  void push_wire(ProcessId src, ProcessId dst, FrameRef wire, bool app,
                  bool token, SimTime delay);
   void fanout_main();
 

@@ -165,6 +165,41 @@ Bytes frame_envelope(const Envelope& e) {
   return out;
 }
 
+Bytes frame_wire_envelope_prefix(const Envelope& e, std::size_t wire_size) {
+  if (wire_size > kMaxFrameBytes) {
+    throw FrameError(FrameError::Kind::kOversized,
+                     "nested wire frame exceeds kMaxFrameBytes");
+  }
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(EnvelopeKind::kWire));
+  w.put_u32(e.src_node);
+  w.put_u32(e.src_pid);
+  w.put_u32(e.dst_pid);
+  w.put_bool(e.app);
+  w.put_bool(e.token);
+  w.put_u64(e.token_seq);
+  w.put_u64(e.sent_unix_us);
+  w.put_u64(e.delay_us);
+  // The length varint put_bytes would have written; the raw wire bytes
+  // follow on the stream instead of living in this buffer.
+  w.put_u64(wire_size);
+  Bytes body = w.take();
+  const std::size_t total = body.size() + wire_size;
+  if (total > kMaxEnvelopeBytes) {
+    throw FrameError(FrameError::Kind::kOversized,
+                     "envelope exceeds kMaxEnvelopeBytes");
+  }
+  Bytes out;
+  out.reserve(4 + body.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(total);
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
 void EnvelopeReader::feed(const std::uint8_t* data, std::size_t len) {
   buf_.insert(buf_.end(), data, data + len);
 }

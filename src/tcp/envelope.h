@@ -116,6 +116,16 @@ Envelope decode_envelope(const Bytes& body);
 /// from checked wire frames).
 Bytes frame_envelope(const Envelope& e);
 
+/// Zero-copy split encoding for kWire envelopes. The nested wire frame is
+/// the LAST field of the body, so the stream image factors into a small
+/// per-destination prefix — [len u32-LE][body fields][wire-length varint]
+/// — followed by the raw wire bytes verbatim. This returns the prefix for
+/// an envelope whose nested frame is `wire_size` bytes long; the sender
+/// emits the shared wire buffer right after it, and the receiver sees a
+/// stream byte-identical to frame_envelope. `e.wire` is ignored. Throws
+/// FrameError(kOversized) if the total body would exceed kMaxEnvelopeBytes.
+Bytes frame_wire_envelope_prefix(const Envelope& e, std::size_t wire_size);
+
 /// Incremental de-framer for one TCP stream. feed() raw socket bytes, then
 /// drain next() until it returns nullopt. next() throws
 /// FrameError(kOversized) as soon as a length prefix exceeds the cap —

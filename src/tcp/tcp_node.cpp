@@ -123,16 +123,48 @@ void TcpNode::setup_telemetry() {
     add("optrec_tcp_dup_tokens_dropped_total", s.dup_tokens_dropped);
     add("optrec_tcp_backpressure_drops_total", s.backpressure_drops);
     add("optrec_tcp_protocol_errors_total", s.protocol_errors);
-    // Per-peer outbound queue depth (takes out_mu_; scrape path only).
-    for (const auto& [node, depth] : transport_.queue_depths()) {
+    add("optrec_tcp_writev_calls_total", s.writev_calls);
+    add("optrec_tcp_outbound_ring_overflows_total", s.ring_overflows);
+    // Buffer-pool efficiency: hits = encodes served from the freelist.
+    const FramePool::Stats ps = FramePool::global().stats();
+    add("optrec_frame_pool_hits_total", ps.hits);
+    add("optrec_frame_pool_misses_total", ps.misses);
+    add("optrec_frame_pool_recycled_total", ps.recycled);
+    add("optrec_frame_pool_discarded_total", ps.discarded);
+    const auto gauge = [&out](const char* name, std::uint32_t node,
+                              std::size_t v) {
       telemetry::Sample sample;
-      sample.name = "optrec_tcp_outbound_queue_depth";
+      sample.name = name;
       sample.labels = {{"peer", std::to_string(node)}};
       sample.kind = telemetry::SampleKind::kGauge;
-      sample.value = static_cast<double>(depth);
+      sample.value = static_cast<double>(v);
+      out.push_back(std::move(sample));
+    };
+    // Per-peer outbound ring occupancy + high water (lock-free reads).
+    for (const auto& [node, depth] : transport_.queue_depths()) {
+      gauge("optrec_tcp_outbound_queue_depth", node, depth);
+    }
+    for (const auto& [node, hw] : transport_.queue_high_waters()) {
+      gauge("optrec_tcp_outbound_queue_high_water", node, hw);
+    }
+    // Per-process inbox ring high water (lock-free, same scrape).
+    for (const auto& w : workers_) {
+      telemetry::Sample sample;
+      sample.name = "optrec_channel_ring_high_water";
+      sample.labels = {{"pid", std::to_string(w->pid)}};
+      sample.kind = telemetry::SampleKind::kGauge;
+      sample.value = static_cast<double>(
+          transport_.channel(w->pid).ring_high_water());
       out.push_back(std::move(sample));
     }
   });
+  transport_.set_io_histograms(
+      &registry_.histogram("optrec_tcp_writev_batch_segments",
+                           "iovec segments per scatter-gather socket write",
+                           {}, {1, 2, 4, 8, 16, 32, 64}),
+      &registry_.histogram("optrec_tcp_frames_per_wakeup",
+                           "Outbound frames staged per IO-thread wakeup", {},
+                           {1, 2, 4, 8, 16, 32, 64, 128, 256}));
   registry_
       .gauge("optrec_node_info", "Constant 1, labelled with this node's id",
              {{"node", std::to_string(config_.node)}})
@@ -349,7 +381,7 @@ void TcpNode::worker_main(Worker& w) {
       channel.push(std::move(*frame));
       continue;
     }
-    const Frame decoded = decode_frame(frame->wire);
+    const Frame decoded = decode_frame(frame->wire.bytes());
     const double lat = static_cast<double>(clock_.now() - frame->sent_at);
     w.latency_us.observe(lat);
     w.latency_live->observe(lat);

@@ -1,6 +1,7 @@
 #include "src/tcp/tcp_transport.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -17,12 +18,15 @@ namespace optrec {
 
 namespace {
 
-/// Stop staging pending frames into a connection's write buffer past this
-/// many bytes; the rest stays in the (loss-free) queue until the socket
-/// drains.
+/// Stop staging ring frames into a connection's sendq past this many
+/// bytes; the rest stays in the (loss-free) ring until the socket drains.
 constexpr std::size_t kOutbufHighWater = 1u << 20;
 
 constexpr std::size_t kRecvChunk = 64 * 1024;
+
+/// Segments per scatter-gather write. Well under IOV_MAX (1024); one
+/// sendmsg rarely accepts more than a socket buffer anyway.
+constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
@@ -145,7 +149,7 @@ void TcpTransport::wake() {
   [[maybe_unused]] const ssize_t rc = ::write(wake_wr_.get(), &b, 1);
 }
 
-void TcpTransport::push_local(ProcessId src, ProcessId dst, Bytes wire,
+void TcpTransport::push_local(ProcessId src, ProcessId dst, FrameRef wire,
                               bool app, bool token, SimTime delay) {
   LiveFrame f;
   f.kind = LiveFrame::Kind::kWire;
@@ -159,8 +163,8 @@ void TcpTransport::push_local(ProcessId src, ProcessId dst, Bytes wire,
   channels_.at(dst)->push(std::move(f));
 }
 
-Envelope TcpTransport::wire_envelope(ProcessId src, ProcessId dst, Bytes wire,
-                                     bool app, bool token, SimTime delay) {
+Envelope TcpTransport::wire_envelope(ProcessId src, ProcessId dst, bool app,
+                                     bool token, SimTime delay) {
   Envelope e;
   e.kind = EnvelopeKind::kWire;
   e.src_node = node_id_;
@@ -170,21 +174,39 @@ Envelope TcpTransport::wire_envelope(ProcessId src, ProcessId dst, Bytes wire,
   e.token = token;
   e.sent_unix_us = unix_micros();
   e.delay_us = delay;
-  e.wire = std::move(wire);
   return e;
 }
 
-bool TcpTransport::queue_to_peer(std::uint32_t node, Bytes framed, bool app) {
+TcpTransport::OutMsg TcpTransport::control_msg(const Envelope& e) {
+  OutMsg m;
+  m.head = FramePool::global().wrap(frame_envelope(e));
+  return m;
+}
+
+TcpTransport::OutMsg TcpTransport::wire_msg(const Envelope& e,
+                                            FrameRef payload, bool app) {
+  OutMsg m;
+  m.head =
+      FramePool::global().wrap(frame_wire_envelope_prefix(e, payload.size()));
+  m.payload = std::move(payload);
+  m.app = app;
+  return m;
+}
+
+bool TcpTransport::queue_to_peer(std::uint32_t node, OutMsg msg) {
   Peer& p = *peers_.at(node);
-  {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    if (app && p.pending_app >= topo_.faults.outbound_cap_frames) {
+  if (msg.app) {
+    // Claim-then-check keeps the cap exact without a lock: concurrent
+    // senders that both land over the cap both back out.
+    const std::size_t n =
+        p.pending_app.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (n > topo_.faults.outbound_cap_frames) {
+      p.pending_app.fetch_sub(1, std::memory_order_acq_rel);
       backpressure_drops_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (app) ++p.pending_app;
-    p.pending.push_back({std::move(framed), app});
   }
+  p.outq.push(std::move(msg));
   return true;
 }
 
@@ -245,18 +267,20 @@ MsgId TcpTransport::send(Message msg) {
       return msg.id;
     }
   }
-  Bytes wire = encode_message_frame(msg);
+  // Encode once into a pooled buffer; duplicates and the remote head/
+  // payload split all share it.
+  FrameRef wire = FramePool::global().wrap(encode_message_frame(msg));
   const std::uint32_t dst_node = topo_.node_of(msg.dst);
   const bool local = dst_node == node_id_;
 
-  const auto deliver = [&](Bytes w, SimTime delay) {
+  const auto deliver = [&](FrameRef w, SimTime delay) {
     if (local) {
       push_local(msg.src, msg.dst, std::move(w), app, /*token=*/false, delay);
       return;
     }
-    Envelope e = wire_envelope(msg.src, msg.dst, std::move(w), app,
-                               /*token=*/false, delay);
-    if (!queue_to_peer(dst_node, frame_envelope(e), app)) {
+    const Envelope e =
+        wire_envelope(msg.src, msg.dst, app, /*token=*/false, delay);
+    if (!queue_to_peer(dst_node, wire_msg(e, std::move(w), app))) {
       // Backpressure loss is transport loss: account it like a drop so
       // merged cluster stats still balance.
       messages_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -272,19 +296,20 @@ MsgId TcpTransport::send(Message msg) {
   return msg.id;
 }
 
-void TcpTransport::send_token_tracked(std::uint32_t dst_node, Envelope e) {
+void TcpTransport::send_token_tracked(std::uint32_t dst_node, Envelope e,
+                                      FrameRef payload) {
   e.token_seq = next_token_seq_.fetch_add(1, std::memory_order_relaxed);
-  Bytes framed = frame_envelope(e);
-  Peer& p = *peers_.at(dst_node);
+  OutMsg m = wire_msg(e, std::move(payload), /*app=*/false);
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    std::lock_guard<std::mutex> lock(tokens_mu_);
     PendingTokenSend pending;
     pending.node = dst_node;
-    pending.framed = framed;
+    pending.msg = m;  // ref clones; retries share the same buffers
     pending.next_retry = clock_.now() + topo_.faults.token_retry;
     unacked_tokens_.emplace(e.token_seq, std::move(pending));
-    p.pending.push_back({std::move(framed), /*app=*/false});
   }
+  unacked_count_.fetch_add(1, std::memory_order_acq_rel);
+  queue_to_peer(dst_node, std::move(m));
 }
 
 void TcpTransport::broadcast_token(const Token& token) {
@@ -292,7 +317,9 @@ void TcpTransport::broadcast_token(const Token& token) {
   if (trace_) emit_token_trace(token);
   Rng& rng = *send_rng_.at(token.from);
   const std::size_t bytes = token_wire_bytes(token);
-  Bytes wire = encode_token_frame(token);
+  // One encode for the whole broadcast: every local channel frame and
+  // every remote envelope payload is a clone of this ref.
+  FrameRef wire = FramePool::global().wrap(encode_token_frame(token));
   bool remote = false;
   for (ProcessId dst = 0; dst < topo_.n; ++dst) {
     if (dst == token.from) continue;
@@ -304,9 +331,10 @@ void TcpTransport::broadcast_token(const Token& token) {
       push_local(token.from, dst, wire, /*app=*/false, /*token=*/true, delay);
     } else {
       remote = true;
-      send_token_tracked(dst_node, wire_envelope(token.from, dst, wire,
-                                                 /*app=*/false, /*token=*/true,
-                                                 delay));
+      send_token_tracked(dst_node,
+                         wire_envelope(token.from, dst, /*app=*/false,
+                                       /*token=*/true, delay),
+                         wire);
     }
   }
   if (remote) wake();
@@ -317,16 +345,17 @@ void TcpTransport::send_token(ProcessId dst, const Token& token) {
   token_bytes_.fetch_add(token_wire_bytes(token), std::memory_order_relaxed);
   Rng& rng = *send_rng_.at(token.from);
   const SimTime delay = draw_delay(rng);
-  Bytes wire = encode_token_frame(token);
+  FrameRef wire = FramePool::global().wrap(encode_token_frame(token));
   const std::uint32_t dst_node = topo_.node_of(dst);
   if (dst_node == node_id_) {
     push_local(token.from, dst, std::move(wire), /*app=*/false, /*token=*/true,
                delay);
     return;
   }
-  send_token_tracked(dst_node, wire_envelope(token.from, dst, std::move(wire),
-                                             /*app=*/false, /*token=*/true,
-                                             delay));
+  send_token_tracked(dst_node,
+                     wire_envelope(token.from, dst, /*app=*/false,
+                                   /*token=*/true, delay),
+                     std::move(wire));
   wake();
 }
 
@@ -346,14 +375,12 @@ void TcpTransport::note_retry(bool token) {
 }
 
 std::uint64_t TcpTransport::outbound_pending() const {
+  // Lock-free: ring occupancy atomics + the unacked mirror + staged bytes.
   std::uint64_t pending = 0;
-  {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    for (const auto& p : peers_) {
-      if (p != nullptr) pending += p->pending.size();
-    }
-    pending += unacked_tokens_.size();
+  for (const auto& p : peers_) {
+    if (p != nullptr) pending += p->outq.size();
   }
+  pending += unacked_count_.load(std::memory_order_acquire);
   return pending + outbuf_bytes_.load(std::memory_order_acquire);
 }
 
@@ -363,7 +390,7 @@ void TcpTransport::send_status(const NodeStatusReport& s) {
   e.kind = EnvelopeKind::kStatus;
   e.src_node = node_id_;
   e.status = s;
-  queue_to_peer(0, frame_envelope(e), /*app=*/false);
+  queue_to_peer(0, control_msg(e));
   wake();
 }
 
@@ -389,7 +416,7 @@ void TcpTransport::broadcast_shutdown(std::uint8_t exit_code) {
     e.kind = EnvelopeKind::kShutdown;
     e.src_node = node_id_;
     e.exit_code = exit_code;
-    queue_to_peer(p->node, frame_envelope(e), /*app=*/false);
+    queue_to_peer(p->node, control_msg(e));
     queued = true;
   }
   if (queued) wake();
@@ -444,15 +471,27 @@ TcpTransport::TcpStats TcpTransport::tcp_stats() const {
   s.dup_tokens_dropped = dup_tokens_dropped_.load(std::memory_order_relaxed);
   s.backpressure_drops = backpressure_drops_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+  for (const auto& p : peers_) {
+    if (p != nullptr) s.ring_overflows += p->outq.overflow_pushes();
+  }
   return s;
 }
 
 std::vector<std::pair<std::uint32_t, std::size_t>>
 TcpTransport::queue_depths() const {
   std::vector<std::pair<std::uint32_t, std::size_t>> out;
-  std::lock_guard<std::mutex> lock(out_mu_);
   for (const auto& p : peers_) {
-    if (p != nullptr) out.emplace_back(p->node, p->pending.size());
+    if (p != nullptr) out.emplace_back(p->node, p->outq.size());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::size_t>>
+TcpTransport::queue_high_waters() const {
+  std::vector<std::pair<std::uint32_t, std::size_t>> out;
+  for (const auto& p : peers_) {
+    if (p != nullptr) out.emplace_back(p->node, p->outq.high_water());
   }
   return out;
 }
@@ -508,8 +547,12 @@ void TcpTransport::io_step() {
     }
   }
   retry_unacked_tokens();
+  std::size_t staged = 0;
   for (auto& p : peers_) {
-    if (p != nullptr && p->connected) flush_peer(*p);
+    if (p != nullptr && p->connected) staged += flush_peer(*p);
+  }
+  if (staged != 0 && wake_frames_hist_ != nullptr) {
+    wake_frames_hist_->observe(static_cast<double>(staged));
   }
 }
 
@@ -617,18 +660,18 @@ void TcpTransport::on_peer_established(Peer& p) {
   p.connecting = false;
   p.connected = true;
   p.backoff = 0;
-  // Hello first: a fresh connection has an empty outbuf, so the hello is
+  // Hello first: a fresh connection has an empty sendq, so the hello is
   // guaranteed to precede any staged traffic.
   Envelope hello;
   hello.kind = EnvelopeKind::kHello;
   hello.src_node = node_id_;
   hello.epoch = epoch_;
   hello.cluster = topo_.cluster;
-  Bytes framed = frame_envelope(hello);
-  outbuf_bytes_.fetch_add(framed.size(), std::memory_order_acq_rel);
+  FrameRef framed = FramePool::global().wrap(frame_envelope(hello));
+  outbuf_bytes_.fetch_add(framed.size(), std::memory_order_relaxed);
   frames_tx_.fetch_add(1, std::memory_order_relaxed);
-  p.outbuf = std::move(framed);
-  p.outbuf_off = 0;
+  p.sendq_bytes += framed.size();
+  p.sendq.push_back({std::move(framed), 0});
   flush_peer(p);
 }
 
@@ -642,16 +685,17 @@ void TcpTransport::close_peer(Peer& p, bool was_protocol_error) {
     p.fd.reset();
   }
   if (p.connected) disconnects_.fetch_add(1, std::memory_order_relaxed);
-  if (p.outbuf.size() > p.outbuf_off) {
-    outbuf_bytes_.fetch_sub(p.outbuf.size() - p.outbuf_off,
-                            std::memory_order_acq_rel);
+  // Staged segments are "on the wire": lost with the connection, exactly
+  // like bytes the kernel had buffered. The ring survives untouched.
+  if (p.sendq_bytes != 0) {
+    outbuf_bytes_.fetch_sub(p.sendq_bytes, std::memory_order_relaxed);
   }
   p.connected = false;
   p.connecting = false;
   p.hello_received = false;
   p.reader = EnvelopeReader();
-  p.outbuf.clear();
-  p.outbuf_off = 0;
+  p.sendq.clear();
+  p.sendq_bytes = 0;
   if (p.initiator) {
     p.backoff = p.backoff == 0
                     ? topo_.faults.reconnect_min
@@ -704,7 +748,7 @@ void TcpTransport::drain_reader(Peer& p) {
       std::optional<Bytes> body = p.reader.next();
       if (!body) return;
       frames_rx_.fetch_add(1, std::memory_order_relaxed);
-      const Envelope e = decode_envelope(*body);
+      Envelope e = decode_envelope(*body);
       process_envelope(p, e);
       if (!p.fd.valid()) return;  // process_envelope dropped the connection
     }
@@ -713,7 +757,7 @@ void TcpTransport::drain_reader(Peer& p) {
   }
 }
 
-void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
+void TcpTransport::process_envelope(Peer& p, Envelope& e) {
   if (e.kind == EnvelopeKind::kHello) {
     if (e.cluster != topo_.cluster || e.src_node != p.node) {
       close_peer(p, /*was_protocol_error=*/true);
@@ -737,7 +781,7 @@ void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
         ack.epoch = p.peer_epoch;  // echo the sender incarnation
         ack.ack_seq = e.token_seq;
         acks_tx_.fetch_add(1, std::memory_order_relaxed);
-        queue_to_peer(p.node, frame_envelope(ack), /*app=*/false);
+        queue_to_peer(p.node, control_msg(ack));
         if (!p.seen_tokens[p.peer_epoch].insert(e.token_seq).second) {
           dup_tokens_dropped_.fetch_add(1, std::memory_order_relaxed);
           return;
@@ -752,7 +796,7 @@ void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
       LiveFrame f;
       f.kind = LiveFrame::Kind::kWire;
       f.src = e.src_pid;
-      f.wire = e.wire;
+      f.wire = FramePool::global().wrap(std::move(e.wire));
       f.app = e.app;
       f.token = e.token;
       const SimTime now = clock_.now();
@@ -768,8 +812,10 @@ void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
     case EnvelopeKind::kTokenAck: {
       acks_rx_.fetch_add(1, std::memory_order_relaxed);
       if (e.epoch != epoch_) return;  // receipt for a previous incarnation
-      std::lock_guard<std::mutex> lock(out_mu_);
-      unacked_tokens_.erase(e.ack_seq);
+      std::lock_guard<std::mutex> lock(tokens_mu_);
+      if (unacked_tokens_.erase(e.ack_seq) != 0) {
+        unacked_count_.fetch_sub(1, std::memory_order_acq_rel);
+      }
       return;
     }
     case EnvelopeKind::kStatus: {
@@ -785,7 +831,7 @@ void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
       Envelope ack;
       ack.kind = EnvelopeKind::kShutdownAck;
       ack.src_node = node_id_;
-      queue_to_peer(p.node, frame_envelope(ack), /*app=*/false);
+      queue_to_peer(p.node, control_msg(ack));
       return;
     }
     case EnvelopeKind::kShutdownAck: {
@@ -797,42 +843,68 @@ void TcpTransport::process_envelope(Peer& p, const Envelope& e) {
   }
 }
 
-void TcpTransport::flush_peer(Peer& p) {
-  if (!p.connected || p.blocked || !p.fd.valid()) return;
-  {
-    std::lock_guard<std::mutex> lock(out_mu_);
-    while (!p.pending.empty() &&
-           p.outbuf.size() - p.outbuf_off < kOutbufHighWater) {
-      OutFrame f = std::move(p.pending.front());
-      p.pending.pop_front();
-      if (f.app && p.pending_app > 0) --p.pending_app;
-      outbuf_bytes_.fetch_add(f.framed.size(), std::memory_order_acq_rel);
-      frames_tx_.fetch_add(1, std::memory_order_relaxed);
-      p.outbuf.insert(p.outbuf.end(), f.framed.begin(), f.framed.end());
-    }
+std::size_t TcpTransport::flush_peer(Peer& p) {
+  if (!p.connected || p.blocked || !p.fd.valid()) return 0;
+  // Stage ring frames as segments — no copy, just ref moves. The ring
+  // keeps anything past the high-water mark (loss-free backpressure).
+  std::size_t staged = 0;
+  OutMsg m;
+  while (p.sendq_bytes < kOutbufHighWater && p.outq.try_pop(m)) {
+    if (m.app) p.pending_app.fetch_sub(1, std::memory_order_acq_rel);
+    const std::size_t sz = m.head.size() + m.payload.size();
+    outbuf_bytes_.fetch_add(sz, std::memory_order_relaxed);
+    frames_tx_.fetch_add(1, std::memory_order_relaxed);
+    p.sendq_bytes += sz;
+    p.sendq.push_back({std::move(m.head), 0});
+    if (m.payload.size() != 0) p.sendq.push_back({std::move(m.payload), 0});
+    ++staged;
   }
-  while (p.outbuf_off < p.outbuf.size()) {
-    const ssize_t n =
-        ::send(p.fd.get(), p.outbuf.data() + p.outbuf_off,
-               p.outbuf.size() - p.outbuf_off, MSG_NOSIGNAL);
+  while (!p.sendq.empty()) {
+    // Scatter-gather straight out of the pooled frame buffers.
+    struct iovec iov[kMaxIov];
+    std::size_t cnt = 0;
+    for (const SendSeg& s : p.sendq) {
+      if (cnt == kMaxIov) break;
+      iov[cnt].iov_base =
+          const_cast<std::uint8_t*>(s.buf.data()) + s.off;
+      iov[cnt].iov_len = s.buf.size() - s.off;
+      ++cnt;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(p.fd.get(), &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      p.outbuf_off += static_cast<std::size_t>(n);
+      writev_calls_.fetch_add(1, std::memory_order_relaxed);
+      if (writev_batch_hist_ != nullptr) {
+        writev_batch_hist_->observe(static_cast<double>(cnt));
+      }
       bytes_tx_.fetch_add(static_cast<std::uint64_t>(n),
                           std::memory_order_relaxed);
       outbuf_bytes_.fetch_sub(static_cast<std::uint64_t>(n),
-                              std::memory_order_acq_rel);
+                              std::memory_order_relaxed);
+      p.sendq_bytes -= static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left != 0) {
+        SendSeg& s = p.sendq.front();
+        const std::size_t avail = s.buf.size() - s.off;
+        if (left >= avail) {
+          left -= avail;
+          p.sendq.pop_front();
+        } else {
+          s.off += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     close_peer(p, false);
-    return;
-  }
-  if (p.outbuf_off == p.outbuf.size()) {
-    p.outbuf.clear();
-    p.outbuf_off = 0;
+    return staged;
   }
   update_interest(p);
+  return staged;
 }
 
 void TcpTransport::update_interest(Peer& p) {
@@ -842,11 +914,7 @@ void TcpTransport::update_interest(Peer& p) {
     return;
   }
   const bool want_write =
-      !p.blocked && (p.outbuf.size() > p.outbuf_off ||
-                     [this, &p] {
-                       std::lock_guard<std::mutex> lock(out_mu_);
-                       return !p.pending.empty();
-                     }());
+      !p.blocked && (!p.sendq.empty() || p.outq.size() != 0);
   poller_->set(p.fd.get(), /*want_read=*/!p.blocked, want_write);
 }
 
@@ -889,17 +957,17 @@ void TcpTransport::update_partition_masks() {
 
 void TcpTransport::retry_unacked_tokens() {
   const SimTime now = clock_.now();
-  std::lock_guard<std::mutex> lock(out_mu_);
+  std::lock_guard<std::mutex> lock(tokens_mu_);
   for (auto& [seq, pending] : unacked_tokens_) {
     if (now < pending.next_retry) continue;
     pending.next_retry = now + topo_.faults.token_retry;
     Peer& p = *peers_.at(pending.node);
     // Re-send only where the copy could actually have been lost: over an
     // established, unmasked connection. While disconnected or partitioned
-    // the original still sits in the queue.
+    // the original still sits in the ring.
     if (!p.connected || p.blocked) continue;
     token_retries_.fetch_add(1, std::memory_order_relaxed);
-    p.pending.push_back({pending.framed, /*app=*/false});
+    p.outq.push(OutMsg{pending.msg.head, pending.msg.payload, false});
   }
 }
 

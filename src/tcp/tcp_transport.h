@@ -31,17 +31,31 @@
 //     heal, so in-flight bytes are held exactly the way Network holds
 //     cross-group traffic in the simulator.
 //
+// Outbound data plane (zero-copy, lock-free): every envelope is framed
+// once into pooled, refcounted buffers (src/wire/frame_buf.h) and pushed
+// onto the destination peer's lock-free ring. kWire envelopes are split
+// into a per-destination head prefix and a SHARED payload ref — a token
+// broadcast to k remote peers encodes the token exactly once. The IO
+// thread drains each ring into a per-connection segment queue and writes
+// with scatter-gather sendmsg (writev) straight out of the pooled buffers:
+// no staging copy exists anywhere between encode and the socket.
+//
 // Thread contract:
 //   * attach()/set_peer_port()/start() run before workers spawn; stop()
 //     after they join (the destructor stops too).
 //   * send()/broadcast_token()/send_token() for local pid p run on p's
 //     worker thread (per-sender fault RNGs stay lock-free); queue pushes
-//     take out_mu_.
-//   * The IO thread owns all sockets and per-connection state; it shares
-//     only the outbound queues (out_mu_), the coordinator status table
-//     (status_mu_) and the atomic counters.
+//     are lock-free ring pushes (tokens_mu_ guards only the unacked-token
+//     retry map).
+//   * The IO thread owns all sockets, per-connection state and the staged
+//     segment queues; it shares only the peer rings, the retry map
+//     (tokens_mu_), the coordinator status table (status_mu_) and the
+//     atomic counters.
 //   * The quiescence surface (send_status/peer_statuses/broadcast_shutdown/
 //     shutdown_received) is for the node supervisor thread.
+//   * queue_depths()/outbound_pending()/tcp_stats() read only atomics —
+//     the /metrics scrape path never contends with senders or the IO
+//     thread.
 #pragma once
 
 #include <atomic>
@@ -66,8 +80,11 @@
 #include "src/tcp/poller.h"
 #include "src/tcp/socket_util.h"
 #include "src/tcp/topology.h"
+#include "src/telemetry/histogram.h"
 #include "src/trace/trace_event.h"
+#include "src/util/mpsc_ring.h"
 #include "src/util/rng.h"
+#include "src/wire/frame_buf.h"
 
 namespace optrec {
 
@@ -89,6 +106,8 @@ class TcpTransport : public Transport {
     std::uint64_t dup_tokens_dropped = 0; // dedupe suppressions
     std::uint64_t backpressure_drops = 0; // app frames over the queue cap
     std::uint64_t protocol_errors = 0;    // FrameError / bad hello
+    std::uint64_t writev_calls = 0;       // scatter-gather socket writes
+    std::uint64_t ring_overflows = 0;     // peer-ring pushes that spilled
   };
 
   /// Binds the listener (resolving port 0 immediately) but does not start
@@ -117,6 +136,15 @@ class TcpTransport : public Transport {
 
   /// Thread-safe trace recorder (null detaches); set before start().
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Optional IO-loop histograms (registry-owned; null = off). Set before
+  /// start(). `writev_batch` observes iovec segments per socket write;
+  /// `wake_frames` observes frames drained per IO wakeup.
+  void set_io_histograms(telemetry::AtomicHistogram* writev_batch,
+                         telemetry::AtomicHistogram* wake_frames) {
+    writev_batch_hist_ = writev_batch;
+    wake_frames_hist_ = wake_frames;
+  }
 
   /// Auxiliary fd owner served from this node's IO thread — the telemetry
   /// HTTP endpoint rides the existing event loop instead of spawning one.
@@ -179,17 +207,35 @@ class TcpTransport : public Transport {
   /// snapshot yields cluster totals with nothing double-counted.
   Network::Stats stats() const;
   TcpStats tcp_stats() const;
-  /// Outbound frames queued per remote node (takes out_mu_; scrape path).
+  /// Outbound frames queued per remote node. Lock-free: reads each peer
+  /// ring's occupancy atomic, so the /metrics scrape never blocks senders.
   std::vector<std::pair<std::uint32_t, std::size_t>> queue_depths() const;
+  /// High-water mark of each peer ring's occupancy (lock-free).
+  std::vector<std::pair<std::uint32_t, std::size_t>> queue_high_waters() const;
 
  private:
-  struct OutFrame {
-    Bytes framed;  // full stream image: [len][body]
+  /// One queued outbound envelope, pre-framed into pooled buffers: `head`
+  /// is the per-destination stream prefix ([len u32][body fields][wire-len
+  /// varint]); `payload` is the nested wire frame, SHARED by every
+  /// destination of the same broadcast (empty for control envelopes, whose
+  /// whole image lives in `head`). The socket writes both back-to-back —
+  /// byte-identical to frame_envelope, with zero copies after encode.
+  struct OutMsg {
+    FrameRef head;
+    FrameRef payload;
     bool app = false;
   };
 
-  /// One remote node. Connection state is IO-thread-only; `pending`,
-  /// `pending_app` and `shutdown_*` are shared under out_mu_ / atomics.
+  /// One buffer segment staged for the socket (IO-thread-only). Segments
+  /// in the sendq count as "on the wire": they are dropped, like in-flight
+  /// packets, when the connection dies.
+  struct SendSeg {
+    FrameRef buf;
+    std::size_t off = 0;
+  };
+
+  /// One remote node. Connection state is IO-thread-only; `outq`,
+  /// `pending_app` and `shutdown_acked` are shared via lock-free atomics.
   struct Peer {
     std::uint32_t node = 0;
     std::string host;
@@ -203,24 +249,24 @@ class TcpTransport : public Transport {
     bool hello_received = false;  // their hello arrived on this connection
     bool blocked = false;         // partition mask active
     EnvelopeReader reader;
-    Bytes outbuf;
-    std::size_t outbuf_off = 0;
+    std::deque<SendSeg> sendq;    // staged segments, drained by writev
+    std::size_t sendq_bytes = 0;
     SimTime retry_at = 0;   // next dial attempt (initiator)
     SimTime backoff = 0;    // current backoff step
     std::uint64_t peer_epoch = 0;
     /// Token dedupe: epoch -> acked-tracked seqs already delivered.
     std::map<std::uint64_t, std::unordered_set<std::uint64_t>> seen_tokens;
 
-    // Shared.
-    std::deque<OutFrame> pending;    // out_mu_
-    std::size_t pending_app = 0;     // out_mu_
-    SimTime shutdown_sent_at = 0;    // supervisor-thread-only
+    // Shared, lock-free.
+    MpscRing<OutMsg> outq;  // workers push, IO thread pops
+    std::atomic<std::size_t> pending_app{0};  // app frames in outq
+    SimTime shutdown_sent_at = 0;             // supervisor-thread-only
     std::atomic<bool> shutdown_acked{false};
   };
 
   struct PendingTokenSend {
     std::uint32_t node = 0;
-    Bytes framed;
+    OutMsg msg;  // retries re-push ref clones; the bytes are never copied
     SimTime next_retry = 0;
   };
 
@@ -233,16 +279,22 @@ class TcpTransport : public Transport {
   SimTime draw_delay(Rng& rng);
   static std::uint64_t unix_micros();
   void wake();
-  void push_local(ProcessId src, ProcessId dst, Bytes wire, bool app,
+  void push_local(ProcessId src, ProcessId dst, FrameRef wire, bool app,
                   bool token, SimTime delay);
-  /// Queue one framed envelope to `node` (out_mu_ inside). App frames are
-  /// subject to the backpressure cap; returns false when dropped.
-  bool queue_to_peer(std::uint32_t node, Bytes framed, bool app);
-  Envelope wire_envelope(ProcessId src, ProcessId dst, Bytes wire, bool app,
-                         bool token, SimTime delay);
+  /// Queue one outbound envelope to `node` (lock-free ring push). App
+  /// frames are subject to the backpressure cap; returns false when
+  /// dropped.
+  bool queue_to_peer(std::uint32_t node, OutMsg msg);
+  /// Head-only OutMsg for a control envelope (hello/ack/status/shutdown).
+  static OutMsg control_msg(const Envelope& e);
+  /// Head + shared payload OutMsg for a kWire envelope.
+  OutMsg wire_msg(const Envelope& e, FrameRef payload, bool app);
+  Envelope wire_envelope(ProcessId src, ProcessId dst, bool app, bool token,
+                         SimTime delay);
   void emit_send_trace(const Message& msg);
   void emit_token_trace(const Token& token);
-  void send_token_tracked(std::uint32_t dst_node, Envelope e);
+  void send_token_tracked(std::uint32_t dst_node, Envelope e,
+                          FrameRef payload);
 
   // IO-thread internals.
   void io_main();
@@ -254,8 +306,11 @@ class TcpTransport : public Transport {
   void on_peer_established(Peer& p);
   void close_peer(Peer& p, bool was_protocol_error);
   void drain_reader(Peer& p);
-  void process_envelope(Peer& p, const Envelope& e);
-  void flush_peer(Peer& p);
+  void process_envelope(Peer& p, Envelope& e);
+  /// Drain the peer ring into the sendq (bounded by the high-water mark)
+  /// and write staged segments with scatter-gather sendmsg. Returns the
+  /// number of frames newly staged.
+  std::size_t flush_peer(Peer& p);
   void update_partition_masks();
   void retry_unacked_tokens();
   bool link_blocked_now(std::uint32_t peer_node) const;
@@ -286,12 +341,19 @@ class TcpTransport : public Transport {
   std::atomic<bool> io_running_{false};
   std::atomic<bool> stop_{false};
 
-  mutable std::mutex out_mu_;
-  /// Ack-tracked token sends by seq (out_mu_).
-  std::map<std::uint64_t, PendingTokenSend> unacked_tokens_;
+  /// Ack-tracked token sends by seq. The map is the ONLY shared container
+  /// left behind a lock — it is touched a handful of times per failure,
+  /// not per message; the hot path never takes tokens_mu_.
+  mutable std::mutex tokens_mu_;
+  std::map<std::uint64_t, PendingTokenSend> unacked_tokens_;  // tokens_mu_
+  /// unacked_tokens_.size() mirror for the lock-free quiescence read.
+  std::atomic<std::uint64_t> unacked_count_{0};
   std::atomic<std::uint64_t> next_token_seq_{1};
-  /// Bytes staged in connection write buffers (IO thread updates).
+  /// Bytes staged in connection sendqs (IO thread updates; pure gauge).
   std::atomic<std::uint64_t> outbuf_bytes_{0};
+
+  telemetry::AtomicHistogram* writev_batch_hist_ = nullptr;
+  telemetry::AtomicHistogram* wake_frames_hist_ = nullptr;
 
   mutable std::mutex status_mu_;
   std::vector<std::optional<std::pair<NodeStatusReport, SimTime>>> statuses_;
@@ -332,6 +394,7 @@ class TcpTransport : public Transport {
   std::atomic<std::uint64_t> dup_tokens_dropped_{0};
   std::atomic<std::uint64_t> backpressure_drops_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
 };
 
 }  // namespace optrec

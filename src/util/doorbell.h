@@ -1,0 +1,62 @@
+// Futex-style consumer doorbell: lock-free to ring, blocking to wait.
+//
+// Replaces the broadcast condvar a mutex-based channel would use. The fast
+// path — ring() with no sleeping consumer — is one atomic RMW plus one
+// atomic load; producers only touch the mutex when the consumer is
+// actually parked, which under load is almost never (the consumer is busy
+// draining). The epoch counter makes the classic sleep/wake race
+// resolvable without holding any lock across the producer's publish: the
+// consumer snapshots the epoch BEFORE scanning for work, and wait_until
+// refuses to sleep if the epoch has moved since.
+//
+// Both flag checks are seq_cst on purpose: producer does
+// {bump epoch; read sleeping} while the consumer does {write sleeping;
+// read epoch} — a Dekker pair, so at least one side always observes the
+// other and a wakeup can never be lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace optrec {
+
+class Doorbell {
+ public:
+  /// Consumer: snapshot before scanning for work.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Producer: publish work first, then ring.
+  void ring() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  /// Consumer: sleep until the epoch moves past `seen` or `deadline`
+  /// passes. Returns immediately if a ring() already happened since the
+  /// `seen` snapshot was taken.
+  void wait_until(std::uint64_t seen,
+                  std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    cv_.wait_until(lock, deadline, [this, seen] {
+      return epoch_.load(std::memory_order_seq_cst) != seen;
+    });
+    sleeping_.store(false, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> sleeping_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace optrec

@@ -1,0 +1,178 @@
+// Lock-free bounded ring queues for the data plane.
+//
+// BoundedMpmcRing is Dmitry Vyukov's bounded MPMC queue: a power-of-two
+// slot array where each slot carries a sequence number that tells both
+// sides whether the slot is ready for them. Producers and consumers each
+// claim a ticket with one CAS and never touch a lock; the slot sequence
+// atomics carry the happens-before edge from the writer of an element to
+// its reader, so the queue is TSan-clean by construction.
+//
+// MpscRing layers the loss-free contract the transports need on top: the
+// ring is the fast path, and when it is momentarily full the push falls
+// back to a tiny mutex-guarded overflow vector instead of failing — frames
+// are never dropped by the substrate itself (backpressure policy lives in
+// the caller). Overflow is counted, so telemetry shows when a ring is
+// undersized. Pop order across ring and overflow is not globally FIFO;
+// every user of this type (LiveChannel, per-peer TCP outbound) is already
+// order-free by design, which is exactly what the paper's no-ordering
+// assumption permits.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace optrec {
+
+/// Vyukov bounded MPMC queue. Capacity is rounded up to a power of two.
+/// try_push/try_pop are lock-free and safe from any thread.
+template <typename T>
+class BoundedMpmcRing {
+ public:
+  explicit BoundedMpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Consumes `v` only on success: when the ring is full the caller's
+  /// value is left intact (the MpscRing spill path depends on this).
+  bool try_push(T&& v) {
+    std::size_t pos = enq_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enq_.compare_exchange_weak(pos, pos + 1,
+                                       std::memory_order_relaxed)) {
+          slot.value = std::move(v);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enq_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_push(const T& v) {
+    T copy(v);
+    return try_push(std::move(copy));
+  }
+
+  bool try_pop(T& out) {
+    std::size_t pos = deq_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (deq_.compare_exchange_weak(pos, pos + 1,
+                                       std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty (or a producer mid-claim; caller re-polls)
+      } else {
+        pos = deq_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::size_t> enq_{0};
+  alignas(64) std::atomic<std::size_t> deq_{0};
+};
+
+/// Loss-free multi-producer queue with a lock-free ring fast path, an
+/// occupancy counter readable from any thread, and a high-water mark.
+/// Single logical consumer (pop may still be called under external
+/// serialization only — the owning worker / IO thread).
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity) {}
+
+  /// Never fails and never blocks on the consumer; lock-free unless the
+  /// ring is momentarily full (then a mutex-guarded spill, counted).
+  void push(T v) {
+    const std::size_t n = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::size_t hw = high_water_.load(std::memory_order_relaxed);
+    while (n > hw && !high_water_.compare_exchange_weak(
+                         hw, n, std::memory_order_relaxed)) {
+    }
+    if (ring_.try_push(std::move(v))) return;
+    overflow_pushes_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    overflow_.push_back(std::move(v));
+    overflow_size_.store(overflow_.size(), std::memory_order_release);
+  }
+
+  /// Consumer only. Ring first; spilled elements drain once the ring is
+  /// empty (LIFO within the spill — callers are order-free).
+  bool try_pop(T& out) {
+    if (ring_.try_pop(out)) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    if (overflow_size_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      if (!overflow_.empty()) {
+        out = std::move(overflow_.back());
+        overflow_.pop_back();
+        overflow_size_.store(overflow_.size(), std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Elements pushed but not yet popped. Lock-free; exact once producers
+  /// and the consumer are quiescent, approximate mid-flight.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow_pushes() const {
+    return overflow_pushes_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+ private:
+  BoundedMpmcRing<T> ring_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::uint64_t> overflow_pushes_{0};
+  std::mutex overflow_mu_;
+  std::vector<T> overflow_;
+  std::atomic<std::size_t> overflow_size_{0};
+};
+
+}  // namespace optrec

@@ -1,0 +1,144 @@
+// Hierarchical timing wheel for delayed frames.
+//
+// The live channel separates "due" traffic (lock-free ring, random pick)
+// from "not yet due" traffic — injected delivery delays, crash-at-time
+// frames, retry backoff parking. This wheel holds the latter. It is
+// single-threaded by design: only the channel's owning consumer touches
+// it, so there is no synchronization at all — concurrency lives in the
+// ring, time lives here.
+//
+// Four levels of 64 slots at a 64us base tick cover ~18 minutes of delay
+// with O(1) insert; anything farther parks in the top level and
+// re-cascades on its way down. Release is EXACT, not tick-granular:
+// advance() only emits entries whose not_before has actually passed — the
+// partially elapsed current tick is re-scanned, so a frame is never
+// released early (the property test in tests/util/timing_wheel_test.cpp
+// pins this). next_deadline() is conservative: it returns a time no later
+// than the earliest entry's not_before (possibly an intermediate cascade
+// boundary), so a sleeper waking at next_deadline() and re-advancing never
+// oversleeps a due frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace optrec {
+
+template <typename T>
+class TimingWheel {
+ public:
+  explicit TimingWheel(SimTime tick_us = 64) : tick_(tick_us ? tick_us : 1) {}
+
+  /// Park `v` until `not_before`. Entries already due belong in the caller's
+  /// due set, not the wheel, but are handled correctly (released by the next
+  /// advance()).
+  void add(SimTime not_before, T v) {
+    place(Entry{not_before, std::move(v)});
+    ++size_;
+  }
+
+  /// Append every entry with not_before <= now to `out`; returns how many
+  /// were released. Never releases an entry early.
+  std::size_t advance(SimTime now, std::vector<T>& out) {
+    const std::size_t before = out.size();
+    const std::uint64_t target = now / tick_;
+    for (;;) {
+      drain_due(level_[0].slot[cur_ & kMask], now, out);
+      if (cur_ >= target) break;
+      if (size_ == 0) {
+        cur_ = target;  // nothing parked: jump, no cascades needed
+        break;
+      }
+      ++cur_;
+      // Crossing a level boundary pulls the next higher-level slot down.
+      for (int l = 1; l < kLevels; ++l) {
+        if ((cur_ & ((1ull << (kSlotBits * l)) - 1)) != 0) break;
+        cascade(l);
+      }
+    }
+    return out.size() - before;
+  }
+
+  /// Earliest instant at which advance() could release something (or reach
+  /// a cascade boundary); kSimTimeMax when empty. Conservative: never later
+  /// than the true earliest not_before.
+  SimTime next_deadline() const {
+    if (size_ == 0) return kSimTimeMax;
+    // Level 0: slots cover ticks cur_ .. cur_+63 in scan order, so the
+    // first non-empty slot holds the globally earliest entries.
+    for (std::uint64_t i = 0; i < kSlots; ++i) {
+      const std::vector<Entry>& s = level_[0].slot[(cur_ + i) & kMask];
+      if (s.empty()) continue;
+      SimTime best = kSimTimeMax;
+      for (const Entry& e : s) best = e.not_before < best ? e.not_before : best;
+      return best;
+    }
+    // Everything lives in higher levels; wake at the next level-1 cascade
+    // boundary and let advance() pull it down.
+    return ((cur_ | kMask) + 1) * tick_;
+  }
+
+  std::size_t size() const { return size_; }
+  SimTime tick() const { return tick_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint64_t kSlots = 1ull << kSlotBits;
+  static constexpr std::uint64_t kMask = kSlots - 1;
+
+  struct Entry {
+    SimTime not_before = 0;
+    T value{};
+  };
+  struct Level {
+    std::vector<Entry> slot[kSlots];
+  };
+
+  void place(Entry e) {
+    std::uint64_t tick = e.not_before / tick_;
+    if (tick < cur_) tick = cur_;
+    const std::uint64_t delta = tick - cur_;
+    int level = 0;
+    while (level + 1 < kLevels &&
+           delta >= (1ull << (kSlotBits * (level + 1)))) {
+      ++level;
+    }
+    if (level == kLevels - 1) {
+      const std::uint64_t span = 1ull << (kSlotBits * kLevels);
+      if (delta >= span) tick = cur_ + span - 1;  // clamp; re-cascades later
+    }
+    level_[level].slot[(tick >> (kSlotBits * level)) & kMask].push_back(
+        std::move(e));
+  }
+
+  void drain_due(std::vector<Entry>& s, SimTime now, std::vector<T>& out) {
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i].not_before <= now) {
+        out.push_back(std::move(s[i].value));
+        s[i] = std::move(s.back());
+        s.pop_back();
+        --size_;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void cascade(int level) {
+    std::vector<Entry> moved;
+    moved.swap(level_[level].slot[(cur_ >> (kSlotBits * level)) & kMask]);
+    for (Entry& e : moved) place(std::move(e));
+  }
+
+  const SimTime tick_;
+  std::uint64_t cur_ = 0;  // tick index advance() has reached
+  std::size_t size_ = 0;
+  Level level_[kLevels];
+};
+
+}  // namespace optrec

@@ -1,0 +1,63 @@
+#include "src/wire/frame_buf.h"
+
+namespace optrec {
+
+FramePool::~FramePool() {
+  FrameBuf* buf = nullptr;
+  while (free_.try_pop(buf)) delete buf;
+}
+
+FrameBuf* FramePool::take_node() {
+  FrameBuf* buf = nullptr;
+  if (free_.try_pop(buf)) {
+    pooled_.fetch_sub(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buf = new FrameBuf();
+    buf->pool = this;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buf->refs.store(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return buf;
+}
+
+FrameRef FramePool::acquire() {
+  FrameBuf* buf = take_node();
+  buf->bytes.clear();
+  return FrameRef(buf);
+}
+
+FrameRef FramePool::wrap(Bytes&& encoded) {
+  FrameBuf* buf = take_node();
+  buf->bytes = std::move(encoded);
+  return FrameRef(buf);
+}
+
+void FramePool::recycle(FrameBuf* buf) {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (buf->bytes.capacity() <= kMaxPooledCapacity && free_.try_push(buf)) {
+    pooled_.fetch_add(1, std::memory_order_relaxed);
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  discarded_.fetch_add(1, std::memory_order_relaxed);
+  delete buf;
+}
+
+FramePool::Stats FramePool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.discarded = discarded_.load(std::memory_order_relaxed);
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  return s;
+}
+
+FramePool& FramePool::global() {
+  static FramePool* pool = new FramePool();  // leaked: outlives all users
+  return *pool;
+}
+
+}  // namespace optrec

@@ -257,7 +257,7 @@ TEST(LiveTransportTest, BroadcastFanoutDeliversToAllPeersOffCallerThread) {
         clock, clock.now() + seconds(5), rng);
     ASSERT_TRUE(frame.has_value()) << "no token reached P" << pid;
     EXPECT_TRUE(frame->token);
-    const Frame decoded = decode_frame(frame->wire);
+    const Frame decoded = decode_frame(frame->wire.bytes());
     ASSERT_EQ(decoded.type, FrameType::kToken);
     EXPECT_EQ(decoded.token.from, token.from);
     EXPECT_EQ(decoded.token.failed, token.failed);

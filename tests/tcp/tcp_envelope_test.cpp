@@ -115,6 +115,37 @@ TEST(Envelope, RejectsHostileBodies) {
   EXPECT_THROW(decode_envelope(huge), FrameError);
 }
 
+TEST(Envelope, WirePrefixPlusPayloadEqualsFrameEnvelope) {
+  // The zero-copy send path splits a kWire envelope into a per-dest head
+  // (frame_wire_envelope_prefix) plus the shared payload bytes; the
+  // concatenation must be byte-identical to the copying frame_envelope
+  // path or receivers would diverge.
+  const std::vector<std::size_t> payload_sizes = {0, 1, 5, 127, 128, 4096};
+  for (std::size_t n : payload_sizes) {
+    Envelope e;
+    e.kind = EnvelopeKind::kWire;
+    e.src_node = 2;
+    e.src_pid = 3;
+    e.dst_pid = 7;
+    e.app = (n % 2) == 0;
+    e.token = !e.app;
+    e.token_seq = 42 + n;
+    e.sent_unix_us = 987654321;
+    e.delay_us = 1500;
+    e.wire = Bytes(n, static_cast<std::uint8_t>(n & 0xff));
+
+    Bytes stream = frame_wire_envelope_prefix(e, e.wire.size());
+    stream.insert(stream.end(), e.wire.begin(), e.wire.end());
+    EXPECT_EQ(stream, frame_envelope(e)) << "payload size " << n;
+  }
+}
+
+TEST(Envelope, WirePrefixRejectsOversizedPayloads) {
+  Envelope e;
+  e.kind = EnvelopeKind::kWire;
+  EXPECT_THROW(frame_wire_envelope_prefix(e, kMaxFrameBytes + 1), FrameError);
+}
+
 TEST(EnvelopeReader, ReassemblesByteAtATimeAndBackToBack) {
   Envelope a;
   a.kind = EnvelopeKind::kHello;

@@ -73,7 +73,7 @@ TEST(TcpTransport, DeliversAppMessagesAcrossNodes) {
     ASSERT_TRUE(frame.has_value()) << "frame " << int(i) << " never arrived";
     EXPECT_EQ(frame->src, 0u);
     EXPECT_TRUE(frame->app);
-    const Frame decoded = decode_frame(frame->wire);
+    const Frame decoded = decode_frame(frame->wire.bytes());
     ASSERT_EQ(decoded.type, FrameType::kMessage);
     EXPECT_EQ(decoded.message.payload[1], 0x5a);
     pair.b->note_delivered_message(true);
@@ -160,6 +160,65 @@ TEST(TcpTransport, InitiatorBacksOffAndReconnects) {
   b.note_delivered_message(true);
   EXPECT_EQ(a.tcp_stats().connects, 1u);
   EXPECT_EQ(b.tcp_stats().accepts, 1u);
+}
+
+TEST(TcpTransport, BackpressureCapIsExactAndDropsAreAccounted) {
+  // With no listener at the peer's port, nothing drains the per-peer ring:
+  // the app cap must admit exactly outbound_cap_frames, and every overflow
+  // must show up in BOTH backpressure_drops and messages_dropped (merged
+  // cluster stats balance on the latter). Fixed ports so the peer can be
+  // brought up afterwards at the address the initiator keeps dialing.
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kExtra = 25;
+  const std::uint16_t base = static_cast<std::uint16_t>(
+      22000 + (static_cast<std::uint32_t>(::getpid()) * 17) % 30000);
+  TcpTopology topo = TcpTopology::loopback(2, 2, base);
+  topo.faults.min_delay = 0;
+  topo.faults.max_delay = 0;
+  topo.faults.reconnect_min = millis(1);
+  topo.faults.reconnect_max = millis(5);
+  topo.faults.outbound_cap_frames = kCap;
+
+  LiveClock clock;
+  Rng rng(99);
+  TcpTransport a(clock, topo, 0, /*seed=*/7);
+  a.start();
+
+  for (std::size_t i = 0; i < kCap + kExtra; ++i) {
+    a.send(app_message(0, 1, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(a.tcp_stats().backpressure_drops, kExtra);
+  EXPECT_EQ(a.stats().messages_dropped, kExtra);
+  // The admitted frames sit in node 1's outbound ring.
+  const auto depths = a.queue_depths();
+  ASSERT_EQ(depths.size(), 1u);
+  EXPECT_EQ(depths[0].first, 1u);
+  EXPECT_EQ(depths[0].second, kCap);
+
+  // Once the peer comes up the ring drains, the admitted frames arrive,
+  // and the cap frees up for new sends.
+  TcpTransport b(clock, topo, 1, /*seed=*/7);
+  b.start();
+  LiveChannel& ch = b.channel(1);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    std::optional<LiveFrame> frame;
+    const SimTime deadline = clock.now() + seconds(2);
+    while (!frame && clock.now() < deadline) {
+      frame = ch.pop_ready(clock, clock.now() + millis(5), rng);
+    }
+    ASSERT_TRUE(frame.has_value()) << "capped frame " << i << " lost";
+    b.note_delivered_message(true);
+  }
+  a.send(app_message(0, 1, 0x77));
+  EXPECT_EQ(a.tcp_stats().backpressure_drops, kExtra)
+      << "post-drain send must be admitted";
+  std::optional<LiveFrame> frame;
+  const SimTime deadline = clock.now() + seconds(2);
+  while (!frame && clock.now() < deadline) {
+    frame = ch.pop_ready(clock, clock.now() + millis(5), rng);
+  }
+  ASSERT_TRUE(frame.has_value());
+  b.note_delivered_message(true);
 }
 
 TEST(TcpTransport, ScriptedPartitionHoldsTrafficUntilHeal) {
