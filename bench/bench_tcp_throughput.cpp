@@ -11,11 +11,20 @@
 // Emits BENCH_tcp.json (override with --out=FILE) for CI artifact upload;
 // prints a human-readable table to stdout. Exits non-zero if any run fails
 // to quiesce, so CI catches TCP-backend regressions.
+//
+// Topology-file mode (scripts/run_tcp_bench.sh drives it): --topology=FILE
+// skips the in-process sweep and instead runs the fleet the file describes
+// on its fixed ports — every node in this process with --node=all, or just
+// node K with --node=K so each machine of a real multi-NIC fleet runs its
+// own bench process against the shared file. --protocol/--workload pick the
+// single configuration to run (the sweep makes no sense across machines).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -104,6 +113,83 @@ std::string fmt(double v, int prec = 1) {
   return buf;
 }
 
+Row row_of_node_results(const char* protocol, const char* phase,
+                        std::size_t n,
+                        const std::vector<TcpNodeResult>& nodes) {
+  Row row;
+  row.protocol = protocol;
+  row.phase = phase;
+  row.producers = n - 1;
+  row.quiesced = true;
+  Metrics metrics;
+  telemetry::FixedHistogram latency;
+  for (const TcpNodeResult& node : nodes) {
+    row.quiesced = row.quiesced && node.quiesced;
+    row.wall_us = std::max(row.wall_us, node.wall_time);
+    metrics.merge_from(node.metrics);
+    latency.merge_from(node.delivery_latency_us);
+    row.frames_tx += node.tcp.frames_tx;
+    row.bytes_tx += node.tcp.bytes_tx;
+    row.token_retries += node.tcp.token_retries;
+  }
+  row.delivered = metrics.messages_delivered;
+  const double wall_s = static_cast<double>(row.wall_us) / 1e6;
+  row.msgs_per_sec =
+      wall_s > 0 ? static_cast<double>(row.delivered) / wall_s : 0.0;
+  row.latency = bench::LatencySummary::of(latency);
+  row.piggyback_per_msg = metrics.piggyback_per_message();
+  row.recovery_mean_us = metrics.restart_latency.mean();
+  row.recovery_max_us = metrics.restart_latency.max();
+  row.rollbacks = metrics.rollbacks;
+  return row;
+}
+
+/// Run the fleet a topology file describes on its fixed ports: all nodes in
+/// this process, or one node of a fleet whose peers run elsewhere.
+Row run_topology(const TcpTopology& topo, const std::string& node_arg,
+                 ProtocolKind protocol, WorkloadKind workload,
+                 std::uint64_t seed) {
+  WorkloadSpec wl;
+  wl.kind = workload;
+  wl.intensity = 6;
+  wl.depth = 48;
+  wl.all_seed = true;
+  ProcessConfig process;
+  process.flush_interval = millis(10);
+  process.checkpoint_interval = millis(50);
+
+  std::vector<std::uint32_t> ids;
+  if (node_arg == "all") {
+    for (std::uint32_t id = 0; id < topo.nodes.size(); ++id) ids.push_back(id);
+  } else {
+    ids.push_back(
+        static_cast<std::uint32_t>(std::strtoul(node_arg.c_str(), nullptr, 10)));
+  }
+
+  std::vector<std::unique_ptr<TcpNode>> nodes;
+  for (std::uint32_t id : ids) {
+    TcpNodeConfig nc;
+    nc.topology = topo;
+    nc.node = id;
+    nc.seed = seed;
+    nc.protocol = protocol;
+    nc.workload = wl;
+    nc.process = process;
+    nc.time_cap = millis(30000);
+    nodes.push_back(std::make_unique<TcpNode>(std::move(nc)));
+  }
+  std::vector<TcpNodeResult> results(nodes.size());
+  std::vector<std::thread> threads;
+  threads.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    threads.emplace_back([&, i] { results[i] = nodes[i]->run(); });
+  }
+  for (std::thread& t : threads) t.join();
+  return row_of_node_results(protocol_name(protocol),
+                             node_arg == "all" ? "topology" : "topology_node",
+                             topo.n, results);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +198,10 @@ int main(int argc, char** argv) {
   std::size_t nodes = 4;
   std::uint64_t seed = 1;
   std::size_t crashes = 2;
+  std::string topology_file;
+  std::string node_arg = "all";
+  std::string protocol_arg = "dg";
+  std::string workload_arg = "counter";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -124,19 +214,91 @@ int main(int argc, char** argv) {
       seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--crashes=", 10) == 0) {
       crashes = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--topology=", 11) == 0) {
+      topology_file = arg + 11;
+    } else if (std::strncmp(arg, "--node=", 7) == 0) {
+      node_arg = arg + 7;
+    } else if (std::strncmp(arg, "--protocol=", 11) == 0) {
+      protocol_arg = arg + 11;
+    } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+      workload_arg = arg + 11;
     } else {
       std::fprintf(stderr,
                    "bench_tcp_throughput: unknown flag '%s' "
-                   "(--out= --n= --nodes= --seed= --crashes=)\n",
+                   "(--out= --n= --nodes= --seed= --crashes= --topology= "
+                   "--node= --protocol= --workload=)\n",
                    arg);
       return 2;
     }
   }
 
+  std::vector<Row> rows;
+  std::vector<Row> fanin_rows;
+  if (!topology_file.empty()) {
+    TcpTopology topo;
+    {
+      std::ifstream in(topology_file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "bench_tcp_throughput: cannot open '%s'\n",
+                     topology_file.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        topo = TcpTopology::parse(text.str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_tcp_throughput: bad topology: %s\n",
+                     e.what());
+        return 2;
+      }
+    }
+    for (const TcpNodeSpec& spec : topo.nodes) {
+      if (spec.port == 0) {
+        std::fprintf(stderr,
+                     "bench_tcp_throughput: topology node %u has no fixed "
+                     "port; --topology mode needs concrete ports (generate "
+                     "the file with optrec_node --base-port=P "
+                     "--print-topology)\n",
+                     spec.id);
+        return 2;
+      }
+    }
+    WorkloadKind workload;
+    if (workload_arg == "counter") {
+      workload = WorkloadKind::kCounter;
+    } else if (workload_arg == "pingpong") {
+      workload = WorkloadKind::kPingPong;
+    } else if (workload_arg == "bank") {
+      workload = WorkloadKind::kBank;
+    } else if (workload_arg == "gossip") {
+      workload = WorkloadKind::kGossip;
+    } else {
+      // The client-driven service workload has no self-seeded traffic;
+      // point optrec_loadgen at optrec_node --serve for that (SERVICE.md).
+      std::fprintf(stderr, "bench_tcp_throughput: unknown workload '%s'\n",
+                   workload_arg.c_str());
+      return 2;
+    }
+    ProtocolKind protocol;
+    try {
+      protocol = protocol_from_name(protocol_arg);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench_tcp_throughput: %s\n", e.what());
+      return 2;
+    }
+    std::printf(
+        "bench_tcp_throughput: topology=%s node=%s protocol=%s workload=%s "
+        "n=%zu nodes=%zu seed=%llu\n\n",
+        topology_file.c_str(), node_arg.c_str(), protocol_name(protocol),
+        workload_arg.c_str(), topo.n, topo.nodes.size(),
+        (unsigned long long)seed);
+    rows.push_back(run_topology(topo, node_arg, protocol, workload, seed));
+    n = topo.n;
+  } else {
   std::printf("bench_tcp_throughput: n=%zu nodes=%zu seed=%llu crashes=%zu\n\n",
               n, nodes, (unsigned long long)seed, crashes);
 
-  std::vector<Row> rows;
   for (ProtocolKind protocol : kProtocols) {
     rows.push_back(run_one(protocol, n, nodes, seed, 0));
     rows.push_back(run_one(protocol, n, nodes, seed, crashes));
@@ -144,13 +306,13 @@ int main(int argc, char** argv) {
   // Channel fan-in sweep: n = 2/5/17 processes puts 1/4/16 producers on
   // every inbox channel and per-peer outbound ring — the contention axis
   // bench_channel isolates, here over real loopback sockets.
-  std::vector<Row> fanin_rows;
   for (std::size_t fanin_n : {std::size_t{2}, std::size_t{5},
                               std::size_t{17}}) {
     Row row = run_one(ProtocolKind::kDamaniGarg, fanin_n,
                       std::min(nodes, fanin_n), seed, 0);
     row.phase = "fanin";
     fanin_rows.push_back(row);
+  }
   }
 
   TablePrinter table({"protocol", "phase", "msgs/s", "p50 us", "p90 us",
@@ -166,16 +328,18 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  std::printf("\nchannel fan-in sweep (dg, failure-free):\n");
-  TablePrinter fanin_table({"producers/chan", "msgs/s", "p50 us", "p90 us",
-                            "p99 us", "quiesced"});
-  for (const Row& r : fanin_rows) {
-    fanin_table.add_row({std::to_string(r.producers), fmt(r.msgs_per_sec, 0),
-                         fmt(r.latency.p50, 0), fmt(r.latency.p90, 0),
-                         fmt(r.latency.p99, 0), r.quiesced ? "yes" : "NO"});
+  if (!fanin_rows.empty()) {
+    std::printf("\nchannel fan-in sweep (dg, failure-free):\n");
+    TablePrinter fanin_table({"producers/chan", "msgs/s", "p50 us", "p90 us",
+                              "p99 us", "quiesced"});
+    for (const Row& r : fanin_rows) {
+      fanin_table.add_row({std::to_string(r.producers), fmt(r.msgs_per_sec, 0),
+                           fmt(r.latency.p50, 0), fmt(r.latency.p90, 0),
+                           fmt(r.latency.p99, 0), r.quiesced ? "yes" : "NO"});
+    }
+    fanin_table.print(std::cout);
+    rows.insert(rows.end(), fanin_rows.begin(), fanin_rows.end());
   }
-  fanin_table.print(std::cout);
-  rows.insert(rows.end(), fanin_rows.begin(), fanin_rows.end());
 
   std::ofstream os(out_file, std::ios::binary);
   if (!os) {
@@ -191,7 +355,11 @@ int main(int argc, char** argv) {
   w.kv("nodes", std::uint64_t{nodes});
   w.kv("seed", seed);
   w.kv("crashes", std::uint64_t{crashes});
-  w.kv("workload", "counter");
+  w.kv("workload", topology_file.empty() ? "counter" : workload_arg.c_str());
+  if (!topology_file.empty()) {
+    w.kv("topology", topology_file);
+    w.kv("node", node_arg);
+  }
   w.end_object();
   w.key("results").begin_array();
   for (const Row& r : rows) {

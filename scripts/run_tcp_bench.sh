@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Driver for bench_tcp_throughput (docs/TCP_TRANSPORT.md).
+#
+# Modes:
+#   run_tcp_bench.sh                 in-process loopback protocol sweep
+#                                    (the CI configuration)
+#   run_tcp_bench.sh --fleet         generate a fixed-port topology file and
+#                                    run one bench PROCESS per node against
+#                                    it over real sockets — the single-
+#                                    machine template for a multi-machine
+#                                    run (copy the topology file to every
+#                                    machine, run the printed per-node
+#                                    command there)
+#
+# Env/flags:
+#   BUILD_DIR=build    cmake build tree holding the binaries
+#   --n=8 --nodes=4 --seed=1 --base-port=41000 (fleet mode)
+#   --protocol=dg --workload=counter           (fleet mode)
+#   --out=BENCH_tcp.json
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+N=8
+NODES=4
+SEED=1
+BASE_PORT=41000
+PROTOCOL=dg
+WORKLOAD=counter
+OUT=BENCH_tcp.json
+FLEET=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --fleet) FLEET=1 ;;
+    --n=*) N="${arg#--n=}" ;;
+    --nodes=*) NODES="${arg#--nodes=}" ;;
+    --seed=*) SEED="${arg#--seed=}" ;;
+    --base-port=*) BASE_PORT="${arg#--base-port=}" ;;
+    --protocol=*) PROTOCOL="${arg#--protocol=}" ;;
+    --workload=*) WORKLOAD="${arg#--workload=}" ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    *) echo "run_tcp_bench.sh: unknown flag '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+BENCH="$BUILD_DIR/bench/bench_tcp_throughput"
+NODE_BIN="$BUILD_DIR/src/optrec_node"
+for bin in "$BENCH" "$NODE_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run_tcp_bench.sh: missing $bin (build first: cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+if [[ "$FLEET" == 0 ]]; then
+  exec "$BENCH" --n="$N" --nodes="$NODES" --seed="$SEED" --out="$OUT"
+fi
+
+# --- fleet mode: one bench process per node over real sockets ---------------
+TOPO="$(mktemp /tmp/tcp_bench_topo.XXXXXX.json)"
+trap 'rm -f "$TOPO"' EXIT
+"$NODE_BIN" --tcp-nodes="$NODES" --n="$N" --base-port="$BASE_PORT" \
+  --print-topology > "$TOPO"
+echo "run_tcp_bench.sh: topology $TOPO (ports $BASE_PORT..$((BASE_PORT + NODES - 1)))"
+echo "run_tcp_bench.sh: per-machine command:"
+echo "  $BENCH --topology=<copied file> --node=<K> --protocol=$PROTOCOL --workload=$WORKLOAD"
+
+PIDS=()
+for ((k = 0; k < NODES; k++)); do
+  "$BENCH" --topology="$TOPO" --node="$k" --protocol="$PROTOCOL" \
+    --workload="$WORKLOAD" --seed="$SEED" --out="${OUT%.json}.node$k.json" \
+    > "${OUT%.json}.node$k.log" 2>&1 &
+  PIDS+=($!)
+done
+
+STATUS=0
+for ((k = 0; k < NODES; k++)); do
+  if ! wait "${PIDS[$k]}"; then
+    STATUS=1
+    echo "run_tcp_bench.sh: node $k FAILED:" >&2
+  fi
+  tail -n 6 "${OUT%.json}.node$k.log" | sed "s/^/  node$k| /"
+done
+exit "$STATUS"

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include <memory>
+
 #include "src/app/bank_app.h"
 #include "src/app/counter_app.h"
 #include "src/app/gossip_app.h"
 #include "src/app/pingpong_app.h"
+#include "src/service/service_app.h"
 
 namespace optrec {
 
@@ -36,6 +39,16 @@ AppFactory WorkloadSpec::make_factory() const {
       config.max_forward_hops = depth;
       return GossipApp::factory(config);
     }
+    case WorkloadKind::kService: {
+      // Client-driven: intensity = accounts per process (scaled), depth
+      // unused. Traffic arrives via ServiceFrontend injection, not
+      // self-seeding.
+      service::ServiceAppConfig config;
+      if (intensity > 0) config.accounts = intensity * 16;
+      return [config](ProcessId pid, std::size_t n) {
+        return std::make_unique<service::ServiceApp>(pid, n, config);
+      };
+    }
   }
   throw std::invalid_argument("unknown workload kind");
 }
@@ -46,6 +59,7 @@ std::string WorkloadSpec::name() const {
     case WorkloadKind::kPingPong: return "pingpong";
     case WorkloadKind::kBank: return "bank";
     case WorkloadKind::kGossip: return "gossip";
+    case WorkloadKind::kService: return "service";
   }
   return "?";
 }

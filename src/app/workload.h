@@ -14,6 +14,7 @@ enum class WorkloadKind : std::uint8_t {
   kPingPong,  // independent pairwise chains
   kBank,      // value-conserving transfers
   kGossip,    // monotone rumor spreading
+  kService,   // client-driven replicated KV/bank (src/service/)
 };
 
 struct WorkloadSpec {

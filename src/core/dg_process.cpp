@@ -305,6 +305,18 @@ void DamaniGargProcess::rollback(ProcessId from, FtvcEntry failed) {
   // non-obsolete part so no message is lost (DESIGN.md §3).
   std::vector<Message> suffix = storage().log().suffix_from(replay_to);
 
+  // Drop the pending outputs of every state past the restore point BEFORE
+  // replaying: replay re-runs those handlers and re-generates byte-identical
+  // requests for the surviving states (request_output is not replay-
+  // suppressed precisely so gated replies survive rollback). Dropping after
+  // replay — the old order — left the originals alongside the regenerated
+  // copies, releasing each reply twice. Outputs already COMMITTED from
+  // replayed states are covered by the stability tracker and thus not
+  // rolled back; their regenerated duplicates are suppressed by identity
+  // ((delivered_count, output_idx) is deterministic under replay).
+  drop_pending_outputs_after(checkpoint.delivered_count);
+  forget_committed_outputs_after(replay_to);
+
   const std::uint64_t pre_rollback_seq = send_seq_;
   restore_from(checkpoint);
   for (std::uint64_t i = checkpoint.delivered_count; i < replay_to; ++i) {
@@ -327,7 +339,6 @@ void DamaniGargProcess::rollback(ProcessId from, FtvcEntry failed) {
   storage().checkpoints().truncate_after(*idx);
   storage().log().truncate_from(replay_to);
   rebuild_delivered_keys(delivered_total_);
-  drop_pending_outputs_after(delivered_total_);
 
   // Fig. 2 "On Rollback": ts++, and the version number is NOT incremented.
   // The TR's "clock = s.clock" must not be read as reverting the process's
@@ -390,15 +401,14 @@ void DamaniGargProcess::update_own_stability() {
 }
 
 void DamaniGargProcess::after_stability_change() {
-  // Recompute the commit floor: the newest checkpointed state whose entire
-  // causal past is recoverable can never be lost or rolled back.
-  const auto idx = storage().checkpoints().latest_matching(
-      [&](const Checkpoint& c) { return stability_.covers(c.clock); });
-  if (idx) {
-    const std::uint64_t floor = storage().checkpoints().at(*idx).delivered_count;
-    if (floor > commit_floor_) commit_floor_ = floor;
-    commit_pending_outputs_up_to(commit_floor_);
-  }
+  // Per-output commit: a state interval whose entire causal past is
+  // recoverable can never be lost or rolled back, so any output it produced
+  // is safe to release (Remark 2). Each gated output carries its producing
+  // interval's clock, making the commit decision per-output rather than
+  // waiting for the next covered checkpoint.
+  commit_pending_outputs_if([this](const PendingOutput& p) {
+    return p.clock.size() > 0 && stability_.covers(p.clock);
+  });
   if (config().enable_gc) {
     const GcResult gc = run_gc(storage(), stability_);
     metrics().gc_checkpoints_reclaimed += gc.checkpoints_reclaimed;

@@ -67,6 +67,8 @@ class DamaniGargProcess : public ProcessBase {
   bool output_commit_gated() const override {
     return config().enable_stability_tracking;
   }
+  const Ftvc* output_clock() const override { return &clock_; }
+  void on_flushed() override { update_own_stability(); }
   FtvcEntry trace_clock_entry() const override { return clock_.self(); }
 
  private:
@@ -107,10 +109,6 @@ class DamaniGargProcess : public ProcessBase {
   StabilityTracker stability_;
   EventId gossip_timer_ = 0;
   DeliveryObserver delivery_observer_;
-
-  /// Commit floor: newest checkpointed delivery count whose clock the
-  /// stability tracker covers.
-  std::uint64_t commit_floor_ = 0;
 };
 
 }  // namespace optrec

@@ -50,6 +50,7 @@ void Metrics::merge_from(const Metrics& other) {
   rollback_depth.merge_from(other.rollback_depth);
   outputs_requested += other.outputs_requested;
   outputs_committed += other.outputs_committed;
+  outputs_replay_suppressed += other.outputs_replay_suppressed;
   output_commit_latency.merge_from(other.output_commit_latency);
   gc_checkpoints_reclaimed += other.gc_checkpoints_reclaimed;
   gc_log_entries_reclaimed += other.gc_log_entries_reclaimed;

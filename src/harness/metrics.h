@@ -62,6 +62,10 @@ struct Metrics {
   // --- output commit / GC
   std::uint64_t outputs_requested = 0;
   std::uint64_t outputs_committed = 0;
+  /// Replay re-ran a handler whose output this incarnation had already
+  /// committed; the duplicate was suppressed (output analogue of
+  /// sends_suppressed_in_replay).
+  std::uint64_t outputs_replay_suppressed = 0;
   RunningStats output_commit_latency;
   std::uint64_t gc_checkpoints_reclaimed = 0;
   std::uint64_t gc_log_entries_reclaimed = 0;

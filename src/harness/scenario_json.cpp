@@ -12,6 +12,7 @@ WorkloadKind workload_from_name(const std::string& name) {
   if (name == "pingpong") return WorkloadKind::kPingPong;
   if (name == "bank") return WorkloadKind::kBank;
   if (name == "gossip") return WorkloadKind::kGossip;
+  if (name == "service") return WorkloadKind::kService;
   throw std::invalid_argument("unknown workload '" + name + "'");
 }
 

@@ -1,6 +1,7 @@
 #include "src/runtime/process_base.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -106,6 +107,7 @@ void ProcessBase::flush_timer_fired() {
     ++metrics_.log_flushes;
     trace_simple(TraceEventType::kLogFlush, flushed);
   }
+  on_flushed();
   flush_timer_ = env_.schedule_after(config_.flush_interval,
                                      [this] { flush_timer_fired(); });
 }
@@ -129,6 +131,8 @@ void ProcessBase::crash() {
   metrics_.messages_lost_in_crash += storage_.on_crash();
   on_crash_wipe();
   pending_outputs_.clear();
+  committed_output_ids_.clear();
+  outputs_in_state_ = 0;
   delivered_keys_.clear();
 
   env_.cancel(checkpoint_timer_);
@@ -181,6 +185,7 @@ void ProcessBase::deliver_to_app(const Message& msg, bool replay) {
                 msg, delivered_total_);
   const bool was_replaying = replaying_;
   replaying_ = replay;
+  outputs_in_state_ = 0;
   app_->on_message(*ctx_, msg.src, msg.payload);
   replaying_ = was_replaying;
 }
@@ -284,28 +289,61 @@ std::vector<StateId> ProcessBase::take_states_for_deliveries(
 }
 
 void ProcessBase::request_output(const std::string& data) {
+  const std::pair<std::uint64_t, std::uint64_t> id{delivered_total_,
+                                                   outputs_in_state_++};
+  if (committed_output_ids_.count(id) > 0) {
+    // Replay re-ran the handler that produced this output, and this
+    // incarnation already committed it: the reply left the process the
+    // first time. Regenerating it would hand the outside world a duplicate.
+    ++metrics_.outputs_replay_suppressed;
+    return;
+  }
   ++metrics_.outputs_requested;
   if (!output_commit_gated()) {
     outputs_.push_back({data, env_.now(), env_.now()});
+    committed_output_ids_.insert(id);
     ++metrics_.outputs_committed;
     trace_simple(TraceEventType::kOutputCommit, 1);
+    if (output_listener_) {
+      output_listener_(OutputEvent::kCommitted, outputs_.back());
+    }
     return;
   }
-  pending_outputs_.push_back({data, env_.now(), delivered_total_});
+  PendingOutput pending;
+  pending.data = data;
+  pending.requested_at = env_.now();
+  pending.delivered_count = id.first;
+  pending.output_idx = id.second;
+  if (const Ftvc* clock = output_clock()) pending.clock = *clock;
+  pending_outputs_.push_back(std::move(pending));
+  if (output_listener_) {
+    output_listener_(OutputEvent::kGated, CommittedOutput{data, env_.now(), 0});
+  }
 }
 
 void ProcessBase::commit_pending_outputs_up_to(std::uint64_t delivered_count) {
+  commit_pending_outputs_if([delivered_count](const PendingOutput& p) {
+    return p.delivered_count <= delivered_count;
+  });
+}
+
+void ProcessBase::commit_pending_outputs_if(
+    const std::function<bool(const PendingOutput&)>& stable) {
   std::uint64_t committed = 0;
   SimTime oldest_latency = 0;
   auto it = pending_outputs_.begin();
   while (it != pending_outputs_.end()) {
-    if (it->delivered_count <= delivered_count) {
+    if (stable(*it)) {
       outputs_.push_back({it->data, it->requested_at, env_.now()});
+      committed_output_ids_.insert({it->delivered_count, it->output_idx});
       ++metrics_.outputs_committed;
       const SimTime latency = env_.now() - it->requested_at;
       metrics_.output_commit_latency.add(static_cast<double>(latency));
       oldest_latency = std::max(oldest_latency, latency);
       ++committed;
+      if (output_listener_) {
+        output_listener_(OutputEvent::kCommitted, outputs_.back());
+      }
       it = pending_outputs_.erase(it);
     } else {
       ++it;
@@ -320,6 +358,13 @@ void ProcessBase::drop_pending_outputs_after(std::uint64_t count) {
   std::erase_if(pending_outputs_, [count](const PendingOutput& p) {
     return p.delivered_count > count;
   });
+}
+
+void ProcessBase::forget_committed_outputs_after(std::uint64_t count) {
+  committed_output_ids_.erase(
+      committed_output_ids_.upper_bound(
+          {count, std::numeric_limits<std::uint64_t>::max()}),
+      committed_output_ids_.end());
 }
 
 TraceEvent ProcessBase::trace_base(TraceEventType type) const {

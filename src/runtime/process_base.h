@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/app/app.h"
@@ -73,6 +75,12 @@ struct CommittedOutput {
   SimTime committed_at = 0;
 };
 
+/// Lifecycle events for externally visible outputs (see set_output_listener).
+enum class OutputEvent {
+  kGated,      // requested, parked behind the output-commit point
+  kCommitted,  // released: the producing state interval is stable
+};
+
 class ProcessBase : public Endpoint {
  public:
   ProcessBase(RuntimeEnv env, ProcessId pid, std::size_t n,
@@ -114,6 +122,28 @@ class ProcessBase : public Endpoint {
   const StableStorage& storage() const { return storage_; }
   const ProcessConfig& config() const { return config_; }
   const std::vector<CommittedOutput>& outputs() const { return outputs_; }
+
+  /// One output request from the app, identified by the producing state and
+  /// its ordinal within that state's handler. Deterministic replay reproduces
+  /// the same identities, which is how re-generated outputs are matched
+  /// against already-committed ones.
+  struct PendingOutput {
+    std::string data;
+    SimTime requested_at = 0;
+    std::uint64_t delivered_count = 0;  // state that produced it
+    std::uint64_t output_idx = 0;       // ordinal within that state
+    Ftvc clock;  // producing interval's clock (empty when untracked)
+  };
+
+  /// Observer for the output lifecycle (service frontends releasing client
+  /// replies). Invoked synchronously from the protocol's execution context —
+  /// the worker thread on live backends. kGated fires with committed_at == 0;
+  /// kCommitted fires for every committed output, gated or not.
+  using OutputListener =
+      std::function<void(OutputEvent, const CommittedOutput&)>;
+  void set_output_listener(OutputListener listener) {
+    output_listener_ = std::move(listener);
+  }
 
   /// Messages the protocol is holding internally (postponed, deferred,
   /// recovery-buffered). Zero across all processes is a necessary condition
@@ -159,6 +189,15 @@ class ProcessBase : public Endpoint {
   /// Is this state allowed to commit outputs immediately? Default: yes
   /// (paper Remark 2 gating is implemented by the DG subclass).
   virtual bool output_commit_gated() const { return false; }
+  /// Clock of the current state interval, stamped onto gated outputs so the
+  /// commit decision can be per-output (stability covers the producing
+  /// interval) instead of per-checkpoint. Null = no clock (baselines).
+  virtual const Ftvc* output_clock() const { return nullptr; }
+  /// Called after every flush-timer fire (the volatile log is empty). DG
+  /// refreshes its own stability entry here so gated outputs whose only
+  /// dependency is local state commit at flush latency, not checkpoint
+  /// latency.
+  virtual void on_flushed() {}
 
   // ---- services for subclasses ----------------------------------------
   /// Clock + timers. Named `sim()` for continuity with the original
@@ -243,12 +282,24 @@ class ProcessBase : public Endpoint {
                                                   std::uint64_t to);
 
   /// Record an output request from the app (Remark 2). Committed
-  /// immediately unless output_commit_gated().
+  /// immediately unless output_commit_gated(). Replay re-runs handlers, so a
+  /// request whose (delivered_count, output_idx) identity was already
+  /// committed by this incarnation is suppressed — the reply left the
+  /// process the first time (the output analogue of replay send
+  /// suppression).
   void request_output(const std::string& data);
   /// DG subclass calls this when previously gated outputs become stable.
   void commit_pending_outputs_up_to(std::uint64_t delivered_count);
+  /// Commit every pending output satisfying `stable` (per-output commit via
+  /// the producing interval's clock).
+  void commit_pending_outputs_if(
+      const std::function<bool(const PendingOutput&)>& stable);
   /// Drop pending outputs from rolled-back states (> count).
   void drop_pending_outputs_after(std::uint64_t count);
+  /// Forget committed-output identities beyond `count` (states undone by a
+  /// rollback belong to a discarded timeline; the replacement timeline's
+  /// outputs at those counts are new outputs).
+  void forget_committed_outputs_after(std::uint64_t count);
 
   // Mutable protocol-visible counters maintained by the base:
   Version version_ = 0;              // incarnation (DG restart bumps this)
@@ -285,13 +336,16 @@ class ProcessBase : public Endpoint {
   std::unordered_map<std::uint64_t, std::vector<StateId>> states_at_count_;
   std::set<std::tuple<ProcessId, Version, std::uint64_t>> delivered_keys_;
 
-  struct PendingOutput {
-    std::string data;
-    SimTime requested_at = 0;
-    std::uint64_t delivered_count = 0;  // state that produced it
-  };
   std::vector<PendingOutput> pending_outputs_;
   std::vector<CommittedOutput> outputs_;
+  /// Ordinal of the next output within the current state interval; reset at
+  /// every delivery so replay reproduces identities.
+  std::uint64_t outputs_in_state_ = 0;
+  /// (delivered_count, output_idx) of every output committed by this
+  /// incarnation; cleared on crash (a new incarnation re-commits, so outputs
+  /// are at-least-once across real failures — clients dedup by sequence).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> committed_output_ids_;
+  OutputListener output_listener_;
 
   std::unique_ptr<ContextShim> ctx_;
 };

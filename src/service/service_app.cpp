@@ -1,0 +1,196 @@
+#include "src/service/service_app.h"
+
+#include <sstream>
+
+namespace optrec::service {
+
+ServiceApp::ServiceApp(ProcessId pid, std::size_t n, ServiceAppConfig config)
+    : pid_(pid), n_(n), config_(config) {
+  for (std::uint64_t account = 0; account < config_.accounts; ++account) {
+    if (key_owner(account, n_) == pid_) {
+      balances_[account] = config_.initial_balance;
+    }
+  }
+}
+
+void ServiceApp::on_start(AppContext&) {
+  // Client-driven: nothing to do until requests arrive.
+}
+
+void ServiceApp::on_message(AppContext& ctx, ProcessId /*src*/,
+                            const Bytes& payload) {
+  Reader r(payload);
+  const std::uint8_t tag = r.get_u8();
+  if (tag == kTagCredit) {
+    const std::uint64_t to_account = r.get_u64();
+    const std::uint64_t amount = r.get_u64();
+    balances_[to_account] += amount;
+    return;
+  }
+  if (tag == kTagRequest) {
+    handle_request(ctx, Request::decode_from(r));
+    return;
+  }
+  throw DecodeError("ServiceApp: unknown payload tag " + std::to_string(tag));
+}
+
+void ServiceApp::handle_request(AppContext& ctx, const Request& req) {
+  auto it = clients_.find(req.client_id);
+  if (it != clients_.end()) {
+    if (req.seq == it->second.last_seq) {
+      // Retry of the request we executed last: re-serve the cached reply
+      // byte-for-byte, do not re-execute (exactly-once application).
+      ++requests_deduped_;
+      const Bytes& cached = it->second.last_reply;
+      ctx.output(std::string(cached.begin(), cached.end()));
+      return;
+    }
+    if (req.seq < it->second.last_seq) {
+      // Stale straggler from before a reply the client has already seen
+      // (clients are closed-loop, so they have moved on). Nothing to do.
+      ++requests_deduped_;
+      return;
+    }
+  }
+  ++requests_executed_;
+  const Response resp = execute(ctx, req);
+  ClientState& cs = clients_[req.client_id];
+  cs.last_seq = req.seq;
+  cs.last_reply = resp.encode();
+  ctx.output(std::string(cs.last_reply.begin(), cs.last_reply.end()));
+}
+
+Response ServiceApp::execute(AppContext& ctx, const Request& req) {
+  Response resp;
+  resp.op = req.op;
+  resp.client_id = req.client_id;
+  resp.seq = req.seq;
+  resp.key = req.key;
+  switch (req.op) {
+    case Op::kPut: {
+      KvEntry& entry = kv_[req.key];
+      entry.value = req.value;
+      ++entry.kver;
+      resp.status = Status::kOk;
+      resp.value = entry.value;
+      resp.kver = entry.kver;
+      break;
+    }
+    case Op::kGet: {
+      const auto it = kv_.find(req.key);
+      if (it == kv_.end()) {
+        resp.status = Status::kNotFound;
+      } else {
+        resp.status = Status::kOk;
+        resp.value = it->second.value;
+        resp.kver = it->second.kver;
+      }
+      break;
+    }
+    case Op::kTransfer: {
+      auto it = balances_.find(req.key);
+      if (it == balances_.end()) {
+        resp.status = Status::kNotFound;
+      } else if (it->second < req.value) {
+        resp.status = Status::kInsufficient;
+        resp.value = it->second;
+      } else {
+        it->second -= req.value;
+        const ProcessId to_owner = key_owner(req.to_account, n_);
+        if (to_owner == pid_) {
+          balances_[req.to_account] += req.value;
+        } else {
+          // The credit rides the recovery runtime: logged, replayed, and
+          // replay-suppressed like any app send, so debit and credit stay
+          // consistent across crashes and rollbacks.
+          ctx.send(to_owner,
+                   encode_credit_payload(req.to_account, req.value));
+        }
+        resp.status = Status::kOk;
+        resp.value = req.value;
+      }
+      break;
+    }
+    case Op::kBalance: {
+      const auto it = balances_.find(req.key);
+      if (it == balances_.end()) {
+        resp.status = Status::kNotFound;
+      } else {
+        resp.status = Status::kOk;
+        resp.value = it->second;
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+std::uint64_t ServiceApp::balance_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& [account, balance] : balances_) sum += balance;
+  return sum;
+}
+
+Bytes ServiceApp::snapshot() const {
+  Writer w;
+  w.put_u64(kv_.size());
+  for (const auto& [key, entry] : kv_) {
+    w.put_u64(key);
+    w.put_u64(entry.kver);
+    w.put_u64(entry.value);
+  }
+  w.put_u64(balances_.size());
+  for (const auto& [account, balance] : balances_) {
+    w.put_u64(account);
+    w.put_u64(balance);
+  }
+  w.put_u64(clients_.size());
+  for (const auto& [client, cs] : clients_) {
+    w.put_u64(client);
+    w.put_u64(cs.last_seq);
+    w.put_bytes(cs.last_reply);
+  }
+  w.put_u64(requests_executed_);
+  w.put_u64(requests_deduped_);
+  return w.take();
+}
+
+void ServiceApp::restore(const Bytes& state) {
+  kv_.clear();
+  balances_.clear();
+  clients_.clear();
+  Reader r(state);
+  const std::uint64_t kv_count = r.get_u64();
+  for (std::uint64_t i = 0; i < kv_count; ++i) {
+    const std::uint64_t key = r.get_u64();
+    KvEntry entry;
+    entry.kver = r.get_u64();
+    entry.value = r.get_u64();
+    kv_.emplace(key, entry);
+  }
+  const std::uint64_t account_count = r.get_u64();
+  for (std::uint64_t i = 0; i < account_count; ++i) {
+    const std::uint64_t account = r.get_u64();
+    balances_[account] = r.get_u64();
+  }
+  const std::uint64_t client_count = r.get_u64();
+  for (std::uint64_t i = 0; i < client_count; ++i) {
+    const std::uint64_t client = r.get_u64();
+    ClientState cs;
+    cs.last_seq = r.get_u64();
+    cs.last_reply = r.get_bytes();
+    clients_.emplace(client, std::move(cs));
+  }
+  requests_executed_ = r.get_u64();
+  requests_deduped_ = r.get_u64();
+}
+
+std::string ServiceApp::describe() const {
+  std::ostringstream os;
+  os << "service{keys=" << kv_.size() << " accounts=" << balances_.size()
+     << " clients=" << clients_.size() << " exec=" << requests_executed_
+     << '}';
+  return os.str();
+}
+
+}  // namespace optrec::service

@@ -1,0 +1,82 @@
+// ServiceApp: the replicated KV/bank application served to external
+// clients.
+//
+// Each process owns the keys and accounts that hash to it (key_owner). A
+// node's ServiceFrontend injects client requests into the owning process's
+// delivery stream, so requests traverse the full recovery runtime — they
+// are logged, replayed, rolled back and re-executed exactly like any other
+// application message, and every reply leaves through ctx.output(), i.e.
+// behind the Damani-Garg output-commit point when stability tracking is on.
+//
+// Exactly-once across client retries: a per-client dedup table records the
+// last executed sequence number and the encoded reply. A retry of the same
+// (client, seq) re-outputs the cached bytes instead of re-executing, so a
+// PUT or TRANSFER applies once no matter how often the client re-sends.
+// The table lives in the snapshot, so recovery preserves it.
+//
+// Determinism: handlers depend only on (restored state, payload). GETs go
+// through the same delivery path as writes — a read observes only states
+// the runtime is willing to make permanent, which is what makes the
+// client-side monotonic-reads oracle sound across rollbacks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/app/app.h"
+#include "src/service/service_msg.h"
+
+namespace optrec::service {
+
+struct ServiceAppConfig {
+  /// Bank accounts pre-created at start, spread over processes by
+  /// key_owner. The loadgen oracle asserts the fleet-wide sum stays
+  /// accounts * initial_balance.
+  std::uint64_t accounts = 64;
+  std::uint64_t initial_balance = 1000;
+};
+
+class ServiceApp : public App {
+ public:
+  ServiceApp(ProcessId pid, std::size_t n, ServiceAppConfig config = {});
+
+  void on_start(AppContext& ctx) override;
+  void on_message(AppContext& ctx, ProcessId src, const Bytes& payload) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& state) override;
+  std::string describe() const override;
+
+  // Introspection (tests).
+  std::uint64_t keys_held() const { return kv_.size(); }
+  std::uint64_t balance_sum() const;
+  std::uint64_t requests_executed() const { return requests_executed_; }
+  std::uint64_t requests_deduped() const { return requests_deduped_; }
+
+ private:
+  struct KvEntry {
+    std::uint64_t kver = 0;
+    std::uint64_t value = 0;
+  };
+  struct ClientState {
+    std::uint64_t last_seq = 0;
+    Bytes last_reply;
+  };
+
+  void handle_request(AppContext& ctx, const Request& req);
+  Response execute(AppContext& ctx, const Request& req);
+
+  const ProcessId pid_;
+  const std::size_t n_;
+  const ServiceAppConfig config_;
+
+  // Ordered maps: snapshot() must be byte-deterministic.
+  std::map<std::uint64_t, KvEntry> kv_;
+  std::map<std::uint64_t, std::uint64_t> balances_;
+  std::map<std::uint64_t, ClientState> clients_;
+
+  // Diagnostic counters (in the snapshot, so replay keeps them exact).
+  std::uint64_t requests_executed_ = 0;
+  std::uint64_t requests_deduped_ = 0;
+};
+
+}  // namespace optrec::service

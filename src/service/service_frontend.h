@@ -1,0 +1,115 @@
+// ServiceFrontend: the client-facing listener of a TcpNode, served from
+// the node's existing epoll IO thread as a TcpTransport::PollClient (the
+// same pattern as the telemetry HTTP endpoint — no extra threads).
+//
+// Inbound: clients connect, send varint-framed Requests (service_msg.h),
+// and the frontend injects each one into the owning LOCAL process's
+// delivery stream via the injector callback. Requests for keys owned by a
+// process hosted on another node are answered immediately with kWrongNode
+// + the owning pid, so clients re-route using the shared topology.
+//
+// Outbound: replies arrive via push_reply() from worker threads — the
+// node forwards every COMMITTED output here, i.e. strictly after the
+// Damani-Garg output-commit point. A mutex-guarded queue plus a self-pipe
+// hands them to the IO thread, which routes each reply to the connection
+// that last spoke for that client_id and frames it onto the socket.
+// Replies for clients that disconnected are dropped; the client's retry
+// re-serves the cached reply through the app-level dedup table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/service_msg.h"
+#include "src/tcp/socket_util.h"
+#include "src/tcp/tcp_transport.h"
+
+namespace optrec::service {
+
+class ServiceFrontend : public TcpTransport::PollClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned; read back with port()
+    std::size_t n = 0;       // total processes in the fleet
+    std::vector<ProcessId> local_pids;  // processes hosted on this node
+  };
+
+  /// Deliver one injected client request payload to local process `dst`.
+  /// Runs on the IO thread.
+  using Injector = std::function<void(ProcessId dst, Bytes payload)>;
+
+  /// Binds host:port immediately. Throws std::system_error on bind failure.
+  ServiceFrontend(const Options& options, Injector inject);
+  ~ServiceFrontend() override;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Queue one committed reply (encoded Response bytes) for delivery to its
+  /// client. Thread-safe; wakes the IO thread. Non-Response bytes are
+  /// counted and dropped.
+  void push_reply(const std::string& data);
+
+  // TcpTransport::PollClient
+  void attach(Poller& poller) override;
+  bool handle(Poller& poller, const Poller::Event& ev) override;
+
+  // Counters (relaxed atomics; /metrics + tests).
+  std::uint64_t connections_accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  std::uint64_t requests_received() const { return requests_.load(std::memory_order_relaxed); }
+  std::uint64_t requests_injected() const { return injected_.load(std::memory_order_relaxed); }
+  std::uint64_t replies_sent() const { return replies_sent_.load(std::memory_order_relaxed); }
+  std::uint64_t replies_dropped() const { return replies_dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t wrong_node_replies() const { return wrong_node_.load(std::memory_order_relaxed); }
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Conn {
+    Fd fd;
+    Bytes in;             // unparsed inbound bytes
+    std::size_t in_pos = 0;
+    Bytes out;            // framed replies not yet written
+    std::size_t off = 0;
+    std::set<std::uint64_t> clients;  // client ids seen on this connection
+  };
+
+  void accept_new(Poller& poller);
+  void drive(Poller& poller, Conn& conn, const Poller::Event& ev);
+  void on_request(Poller& poller, Conn& conn, const Bytes& body);
+  /// Write staged bytes; updates write interest. False = connection died.
+  bool flush_conn(Poller& poller, Conn& conn);
+  void close_conn(Poller& poller, int fd);
+  void drain_replies(Poller& poller);
+
+  const Options options_;
+  const Injector inject_;
+  std::vector<bool> local_;  // pid -> hosted on this node
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  Fd reply_rd_, reply_wr_;  // self-pipe: worker threads wake the IO thread
+
+  std::mutex reply_mu_;
+  std::deque<Bytes> reply_q_;  // guarded by reply_mu_
+
+  // IO-thread-only.
+  std::unordered_map<int, Conn> conns_;
+  std::unordered_map<std::uint64_t, int> client_conn_;  // client -> fd
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> replies_sent_{0};
+  std::atomic<std::uint64_t> replies_dropped_{0};
+  std::atomic<std::uint64_t> wrong_node_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace optrec::service

@@ -1,0 +1,181 @@
+#include "src/service/service_msg.h"
+
+#include <sstream>
+
+#include "src/app/app.h"
+
+namespace optrec::service {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPut: return "put";
+    case Op::kGet: return "get";
+    case Op::kTransfer: return "transfer";
+    case Op::kBalance: return "balance";
+  }
+  return "?";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kInsufficient: return "insufficient";
+    case Status::kWrongNode: return "wrong_node";
+  }
+  return "?";
+}
+
+ProcessId key_owner(std::uint64_t key, std::size_t n) {
+  return static_cast<ProcessId>(mix64(key) % (n ? n : 1));
+}
+
+namespace {
+
+Op decode_op(std::uint8_t raw) {
+  switch (raw) {
+    case 1: return Op::kPut;
+    case 2: return Op::kGet;
+    case 3: return Op::kTransfer;
+    case 4: return Op::kBalance;
+  }
+  throw DecodeError("service: unknown op " + std::to_string(raw));
+}
+
+Status decode_status(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(Status::kWrongNode)) {
+    throw DecodeError("service: unknown status " + std::to_string(raw));
+  }
+  return static_cast<Status>(raw);
+}
+
+}  // namespace
+
+void Request::encode_to(Writer& w) const {
+  w.put_u8(static_cast<std::uint8_t>(op));
+  w.put_u64(client_id);
+  w.put_u64(seq);
+  w.put_u64(key);
+  w.put_u64(to_account);
+  w.put_u64(value);
+}
+
+Bytes Request::encode() const {
+  Writer w;
+  encode_to(w);
+  return w.take();
+}
+
+Request Request::decode_from(Reader& r) {
+  Request req;
+  req.op = decode_op(r.get_u8());
+  req.client_id = r.get_u64();
+  req.seq = r.get_u64();
+  req.key = r.get_u64();
+  req.to_account = r.get_u64();
+  req.value = r.get_u64();
+  return req;
+}
+
+Request Request::decode(const Bytes& body) {
+  Reader r(body);
+  Request req = decode_from(r);
+  if (!r.at_end()) throw DecodeError("service request: trailing bytes");
+  return req;
+}
+
+std::string Request::describe() const {
+  std::ostringstream os;
+  os << op_name(op) << "(c" << client_id << "#" << seq << " key=" << key;
+  if (op == Op::kTransfer) os << "->" << to_account;
+  if (op == Op::kPut || op == Op::kTransfer) os << " val=" << value;
+  os << ')';
+  return os.str();
+}
+
+Bytes Response::encode() const {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(status));
+  w.put_u8(static_cast<std::uint8_t>(op));
+  w.put_u64(client_id);
+  w.put_u64(seq);
+  w.put_u64(key);
+  w.put_u64(value);
+  w.put_u64(kver);
+  w.put_u32(owner);
+  return w.take();
+}
+
+Response Response::decode(const Bytes& body) {
+  Reader r(body);
+  Response resp;
+  resp.status = decode_status(r.get_u8());
+  resp.op = decode_op(r.get_u8());
+  resp.client_id = r.get_u64();
+  resp.seq = r.get_u64();
+  resp.key = r.get_u64();
+  resp.value = r.get_u64();
+  resp.kver = r.get_u64();
+  resp.owner = r.get_u32();
+  if (!r.at_end()) throw DecodeError("service response: trailing bytes");
+  return resp;
+}
+
+std::string Response::describe() const {
+  std::ostringstream os;
+  os << status_name(status) << '/' << op_name(op) << "(c" << client_id << '#'
+     << seq << " key=" << key << " val=" << value << " kver=" << kver << ')';
+  return os.str();
+}
+
+void append_frame(Bytes& out, const Bytes& body) {
+  std::uint64_t len = body.size();
+  while (len >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len) | 0x80);
+    len >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::optional<Bytes> next_frame(const Bytes& buf, std::size_t* pos) {
+  std::size_t p = *pos;
+  std::uint64_t len = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (p >= buf.size()) return std::nullopt;  // header incomplete
+    const std::uint8_t b = buf[p++];
+    len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 28) {
+      throw DecodeError("service frame: malformed length varint");
+    }
+  }
+  if (len > kMaxServiceFrameBytes) {
+    throw DecodeError("service frame: length " + std::to_string(len) +
+                      " over cap");
+  }
+  if (buf.size() - p < len) return std::nullopt;  // body incomplete
+  Bytes body(buf.begin() + static_cast<std::ptrdiff_t>(p),
+             buf.begin() + static_cast<std::ptrdiff_t>(p + len));
+  *pos = p + len;
+  return body;
+}
+
+Bytes encode_request_payload(const Request& req) {
+  Writer w;
+  w.put_u8(kTagRequest);
+  req.encode_to(w);
+  return w.take();
+}
+
+Bytes encode_credit_payload(std::uint64_t to_account, std::uint64_t amount) {
+  Writer w;
+  w.put_u8(kTagCredit);
+  w.put_u64(to_account);
+  w.put_u64(amount);
+  return w.take();
+}
+
+}  // namespace optrec::service

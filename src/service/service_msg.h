@@ -1,0 +1,111 @@
+// Client-facing service protocol: the replicated KV/bank request/response
+// codec (LEB128 via src/util/serialization, like every other wire format in
+// the tree) plus the varint-length stream framing clients speak on the
+// service socket.
+//
+// Exactly-once semantics ride on (client_id, seq): a client retries a
+// request with the SAME identity until it sees the reply, and the server's
+// dedup table re-serves the cached reply instead of re-executing. Replies
+// carry the identity back so clients match responses to retries.
+//
+// Two layers share these types:
+//   * the external frame clients exchange with a node's ServiceFrontend:
+//     [varint body-length][body], body = encoded Request or Response;
+//   * the internal app payload a frontend injects into the recovery
+//     runtime ([kTagRequest][request fields]) and ServiceApp's
+//     inter-process credit transfer ([kTagCredit][account][amount]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/serialization.h"
+
+namespace optrec::service {
+
+enum class Op : std::uint8_t {
+  kPut = 1,       // key := value
+  kGet = 2,       // read key
+  kTransfer = 3,  // move value from account `key` to account `to_account`
+  kBalance = 4,   // read account `key`
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,      // GET of a never-written key / unknown account
+  kInsufficient = 2,  // transfer exceeds the source balance
+  kWrongNode = 3,     // key's owner process is not hosted on this node
+};
+
+const char* op_name(Op op);
+const char* status_name(Status status);
+
+/// The process that owns `key` (keys and accounts share the space).
+ProcessId key_owner(std::uint64_t key, std::size_t n);
+
+struct Request {
+  Op op = Op::kGet;
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;         // PUT/GET key; TRANSFER/BALANCE account
+  std::uint64_t to_account = 0;  // TRANSFER destination
+  std::uint64_t value = 0;       // PUT value; TRANSFER amount
+
+  Bytes encode() const;
+  void encode_to(Writer& w) const;
+  /// Throws DecodeError on malformed input.
+  static Request decode(const Bytes& body);
+  static Request decode_from(Reader& r);
+
+  ProcessId owner(std::size_t n) const { return key_owner(key, n); }
+  std::string describe() const;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  Op op = Op::kGet;
+  std::uint64_t client_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;
+  /// GET/PUT: the key's value. TRANSFER: the amount moved. BALANCE: the
+  /// account balance.
+  std::uint64_t value = 0;
+  /// Per-key write version, monotone under PUT; the client-side
+  /// monotonic-reads oracle compares these. 0 for non-KV ops.
+  std::uint64_t kver = 0;
+  /// kWrongNode: the owning process id, so the client can re-route.
+  ProcessId owner = 0;
+
+  Bytes encode() const;
+  static Response decode(const Bytes& body);
+  std::string describe() const;
+};
+
+// --- stream framing ---------------------------------------------------------
+
+/// Upper bound on one framed body; far above any real request, exists only
+/// to bound a misbehaving client.
+constexpr std::size_t kMaxServiceFrameBytes = 64 * 1024;
+
+/// Append [varint length][body] to `out`.
+void append_frame(Bytes& out, const Bytes& body);
+
+/// Extract the next complete frame from `buf` starting at `*pos`, advancing
+/// `*pos` past it. nullopt = incomplete (wait for more bytes). Throws
+/// DecodeError on an over-cap or malformed length header — drop the
+/// connection.
+std::optional<Bytes> next_frame(const Bytes& buf, std::size_t* pos);
+
+// --- internal app payloads --------------------------------------------------
+
+/// First payload byte of messages delivered to ServiceApp.
+constexpr std::uint8_t kTagRequest = 1;  // injected client request
+constexpr std::uint8_t kTagCredit = 2;   // inter-process transfer credit
+
+Bytes encode_request_payload(const Request& req);
+Bytes encode_credit_payload(std::uint64_t to_account, std::uint64_t amount);
+
+}  // namespace optrec::service

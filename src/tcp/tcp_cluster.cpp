@@ -46,7 +46,13 @@ void add_tcp(TcpTransport::TcpStats& into,
 
 TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
   topo_ = TcpTopology::loopback(config_.n, config_.nodes, /*base_port=*/0,
-                                "loopback", config_.telemetry_base_port);
+                                "loopback", config_.telemetry_base_port,
+                                config_.service_base_port);
+  if (config_.serve && config_.enable_oracle) {
+    throw std::invalid_argument(
+        "TcpCluster: serve requires enable_oracle = false (injected client "
+        "requests have no oracle send records)");
+  }
   topo_.faults = config_.faults;
   if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
   if (config_.enable_trace) trace_ = std::make_unique<TraceRecorder>();
@@ -70,6 +76,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
     nc.oracle = oracle_.get();
     nc.trace = trace_.get();
     nc.telemetry = config_.telemetry;
+    nc.serve = config_.serve;
     nodes_.push_back(std::make_unique<TcpNode>(std::move(nc)));
   }
   // Every node bound an ephemeral port in its constructor; tell the others.

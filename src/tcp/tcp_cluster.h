@@ -48,6 +48,15 @@ struct TcpClusterConfig {
   /// 0 with telemetry=true means every node binds an ephemeral port
   /// (read back with node(i).telemetry_port()).
   std::uint16_t telemetry_base_port = 0;
+  /// Serve the client-facing KV service from every node (read ports back
+  /// with node(i).service_port()). Injected client requests bypass the
+  /// oracle's send bookkeeping, so serving clusters should set
+  /// enable_oracle = false; the client-side oracle in optrec_loadgen is
+  /// the external-consistency check instead.
+  bool serve = false;
+  /// First service port; node i serves on service_base_port + i
+  /// (0 = ephemeral per node).
+  std::uint16_t service_base_port = 0;
 };
 
 struct TcpClusterResult {

@@ -48,6 +48,11 @@ TcpNode::TcpNode(TcpNodeConfig config)
   if (topo.n < 2) throw std::invalid_argument("TcpNode: n must be >= 2");
   transport_.set_trace(config_.trace);
 
+  // A serving node MUST gate replies behind the Damani-Garg output-commit
+  // point; without stability tracking output_commit_gated() is false and a
+  // reply produced in a later-rolled-back interval would escape to clients.
+  if (config_.serve) config_.process.enable_stability_tracking = true;
+
   const AppFactory factory = config_.workload.make_factory();
   // Draw a seed for every pid in pid order so a worker's RNG stream is a
   // function of (seed, pid), not of node placement.
@@ -92,6 +97,86 @@ TcpNode::TcpNode(TcpNodeConfig config)
     workers_.push_back(std::move(w));
   }
   setup_telemetry();
+  setup_service();
+}
+
+void TcpNode::setup_service() {
+  if (!config_.serve) return;
+  const TcpNodeSpec& self = config_.topology.node(config_.node);
+  const std::size_t n = config_.topology.n;
+
+  service::ServiceFrontend::Options opts;
+  opts.host = self.host;
+  opts.port = config_.service_port != 0 ? config_.service_port
+                                        : self.service_port;
+  opts.n = n;
+  opts.local_pids = self.processes;
+
+  // Injected client requests enter the protocol as messages from a pseudo
+  // process `n` (outside the fleet): version 0 so no failure token can ever
+  // orphan them, an all-zero size-n clock so the obsolete filter never
+  // discards them (every restored timestamp is >= 1), and a per-incarnation
+  // send_seq stream so Remark-1 duplicate filtering stays sound across node
+  // respawns.
+  inject_seq_.store(transport_.epoch(), std::memory_order_relaxed);
+  frontend_ = std::make_unique<service::ServiceFrontend>(
+      opts, [this, n](ProcessId dst, Bytes payload) {
+        Message msg;
+        msg.kind = MessageKind::kApp;
+        msg.src = static_cast<ProcessId>(n);
+        msg.dst = dst;
+        msg.src_version = 0;
+        msg.send_seq = inject_seq_.fetch_add(1, std::memory_order_relaxed);
+        msg.clock =
+            Ftvc::with_entries(msg.src, std::vector<FtvcEntry>(n));
+        msg.payload = std::move(payload);
+        transport_.inject_local(std::move(msg));
+      });
+  transport_.set_poll_client(frontend_.get());
+
+  // Output-commit gate instrumentation + reply release. The listener runs
+  // on worker threads; counters are atomics and push_reply is thread-safe.
+  telemetry::Counter& gated = registry_.counter(
+      "optrec_replies_gated_total",
+      "Client replies parked behind the output-commit point");
+  telemetry::Counter& released = registry_.counter(
+      "optrec_replies_released_total",
+      "Client replies released: producing interval became stable");
+  telemetry::AtomicHistogram& gate_latency = registry_.histogram(
+      "optrec_output_gate_latency_us",
+      "Request-to-commit latency of gated client replies");
+  registry_.add_collector([this](std::vector<telemetry::Sample>& out) {
+    const auto add = [&out](const char* name, std::uint64_t v) {
+      telemetry::Sample sample;
+      sample.name = name;
+      sample.kind = telemetry::SampleKind::kCounter;
+      sample.value = static_cast<double>(v);
+      out.push_back(std::move(sample));
+    };
+    add("optrec_service_connections_total", frontend_->connections_accepted());
+    add("optrec_service_requests_total", frontend_->requests_received());
+    add("optrec_service_injected_total", frontend_->requests_injected());
+    add("optrec_service_replies_sent_total", frontend_->replies_sent());
+    add("optrec_service_replies_dropped_total", frontend_->replies_dropped());
+    add("optrec_service_wrong_node_total", frontend_->wrong_node_replies());
+    add("optrec_service_protocol_errors_total", frontend_->protocol_errors());
+  });
+  for (auto& w : workers_) {
+    w->proc->set_output_listener(
+        [this, &gated, &released, &gate_latency](OutputEvent event,
+                                                 const CommittedOutput& out) {
+          if (event == OutputEvent::kGated) {
+            gated.inc();
+            return;
+          }
+          released.inc();
+          if (out.committed_at >= out.requested_at) {
+            gate_latency.observe(
+                static_cast<double>(out.committed_at - out.requested_at));
+          }
+          frontend_->push_reply(out.data);
+        });
+  }
 }
 
 void TcpNode::setup_telemetry() {
@@ -520,7 +605,11 @@ TcpNodeResult TcpNode::run() {
       quiesced = code == 0;
       break;
     }
-    if (now >= config_.time_cap) break;  // exit_code stays 4
+    if (now >= config_.time_cap) {
+      // A serving node's cap is its scheduled end of life, not a hang.
+      if (config_.serve) exit_code = 0;
+      break;
+    }
 
     const bool quiet = local_quiet();
     const std::uint64_t sig = local_signature_word();
@@ -544,6 +633,10 @@ TcpNodeResult TcpNode::run() {
       }
       continue;
     }
+
+    // Serving clusters never settle: load is client-driven, so a quiet
+    // moment is just a gap between requests. The time cap ends the run.
+    if (config_.serve) continue;
 
     // Coordinator: every node must claim quiet on a fresh report, and the
     // cluster-wide signature must hold still for a full settle window.
@@ -581,8 +674,8 @@ TcpNodeResult TcpNode::run() {
   // clean settle, 4 when its own time cap fired — so peers do not have to
   // sit out their full caps.
   if (coordinator) {
-    coordinate_shutdown(static_cast<std::uint8_t>(quiesced ? 0 : 4),
-                        quiesced ? seconds(2) : millis(300));
+    coordinate_shutdown(static_cast<std::uint8_t>(exit_code == 0 ? 0 : 4),
+                        exit_code == 0 ? seconds(2) : millis(300));
   }
 
   for (auto& w : workers_) {
@@ -632,6 +725,21 @@ TcpNodeResult TcpNode::run() {
   }
   result.net = transport_.stats();
   result.tcp = transport_.tcp_stats();
+  if (frontend_) {
+    auto& s = result.service;
+    s.enabled = true;
+    s.connections = frontend_->connections_accepted();
+    s.requests = frontend_->requests_received();
+    s.injected = frontend_->requests_injected();
+    s.replies_sent = frontend_->replies_sent();
+    s.replies_dropped = frontend_->replies_dropped();
+    s.wrong_node = frontend_->wrong_node_replies();
+    s.protocol_errors = frontend_->protocol_errors();
+    s.replies_gated =
+        registry_.counter("optrec_replies_gated_total", "").value();
+    s.replies_released =
+        registry_.counter("optrec_replies_released_total", "").value();
+  }
   return result;
 }
 

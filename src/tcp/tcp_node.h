@@ -48,6 +48,7 @@
 #include "src/live/live_clock.h"
 #include "src/live/worker_timers.h"
 #include "src/runtime/process_base.h"
+#include "src/service/service_frontend.h"
 #include "src/tcp/tcp_transport.h"
 #include "src/tcp/topology.h"
 #include "src/telemetry/histogram.h"
@@ -102,6 +103,15 @@ struct TcpNodeConfig {
   /// Endpoint port override; 0 falls back to the topology's telemetry_port
   /// for this node, and an ephemeral port when that is 0 too.
   std::uint16_t telemetry_port = 0;
+  /// Serve the client-facing replicated KV service (src/service/) from this
+  /// node's IO thread: requests are injected as protocol messages, replies
+  /// are the output-commit-gated outputs released by stability. A serving
+  /// node never settles to quiescence (clients drive the load externally);
+  /// it exits 0 at the time cap instead of 4.
+  bool serve = false;
+  /// Service port override; 0 falls back to the topology's service_port
+  /// for this node, and an ephemeral port when that is 0 too.
+  std::uint16_t service_port = 0;
 };
 
 struct TcpNodeResult {
@@ -140,6 +150,22 @@ struct TcpNodeResult {
     /// Max per-worker disk recovery time, micros.
     std::uint64_t recovery_us = 0;
   } durable;
+
+  /// Client-service outcome (zeroed unless `serve` was set).
+  struct ServiceSummary {
+    bool enabled = false;
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t replies_dropped = 0;
+    std::uint64_t wrong_node = 0;
+    std::uint64_t protocol_errors = 0;
+    /// Outputs parked behind / released by the output-commit gate across
+    /// this node's workers (the optrec_replies_*_total counters).
+    std::uint64_t replies_gated = 0;
+    std::uint64_t replies_released = 0;
+  } service;
 };
 
 class TcpNode {
@@ -171,6 +197,10 @@ class TcpNode {
   /// Bound telemetry port, 0 when the endpoint is disabled.
   std::uint16_t telemetry_port() const {
     return http_ == nullptr ? 0 : http_->port();
+  }
+  /// Bound client-service port, 0 when not serving.
+  std::uint16_t service_port() const {
+    return frontend_ == nullptr ? 0 : frontend_->port();
   }
   /// Protocol/transport counter sums for the status gossip and /cluster
   /// table. Thread-safe (reads mirrors and atomics only).
@@ -227,12 +257,18 @@ class TcpNode {
   void coordinate_shutdown(std::uint8_t exit_code, SimTime grace);
 
   void setup_telemetry();
+  void setup_service();
 
   TcpNodeConfig config_;
   LiveClock clock_;
   TcpTransport transport_;
   telemetry::MetricsRegistry registry_;
   std::unique_ptr<telemetry::TelemetryHttpServer> http_;
+  std::unique_ptr<service::ServiceFrontend> frontend_;
+  /// Per-incarnation send_seq for injected client requests; seeded from the
+  /// transport epoch (wall-clock micros) so a respawned node's injections
+  /// never collide with log-rebuilt duplicate-filter keys.
+  std::atomic<std::uint64_t> inject_seq_{0};
   telemetry::Gauge* quiet_gauge_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;  // local processes only
   std::atomic<std::uint64_t> crashes_pending_{0};

@@ -101,8 +101,10 @@ void TcpTransport::set_poll_client(PollClient* client) {
   if (io_running_.load(std::memory_order_acquire)) {
     throw std::logic_error("set_poll_client after start()");
   }
-  poll_client_ = client;
-  if (client != nullptr) client->attach(*poller_);
+  if (client != nullptr) {
+    poll_clients_.push_back(client);
+    client->attach(*poller_);
+  }
 }
 
 void TcpTransport::start() {
@@ -242,6 +244,22 @@ void TcpTransport::emit_token_trace(const Token& token) {
     e.origin_ver = token.failed.ver;
   }
   trace_->emit(std::move(e));
+}
+
+MsgId TcpTransport::inject_local(Message msg, SimTime delay) {
+  if (msg.dst >= topo_.n || !is_local(msg.dst)) {
+    throw std::invalid_argument("inject_local: dst not hosted on this node");
+  }
+  msg.id = (static_cast<MsgId>(node_id_ + 1) << 40) |
+           next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  app_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  message_bytes_.fetch_add(message_wire_bytes(msg), std::memory_order_relaxed);
+  if (trace_) emit_send_trace(msg);
+  FrameRef wire = FramePool::global().wrap(encode_message_frame(msg));
+  push_local(msg.src, msg.dst, std::move(wire), /*app=*/true, /*token=*/false,
+             delay);
+  return msg.id;
 }
 
 MsgId TcpTransport::send(Message msg) {
@@ -531,9 +549,14 @@ void TcpTransport::io_step() {
       handle_accepted(ev.fd, ev);
       continue;
     }
-    if (poll_client_ != nullptr && poll_client_->handle(*poller_, ev)) {
-      continue;
+    bool claimed = false;
+    for (PollClient* client : poll_clients_) {
+      if (client->handle(*poller_, ev)) {
+        claimed = true;
+        break;
+      }
     }
+    if (claimed) continue;
     const auto it = fd_to_node_.find(ev.fd);
     if (it != fd_to_node_.end()) handle_peer(*peers_[it->second], ev);
   }

@@ -158,9 +158,21 @@ class TcpTransport : public Transport {
     /// return true when the fd belonged to this client.
     virtual bool handle(Poller& poller, const Poller::Event& ev) = 0;
   };
-  /// Install `client` (attaches immediately). Call before start(); the
-  /// client must outlive stop().
+  /// Install `client` (attaches immediately). May be called repeatedly —
+  /// each node runs several PollClients (telemetry HTTP, service frontend)
+  /// off the one IO thread; events are offered in installation order. Call
+  /// before start(); every client must outlive stop().
   void set_poll_client(PollClient* client);
+
+  /// Inject an externally-originated application message into a LOCAL
+  /// process's delivery stream (service frontends feeding client requests
+  /// into the recovery runtime). Unlike send(), the source is a pseudo-pid
+  /// outside the fleet (callers use pid == size()), no fault injection
+  /// applies, and any thread may call it — including the IO thread itself.
+  /// The frame counts toward frames_in_flight, so quiescence accounting
+  /// holds. The caller stamps src/dst/send_seq/clock; the id is assigned
+  /// here.
+  MsgId inject_local(Message msg, SimTime delay = 0);
 
   std::uint32_t node_id() const { return node_id_; }
   std::uint64_t epoch() const { return epoch_; }
@@ -321,7 +333,7 @@ class TcpTransport : public Transport {
   const std::uint32_t node_id_;
   const std::uint64_t epoch_;
   TraceRecorder* trace_ = nullptr;
-  PollClient* poll_client_ = nullptr;
+  std::vector<PollClient*> poll_clients_;
 
   Fd listener_;
   std::uint16_t listen_port_ = 0;

@@ -103,7 +103,8 @@ std::uint32_t TcpTopology::node_of(ProcessId pid) const {
 TcpTopology TcpTopology::loopback(std::size_t n, std::size_t k,
                                   std::uint16_t base_port,
                                   std::string cluster,
-                                  std::uint16_t telemetry_base_port) {
+                                  std::uint16_t telemetry_base_port,
+                                  std::uint16_t service_base_port) {
   if (k == 0 || n < k) {
     throw std::invalid_argument("loopback topology wants 1 <= nodes <= n");
   }
@@ -126,6 +127,10 @@ TcpTopology TcpTopology::loopback(std::size_t n, std::size_t k,
         telemetry_base_port == 0
             ? 0
             : static_cast<std::uint16_t>(telemetry_base_port + i);
+    spec.service_port =
+        service_base_port == 0
+            ? 0
+            : static_cast<std::uint16_t>(service_base_port + i);
     const std::size_t count = base + (i < extra ? 1 : 0);
     for (std::size_t j = 0; j < count; ++j) spec.processes.push_back(next++);
     topo.nodes.push_back(std::move(spec));
@@ -151,6 +156,8 @@ TcpTopology TcpTopology::from_json(const JsonValue& v) {
     spec.port = static_cast<std::uint16_t>(node.u64_or("port", 0));
     spec.telemetry_port =
         static_cast<std::uint16_t>(node.u64_or("telemetry_port", 0));
+    spec.service_port =
+        static_cast<std::uint16_t>(node.u64_or("service_port", 0));
     const JsonValue* procs = node.find("processes");
     if (procs == nullptr) {
       throw std::invalid_argument("topology: node missing 'processes'");
@@ -200,6 +207,9 @@ std::string TcpTopology::to_json() const {
     w.kv("port", static_cast<std::uint64_t>(spec.port));
     if (spec.telemetry_port != 0) {
       w.kv("telemetry_port", static_cast<std::uint64_t>(spec.telemetry_port));
+    }
+    if (spec.service_port != 0) {
+      w.kv("service_port", static_cast<std::uint64_t>(spec.service_port));
     }
     w.key("processes").begin_array();
     for (ProcessId pid : spec.processes) {

@@ -43,6 +43,9 @@ struct TcpNodeSpec {
   /// 0 = no fixed assignment (the node binds an ephemeral port when
   /// telemetry is enabled, or none at all).
   std::uint16_t telemetry_port = 0;
+  /// Client-facing service port (optrec_node --serve); 0 = no fixed
+  /// assignment (ephemeral when serving, or no listener at all).
+  std::uint16_t service_port = 0;
   /// Protocol processes hosted on this node.
   std::vector<ProcessId> processes;
 };
@@ -88,12 +91,14 @@ struct TcpTopology {
   const TcpNodeSpec& node(std::uint32_t id) const { return nodes.at(id); }
 
   /// `n` processes spread round-robin-contiguously over `k` loopback nodes;
-  /// node i listens on base_port + i (0 = all ephemeral) and serves
-  /// telemetry on telemetry_base_port + i (0 = no fixed assignment).
+  /// node i listens on base_port + i (0 = all ephemeral), serves telemetry
+  /// on telemetry_base_port + i and the client service on
+  /// service_base_port + i (0 = no fixed assignment).
   static TcpTopology loopback(std::size_t n, std::size_t k,
                               std::uint16_t base_port = 0,
                               std::string cluster = "loopback",
-                              std::uint16_t telemetry_base_port = 0);
+                              std::uint16_t telemetry_base_port = 0,
+                              std::uint16_t service_base_port = 0);
 
   static TcpTopology from_json(const JsonValue& v);
   /// Parse a JSON document; throws std::runtime_error (parse) or

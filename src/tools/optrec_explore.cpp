@@ -116,6 +116,7 @@ WorkloadKind parse_workload(const std::string& name) {
   if (name == "pingpong") return WorkloadKind::kPingPong;
   if (name == "bank") return WorkloadKind::kBank;
   if (name == "gossip") return WorkloadKind::kGossip;
+  if (name == "service") return WorkloadKind::kService;
   die("unknown workload '" + name + "'");
 }
 

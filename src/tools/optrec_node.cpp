@@ -22,7 +22,9 @@
 //                real `optrec_node --node=K`), optionally SIGKILLs and
 //                respawns children mid-run, and folds their exit codes.
 //                  optrec_node --spawn --processes=8 --tcp-nodes=4
-//                      --retransmit --kill=1:400:900
+//                      --retransmit --data-dir=/tmp/fleet --kill=1:400:900
+//                (the respawned child runs --recover=warm: it rebuilds from
+//                DIR/node-1 and announces its failure at the restored point)
 //
 // Flags shared with optrec_live (same spelling, same defaults):
 //   --protocol=NAME --workload=NAME --n=K|--processes=K --seed=S
@@ -73,6 +75,19 @@
 //                      run, respawn it with --recover at RESP ms; AT-only
 //                      form kills without respawn; repeatable
 //   --print-topology   print the effective topology JSON and exit
+//
+// Client service flags (docs/SERVICE.md):
+//   --serve            serve the client-facing replicated KV service from
+//                      each node's IO thread; replies release strictly
+//                      after the output-commit point. Serving nodes never
+//                      settle — the run ends 0 at the time cap.
+//   --service-port=P       (--node=K) this node's service port
+//   --service-base-port=P  loopback topologies: node i serves on P+i
+//                      (forwarded to --spawn children; --spawn carves a
+//                      block above the telemetry ports when unset)
+//   --write-topology=FILE  write the effective topology JSON (with the
+//                      carved service/telemetry ports) to FILE before the
+//                      run starts, so optrec_loadgen can route requests
 //
 // --oracle and --audit need every process in one address space, so they
 // are valid only with --node=all.
@@ -147,6 +162,7 @@ WorkloadKind parse_workload(const std::string& name) {
   if (name == "pingpong") return WorkloadKind::kPingPong;
   if (name == "bank") return WorkloadKind::kBank;
   if (name == "gossip") return WorkloadKind::kGossip;
+  if (name == "service") return WorkloadKind::kService;
   die("unknown workload '" + name + "'");
 }
 
@@ -194,7 +210,8 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
                         std::size_t oracle_violations, bool audited,
                         std::size_t audit_violations,
                         const telemetry::RecoveryTimelineReport* timeline,
-                        const TcpNodeResult::DurableSummary* durable) {
+                        const TcpNodeResult::DurableSummary* durable,
+                        const TcpNodeResult::ServiceSummary* service) {
   std::ostringstream os;
   JsonWriter w(os);
   const double wall_s = static_cast<double>(wall_time) / 1e6;
@@ -246,6 +263,20 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
     w.kv("manifest_writes", durable->manifest_writes);
     w.kv("compactions", durable->compactions);
     w.kv("recovery_us", durable->recovery_us);
+    w.end_object();
+  }
+
+  if (service != nullptr && service->enabled) {
+    w.key("service").begin_object();
+    w.kv("connections", service->connections);
+    w.kv("requests", service->requests);
+    w.kv("injected", service->injected);
+    w.kv("replies_sent", service->replies_sent);
+    w.kv("replies_dropped", service->replies_dropped);
+    w.kv("wrong_node", service->wrong_node);
+    w.kv("protocol_errors", service->protocol_errors);
+    w.kv("replies_gated", service->replies_gated);
+    w.kv("replies_released", service->replies_released);
     w.end_object();
   }
 
@@ -343,6 +374,22 @@ void print_summary(const char* head, bool quiesced, SimTime wall_time,
                 (unsigned long long)durable->disk_stable_bytes,
                 (unsigned long long)durable->torn_bytes);
   }
+}
+
+void print_service_summary(const TcpNodeResult::ServiceSummary& s) {
+  if (!s.enabled) return;
+  std::printf("service    conns=%llu requests=%llu injected=%llu "
+              "gated=%llu released=%llu sent=%llu dropped=%llu "
+              "wrong-node=%llu proto-errors=%llu\n",
+              (unsigned long long)s.connections,
+              (unsigned long long)s.requests,
+              (unsigned long long)s.injected,
+              (unsigned long long)s.replies_gated,
+              (unsigned long long)s.replies_released,
+              (unsigned long long)s.replies_sent,
+              (unsigned long long)s.replies_dropped,
+              (unsigned long long)s.wrong_node,
+              (unsigned long long)s.protocol_errors);
 }
 
 void write_trace(const std::string& trace_file, const std::string& format,
@@ -575,6 +622,10 @@ int main(int argc, char** argv) {
   std::string stats_target;
   std::string timeline_file;
   std::string trace_dir;
+  bool serve = false;
+  std::uint16_t service_port = 0;
+  std::uint16_t service_base_port = 0;
+  std::string write_topology_file;
   std::vector<KillSpec> kills;
   /// Flags forwarded verbatim to --spawn children (everything except the
   /// harness-only flags and --node itself).
@@ -711,6 +762,19 @@ int main(int argc, char** argv) {
     } else if (parse_flag(arg, "--print-topology", &value)) {
       print_topology = true;
       forward = false;
+    } else if (parse_flag(arg, "--serve", &value)) {
+      serve = true;
+    } else if (parse_flag(arg, "--service-port", &value)) {
+      service_port =
+          static_cast<std::uint16_t>(parse_u64(value, "--service-port"));
+      forward = false;  // one port cannot serve every child
+    } else if (parse_flag(arg, "--service-base-port", &value)) {
+      service_base_port = static_cast<std::uint16_t>(
+          parse_u64(value, "--service-base-port"));
+    } else if (parse_flag(arg, "--write-topology", &value)) {
+      if (value.empty()) die("--write-topology wants a file name");
+      write_topology_file = value;
+      forward = false;
     } else {
       die(std::string("unknown flag '") + arg + "' (see header comment)");
     }
@@ -748,11 +812,17 @@ int main(int argc, char** argv) {
   } else {
     try {
       topo = TcpTopology::loopback(config.n, config.nodes, base_port,
-                                   "loopback", telemetry_base_port);
+                                   "loopback", telemetry_base_port,
+                                   service_base_port);
     } catch (const std::invalid_argument& e) {
       die(e.what());
     }
     topo.faults = config.faults;
+  }
+  if (serve && config.enable_oracle) {
+    die("--serve and --oracle are incompatible (injected client requests "
+        "have no oracle send records; optrec_loadgen checks consistency "
+        "from the client side instead)");
   }
 
   // ---- --stats: scrape the coordinator's /cluster table ---------------
@@ -815,6 +885,32 @@ int main(int argc, char** argv) {
                    telemetry_base_port,
                    telemetry_base_port + (unsigned)config.nodes - 1);
     }
+    if (serve && service_base_port == 0 && topology_file.empty()) {
+      // Clients must be able to compute every node's service port; carve a
+      // block above the telemetry ports (data, telemetry, service).
+      service_base_port =
+          static_cast<std::uint16_t>(base_port + 2 * config.nodes);
+      child_args.push_back("--service-base-port=" +
+                           std::to_string(service_base_port));
+    }
+    if (serve && verbose && service_base_port != 0) {
+      std::fprintf(stderr, "harness: service on 127.0.0.1:%u..%u\n",
+                   service_base_port,
+                   service_base_port + (unsigned)config.nodes - 1);
+    }
+    if (!write_topology_file.empty()) {
+      // Re-resolve with the carved port blocks so clients read real ports.
+      if (topology_file.empty()) {
+        topo = TcpTopology::loopback(config.n, config.nodes, base_port,
+                                     "loopback", telemetry_base_port,
+                                     service_base_port);
+        topo.faults = config.faults;
+      }
+      std::ofstream out(write_topology_file, std::ios::binary);
+      if (!out) die("cannot open '" + write_topology_file + "'");
+      out << topo.to_json();
+      if (!out) die("failed writing '" + write_topology_file + "'");
+    }
     if (!trace_dir.empty()) {
       if (::mkdir(trace_dir.c_str(), 0777) != 0 && errno != EEXIST) {
         die("cannot create --trace-dir '" + trace_dir + "'");
@@ -848,6 +944,13 @@ int main(int argc, char** argv) {
                              recover_cold, extra);
   }
 
+  if (!write_topology_file.empty()) {
+    std::ofstream out(write_topology_file, std::ios::binary);
+    if (!out) die("cannot open '" + write_topology_file + "'");
+    out << topo.to_json();
+    if (!out) die("failed writing '" + write_topology_file + "'");
+  }
+
   // ---- --node=K: one node of the cluster -----------------------------
   if (node_arg != "all") {
     const std::uint32_t node =
@@ -879,6 +982,8 @@ int main(int argc, char** argv) {
     nc.max_block = config.max_block;
     nc.telemetry = telemetry;
     nc.telemetry_port = telemetry_port;
+    nc.serve = serve;
+    nc.service_port = service_port;
     std::unique_ptr<TraceRecorder> trace;
     if (enable_trace) {
       trace = std::make_unique<TraceRecorder>();
@@ -894,6 +999,10 @@ int main(int argc, char** argv) {
     if (verbose && runner.telemetry_port() != 0) {
       std::fprintf(stderr, "node %u: telemetry on %s:%u\n", node,
                    topo.node(node).host.c_str(), runner.telemetry_port());
+    }
+    if (verbose && runner.service_port() != 0) {
+      std::fprintf(stderr, "node %u: service on %s:%u\n", node,
+                   topo.node(node).host.c_str(), runner.service_port());
     }
     const TcpNodeResult result = runner.run();
     if (trace != nullptr && !trace_file.empty()) {
@@ -911,13 +1020,14 @@ int main(int argc, char** argv) {
                       result.wall_time, result.metrics, result.net, result.tcp,
                       result.delivery_latency_us, 0, false, 0,
                       trace != nullptr ? &timeline : nullptr,
-                      &result.durable));
+                      &result.durable, &result.service));
     } else {
       char head[64];
       std::snprintf(head, sizeof head, "node %u", node);
       print_summary(head, result.quiesced, result.wall_time, result.metrics,
                     result.net, result.tcp, result.delivery_latency_us,
                     &result.durable);
+      print_service_summary(result.service);
     }
     return result.exit_code;
   }
@@ -931,6 +1041,8 @@ int main(int argc, char** argv) {
   if (!trace_dir.empty()) die("--trace-dir is for --spawn; use --trace=FILE");
   config.telemetry = telemetry;
   config.telemetry_base_port = telemetry_base_port;
+  config.serve = serve;
+  config.service_base_port = service_base_port;
   if (!data_dir.empty()) {
     if (::mkdir(data_dir.c_str(), 0777) != 0 && errno != EEXIST) {
       die("cannot create --data-dir '" + data_dir + "'");
@@ -975,13 +1087,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Serving fleets never quiesce (the cap is their scheduled end); take the
+  // nodes' own verdict instead of recomputing 4 from !quiesced.
   const int exit_code = !violations.empty() || !audit_ok ? 3
+                        : serve                          ? result.exit_code
                         : !result.quiesced               ? 4
                                                          : 0;
   // Cluster-wide durable totals (in-process runs always start fresh, so
   // this is the write-path footprint, not a recovery report).
   TcpNodeResult::DurableSummary durable;
+  TcpNodeResult::ServiceSummary service;
   for (const TcpNodeResult& nr : result.per_node) {
+    if (nr.service.enabled) {
+      service.enabled = true;
+      service.connections += nr.service.connections;
+      service.requests += nr.service.requests;
+      service.injected += nr.service.injected;
+      service.replies_sent += nr.service.replies_sent;
+      service.replies_dropped += nr.service.replies_dropped;
+      service.wrong_node += nr.service.wrong_node;
+      service.protocol_errors += nr.service.protocol_errors;
+      service.replies_gated += nr.service.replies_gated;
+      service.replies_released += nr.service.replies_released;
+    }
     if (!nr.durable.enabled) continue;
     durable.enabled = true;
     durable.fsyncs += nr.durable.fsyncs;
@@ -999,12 +1127,13 @@ int main(int argc, char** argv) {
                     result.wall_time, result.metrics, result.net, result.tcp,
                     result.delivery_latency_us, violations.size(), audit,
                     audit_violations, events != nullptr ? &timeline : nullptr,
-                    &durable));
+                    &durable, &service));
     return exit_code;
   }
 
   print_summary("cluster", result.quiesced, result.wall_time, result.metrics,
                 result.net, result.tcp, result.delivery_latency_us, &durable);
+  print_service_summary(service);
   if (config.enable_oracle) {
     std::printf("oracle     consistency=%s\n",
                 violations.empty() ? "OK" : "VIOLATED");

@@ -1,0 +1,188 @@
+// ServiceApp unit tests: exactly-once dedup, kver monotonicity, transfer
+// conservation across processes, and the snapshot/restore determinism the
+// replay-based recovery contract requires.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/service/service_app.h"
+#include "src/util/bytes.h"
+
+namespace optrec::service {
+namespace {
+
+/// Records sends/outputs instead of transmitting (tests/app idiom).
+class RecordingContext : public AppContext {
+ public:
+  RecordingContext(ProcessId self, std::size_t n) : self_(self), n_(n) {}
+  ProcessId self() const override { return self_; }
+  std::size_t process_count() const override { return n_; }
+  void send(ProcessId dst, const Bytes& payload) override {
+    sends.push_back({dst, payload});
+  }
+  void output(const std::string& data) override { outputs.push_back(data); }
+
+  std::vector<std::pair<ProcessId, Bytes>> sends;
+  std::vector<std::string> outputs;
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+};
+
+Response last_reply(const RecordingContext& ctx) {
+  EXPECT_FALSE(ctx.outputs.empty());
+  const std::string& raw = ctx.outputs.back();
+  return Response::decode(Bytes(raw.begin(), raw.end()));
+}
+
+void deliver(ServiceApp& app, RecordingContext& ctx, const Request& req) {
+  app.on_message(ctx, /*src=*/ctx.process_count(),
+                 encode_request_payload(req));
+}
+
+Request make(Op op, std::uint64_t client, std::uint64_t seq,
+             std::uint64_t key, std::uint64_t value = 0,
+             std::uint64_t to_account = 0) {
+  Request req;
+  req.op = op;
+  req.client_id = client;
+  req.seq = seq;
+  req.key = key;
+  req.value = value;
+  req.to_account = to_account;
+  return req;
+}
+
+TEST(ServiceApp, PutGetKverMonotone) {
+  // n = 1: pid 0 owns every key.
+  ServiceApp app(0, 1);
+  RecordingContext ctx(0, 1);
+  app.on_start(ctx);
+
+  deliver(app, ctx, make(Op::kPut, 1, 1, 5, 70));
+  Response r = last_reply(ctx);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.kver, 1u);
+  EXPECT_EQ(r.value, 70u);
+
+  deliver(app, ctx, make(Op::kPut, 1, 2, 5, 71));
+  r = last_reply(ctx);
+  EXPECT_EQ(r.kver, 2u);
+
+  deliver(app, ctx, make(Op::kGet, 1, 3, 5));
+  r = last_reply(ctx);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value, 71u);
+  EXPECT_EQ(r.kver, 2u);
+
+  deliver(app, ctx, make(Op::kGet, 1, 4, 999));
+  EXPECT_EQ(last_reply(ctx).status, Status::kNotFound);
+}
+
+TEST(ServiceApp, RetryReServesCachedReplyWithoutReExecuting) {
+  ServiceApp app(0, 1);
+  RecordingContext ctx(0, 1);
+  app.on_start(ctx);
+
+  const Request put = make(Op::kPut, 7, 1, 3, 10);
+  deliver(app, ctx, put);
+  const std::string first = ctx.outputs.back();
+  EXPECT_EQ(app.requests_executed(), 1u);
+
+  // Retry with the same identity: byte-identical reply, no re-execution
+  // (a re-executed PUT would bump kver to 2).
+  deliver(app, ctx, put);
+  EXPECT_EQ(ctx.outputs.size(), 2u);
+  EXPECT_EQ(ctx.outputs.back(), first);
+  EXPECT_EQ(app.requests_executed(), 1u);
+  EXPECT_EQ(app.requests_deduped(), 1u);
+  EXPECT_EQ(Response::decode(Bytes(first.begin(), first.end())).kver, 1u);
+
+  // A stale straggler (seq below the last executed) is dropped silently.
+  deliver(app, ctx, make(Op::kPut, 7, 2, 3, 11));
+  const std::size_t outputs_before = ctx.outputs.size();
+  deliver(app, ctx, make(Op::kPut, 7, 1, 3, 12));
+  EXPECT_EQ(ctx.outputs.size(), outputs_before);
+  EXPECT_EQ(app.requests_executed(), 2u);
+}
+
+TEST(ServiceApp, TransferMovesValueAndConservesAcrossProcesses) {
+  const std::size_t n = 2;
+  ServiceAppConfig config;
+  config.accounts = 16;
+  config.initial_balance = 100;
+  ServiceApp p0(0, n, config), p1(1, n, config);
+  RecordingContext c0(0, n), c1(1, n);
+  p0.on_start(c0);
+  p1.on_start(c1);
+
+  const std::uint64_t total = config.accounts * config.initial_balance;
+  EXPECT_EQ(p0.balance_sum() + p1.balance_sum(), total);
+
+  // Find a cross-process pair: src owned by p0, dst owned by p1.
+  std::uint64_t src = config.accounts, dst = config.accounts;
+  for (std::uint64_t a = 0; a < config.accounts; ++a) {
+    if (key_owner(a, n) == 0 && src == config.accounts) src = a;
+    if (key_owner(a, n) == 1 && dst == config.accounts) dst = a;
+  }
+  ASSERT_LT(src, config.accounts);
+  ASSERT_LT(dst, config.accounts);
+
+  deliver(p0, c0, make(Op::kTransfer, 9, 1, src, 25, dst));
+  EXPECT_EQ(last_reply(c0).status, Status::kOk);
+  ASSERT_EQ(c0.sends.size(), 1u);
+  EXPECT_EQ(c0.sends[0].first, 1u);
+
+  // Mid-flight the fleet total is short by the credit; delivering the
+  // credit message restores conservation.
+  EXPECT_EQ(p0.balance_sum() + p1.balance_sum(), total - 25);
+  p1.on_message(c1, 0, c0.sends[0].second);
+  EXPECT_EQ(p0.balance_sum() + p1.balance_sum(), total);
+
+  // Overdraft: rejected, no credit sent, balances untouched.
+  deliver(p0, c0, make(Op::kTransfer, 9, 2, src, 1000000, dst));
+  const Response r = last_reply(c0);
+  EXPECT_EQ(r.status, Status::kInsufficient);
+  EXPECT_EQ(c0.sends.size(), 1u);
+  EXPECT_EQ(p0.balance_sum() + p1.balance_sum(), total);
+}
+
+TEST(ServiceApp, SnapshotRestoreRoundTripsExactly) {
+  ServiceApp app(0, 1);
+  RecordingContext ctx(0, 1);
+  app.on_start(ctx);
+  deliver(app, ctx, make(Op::kPut, 1, 1, 2, 20));
+  deliver(app, ctx, make(Op::kPut, 2, 1, 4, 40));
+  deliver(app, ctx, make(Op::kTransfer, 1, 2, 0, 5, 1));
+  deliver(app, ctx, make(Op::kPut, 1, 3, 2, 21));
+
+  const Bytes snap = app.snapshot();
+  ServiceApp restored(0, 1);
+  restored.restore(snap);
+  EXPECT_EQ(fnv1a(restored.snapshot()), fnv1a(snap));
+  EXPECT_EQ(restored.balance_sum(), app.balance_sum());
+  EXPECT_EQ(restored.keys_held(), app.keys_held());
+  EXPECT_EQ(restored.requests_executed(), app.requests_executed());
+
+  // Identical deliveries from the same state stay byte-deterministic —
+  // the replay contract.
+  RecordingContext actx(0, 1);
+  deliver(app, actx, make(Op::kGet, 3, 1, 2));
+  RecordingContext rctx2(0, 1);
+  deliver(restored, rctx2, make(Op::kGet, 3, 1, 2));
+  EXPECT_EQ(actx.outputs, rctx2.outputs);
+  EXPECT_EQ(fnv1a(app.snapshot()), fnv1a(restored.snapshot()));
+
+  // The dedup table survives the round trip: a retry against the restored
+  // instance re-serves the cached reply instead of re-executing — this is
+  // what keeps retries exactly-once across a crash + replay.
+  RecordingContext rctx(0, 1);
+  deliver(restored, rctx, make(Op::kPut, 1, 3, 2, 21));
+  EXPECT_EQ(restored.requests_deduped(), app.requests_deduped() + 1);
+  EXPECT_EQ(last_reply(rctx).kver, 2u);
+}
+
+}  // namespace
+}  // namespace optrec::service

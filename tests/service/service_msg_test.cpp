@@ -1,0 +1,150 @@
+// Service protocol codec: request/response round trips, stream framing
+// reassembly, and decode fuzzing (a malicious client must only ever produce
+// DecodeError, never UB).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/service/service_msg.h"
+#include "src/util/rng.h"
+
+namespace optrec::service {
+namespace {
+
+TEST(ServiceMsg, RequestRoundTripsAllFields) {
+  Request req;
+  req.op = Op::kTransfer;
+  req.client_id = 0xDEADBEEFCAFEULL;
+  req.seq = (1ULL << 40) + 7;
+  req.key = 0xFFFFFFFFFFFFFFFFULL;
+  req.to_account = 12345;
+  req.value = 999;
+
+  const Request back = Request::decode(req.encode());
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.client_id, req.client_id);
+  EXPECT_EQ(back.seq, req.seq);
+  EXPECT_EQ(back.key, req.key);
+  EXPECT_EQ(back.to_account, req.to_account);
+  EXPECT_EQ(back.value, req.value);
+}
+
+TEST(ServiceMsg, ResponseRoundTripsAllFields) {
+  Response resp;
+  resp.status = Status::kWrongNode;
+  resp.op = Op::kPut;
+  resp.client_id = 42;
+  resp.seq = 17;
+  resp.key = 9;
+  resp.value = 4096;
+  resp.kver = 31;
+  resp.owner = 6;
+
+  const Response back = Response::decode(resp.encode());
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.op, resp.op);
+  EXPECT_EQ(back.client_id, resp.client_id);
+  EXPECT_EQ(back.seq, resp.seq);
+  EXPECT_EQ(back.key, resp.key);
+  EXPECT_EQ(back.value, resp.value);
+  EXPECT_EQ(back.kver, resp.kver);
+  EXPECT_EQ(back.owner, resp.owner);
+}
+
+TEST(ServiceMsg, KeyOwnerIsStableAndInRange) {
+  for (std::size_t n : {1u, 3u, 8u}) {
+    for (std::uint64_t key = 0; key < 256; ++key) {
+      const ProcessId owner = key_owner(key, n);
+      EXPECT_LT(owner, n);
+      EXPECT_EQ(owner, key_owner(key, n)) << "unstable for key " << key;
+    }
+  }
+}
+
+TEST(ServiceMsg, FramesReassembleAcrossChunkBoundaries) {
+  std::vector<Bytes> bodies;
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    Request req;
+    req.op = Op::kPut;
+    req.client_id = 100 + i;
+    req.seq = i;
+    req.key = i * 31;
+    req.value = i;
+    bodies.push_back(req.encode());
+    append_frame(stream, bodies.back());
+  }
+
+  // Feed the byte stream one byte at a time, extracting whenever complete.
+  Bytes buf;
+  std::size_t pos = 0;
+  std::size_t extracted = 0;
+  for (std::uint8_t byte : stream) {
+    buf.push_back(byte);
+    while (auto body = next_frame(buf, &pos)) {
+      ASSERT_LT(extracted, bodies.size());
+      EXPECT_EQ(*body, bodies[extracted]);
+      ++extracted;
+    }
+  }
+  EXPECT_EQ(extracted, bodies.size());
+}
+
+TEST(ServiceMsg, IncompleteFrameReturnsNullopt) {
+  Bytes stream;
+  append_frame(stream, Request{}.encode());
+  Bytes truncated(stream.begin(), stream.end() - 1);
+  std::size_t pos = 0;
+  EXPECT_EQ(next_frame(truncated, &pos), std::nullopt);
+  EXPECT_EQ(pos, 0u);  // nothing consumed until the frame completes
+}
+
+TEST(ServiceMsg, OversizedFrameLengthThrows) {
+  // A length header above kMaxServiceFrameBytes must be rejected before any
+  // allocation in its size.
+  Writer w;
+  w.put_u64(kMaxServiceFrameBytes + 1);
+  const Bytes buf = w.take();
+  std::size_t pos = 0;
+  EXPECT_THROW(next_frame(buf, &pos), DecodeError);
+}
+
+TEST(ServiceMsg, DecodeFuzzNeverCrashes) {
+  Rng rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes junk(rng.uniform(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      (void)Request::decode(junk);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)Response::decode(junk);
+    } catch (const DecodeError&) {
+    }
+    std::size_t pos = 0;
+    try {
+      while (next_frame(junk, &pos)) {
+      }
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(ServiceMsg, TruncatedEncodingsThrowNotCrash) {
+  Request req;
+  req.op = Op::kTransfer;
+  req.client_id = 1ULL << 60;
+  req.seq = 1ULL << 50;
+  req.key = 77;
+  req.to_account = 3;
+  req.value = 12;
+  const Bytes full = req.encode();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + cut);
+    EXPECT_THROW((void)Request::decode(prefix), DecodeError) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace optrec::service
