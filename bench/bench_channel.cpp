@@ -242,6 +242,7 @@ int main(int argc, char** argv) {
   }
   JsonWriter w(os);
   w.begin_object();
+  bench::write_bench_preamble(w, "channel");
   w.key("config").begin_object();
   w.kv("frames_per_run", std::uint64_t{frames});
   w.kv("max_delay_us", std::uint64_t{kMaxDelay});

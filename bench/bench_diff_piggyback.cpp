@@ -9,7 +9,10 @@
 // simply travel as changed entries; rollback-invalidation is modelled by
 // resetting the per-destination cache at each sender rollback (counted via
 // full-clock re-sends).
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <vector>
 
 #include "bench_util.h"
 #include "src/clocks/diff_codec.h"
@@ -63,12 +66,20 @@ TraceResult replay_trace(std::size_t n, std::uint64_t seed,
   return result;
 }
 
-void print_table() {
+struct Row {
+  std::string workload;
+  std::size_t n = 0;
+  std::size_t crashes = 0;
+  TraceResult trace;
+};
+
+std::vector<Row> print_table() {
   print_header("E13: differential piggyback (future-work study)",
                "Section 7 ('send only one timestamp with each message')",
                "per-destination diffs shrink the O(n) piggyback toward the "
                "single-entry ideal on FIFO channels");
 
+  std::vector<Row> rows;
   TablePrinter table({"workload", "n", "crashes", "messages", "full B/msg",
                       "diff B/msg", "saving"});
   for (WorkloadKind workload : {WorkloadKind::kPingPong, WorkloadKind::kCounter}) {
@@ -78,6 +89,7 @@ void print_table() {
       for (std::size_t crashes : {0u, 2u}) {
         const TraceResult r = replay_trace(n, 9000 + n, crashes, workload);
         if (r.messages == 0) continue;
+        rows.push_back({spec.name(), n, crashes, r});
         const double full = static_cast<double>(r.full_bytes) /
                             static_cast<double>(r.messages);
         const double diff = static_cast<double>(r.diff_bytes) /
@@ -100,6 +112,41 @@ void print_table() {
       "would pick per-destination adaptively (diff iff it is smaller, one "
       "flag bit). The fidelity check (exact reconstruction) passed on every "
       "message of every trace.\n\n");
+  return rows;
+}
+
+int write_json(const std::string& out_file, const std::vector<Row>& rows) {
+  std::ofstream os(out_file, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "bench_diff_piggyback: cannot open '%s'\n",
+                 out_file.c_str());
+    return 2;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  write_bench_preamble(w, "diff_piggyback");
+  w.key("config").begin_object();
+  w.kv("protocol", "dg");
+  w.kv("fifo", true);
+  w.kv("intensity", std::uint64_t{6});
+  w.kv("depth", std::uint64_t{48});
+  w.end_object();
+  w.key("results").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.kv("workload", r.workload);
+    w.kv("n", std::uint64_t{r.n});
+    w.kv("crashes", std::uint64_t{r.crashes});
+    w.kv("messages", std::uint64_t{r.trace.messages});
+    w.kv("full_bytes", std::uint64_t{r.trace.full_bytes});
+    w.kv("diff_bytes", std::uint64_t{r.trace.diff_bytes});
+    w.kv("payload_bytes", std::uint64_t{r.trace.payload_bytes});
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return 0;
 }
 
 void BM_DiffEncode(benchmark::State& state) {
@@ -119,7 +166,22 @@ void BM_DiffEncode(benchmark::State& state) {
 BENCHMARK(BM_DiffEncode)->Arg(4)->Arg(32)->Arg(256);
 
 int main(int argc, char** argv) {
-  print_table();
+  // Pull our own --out= flag before google-benchmark sees the argv.
+  std::string out_file;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_file = argv[i] + 6;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  const std::vector<Row> rows = print_table();
+  if (!out_file.empty()) {
+    if (const int rc = write_json(out_file, rows); rc != 0) return rc;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -354,6 +354,7 @@ int main(int argc, char** argv) {
   }
   JsonWriter w(os);
   w.begin_object();
+  bench::write_bench_preamble(w, "durability");
   w.key("config").begin_object();
   w.kv("messages", messages);
   w.kv("tokens", tokens);

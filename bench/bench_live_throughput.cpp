@@ -172,6 +172,7 @@ int main(int argc, char** argv) {
   }
   JsonWriter w(os);
   w.begin_object();
+  bench::write_bench_preamble(w, "live");
   w.key("config").begin_object();
   w.kv("n", std::uint64_t{n});
   w.kv("seed", seed);

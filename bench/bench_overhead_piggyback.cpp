@@ -7,6 +7,10 @@
 //       and against the O(n^2 f) piggyback model of Smith-Johnson-Tygar;
 //   (b) measured: piggyback bytes per message from actual runs with real
 //       failure counts.
+#include <cstring>
+#include <fstream>
+#include <vector>
+
 #include "bench_util.h"
 #include "src/clocks/ftvc.h"
 #include "src/clocks/vector_clock.h"
@@ -30,7 +34,23 @@ Ftvc clock_after_failures(std::size_t n, Version f, Timestamp ts) {
   return Ftvc::decode(r);
 }
 
-void print_analytic() {
+struct AnalyticRow {
+  std::size_t n = 0;
+  Version f = 0;
+  std::size_t ftvc_bytes = 0;
+  std::size_t plain_vc_bytes = 0;
+  std::size_t sjt_model_bytes = 0;
+};
+
+struct MeasuredRow {
+  std::size_t n = 0;
+  std::size_t crashes = 0;
+  double piggyback_per_msg = 0;
+  double payload_per_msg = 0;
+};
+
+std::vector<AnalyticRow> print_analytic() {
+  std::vector<AnalyticRow> rows;
   print_header("E4: piggyback overhead", "Section 6.9(1)",
                "FTVC costs O(n) with ~log2(f) extra bits per entry; "
                "Smith-Johnson-Tygar's clock costs O(n^2 f)");
@@ -46,6 +66,7 @@ void print_analytic() {
           varint_size(f) + varint_size(100000);
       const std::size_t sjt =
           n * n * std::max<std::size_t>(1, f) * entry_bytes;
+      rows.push_back({n, f, ftvc.wire_size(), plain.wire_size(), sjt});
       table.add_row({std::to_string(n), std::to_string(f),
                      std::to_string(ftvc.wire_size()),
                      std::to_string(plain.wire_size()), std::to_string(sjt)});
@@ -53,9 +74,11 @@ void print_analytic() {
   }
   table.print(std::cout);
   std::printf("\n");
+  return rows;
 }
 
-void print_measured() {
+std::vector<MeasuredRow> print_measured() {
+  std::vector<MeasuredRow> rows;
   std::printf("measured piggyback bytes per message (runs with real "
               "failures):\n\n");
   TablePrinter table({"n", "crashes", "piggyback B/msg", "payload B/msg"});
@@ -73,6 +96,7 @@ void print_measured() {
         payload += static_cast<double>(result.metrics.payload_bytes) /
                    static_cast<double>(result.metrics.app_messages_sent);
       }
+      rows.push_back({n, crashes, piggyback / kRuns, payload / kRuns});
       table.add_row({std::to_string(n), std::to_string(crashes),
                      TablePrinter::fmt(piggyback / kRuns, 1),
                      TablePrinter::fmt(payload / kRuns, 1)});
@@ -80,6 +104,51 @@ void print_measured() {
   }
   table.print(std::cout);
   std::printf("\n");
+  return rows;
+}
+
+int write_json(const std::string& out_file,
+               const std::vector<AnalyticRow>& analytic,
+               const std::vector<MeasuredRow>& measured) {
+  std::ofstream os(out_file, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "bench_overhead_piggyback: cannot open '%s'\n",
+                 out_file.c_str());
+    return 2;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  write_bench_preamble(w, "overhead_piggyback");
+  w.key("config").begin_object();
+  w.kv("protocol", "dg");
+  w.kv("measured_runs_per_cell", std::uint64_t{4});
+  w.end_object();
+  w.key("results").begin_object();
+  w.key("analytic").begin_array();
+  for (const AnalyticRow& r : analytic) {
+    w.begin_object();
+    w.kv("n", std::uint64_t{r.n});
+    w.kv("failures", std::uint64_t{r.f});
+    w.kv("ftvc_bytes", std::uint64_t{r.ftvc_bytes});
+    w.kv("plain_vc_bytes", std::uint64_t{r.plain_vc_bytes});
+    w.kv("sjt_model_bytes", std::uint64_t{r.sjt_model_bytes});
+    w.end_object();
+  }
+  w.end_array();
+  w.key("measured").begin_array();
+  for (const MeasuredRow& r : measured) {
+    w.begin_object();
+    w.kv("n", std::uint64_t{r.n});
+    w.kv("crashes", std::uint64_t{r.crashes});
+    w.kv("piggyback_bytes_per_msg", r.piggyback_per_msg);
+    w.kv("payload_bytes_per_msg", r.payload_per_msg);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  os << "\n";
+  return 0;
 }
 
 void BM_PiggybackSerialize(benchmark::State& state) {
@@ -102,8 +171,25 @@ BENCHMARK(BM_PiggybackSerialize)
     ->Args({256, 16});
 
 int main(int argc, char** argv) {
-  print_analytic();
-  print_measured();
+  // Pull our own --out= flag before google-benchmark sees the argv.
+  std::string out_file;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_file = argv[i] + 6;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  const std::vector<AnalyticRow> analytic = print_analytic();
+  const std::vector<MeasuredRow> measured = print_measured();
+  if (!out_file.empty()) {
+    if (const int rc = write_json(out_file, analytic, measured); rc != 0) {
+      return rc;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

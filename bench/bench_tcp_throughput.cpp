@@ -349,6 +349,7 @@ int main(int argc, char** argv) {
   }
   JsonWriter w(os);
   w.begin_object();
+  bench::write_bench_preamble(w, "tcp");
   w.key("config").begin_object();
   w.kv("backend", "tcp");
   w.kv("n", std::uint64_t{n});

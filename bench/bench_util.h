@@ -47,6 +47,23 @@ inline void write_latency_fields(JsonWriter& w, const std::string& prefix,
   w.kv(prefix + "_count", s.count);
 }
 
+/// Unified BENCH_*.json preamble. Every bench JSON opens with the same two
+/// dispatch fields, then its bench-specific "config" object, then "results":
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   bench::write_bench_preamble(w, "fleet");
+///   w.key("config").begin_object(); ... w.end_object();
+///   w.key("results").begin_array(); ... w.end_array();
+///   w.end_object();
+///
+/// so CI post-processing can dispatch on "schema" without per-file parsers.
+inline void write_bench_preamble(JsonWriter& w, const std::string& name,
+                                 unsigned version = 1) {
+  w.kv("schema", "optrec.bench." + name + "/v" + std::to_string(version));
+  w.kv("generated_by", "bench_" + name);
+}
+
 /// A standard workload configuration shared by the comparison benches so
 /// protocols face identical traffic.
 inline ScenarioConfig standard_config(ProtocolKind protocol,

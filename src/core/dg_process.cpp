@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/core/garbage_collector.h"
+#include "src/scale/gc_policy.h"
 #include "src/util/log.h"
 #include "src/util/serialization.h"
 
@@ -410,9 +411,15 @@ void DamaniGargProcess::after_stability_change() {
     return p.clock.size() > 0 && stability_.covers(p.clock);
   });
   if (config().enable_gc) {
-    const GcResult gc = run_gc(storage(), stability_);
+    const scale::TunedGcResult gc =
+        scale::run_gc_tuned(storage(), stability_, config().gc);
     metrics().gc_checkpoints_reclaimed += gc.checkpoints_reclaimed;
     metrics().gc_log_entries_reclaimed += gc.log_entries_reclaimed;
+    metrics().gc_tokens_compacted += gc.tokens_compacted;
+    metrics().gc_reclaimed_bytes += gc.reclaimed_bytes;
+    metrics().gc_held_intervals -= gc_held_reported_;
+    metrics().gc_held_intervals += gc.held_intervals;
+    gc_held_reported_ = gc.held_intervals;
     if (gc.checkpoints_reclaimed + gc.log_entries_reclaimed > 0) {
       trace_simple(TraceEventType::kGc, gc.checkpoints_reclaimed,
                    gc.log_entries_reclaimed);

@@ -107,6 +107,11 @@ class DamaniGargProcess : public ProcessBase {
 
   Retransmitter retransmitter_;
   StabilityTracker stability_;
+  /// Held-interval count this process last contributed to the shared
+  /// gc_held_intervals gauge (processes share one Metrics object in the
+  /// simulation, so each GC pass must replace its own contribution, not the
+  /// fleet total).
+  std::uint64_t gc_held_reported_ = 0;
   EventId gossip_timer_ = 0;
   DeliveryObserver delivery_observer_;
 };

@@ -54,6 +54,9 @@ void Metrics::merge_from(const Metrics& other) {
   output_commit_latency.merge_from(other.output_commit_latency);
   gc_checkpoints_reclaimed += other.gc_checkpoints_reclaimed;
   gc_log_entries_reclaimed += other.gc_log_entries_reclaimed;
+  gc_tokens_compacted += other.gc_tokens_compacted;
+  gc_reclaimed_bytes += other.gc_reclaimed_bytes;
+  gc_held_intervals += other.gc_held_intervals;
   for (const auto& [failure, per_process] : other.rollbacks_by_failure) {
     for (const auto& [pid, count] : per_process) {
       rollbacks_by_failure[failure][pid] += count;

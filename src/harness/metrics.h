@@ -69,6 +69,12 @@ struct Metrics {
   RunningStats output_commit_latency;
   std::uint64_t gc_checkpoints_reclaimed = 0;
   std::uint64_t gc_log_entries_reclaimed = 0;
+  std::uint64_t gc_tokens_compacted = 0;  // aggressive token-log compaction
+  std::uint64_t gc_reclaimed_bytes = 0;   // exact stable-footprint freed
+  /// State intervals (log entries) still held after the last GC pass: a
+  /// level gauge, not an accumulator (merge_from takes the sum across
+  /// processes, which is the fleet's total held history).
+  std::uint64_t gc_held_intervals = 0;
 
   /// Rollbacks attributed to each failure; the paper's "number of rollbacks
   /// per failure" (Table 1) requires max over failures of per-process count.

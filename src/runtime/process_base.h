@@ -26,6 +26,7 @@
 #include "src/harness/metrics.h"
 #include "src/net/network.h"
 #include "src/runtime/env.h"
+#include "src/scale/gc_policy.h"
 #include "src/sim/simulation.h"
 #include "src/storage/stable_storage.h"
 #include "src/trace/trace_event.h"
@@ -66,6 +67,9 @@ struct ProcessConfig {
   bool enable_stability_tracking = false;
   SimTime stability_gossip_interval = millis(200);
   bool enable_gc = false;
+  /// Remark-2 GC aggressiveness (only consulted when enable_gc is set);
+  /// kStandard reproduces the fixed pre-knob behavior exactly.
+  scale::GcPolicy gc;
 };
 
 /// One externally visible output, with commit bookkeeping (paper Remark 2).

@@ -1,0 +1,68 @@
+#include "src/scale/gc_policy.h"
+
+#include <stdexcept>
+
+#include "src/core/output_commit.h"
+#include "src/storage/stable_storage.h"
+
+namespace optrec::scale {
+
+GcLevel parse_gc_level(const std::string& text) {
+  if (text == "off") return GcLevel::kOff;
+  if (text == "conservative") return GcLevel::kConservative;
+  if (text == "standard") return GcLevel::kStandard;
+  if (text == "aggressive") return GcLevel::kAggressive;
+  throw std::invalid_argument("unknown gc level: " + text);
+}
+
+const char* gc_level_name(GcLevel level) {
+  switch (level) {
+    case GcLevel::kOff: return "off";
+    case GcLevel::kConservative: return "conservative";
+    case GcLevel::kStandard: return "standard";
+    case GcLevel::kAggressive: return "aggressive";
+  }
+  return "?";
+}
+
+TunedGcResult run_gc_tuned(StableStorage& storage,
+                           const StabilityTracker& tracker,
+                           const GcPolicy& policy) {
+  TunedGcResult result;
+  const std::size_t before_bytes = storage.stable_bytes();
+  auto& checkpoints = storage.checkpoints();
+
+  if (policy.level != GcLevel::kOff && !checkpoints.empty()) {
+    const auto frontier = checkpoints.latest_matching(
+        [&](const Checkpoint& c) { return tracker.covers(c.clock); });
+    if (frontier) {
+      std::size_t target = *frontier;
+      if (policy.level == GcLevel::kConservative) {
+        const std::size_t keep = policy.keep_checkpoints;
+        target = target > keep ? target - keep : 0;
+      }
+      if (target > 0) {
+        result.checkpoints_reclaimed = checkpoints.reclaim_before_delivered(
+            checkpoints.at(target).delivered_count);
+      }
+      // Log entries before the oldest surviving checkpoint's replay cursor
+      // can never be replayed again.
+      result.log_entries_reclaimed =
+          storage.log().reclaim_before(checkpoints.at(0).delivered_count);
+    }
+    if (policy.level == GcLevel::kAggressive) {
+      result.tokens_compacted = storage.compact_token_log();
+    }
+  }
+
+  const std::size_t after_bytes = storage.stable_bytes();
+  result.reclaimed_bytes =
+      before_bytes > after_bytes ? before_bytes - after_bytes : 0;
+  result.held_intervals = static_cast<std::size_t>(
+      storage.log().total_count() - storage.log().base());
+  result.held_checkpoints = checkpoints.count();
+  result.held_bytes = after_bytes;
+  return result;
+}
+
+}  // namespace optrec::scale

@@ -1,0 +1,106 @@
+#include "src/scale/overlay.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace optrec::scale {
+
+std::vector<RelayAssignment> split_subtree(
+    const std::vector<std::uint32_t>& nodes, std::uint32_t fanout) {
+  std::vector<RelayAssignment> plan;
+  if (nodes.empty()) return plan;
+  const std::uint32_t k = std::max<std::uint32_t>(fanout, 1);
+  const std::size_t chunks = std::min<std::size_t>(k, nodes.size());
+  plan.reserve(chunks);
+  // Near-equal contiguous chunks: the first (nodes % chunks) get one extra.
+  const std::size_t base = nodes.size() / chunks;
+  const std::size_t extra = nodes.size() % chunks;
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    RelayAssignment a;
+    a.subtree.assign(nodes.begin() + static_cast<std::ptrdiff_t>(at),
+                     nodes.begin() + static_cast<std::ptrdiff_t>(at + len));
+    a.head = a.subtree.front();
+    plan.push_back(std::move(a));
+    at += len;
+  }
+  return plan;
+}
+
+std::vector<RelayAssignment> plan_broadcast(std::uint32_t origin,
+                                            std::uint32_t n_nodes,
+                                            std::uint32_t fanout) {
+  std::vector<std::uint32_t> remote;
+  remote.reserve(n_nodes > 0 ? n_nodes - 1 : 0);
+  // Ring order from origin+1: every origin sees the same balanced shape.
+  for (std::uint32_t i = 1; i < n_nodes; ++i) {
+    remote.push_back((origin + i) % n_nodes);
+  }
+  if (fanout < 2) {
+    // Flat mode: one singleton assignment per remote node.
+    std::vector<RelayAssignment> plan;
+    plan.reserve(remote.size());
+    for (std::uint32_t node : remote) plan.push_back({node, {node}});
+    return plan;
+  }
+  return split_subtree(remote, fanout);
+}
+
+std::uint32_t tree_depth(std::uint64_t m, std::uint32_t fanout) {
+  if (m <= 1) return 0;
+  const std::uint32_t k = std::max<std::uint32_t>(fanout, 2);
+  // Head absorbs one node; the worst chunk gets ceil((m-1)/k).
+  const std::uint64_t worst = (m - 1 + k - 1) / k;
+  return 1 + tree_depth(worst, k);
+}
+
+DisseminationReport simulate_dissemination(
+    std::uint32_t origin, std::uint32_t n_nodes, std::uint32_t fanout,
+    const std::unordered_set<std::uint32_t>& down,
+    std::uint32_t fallback_retries) {
+  DisseminationReport rep;
+
+  struct Item {
+    RelayAssignment assignment;
+    std::uint32_t depth = 0;
+    std::uint32_t time = 0;
+  };
+  std::deque<Item> queue;
+  for (RelayAssignment& a : plan_broadcast(origin, n_nodes, fanout)) {
+    queue.push_back({std::move(a), 1, 1});
+  }
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    ++rep.relays;
+    const std::uint32_t head = item.assignment.head;
+    std::vector<std::uint32_t> rest(item.assignment.subtree.begin() + 1,
+                                    item.assignment.subtree.end());
+    if (down.count(head) != 0) {
+      // Silent child: the requester retries, times out, then splits the
+      // subtree — the head keeps its (pending-forever) singleton and the
+      // rest is relayed directly by the requester.
+      rep.retries += fallback_retries;
+      ++rep.unreachable;
+      if (!rest.empty()) {
+        ++rep.splits;
+        const std::uint32_t t = item.time + fallback_retries;
+        for (RelayAssignment& a : split_subtree(rest, fanout)) {
+          queue.push_back({std::move(a), item.depth, t + 1});
+        }
+      }
+      continue;
+    }
+    ++rep.reached;
+    ++rep.acks;  // the head's (aggregated) subtree ack, once complete
+    rep.depth = std::max(rep.depth, item.depth);
+    rep.latency_units = std::max(rep.latency_units, item.time);
+    for (RelayAssignment& a : split_subtree(rest, fanout)) {
+      queue.push_back({std::move(a), item.depth + 1, item.time + 1});
+    }
+  }
+  return rep;
+}
+
+}  // namespace optrec::scale

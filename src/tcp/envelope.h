@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/util/bytes.h"
 #include "src/wire/wire_codec.h"
@@ -31,6 +32,8 @@ enum class EnvelopeKind : std::uint8_t {
   kStatus = 4,       // node -> coordinator quiescence report
   kShutdown = 5,     // coordinator -> node: stop with exit_code
   kShutdownAck = 6,  // node -> coordinator: shutdown order received
+  kTokenRelay = 7,   // hierarchical token dissemination: cover `subtree`
+  kRelayAck = 8,     // receipt: the relay's WHOLE subtree is covered
 };
 
 /// Protocol/transport counters piggybacked on the status gossip, so the
@@ -90,8 +93,17 @@ struct Envelope {
   std::uint64_t delay_us = 0;
   Bytes wire;  // the nested wire_codec frame
 
-  // kTokenAck
+  // kTokenAck; kRelayAck reuses it for the relay id being receipted.
   std::uint64_t ack_seq = 0;
+
+  // kTokenRelay (reuses epoch = ORIGIN incarnation, token_seq = origin-
+  // unique broadcast seq for delivery dedupe, src_pid = failed process,
+  // delay_us = injected delay, wire = the nested token frame).
+  std::uint32_t origin_node = 0;  // root of the dissemination tree
+  std::uint64_t relay_id = 0;     // requester-unique, echoed by kRelayAck
+  std::uint32_t fanout = 0;       // k-ary split the head must reuse
+  /// Node ids this relay must cover; front() is the receiver itself.
+  std::vector<std::uint32_t> subtree;
 
   // kStatus
   NodeStatusReport status;

@@ -40,6 +40,14 @@ void add_tcp(TcpTransport::TcpStats& into,
   into.dup_tokens_dropped += from.dup_tokens_dropped;
   into.backpressure_drops += from.backpressure_drops;
   into.protocol_errors += from.protocol_errors;
+  into.writev_calls += from.writev_calls;
+  into.ring_overflows += from.ring_overflows;
+  into.delta_frames_tx += from.delta_frames_tx;
+  into.delta_bytes_tx += from.delta_bytes_tx;
+  into.delta_flat_bytes += from.delta_flat_bytes;
+  into.delta_resyncs += from.delta_resyncs;
+  into.relays_tx += from.relays_tx;
+  into.relay_splits += from.relay_splits;
 }
 
 }  // namespace
@@ -54,6 +62,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config) : config_(std::move(config)) {
         "requests have no oracle send records)");
   }
   topo_.faults = config_.faults;
+  topo_.scale = config_.scale;
   if (config_.enable_oracle) oracle_ = std::make_unique<CausalityOracle>();
   if (config_.enable_trace) trace_ = std::make_unique<TraceRecorder>();
 

@@ -210,6 +210,13 @@ void TcpNode::setup_telemetry() {
     add("optrec_tcp_protocol_errors_total", s.protocol_errors);
     add("optrec_tcp_writev_calls_total", s.writev_calls);
     add("optrec_tcp_outbound_ring_overflows_total", s.ring_overflows);
+    // Fleet-scale counters (docs/SCALING.md): delta piggyback byte ratio
+    // and hierarchical-dissemination fanout.
+    add("optrec_piggyback_delta_bytes_total", s.delta_bytes_tx);
+    add("optrec_piggyback_flat_bytes_total", s.delta_flat_bytes);
+    add("optrec_piggyback_delta_resyncs_total", s.delta_resyncs);
+    add("optrec_token_fanout_msgs_total", s.relays_tx);
+    add("optrec_token_fanout_splits_total", s.relay_splits);
     // Buffer-pool efficiency: hits = encodes served from the freelist.
     const FramePool::Stats ps = FramePool::global().stats();
     add("optrec_frame_pool_hits_total", ps.hits);

@@ -285,11 +285,43 @@ MsgId TcpTransport::send(Message msg) {
       return msg.id;
     }
   }
+  const std::uint32_t dst_node = topo_.node_of(msg.dst);
+  const bool local = dst_node == node_id_;
+
+  if (!local && topo_.scale.delta_piggyback) {
+    // Defer encoding to the IO thread: the frame must be delta-encoded in
+    // exactly the order it enters the connection's stream, which only the
+    // single stager (flush_peer) can guarantee. No flat encode happens at
+    // all on this path.
+    const MsgId id = msg.id;
+    auto d = std::make_shared<DeltaSend>();
+    d->src_pid = msg.src;
+    d->dst_pid = msg.dst;
+    d->sent_unix_us = unix_micros();
+    d->flat_size = message_wire_bytes(msg);
+    d->app = app;
+    d->msg = std::move(msg);
+    const auto queue_delta = [&](SimTime delay) {
+      OutMsg m;
+      m.app = app;
+      m.delta = d;
+      m.delta_delay = delay;
+      if (!queue_to_peer(dst_node, std::move(m))) {
+        messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    if (app && rng.chance(topo_.faults.duplicate_prob)) {
+      messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+      queue_delta(draw_delay(rng));
+    }
+    queue_delta(draw_delay(rng));
+    wake();
+    return id;
+  }
+
   // Encode once into a pooled buffer; duplicates and the remote head/
   // payload split all share it.
   FrameRef wire = FramePool::global().wrap(encode_message_frame(msg));
-  const std::uint32_t dst_node = topo_.node_of(msg.dst);
-  const bool local = dst_node == node_id_;
 
   const auto deliver = [&](FrameRef w, SimTime delay) {
     if (local) {
@@ -338,6 +370,10 @@ void TcpTransport::broadcast_token(const Token& token) {
   // One encode for the whole broadcast: every local channel frame and
   // every remote envelope payload is a clone of this ref.
   FrameRef wire = FramePool::global().wrap(encode_token_frame(token));
+  if (topo_.scale.token_fanout >= 2 && topo_.nodes.size() > 1) {
+    broadcast_token_hierarchical(token, wire, rng);
+    return;
+  }
   bool remote = false;
   for (ProcessId dst = 0; dst < topo_.n; ++dst) {
     if (dst == token.from) continue;
@@ -356,6 +392,73 @@ void TcpTransport::broadcast_token(const Token& token) {
     }
   }
   if (remote) wake();
+}
+
+void TcpTransport::broadcast_token_hierarchical(const Token& token,
+                                                const FrameRef& wire,
+                                                Rng& rng) {
+  // The logical broadcast still addresses every remote pid — the counters
+  // stay flat-mode-compatible so cluster-summed Network stats balance — but
+  // the wire carries one relay per top-level subtree instead of one tracked
+  // send per remote node.
+  const std::size_t bytes = token_wire_bytes(token);
+  bool remote = false;
+  for (ProcessId dst = 0; dst < topo_.n; ++dst) {
+    if (dst == token.from) continue;
+    tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+    token_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const SimTime delay = draw_delay(rng);
+    if (topo_.node_of(dst) == node_id_) {
+      push_local(token.from, dst, wire, /*app=*/false, /*token=*/true, delay);
+    } else {
+      remote = true;
+    }
+  }
+  if (!remote) return;
+  const auto plan = scale::plan_broadcast(
+      node_id_, static_cast<std::uint32_t>(topo_.nodes.size()),
+      topo_.scale.token_fanout);
+  Envelope tmpl;
+  tmpl.kind = EnvelopeKind::kTokenRelay;
+  tmpl.src_node = node_id_;
+  tmpl.origin_node = node_id_;
+  tmpl.epoch = epoch_;
+  tmpl.token_seq = next_token_seq_.fetch_add(1, std::memory_order_relaxed);
+  tmpl.fanout = topo_.scale.token_fanout;
+  tmpl.src_pid = token.from;
+  tmpl.delay_us = draw_delay(rng);
+  tmpl.wire = Bytes(wire.data(), wire.data() + wire.size());
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    const std::uint64_t agg_id = next_agg_id_++;
+    RelayAgg agg;
+    agg.pending = plan.size();
+    relay_aggs_.emplace(agg_id, agg);
+    for (const scale::RelayAssignment& chunk : plan) {
+      start_relay_locked(chunk, tmpl, agg_id);
+    }
+  }
+  wake();
+}
+
+void TcpTransport::start_relay_locked(const scale::RelayAssignment& chunk,
+                                      const Envelope& tmpl,
+                                      std::uint64_t agg_id) {
+  RelayTask task;
+  task.dst_node = chunk.head;
+  task.env = tmpl;
+  task.env.relay_id = next_relay_id_++;
+  task.env.subtree = chunk.subtree;
+  task.subtree = chunk.subtree;
+  task.agg = agg_id;
+  task.next_retry = clock_.now() + topo_.faults.token_retry;
+  task.msg = control_msg(task.env);
+  relays_tx_.fetch_add(1, std::memory_order_relaxed);
+  relay_pending_.fetch_add(1, std::memory_order_acq_rel);
+  OutMsg first = task.msg;  // ref clone; retries share the same buffers
+  const std::uint64_t id = task.env.relay_id;
+  relay_tasks_.emplace(id, std::move(task));
+  queue_to_peer(chunk.head, std::move(first));
 }
 
 void TcpTransport::send_token(ProcessId dst, const Token& token) {
@@ -399,6 +502,7 @@ std::uint64_t TcpTransport::outbound_pending() const {
     if (p != nullptr) pending += p->outq.size();
   }
   pending += unacked_count_.load(std::memory_order_acquire);
+  pending += relay_pending_.load(std::memory_order_acquire);
   return pending + outbuf_bytes_.load(std::memory_order_acquire);
 }
 
@@ -490,6 +594,12 @@ TcpTransport::TcpStats TcpTransport::tcp_stats() const {
   s.backpressure_drops = backpressure_drops_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+  s.delta_frames_tx = delta_frames_tx_.load(std::memory_order_relaxed);
+  s.delta_bytes_tx = delta_bytes_tx_.load(std::memory_order_relaxed);
+  s.delta_flat_bytes = delta_flat_bytes_.load(std::memory_order_relaxed);
+  s.delta_resyncs = delta_resyncs_.load(std::memory_order_relaxed);
+  s.relays_tx = relays_tx_.load(std::memory_order_relaxed);
+  s.relay_splits = relay_splits_.load(std::memory_order_relaxed);
   for (const auto& p : peers_) {
     if (p != nullptr) s.ring_overflows += p->outq.overflow_pushes();
   }
@@ -683,6 +793,14 @@ void TcpTransport::on_peer_established(Peer& p) {
   p.connecting = false;
   p.connected = true;
   p.backoff = 0;
+  if (topo_.scale.delta_piggyback) {
+    // Fresh codecs per connection session: the first frame of every stream
+    // is a full clock, and anything that died staged in the old sendq is
+    // forgotten by both ends symmetrically (the peer saw the same teardown).
+    p.delta_enc = std::make_unique<scale::DeltaWireEncoder>(
+        topo_.n, epoch_, scale::DeltaMode::kFifo);
+    p.delta_dec = std::make_unique<scale::DeltaWireDecoder>(topo_.n);
+  }
   // Hello first: a fresh connection has an empty sendq, so the hello is
   // guaranteed to precede any staged traffic.
   Envelope hello;
@@ -719,6 +837,8 @@ void TcpTransport::close_peer(Peer& p, bool was_protocol_error) {
   p.reader = EnvelopeReader();
   p.sendq.clear();
   p.sendq_bytes = 0;
+  p.delta_enc.reset();
+  p.delta_dec.reset();
   if (p.initiator) {
     p.backoff = p.backoff == 0
                     ? topo_.faults.reconnect_min
@@ -796,6 +916,29 @@ void TcpTransport::process_envelope(Peer& p, Envelope& e) {
   }
   switch (e.kind) {
     case EnvelopeKind::kWire: {
+      if (!e.wire.empty() && e.wire[0] == scale::kDeltaMessageTag) {
+        // Delta-piggybacked message frame: reconstruct the flat frame here,
+        // on the connection that defines the stream order, so workers only
+        // ever see stateless frames.
+        if (p.delta_dec == nullptr || e.src_pid >= topo_.n) {
+          close_peer(p, /*was_protocol_error=*/true);
+          return;
+        }
+        try {
+          const Message m = p.delta_dec->decode_from(e.src_pid, e.wire);
+          e.wire = encode_message_frame(m);
+        } catch (const scale::DeltaResyncRequired&) {
+          // Recoverable desync (e.g. we adopted a superseding connection the
+          // peer was still staging onto): drop the connection; reconnecting
+          // resets both codecs and the next frame per stream is full.
+          delta_resyncs_.fetch_add(1, std::memory_order_relaxed);
+          close_peer(p, /*was_protocol_error=*/false);
+          return;
+        } catch (const DecodeError&) {
+          close_peer(p, /*was_protocol_error=*/true);
+          return;
+        }
+      }
       if (e.token_seq != 0) {
         // Ack every copy (retries included); deliver only the first.
         Envelope ack;
@@ -861,8 +1004,132 @@ void TcpTransport::process_envelope(Peer& p, Envelope& e) {
       p.shutdown_acked.store(true, std::memory_order_release);
       return;
     }
+    case EnvelopeKind::kTokenRelay:
+      process_token_relay(p, e);
+      return;
+    case EnvelopeKind::kRelayAck:
+      process_relay_ack(p, e);
+      return;
     case EnvelopeKind::kHello:
       return;  // handled above; unreachable
+  }
+}
+
+void TcpTransport::process_token_relay(Peer& p, Envelope& e) {
+  // Sanity before trusting the wire: this relay must name us as its head,
+  // and every node it covers must exist.
+  if (e.subtree.empty() || e.subtree.front() != node_id_) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (std::uint32_t node : e.subtree) {
+    if (node >= peers_.size() ||
+        (node != node_id_ && peers_[node] == nullptr)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const auto relay_key = std::make_pair(p.node, e.relay_id);
+  const auto origin_key = std::make_pair(e.origin_node, e.epoch);
+  bool deliver = false;
+  bool ack_now = false;
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    const auto done_it = relay_done_.find(relay_key);
+    if (done_it != relay_done_.end()) {
+      if (!done_it->second) return;  // still covering; requester will retry
+      ack_now = true;                // retried after our ack was lost
+    } else {
+      relay_done_[relay_key] = false;
+      // Local delivery exactly once per origin broadcast, however many
+      // relays or retries carry it here.
+      deliver = relay_delivered_[origin_key].insert(e.token_seq).second;
+      if (!deliver) {
+        dup_tokens_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::vector<std::uint32_t> rest(e.subtree.begin() + 1, e.subtree.end());
+      if (rest.empty()) {
+        relay_done_[relay_key] = true;  // leaf: subtree == us
+        ack_now = true;
+      } else {
+        const auto chunks = scale::split_subtree(
+            rest, std::max<std::uint32_t>(2, e.fanout));
+        const std::uint64_t agg_id = next_agg_id_++;
+        RelayAgg agg;
+        agg.has_requester = true;
+        agg.requester_node = p.node;
+        agg.requester_relay_id = e.relay_id;
+        agg.pending = chunks.size();
+        relay_aggs_.emplace(agg_id, agg);
+        Envelope tmpl;
+        tmpl.kind = EnvelopeKind::kTokenRelay;
+        tmpl.src_node = node_id_;
+        tmpl.origin_node = e.origin_node;
+        tmpl.epoch = e.epoch;
+        tmpl.token_seq = e.token_seq;
+        tmpl.fanout = e.fanout;
+        tmpl.src_pid = e.src_pid;
+        tmpl.delay_us = e.delay_us;
+        tmpl.wire = e.wire;
+        for (const scale::RelayAssignment& chunk : chunks) {
+          start_relay_locked(chunk, tmpl, agg_id);
+        }
+      }
+    }
+  }
+  if (deliver) {
+    FrameRef wire = FramePool::global().wrap(Bytes(e.wire));
+    for (ProcessId pid : topo_.node(node_id_).processes) {
+      if (pid == e.src_pid) continue;
+      push_local(e.src_pid, pid, wire, /*app=*/false, /*token=*/true,
+                 e.delay_us);
+    }
+  }
+  if (ack_now) {
+    Envelope ack;
+    ack.kind = EnvelopeKind::kRelayAck;
+    ack.src_node = node_id_;
+    ack.epoch = p.peer_epoch;  // echo the requester incarnation
+    ack.ack_seq = e.relay_id;
+    acks_tx_.fetch_add(1, std::memory_order_relaxed);
+    queue_to_peer(p.node, control_msg(ack));
+  }
+}
+
+void TcpTransport::process_relay_ack(Peer& p, const Envelope& e) {
+  acks_rx_.fetch_add(1, std::memory_order_relaxed);
+  if (e.epoch != epoch_) return;  // receipt for a previous incarnation
+  bool ack_up = false;
+  std::uint32_t up_node = 0;
+  std::uint64_t up_relay_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    const auto it = relay_tasks_.find(e.ack_seq);
+    if (it == relay_tasks_.end()) return;  // dup ack
+    const std::uint64_t agg_id = it->second.agg;
+    relay_tasks_.erase(it);
+    relay_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    const auto ag = relay_aggs_.find(agg_id);
+    if (ag == relay_aggs_.end()) return;
+    if (--ag->second.pending != 0) return;
+    if (ag->second.has_requester) {
+      // Whole delegated subtree covered: receipt flows one level up.
+      relay_done_[{ag->second.requester_node, ag->second.requester_relay_id}] =
+          true;
+      ack_up = true;
+      up_node = ag->second.requester_node;
+      up_relay_id = ag->second.requester_relay_id;
+    }
+    relay_aggs_.erase(ag);
+  }
+  if (ack_up) {
+    Envelope ack;
+    ack.kind = EnvelopeKind::kRelayAck;
+    ack.src_node = node_id_;
+    ack.epoch = peers_.at(up_node)->peer_epoch;
+    ack.ack_seq = up_relay_id;
+    acks_tx_.fetch_add(1, std::memory_order_relaxed);
+    queue_to_peer(up_node, control_msg(ack));
   }
 }
 
@@ -873,6 +1140,7 @@ std::size_t TcpTransport::flush_peer(Peer& p) {
   std::size_t staged = 0;
   OutMsg m;
   while (p.sendq_bytes < kOutbufHighWater && p.outq.try_pop(m)) {
+    if (m.delta != nullptr) materialize_delta(p, m);
     if (m.app) p.pending_app.fetch_sub(1, std::memory_order_acq_rel);
     const std::size_t sz = m.head.size() + m.payload.size();
     outbuf_bytes_.fetch_add(sz, std::memory_order_relaxed);
@@ -928,6 +1196,36 @@ std::size_t TcpTransport::flush_peer(Peer& p) {
   }
   update_interest(p);
   return staged;
+}
+
+void TcpTransport::materialize_delta(Peer& p, OutMsg& m) {
+  // Deferred encode at stage time: this is the instant the frame's position
+  // in the connection's byte stream is fixed, so it is the only instant the
+  // FIFO delta base is known to match the decoder's.
+  const DeltaSend& d = *m.delta;
+  Envelope e;
+  e.kind = EnvelopeKind::kWire;
+  e.src_node = node_id_;
+  e.src_pid = d.src_pid;
+  e.dst_pid = d.dst_pid;
+  e.app = d.app;
+  e.sent_unix_us = d.sent_unix_us;
+  e.delay_us = m.delta_delay;
+  Bytes wire;
+  if (p.delta_enc != nullptr) {
+    wire = p.delta_enc->encode_for(d.src_pid, d.msg, d.flat_size);
+    delta_frames_tx_.fetch_add(1, std::memory_order_relaxed);
+    delta_bytes_tx_.fetch_add(wire.size(), std::memory_order_relaxed);
+    delta_flat_bytes_.fetch_add(d.flat_size, std::memory_order_relaxed);
+  } else {
+    // Connection cycled between queue and stage; stateless flat frame is
+    // always safe.
+    wire = encode_message_frame(d.msg);
+  }
+  m.head =
+      FramePool::global().wrap(frame_wire_envelope_prefix(e, wire.size()));
+  m.payload = FramePool::global().wrap(std::move(wire));
+  m.delta.reset();
 }
 
 void TcpTransport::update_interest(Peer& p) {
@@ -991,6 +1289,39 @@ void TcpTransport::retry_unacked_tokens() {
     if (!p.connected || p.blocked) continue;
     token_retries_.fetch_add(1, std::memory_order_relaxed);
     p.outq.push(OutMsg{pending.msg.head, pending.msg.payload, false});
+  }
+  // Relay retries ride the same cadence. After relay_fallback_retries
+  // silent attempts we assume the head is down and route around it: its
+  // subtree is re-split into fresh relays under the SAME aggregation, while
+  // the original task shrinks to a singleton that keeps retrying forever —
+  // per-node retry-until-acked semantics are preserved exactly as in flat
+  // mode (a dead node keeps us non-quiet until it respawns and acks).
+  for (auto& [id, task] : relay_tasks_) {
+    if (now < task.next_retry) continue;
+    task.next_retry = now + topo_.faults.token_retry;
+    ++task.attempts;
+    if (!task.fallback_done && task.subtree.size() > 1 &&
+        task.attempts > topo_.scale.relay_fallback_retries) {
+      relay_splits_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<std::uint32_t> rest(task.subtree.begin() + 1,
+                                      task.subtree.end());
+      const auto chunks = scale::split_subtree(
+          rest, std::max<std::uint32_t>(2, topo_.scale.token_fanout));
+      const auto ag = relay_aggs_.find(task.agg);
+      if (ag != relay_aggs_.end()) ag->second.pending += chunks.size();
+      task.subtree = {task.subtree.front()};
+      task.env.subtree = task.subtree;
+      task.msg = control_msg(task.env);
+      task.fallback_done = true;
+      // std::map: inserting new tasks does not invalidate this iteration.
+      for (const scale::RelayAssignment& chunk : chunks) {
+        start_relay_locked(chunk, task.env, task.agg);
+      }
+    }
+    Peer& rp = *peers_.at(task.dst_node);
+    if (!rp.connected || rp.blocked) continue;
+    token_retries_.fetch_add(1, std::memory_order_relaxed);
+    rp.outq.push(OutMsg{task.msg.head, task.msg.payload, false});
   }
 }
 

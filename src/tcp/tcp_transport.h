@@ -76,6 +76,8 @@
 #include "src/net/message.h"
 #include "src/net/network.h"
 #include "src/runtime/env.h"
+#include "src/scale/delta_codec.h"
+#include "src/scale/overlay.h"
 #include "src/tcp/envelope.h"
 #include "src/tcp/poller.h"
 #include "src/tcp/socket_util.h"
@@ -108,6 +110,13 @@ class TcpTransport : public Transport {
     std::uint64_t protocol_errors = 0;    // FrameError / bad hello
     std::uint64_t writev_calls = 0;       // scatter-gather socket writes
     std::uint64_t ring_overflows = 0;     // peer-ring pushes that spilled
+    // Fleet-scale extensions (topology.scale, docs/SCALING.md).
+    std::uint64_t delta_frames_tx = 0;    // message frames delta-encoded
+    std::uint64_t delta_bytes_tx = 0;     // their on-wire frame bytes
+    std::uint64_t delta_flat_bytes = 0;   // what flat encoding would cost
+    std::uint64_t delta_resyncs = 0;      // codec resets forced by decode
+    std::uint64_t relays_tx = 0;          // kTokenRelay envelopes queued
+    std::uint64_t relay_splits = 0;       // fallback subtree re-splits
   };
 
   /// Binds the listener (resolving port 0 immediately) but does not start
@@ -232,10 +241,27 @@ class TcpTransport : public Transport {
   /// destination of the same broadcast (empty for control envelopes, whose
   /// whole image lives in `head`). The socket writes both back-to-back —
   /// byte-identical to frame_envelope, with zero copies after encode.
+  /// Deferred delta-encode payload: the IO thread encodes the message
+  /// against the connection's codec state AT STAGE TIME (flush_peer), so
+  /// encode order is exactly stream order — the property the FIFO delta
+  /// mode needs. Shared by duplicate copies of the same send.
+  struct DeltaSend {
+    Message msg;
+    std::uint32_t src_pid = 0;
+    std::uint32_t dst_pid = 0;
+    std::uint64_t sent_unix_us = 0;
+    std::size_t flat_size = 0;  // flat wire-frame size, for byte accounting
+    bool app = false;
+  };
+
   struct OutMsg {
     FrameRef head;
     FrameRef payload;
     bool app = false;
+    /// Set iff this frame delta-compresses its clock: head/payload stay
+    /// empty until flush_peer encodes against the connection codec.
+    std::shared_ptr<const DeltaSend> delta;
+    std::uint64_t delta_delay = 0;  // per-copy injected delay (micros)
   };
 
   /// One buffer segment staged for the socket (IO-thread-only). Segments
@@ -268,6 +294,13 @@ class TcpTransport : public Transport {
     std::uint64_t peer_epoch = 0;
     /// Token dedupe: epoch -> acked-tracked seqs already delivered.
     std::map<std::uint64_t, std::unordered_set<std::uint64_t>> seen_tokens;
+    /// Per-connection clock delta codecs (topology.scale.delta_piggyback).
+    /// Created fresh on every established connection and destroyed with it
+    /// — codec state lifetime IS connection lifetime, so the frames lost
+    /// with a dying sendq can never desynchronise a surviving stream.
+    /// IO-thread-only. Streams are keyed by source pid.
+    std::unique_ptr<scale::DeltaWireEncoder> delta_enc;
+    std::unique_ptr<scale::DeltaWireDecoder> delta_dec;
 
     // Shared, lock-free.
     MpscRing<OutMsg> outq;  // workers push, IO thread pops
@@ -280,6 +313,34 @@ class TcpTransport : public Transport {
     std::uint32_t node = 0;
     OutMsg msg;  // retries re-push ref clones; the bytes are never copied
     SimTime next_retry = 0;
+  };
+
+  // --- hierarchical token dissemination (topology.scale.token_fanout) ---
+  // The origin relays one kTokenRelay per top-level subtree instead of one
+  // tracked send per remote node; each head delivers locally, re-splits the
+  // rest with the same fanout, and acks only once its WHOLE subtree acked.
+  // Retry-until-acked + a fallback re-split around unresponsive heads keep
+  // the flat broadcast's liveness guarantee. All state under tokens_mu_.
+
+  /// One outstanding kTokenRelay this node sent (origin or interior).
+  struct RelayTask {
+    std::uint32_t dst_node = 0;
+    OutMsg msg;               // prebuilt envelope frame; retries clone refs
+    Envelope env;             // template for the fallback rebuild
+    std::vector<std::uint32_t> subtree;
+    SimTime next_retry = 0;
+    std::uint32_t attempts = 0;
+    bool fallback_done = false;
+    std::uint64_t agg = 0;    // owning aggregation id
+  };
+
+  /// One covering duty being aggregated: the origin broadcast itself, or
+  /// an incoming relay whose requester waits for our subtree ack.
+  struct RelayAgg {
+    bool has_requester = false;
+    std::uint32_t requester_node = 0;
+    std::uint64_t requester_relay_id = 0;
+    std::size_t pending = 0;  // outstanding child RelayTasks
   };
 
   /// An accepted connection whose hello has not arrived yet.
@@ -328,6 +389,19 @@ class TcpTransport : public Transport {
   bool link_blocked_now(std::uint32_t peer_node) const;
   void update_interest(Peer& p);
 
+  // Hierarchical dissemination internals.
+  void broadcast_token_hierarchical(const Token& token, const FrameRef& wire,
+                                    Rng& rng);
+  /// Create + queue one RelayTask under an aggregation. Caller holds
+  /// tokens_mu_.
+  void start_relay_locked(const scale::RelayAssignment& chunk,
+                          const Envelope& tmpl, std::uint64_t agg_id);
+  void process_token_relay(Peer& p, Envelope& e);
+  void process_relay_ack(Peer& p, const Envelope& e);
+  /// Stage an OutMsg whose delta field is set: encode the message against
+  /// the connection codec and build the head/payload refs in place.
+  void materialize_delta(Peer& p, OutMsg& m);
+
   const LiveClock& clock_;
   TcpTopology topo_;
   const std::uint32_t node_id_;
@@ -361,6 +435,22 @@ class TcpTransport : public Transport {
   /// unacked_tokens_.size() mirror for the lock-free quiescence read.
   std::atomic<std::uint64_t> unacked_count_{0};
   std::atomic<std::uint64_t> next_token_seq_{1};
+
+  // Relay bookkeeping (tokens_mu_, same cadence: per failure, not per msg).
+  std::map<std::uint64_t, RelayTask> relay_tasks_;       // by our relay id
+  std::map<std::uint64_t, RelayAgg> relay_aggs_;         // by aggregation id
+  /// Incoming relays by (requester node, requester relay id): false while
+  /// our subtree is being covered, true once acked — duplicates re-ack.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, bool> relay_done_;
+  /// Local-delivery dedupe for relayed tokens, keyed by the ORIGIN's
+  /// (node, epoch) -> broadcast seqs (relays arrive via interior nodes, so
+  /// the per-connection seen_tokens map cannot cover them).
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::unordered_set<std::uint64_t>> relay_delivered_;
+  std::uint64_t next_relay_id_ = 1;                      // tokens_mu_
+  std::uint64_t next_agg_id_ = 1;                        // tokens_mu_
+  /// relay_tasks_.size() mirror for the lock-free quiescence read.
+  std::atomic<std::uint64_t> relay_pending_{0};
   /// Bytes staged in connection sendqs (IO thread updates; pure gauge).
   std::atomic<std::uint64_t> outbuf_bytes_{0};
 
@@ -407,6 +497,12 @@ class TcpTransport : public Transport {
   std::atomic<std::uint64_t> backpressure_drops_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> delta_frames_tx_{0};
+  std::atomic<std::uint64_t> delta_bytes_tx_{0};
+  std::atomic<std::uint64_t> delta_flat_bytes_{0};
+  std::atomic<std::uint64_t> delta_resyncs_{0};
+  std::atomic<std::uint64_t> relays_tx_{0};
+  std::atomic<std::uint64_t> relay_splits_{0};
 };
 
 }  // namespace optrec

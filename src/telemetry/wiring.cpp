@@ -49,6 +49,10 @@ ProcessGauges::ProcessGauges(MetricsRegistry& r, ProcessId pid)
       piggyback_bytes_(r.counter("optrec_piggyback_bytes_total",
                                  "Wire bytes of piggybacked protocol headers",
                                  pid_labels(pid))),
+      gc_reclaimed_intervals_(
+          r.counter("optrec_gc_reclaimed_intervals_total",
+                    "Stable-log state intervals reclaimed by Remark-2 GC",
+                    pid_labels(pid))),
       up_(r.gauge("optrec_process_up", "1 while the process is computing",
                   pid_labels(pid))) {}
 
@@ -68,6 +72,7 @@ void ProcessGauges::update(const Metrics& m) {
   replayed_.store(m.messages_replayed);
   retransmissions_.store(m.retransmissions);
   piggyback_bytes_.store(m.piggyback_bytes);
+  gc_reclaimed_intervals_.store(m.gc_log_entries_reclaimed);
 }
 
 void ProcessGauges::set_up(bool up) { up_.set(up ? 1 : 0); }

@@ -59,6 +59,7 @@ class ProcessGauges {
   Counter& replayed_;
   Counter& retransmissions_;
   Counter& piggyback_bytes_;
+  Counter& gc_reclaimed_intervals_;
   Gauge& up_;
 };
 

@@ -76,6 +76,17 @@
 //                      form kills without respawn; repeatable
 //   --print-topology   print the effective topology JSON and exit
 //
+// Fleet-scale flags (docs/SCALING.md):
+//   --delta-piggyback  delta-compress message clock piggybacks per TCP
+//                      connection (topology.scale.delta_piggyback)
+//   --token-fanout=K   hierarchical failure-token dissemination with k-ary
+//                      relay subtrees (K >= 2; 0 = flat broadcast)
+//   --gc-level=L       Remark-2 GC aggressiveness: off | conservative |
+//                      standard | aggressive (implies --stability --gc)
+//
+// With --topology=FILE these flags override the file's "scale" block; the
+// merged config must be identical on every node of a real cluster.
+//
 // Client service flags (docs/SERVICE.md):
 //   --serve            serve the client-facing replicated KV service from
 //                      each node's IO thread; replies release strictly
@@ -321,6 +332,12 @@ std::string result_json(const TcpClusterConfig& config, const char* mode,
   w.kv("dup_tokens_dropped", t.dup_tokens_dropped);
   w.kv("backpressure_drops", t.backpressure_drops);
   w.kv("protocol_errors", t.protocol_errors);
+  w.kv("delta_frames_tx", t.delta_frames_tx);
+  w.kv("delta_bytes_tx", t.delta_bytes_tx);
+  w.kv("delta_flat_bytes", t.delta_flat_bytes);
+  w.kv("delta_resyncs", t.delta_resyncs);
+  w.kv("relays_tx", t.relays_tx);
+  w.kv("relay_splits", t.relay_splits);
   w.end_object();
 
   w.kv("oracle_violations", std::uint64_t{oracle_violations});
@@ -679,6 +696,22 @@ int main(int argc, char** argv) {
     } else if (parse_flag(arg, "--gc", &value)) {
       config.process.enable_stability_tracking = true;
       config.process.enable_gc = true;
+    } else if (parse_flag(arg, "--gc-level", &value)) {
+      config.process.enable_stability_tracking = true;
+      config.process.enable_gc = true;
+      try {
+        config.process.gc.level = scale::parse_gc_level(value);
+      } catch (const std::invalid_argument& e) {
+        die(e.what());
+      }
+    } else if (parse_flag(arg, "--delta-piggyback", &value)) {
+      config.scale.delta_piggyback = true;
+    } else if (parse_flag(arg, "--token-fanout", &value)) {
+      config.scale.token_fanout =
+          static_cast<std::uint32_t>(parse_u64(value, "--token-fanout"));
+      if (config.scale.token_fanout == 1) {
+        die("--token-fanout wants 0 (flat) or >= 2");
+      }
     } else if (parse_flag(arg, "--time-cap-ms", &value)) {
       config.time_cap = millis(parse_u64(value, "--time-cap-ms"));
     } else if (parse_flag(arg, "--settle-ms", &value)) {
@@ -819,6 +852,14 @@ int main(int argc, char** argv) {
     }
     topo.faults = config.faults;
   }
+  // Merge the fleet-scale knobs: CLI flags override a topology file's
+  // "scale" block, and the merged result feeds both --node=K (topo) and
+  // --node=all / --spawn (config) paths identically.
+  if (config.scale.delta_piggyback) topo.scale.delta_piggyback = true;
+  if (config.scale.token_fanout != 0) {
+    topo.scale.token_fanout = config.scale.token_fanout;
+  }
+  config.scale = topo.scale;
   if (serve && config.enable_oracle) {
     die("--serve and --oracle are incompatible (injected client requests "
         "have no oracle send records; optrec_loadgen checks consistency "

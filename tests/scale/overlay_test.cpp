@@ -1,0 +1,137 @@
+// Tests for the hierarchical token-dissemination overlay: split/plan
+// correctness, O(log n) depth bounds, O(n) message totals, and the fallback
+// rule that routes around dead interior nodes.
+#include "src/scale/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace optrec::scale {
+namespace {
+
+std::vector<std::uint32_t> iota(std::uint32_t n, std::uint32_t start = 0) {
+  std::vector<std::uint32_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(OverlayTest, SplitSubtreePartitionsNearEqually) {
+  const auto nodes = iota(10, 5);
+  const auto chunks = split_subtree(nodes, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  std::vector<std::uint32_t> rebuilt;
+  for (const auto& c : chunks) {
+    ASSERT_FALSE(c.subtree.empty());
+    EXPECT_EQ(c.head, c.subtree.front());
+    // Near-equal: 10 over 3 -> sizes 4, 3, 3.
+    EXPECT_GE(c.subtree.size(), 3u);
+    EXPECT_LE(c.subtree.size(), 4u);
+    rebuilt.insert(rebuilt.end(), c.subtree.begin(), c.subtree.end());
+  }
+  EXPECT_EQ(rebuilt, nodes);  // order preserved, nothing lost or duplicated
+}
+
+TEST(OverlayTest, SplitSubtreeEdgeCases) {
+  EXPECT_TRUE(split_subtree({}, 4).empty());
+  const auto one = split_subtree({7}, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].head, 7u);
+  // More fanout than nodes: every node its own singleton.
+  const auto wide = split_subtree(iota(3), 8);
+  EXPECT_EQ(wide.size(), 3u);
+}
+
+TEST(OverlayTest, PlanBroadcastCoversEveryRemoteExactlyOnce) {
+  for (std::uint32_t origin : {0u, 3u, 7u}) {
+    const auto plan = plan_broadcast(origin, 8, 2);
+    std::unordered_set<std::uint32_t> covered;
+    for (const auto& c : plan) {
+      for (std::uint32_t node : c.subtree) {
+        EXPECT_NE(node, origin);
+        EXPECT_TRUE(covered.insert(node).second) << "duplicate " << node;
+      }
+    }
+    EXPECT_EQ(covered.size(), 7u);
+  }
+}
+
+TEST(OverlayTest, FlatModeYieldsSingletonAssignments) {
+  const auto plan = plan_broadcast(2, 6, /*fanout=*/0);
+  EXPECT_EQ(plan.size(), 5u);  // one relay per remote node, no tree
+  for (const auto& c : plan) EXPECT_EQ(c.subtree.size(), 1u);
+}
+
+TEST(OverlayTest, TreeDepthIsLogarithmic) {
+  EXPECT_EQ(tree_depth(0, 4), 0u);
+  EXPECT_EQ(tree_depth(1, 4), 0u);  // a lone head: no further hops
+  EXPECT_EQ(tree_depth(2, 4), 1u);
+  // 4-ary over 255 remotes: head + 4 chunks of ~63 -> depth 1 + depth(64).
+  EXPECT_LE(tree_depth(255, 4), 5u);
+  EXPECT_LE(tree_depth(1023, 4), 6u);
+  // Depth shrinks as fanout grows.
+  EXPECT_GE(tree_depth(1023, 2), tree_depth(1023, 8));
+}
+
+TEST(OverlayTest, FailureFreeDisseminationReachesAllWithLinearMessages) {
+  for (std::uint32_t n : {16u, 64u, 256u}) {
+    const auto report = simulate_dissemination(1, n, 4, {}, 3);
+    EXPECT_EQ(report.reached, n - 1u);
+    EXPECT_EQ(report.unreachable, 0u);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_EQ(report.relays, n - 1u);  // each remote gets exactly one relay
+    EXPECT_EQ(report.acks, n - 1u);    // and sends exactly one (subtree) ack
+    EXPECT_LE(report.depth, tree_depth(n - 1, 4));
+    EXPECT_LE(report.total_messages(), 2u * n);
+  }
+}
+
+TEST(OverlayTest, FlatModeMatchesBroadcastShape) {
+  const auto report = simulate_dissemination(0, 32, /*fanout=*/0, {}, 3);
+  EXPECT_EQ(report.reached, 31u);
+  EXPECT_EQ(report.relays, 31u);
+  EXPECT_EQ(report.depth, 1u);  // no relaying: everything is one hop
+}
+
+TEST(OverlayTest, DeadInteriorNodeTriggersFallbackSplit) {
+  // Make the first top-level head dead: its whole chunk must still be
+  // reached via the fallback split, minus the dead head itself.
+  const auto plan = plan_broadcast(0, 64, 4);
+  ASSERT_FALSE(plan.empty());
+  const std::uint32_t dead = plan[0].head;
+  ASSERT_GT(plan[0].subtree.size(), 1u) << "test needs an interior head";
+
+  const auto report = simulate_dissemination(0, 64, 4, {dead}, 3);
+  EXPECT_EQ(report.reached, 62u);  // 63 remotes minus the dead head
+  EXPECT_EQ(report.unreachable, 1u);
+  EXPECT_GE(report.splits, 1u);
+  EXPECT_EQ(report.retries, 3u);  // fallback_retries spent on the dead head
+  // Fallback costs latency but bounded: timeout units + extra hops.
+  EXPECT_GT(report.latency_units, tree_depth(63, 4));
+}
+
+TEST(OverlayTest, ManyDeadNodesStillReachEveryAliveNode) {
+  std::unordered_set<std::uint32_t> down;
+  for (std::uint32_t node = 3; node < 96; node += 7) down.insert(node);
+  const auto report = simulate_dissemination(0, 96, 4, down, 2);
+  EXPECT_EQ(report.reached, 95u - down.size());
+  EXPECT_EQ(report.unreachable, down.size());
+  // Messages stay linear even with fallbacks: relays + retries + acks.
+  EXPECT_LE(report.total_messages(), 3u * 96u);
+}
+
+TEST(OverlayTest, DisseminationIsDeterministic) {
+  const auto a = simulate_dissemination(5, 128, 4, {9, 40}, 3);
+  const auto b = simulate_dissemination(5, 128, 4, {9, 40}, 3);
+  EXPECT_EQ(a.relays, b.relays);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.acks, b.acks);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.latency_units, b.latency_units);
+}
+
+}  // namespace
+}  // namespace optrec::scale
