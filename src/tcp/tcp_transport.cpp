@@ -36,7 +36,10 @@ TcpTransport::TcpTransport(const LiveClock& clock, const TcpTopology& topo,
     : clock_(clock),
       topo_(topo),
       node_id_(node_id),
-      epoch_(epoch == 0 ? unix_micros() : epoch) {
+      epoch_(epoch == 0 ? unix_micros() : epoch),
+      // Independent per-node stream: relay delays must not perturb (or be
+      // perturbed by) the per-sender fault streams.
+      relay_rng_(seed ^ (0x9e3779b97f4a7c15ull * (node_id + 1))) {
   topo_.validate();
   if (node_id_ >= topo_.nodes.size()) {
     throw std::invalid_argument("TcpTransport: node id out of range");
@@ -426,7 +429,6 @@ void TcpTransport::broadcast_token_hierarchical(const Token& token,
   tmpl.token_seq = next_token_seq_.fetch_add(1, std::memory_order_relaxed);
   tmpl.fanout = topo_.scale.token_fanout;
   tmpl.src_pid = token.from;
-  tmpl.delay_us = draw_delay(rng);
   tmpl.wire = Bytes(wire.data(), wire.data() + wire.size());
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
@@ -448,6 +450,10 @@ void TcpTransport::start_relay_locked(const scale::RelayAssignment& chunk,
   task.dst_node = chunk.head;
   task.env = tmpl;
   task.env.relay_id = next_relay_id_++;
+  // Fresh fault delay per chunk (and, recursively, per relay level):
+  // sharing one draw across the whole remote tree would collapse the
+  // delivery-reordering variance the fault matrix relies on.
+  task.env.delay_us = draw_delay(relay_rng_);
   task.env.subtree = chunk.subtree;
   task.subtree = chunk.subtree;
   task.agg = agg_id;
@@ -1029,27 +1035,49 @@ void TcpTransport::process_token_relay(Peer& p, Envelope& e) {
       return;
     }
   }
-  const auto relay_key = std::make_pair(p.node, e.relay_id);
+  // Keyed by the requester INCARNATION, not just its node: a respawned
+  // requester restarts relay ids at 1, and matching the dead incarnation's
+  // entry would instantly re-ack without ever delivering the new token.
+  const auto relay_key = std::make_tuple(p.node, p.peer_epoch, e.relay_id);
   const auto origin_key = std::make_pair(e.origin_node, e.epoch);
   bool deliver = false;
   bool ack_now = false;
+  std::vector<SimTime> local_delays;
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
     const auto done_it = relay_done_.find(relay_key);
     if (done_it != relay_done_.end()) {
-      if (!done_it->second) return;  // still covering; requester will retry
-      ack_now = true;                // retried after our ack was lost
+      if (!done_it->second.done) {
+        return;  // still covering; requester will retry
+      }
+      done_it->second.at = clock_.now();  // re-touched: keep until idle
+      ack_now = true;                     // retried after our ack was lost
     } else {
-      relay_done_[relay_key] = false;
+      relay_done_[relay_key] = {false, clock_.now()};
+      // A newer incarnation of the origin supersedes older delivery-dedupe
+      // state: the dead epoch's seqs can only reappear as relay retries,
+      // which relay_done_ above already absorbs.
+      for (auto it = relay_delivered_.lower_bound({e.origin_node, 0});
+           it != relay_delivered_.end() &&
+           it->first.first == e.origin_node && it->first.second < e.epoch;) {
+        it = relay_delivered_.erase(it);
+      }
       // Local delivery exactly once per origin broadcast, however many
       // relays or retries carry it here.
       deliver = relay_delivered_[origin_key].insert(e.token_seq).second;
       if (!deliver) {
         dup_tokens_dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Per-destination delay variance, exactly like flat mode: each
+        // local copy draws its own injected delay rather than inheriting
+        // the one value the relay happened to carry.
+        for (ProcessId pid : topo_.node(node_id_).processes) {
+          if (pid != e.src_pid) local_delays.push_back(draw_delay(relay_rng_));
+        }
       }
       std::vector<std::uint32_t> rest(e.subtree.begin() + 1, e.subtree.end());
       if (rest.empty()) {
-        relay_done_[relay_key] = true;  // leaf: subtree == us
+        relay_done_[relay_key] = {true, clock_.now()};  // leaf: subtree == us
         ack_now = true;
       } else {
         const auto chunks = scale::split_subtree(
@@ -1058,6 +1086,7 @@ void TcpTransport::process_token_relay(Peer& p, Envelope& e) {
         RelayAgg agg;
         agg.has_requester = true;
         agg.requester_node = p.node;
+        agg.requester_epoch = p.peer_epoch;
         agg.requester_relay_id = e.relay_id;
         agg.pending = chunks.size();
         relay_aggs_.emplace(agg_id, agg);
@@ -1069,7 +1098,6 @@ void TcpTransport::process_token_relay(Peer& p, Envelope& e) {
         tmpl.token_seq = e.token_seq;
         tmpl.fanout = e.fanout;
         tmpl.src_pid = e.src_pid;
-        tmpl.delay_us = e.delay_us;
         tmpl.wire = e.wire;
         for (const scale::RelayAssignment& chunk : chunks) {
           start_relay_locked(chunk, tmpl, agg_id);
@@ -1079,10 +1107,11 @@ void TcpTransport::process_token_relay(Peer& p, Envelope& e) {
   }
   if (deliver) {
     FrameRef wire = FramePool::global().wrap(Bytes(e.wire));
+    std::size_t di = 0;
     for (ProcessId pid : topo_.node(node_id_).processes) {
       if (pid == e.src_pid) continue;
       push_local(e.src_pid, pid, wire, /*app=*/false, /*token=*/true,
-                 e.delay_us);
+                 local_delays.at(di++));
     }
   }
   if (ack_now) {
@@ -1101,6 +1130,7 @@ void TcpTransport::process_relay_ack(Peer& p, const Envelope& e) {
   if (e.epoch != epoch_) return;  // receipt for a previous incarnation
   bool ack_up = false;
   std::uint32_t up_node = 0;
+  std::uint64_t up_epoch = 0;
   std::uint64_t up_relay_id = 0;
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
@@ -1113,11 +1143,13 @@ void TcpTransport::process_relay_ack(Peer& p, const Envelope& e) {
     if (ag == relay_aggs_.end()) return;
     if (--ag->second.pending != 0) return;
     if (ag->second.has_requester) {
-      // Whole delegated subtree covered: receipt flows one level up.
-      relay_done_[{ag->second.requester_node, ag->second.requester_relay_id}] =
-          true;
+      // Whole delegated subtree covered: receipt flows one level up, under
+      // the incarnation that asked for it.
+      relay_done_[{ag->second.requester_node, ag->second.requester_epoch,
+                   ag->second.requester_relay_id}] = {true, clock_.now()};
       ack_up = true;
       up_node = ag->second.requester_node;
+      up_epoch = ag->second.requester_epoch;
       up_relay_id = ag->second.requester_relay_id;
     }
     relay_aggs_.erase(ag);
@@ -1126,7 +1158,10 @@ void TcpTransport::process_relay_ack(Peer& p, const Envelope& e) {
     Envelope ack;
     ack.kind = EnvelopeKind::kRelayAck;
     ack.src_node = node_id_;
-    ack.epoch = peers_.at(up_node)->peer_epoch;
+    // Echo the requester incarnation captured when the relay arrived, not
+    // the peer's CURRENT epoch: if it respawned mid-coverage, this stale
+    // receipt must not match one of the new incarnation's (reused) ids.
+    ack.epoch = up_epoch;
     ack.ack_seq = up_relay_id;
     acks_tx_.fetch_add(1, std::memory_order_relaxed);
     queue_to_peer(up_node, control_msg(ack));
@@ -1279,6 +1314,23 @@ void TcpTransport::update_partition_masks() {
 void TcpTransport::retry_unacked_tokens() {
   const SimTime now = clock_.now();
   std::lock_guard<std::mutex> lock(tokens_mu_);
+  // Sweep acked relay entries nobody has retried for a while — without it
+  // the map grows with total failure-token traffic forever. The horizon
+  // dwarfs the retry cadence, so a requester still retrying (lost acks)
+  // keeps refreshing its entry; if one IS forgotten too early the worst
+  // case is a re-covered subtree, which relay_delivered_ still dedupes.
+  if (now >= relay_prune_at_) {
+    const SimTime horizon =
+        std::max<SimTime>(seconds(5), 64 * topo_.faults.token_retry);
+    relay_prune_at_ = now + horizon / 2;
+    for (auto it = relay_done_.begin(); it != relay_done_.end();) {
+      if (it->second.done && now - it->second.at > horizon) {
+        it = relay_done_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   for (auto& [seq, pending] : unacked_tokens_) {
     if (now < pending.next_retry) continue;
     pending.next_retry = now + topo_.faults.token_retry;

@@ -66,6 +66,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -339,8 +340,23 @@ class TcpTransport : public Transport {
   struct RelayAgg {
     bool has_requester = false;
     std::uint32_t requester_node = 0;
+    /// Requester incarnation at the time the relay arrived. The completion
+    /// receipt is keyed and echoed with THIS epoch, never the peer's
+    /// current one: a requester that respawned mid-coverage reuses relay
+    /// ids, and a stale receipt stamped with the new epoch would falsely
+    /// complete one of the new incarnation's relays.
+    std::uint64_t requester_epoch = 0;
     std::uint64_t requester_relay_id = 0;
     std::size_t pending = 0;  // outstanding child RelayTasks
+  };
+
+  /// Coverage state of an incoming relay we accepted: done=false while our
+  /// subtree is still being covered (duplicates wait), done=true once
+  /// acked (duplicates re-ack). `at` is refreshed on every touch so the
+  /// periodic sweep only forgets entries no requester retries any more.
+  struct RelayDone {
+    bool done = false;
+    SimTime at = 0;
   };
 
   /// An accepted connection whose hello has not arrived yet.
@@ -439,16 +455,27 @@ class TcpTransport : public Transport {
   // Relay bookkeeping (tokens_mu_, same cadence: per failure, not per msg).
   std::map<std::uint64_t, RelayTask> relay_tasks_;       // by our relay id
   std::map<std::uint64_t, RelayAgg> relay_aggs_;         // by aggregation id
-  /// Incoming relays by (requester node, requester relay id): false while
-  /// our subtree is being covered, true once acked — duplicates re-ack.
-  std::map<std::pair<std::uint32_t, std::uint64_t>, bool> relay_done_;
+  /// Incoming relays by (requester node, requester incarnation epoch,
+  /// requester relay id). The epoch is load-bearing: a SIGKILLed+respawned
+  /// requester restarts its relay-id counter, so without it the previous
+  /// incarnation's entries would swallow the new incarnation's first
+  /// broadcasts (stale instant re-ack, token never delivered). Acked
+  /// entries are swept after kRelayDoneRetention of idleness.
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>, RelayDone>
+      relay_done_;
   /// Local-delivery dedupe for relayed tokens, keyed by the ORIGIN's
   /// (node, epoch) -> broadcast seqs (relays arrive via interior nodes, so
-  /// the per-connection seen_tokens map cannot cover them).
+  /// the per-connection seen_tokens map cannot cover them). Epochs
+  /// superseded by a newer incarnation of the same origin are dropped.
   std::map<std::pair<std::uint32_t, std::uint64_t>,
            std::unordered_set<std::uint64_t>> relay_delivered_;
   std::uint64_t next_relay_id_ = 1;                      // tokens_mu_
   std::uint64_t next_agg_id_ = 1;                        // tokens_mu_
+  SimTime relay_prune_at_ = 0;                           // tokens_mu_
+  /// Fault-delay stream for relay traffic (per-chunk relay delays and the
+  /// per-pid local delivery delays at interior heads — paths where no
+  /// sending worker's RNG is on the stack). Guarded by tokens_mu_.
+  Rng relay_rng_;
   /// relay_tasks_.size() mirror for the lock-free quiescence read.
   std::atomic<std::uint64_t> relay_pending_{0};
   /// Bytes staged in connection sendqs (IO thread updates; pure gauge).

@@ -221,6 +221,81 @@ TEST(TcpTransport, BackpressureCapIsExactAndDropsAreAccounted) {
   b.note_delivered_message(true);
 }
 
+TEST(TcpTransport, RespawnedOriginReusedRelayIdsStillDisseminate) {
+  // Regression: the head's relay dedupe must be keyed by the requester's
+  // incarnation epoch. A SIGKILLed+respawned origin restarts both its
+  // relay-id and token-seq counters at 1; keyed by (node, relay id) alone,
+  // the surviving head would match the dead incarnation's acked entry,
+  // instantly re-ack, and never deliver the new failure token — orphans in
+  // its subtree would never learn to roll back.
+  TcpTopology topo = TcpTopology::loopback(2, 2);
+  topo.faults.min_delay = 0;
+  topo.faults.max_delay = micros(100);
+  topo.faults.token_retry = millis(5);
+  topo.scale.token_fanout = 2;
+
+  LiveClock clock;
+  Rng rng(99);
+  TcpTransport b(clock, topo, 1, /*seed=*/7, /*epoch=*/500);
+  const auto pop_b = [&](SimTime wait) -> std::optional<LiveFrame> {
+    LiveChannel& ch = b.channel(1);
+    const SimTime deadline = clock.now() + wait;
+    while (clock.now() < deadline) {
+      auto frame = ch.pop_ready(clock, clock.now() + millis(5), rng);
+      if (frame) return frame;
+    }
+    return std::nullopt;
+  };
+
+  Token token;
+  token.from = 0;
+  token.failed = FtvcEntry{1, 0};
+  {
+    TcpTransport a(clock, topo, 0, /*seed=*/7, /*epoch=*/1000);
+    a.set_peer_port(1, b.listen_port());
+    b.set_peer_port(0, a.listen_port());
+    a.start();
+    b.start();
+    a.broadcast_token(token);
+    auto frame = pop_b(seconds(2));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frame->token);
+    b.note_delivered_token();
+    // Wait for the relay ack, so the head has marked the first broadcast's
+    // relay id covered before the origin dies.
+    const SimTime deadline = clock.now() + seconds(2);
+    while (a.outbound_pending() != 0 && clock.now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(a.outbound_pending(), 0u);
+  }  // kill-9 stand-in: the origin vanishes with all its transport state
+
+  // The respawned incarnation deterministically reuses relay id 1 and
+  // token seq 1 toward the same head.
+  TcpTransport a2(clock, topo, 0, /*seed=*/7, /*epoch=*/2000);
+  a2.set_peer_port(1, b.listen_port());
+  a2.start();
+  token.failed = FtvcEntry{2, 0};
+  a2.broadcast_token(token);
+
+  auto frame = pop_b(seconds(2));
+  ASSERT_TRUE(frame.has_value())
+      << "post-respawn broadcast swallowed by the previous incarnation's "
+         "relay state";
+  EXPECT_TRUE(frame->token);
+  b.note_delivered_token();
+  const Frame decoded = decode_frame(frame->wire.bytes());
+  ASSERT_EQ(decoded.type, FrameType::kToken);
+  EXPECT_EQ(decoded.token.failed.ver, 2u);
+  EXPECT_EQ(b.tcp_stats().protocol_errors, 0u);
+  // The origin's tracked relay must complete through the real ack path.
+  const SimTime deadline = clock.now() + seconds(2);
+  while (a2.outbound_pending() != 0 && clock.now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(a2.outbound_pending(), 0u);
+}
+
 TEST(TcpTransport, ScriptedPartitionHoldsTrafficUntilHeal) {
   TcpFaultConfig faults;
   faults.min_delay = 0;
